@@ -1,0 +1,90 @@
+// Command mixtlb regenerates the paper's tables and figures from the
+// simulator. List experiments with -list, run one with -exp fig14, or run
+// everything with -exp all. The -quick flag trades fidelity for speed
+// (useful for smoke runs); -csv emits machine-readable output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mixtlb/internal/experiments"
+)
+
+func main() {
+	var (
+		expName   = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		list      = flag.Bool("list", false, "list available experiments")
+		quick     = flag.Bool("quick", false, "use the small quick scale instead of the default")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		memGB     = flag.Uint64("mem-gb", 0, "override system memory (GiB)")
+		footGB    = flag.Uint64("footprint-gb", 0, "override workload footprint (GiB)")
+		refs      = flag.Uint64("refs", 0, "override measured references per simulation")
+		seed      = flag.Uint64("seed", 0, "override random seed")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-15s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+	if *expName == "" {
+		fmt.Fprintln(os.Stderr, "usage: mixtlb -exp <name>|all [-quick] [-csv]; see -list")
+		os.Exit(2)
+	}
+
+	scale := experiments.DefaultScale()
+	if *quick {
+		scale = experiments.QuickScale()
+	}
+	if *memGB > 0 {
+		scale.MemoryBytes = *memGB << 30
+	}
+	if *footGB > 0 {
+		scale.FootprintBytes = *footGB << 30
+	}
+	if *refs > 0 {
+		scale.MeasureRefs = *refs
+		scale.WarmupRefs = *refs / 2
+	}
+	if *seed > 0 {
+		scale.Seed = *seed
+	}
+	if *workloads != "" {
+		scale.Workloads = strings.Split(*workloads, ",")
+	}
+
+	var toRun []experiments.Experiment
+	if *expName == "all" {
+		toRun = experiments.All()
+	} else {
+		e, err := experiments.ByName(*expName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		tbl, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", tbl.Title, tbl.CSV())
+		} else {
+			fmt.Println(tbl.String())
+		}
+		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,57 @@
+// GPU shared virtual memory: a CPU process's address space is used
+// directly by GPU shader cores ("a pointer is a pointer everywhere");
+// per-core TLBs service many concurrent threads. Compare TLB designs on
+// an irregular graph kernel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mixtlb/internal/cachesim"
+	"mixtlb/internal/gpu"
+	"mixtlb/internal/mmu"
+	"mixtlb/internal/osmm"
+	"mixtlb/internal/physmem"
+	"mixtlb/internal/simrand"
+	"mixtlb/internal/workload"
+)
+
+func main() {
+	phys := physmem.NewBuddy(2 << 30)
+	as, err := osmm.New(phys, osmm.Config{Policy: osmm.THS})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const footprint = 1 << 30
+	base, err := as.Mmap(footprint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := as.Populate(base, footprint); err != nil {
+		log.Fatal(err)
+	}
+
+	kernel, err := gpu.KernelByName("bfs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const cores = 8
+	for _, d := range []mmu.Design{mmu.DesignSplit, mmu.DesignMix, mmu.DesignRehash, mmu.DesignSkew} {
+		sys := gpu.New(gpu.Config{Cores: cores, Design: d}, as, cachesim.DefaultHierarchy())
+		sys.AttachStreams(func(id int) workload.Stream {
+			return kernel.Build(id, cores, base, footprint, simrand.New(uint64(id)))
+		})
+		if err := sys.Run(200_000); err != nil {
+			log.Fatal(err)
+		}
+		sys.ResetStats()
+		if err := sys.Run(400_000); err != nil {
+			log.Fatal(err)
+		}
+		st := sys.Stats()
+		fmt.Printf("%-12s %s\n", d, st.String())
+	}
+	fmt.Println("\nGPU TLBs absorb hundreds of threads' traffic; designs that use")
+	fmt.Println("all their entries for the OS's actual page-size mix miss least.")
+}

@@ -1,0 +1,3 @@
+module mixtlb
+
+go 1.22

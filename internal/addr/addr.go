@@ -1,0 +1,205 @@
+// Package addr provides x86-64 address arithmetic shared by every layer of
+// the simulator: page sizes, virtual/physical page numbers, set-index
+// extraction, and alignment helpers.
+//
+// The model follows the paper's conventions: 48-bit virtual and physical
+// addresses, 4KB / 2MB / 1GB pages, and set-associative structures indexed
+// by the low-order bits of the page number.
+package addr
+
+import "fmt"
+
+// PageSize identifies one of the three x86-64 page sizes.
+type PageSize uint8
+
+const (
+	// Page4K is a 4KB base page.
+	Page4K PageSize = iota
+	// Page2M is a 2MB superpage.
+	Page2M
+	// Page1G is a 1GB superpage.
+	Page1G
+	numPageSizes
+)
+
+// NumPageSizes is the number of supported page sizes.
+const NumPageSizes = int(numPageSizes)
+
+// Address-space geometry.
+const (
+	// VABits is the number of implemented virtual address bits.
+	VABits = 48
+	// PABits is the number of implemented physical address bits (the paper
+	// assumes 48-bit physical addresses for exposition; so do we).
+	PABits = 48
+
+	// Shift4K, Shift2M and Shift1G are the page-offset widths.
+	Shift4K = 12
+	Shift2M = 21
+	Shift1G = 30
+
+	// Size4K, Size2M and Size1G are the page sizes in bytes.
+	Size4K = 1 << Shift4K
+	Size2M = 1 << Shift2M
+	Size1G = 1 << Shift1G
+
+	// FramesPer2M and FramesPer1G are the number of constituent 4KB frames
+	// in each superpage size (the paper's N: 512 and 262144).
+	FramesPer2M = Size2M / Size4K
+	FramesPer1G = Size1G / Size4K
+
+	// PTEsPerCacheLine is the number of 8-byte page-table entries in one
+	// 64-byte cache line: the window the MIX coalescing logic scans.
+	PTEsPerCacheLine = 8
+
+	// CacheLineSize is the cache line size in bytes.
+	CacheLineSize = 64
+)
+
+// String returns the conventional name of the page size.
+func (s PageSize) String() string {
+	switch s {
+	case Page4K:
+		return "4KB"
+	case Page2M:
+		return "2MB"
+	case Page1G:
+		return "1GB"
+	}
+	return fmt.Sprintf("PageSize(%d)", uint8(s))
+}
+
+// Shift returns the page-offset width of s.
+func (s PageSize) Shift() uint {
+	switch s {
+	case Page4K:
+		return Shift4K
+	case Page2M:
+		return Shift2M
+	case Page1G:
+		return Shift1G
+	}
+	panic("addr: invalid page size")
+}
+
+// Bytes returns the size of s in bytes.
+func (s PageSize) Bytes() uint64 { return 1 << s.Shift() }
+
+// Frames returns the number of constituent 4KB frames of s.
+func (s PageSize) Frames() uint64 { return s.Bytes() / Size4K }
+
+// Valid reports whether s is one of the three architectural page sizes.
+func (s PageSize) Valid() bool { return s < numPageSizes }
+
+// Sizes lists the page sizes from smallest to largest.
+func Sizes() [NumPageSizes]PageSize { return [...]PageSize{Page4K, Page2M, Page1G} }
+
+// V is a virtual address.
+type V uint64
+
+// P is a physical address.
+type P uint64
+
+// PageNum returns the page number of va for the given page size.
+func (va V) PageNum(s PageSize) uint64 { return uint64(va) >> s.Shift() }
+
+// PageBase returns the address of the start of va's enclosing page of size s.
+func (va V) PageBase(s PageSize) V { return va &^ V(s.Bytes()-1) }
+
+// Offset returns the offset of va within its enclosing page of size s.
+func (va V) Offset(s PageSize) uint64 { return uint64(va) & (s.Bytes() - 1) }
+
+// VPN4K returns the 4KB virtual page number.
+func (va V) VPN4K() uint64 { return uint64(va) >> Shift4K }
+
+// String formats the address as the 4KB frame-number hex used in the paper.
+func (va V) String() string { return fmt.Sprintf("v:%#x", uint64(va)) }
+
+// PageNum returns the frame number of pa for the given page size.
+func (pa P) PageNum(s PageSize) uint64 { return uint64(pa) >> s.Shift() }
+
+// PageBase returns the start of pa's enclosing frame of size s.
+func (pa P) PageBase(s PageSize) P { return pa &^ P(s.Bytes()-1) }
+
+// Offset returns the offset of pa within its enclosing frame of size s.
+func (pa P) Offset(s PageSize) uint64 { return uint64(pa) & (s.Bytes() - 1) }
+
+// PFN4K returns the 4KB physical frame number.
+func (pa P) PFN4K() uint64 { return uint64(pa) >> Shift4K }
+
+// String formats the physical address.
+func (pa P) String() string { return fmt.Sprintf("p:%#x", uint64(pa)) }
+
+// Log2 returns floor(log2(n)). It panics if n is zero.
+func Log2(n uint64) uint {
+	if n == 0 {
+		panic("addr: Log2(0)")
+	}
+	var l uint
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// IsPow2 reports whether n is a power of two (and nonzero).
+func IsPow2(n uint64) bool { return n != 0 && n&(n-1) == 0 }
+
+// SetIndex extracts a set index for a structure with `sets` sets, indexing
+// by the page number of `indexSize` pages — the operation at the heart of
+// the chicken-and-egg problem in Sec 1: you need the page size to know
+// which bits select the set. MIX TLBs always pass Page4K here.
+// sets must be a power of two.
+func SetIndex(va V, indexSize PageSize, sets int) int {
+	return int(va.PageNum(indexSize) & uint64(sets-1))
+}
+
+// MirrorID returns the identity of the 4KB region within a superpage of
+// size s that va falls in, excluding the set-index bits of a TLB with
+// `sets` sets (Fig 7: bits 20-13 for a 2-set TLB and 2MB pages).
+func MirrorID(va V, s PageSize, sets int) uint64 {
+	return (uint64(va) >> (Shift4K + Log2(uint64(sets)))) & ((s.Bytes()/Size4K)/uint64(sets) - 1)
+}
+
+// AlignedDown rounds v down to a multiple of align (a power of two).
+func AlignedDown(v, align uint64) uint64 { return v &^ (align - 1) }
+
+// AlignedUp rounds v up to a multiple of align (a power of two).
+func AlignedUp(v, align uint64) uint64 { return (v + align - 1) &^ (align - 1) }
+
+// Perm is a page-protection permission set. MIX TLBs only coalesce
+// superpages whose permissions match exactly (Sec 4.4).
+type Perm uint8
+
+const (
+	// PermRead allows loads.
+	PermRead Perm = 1 << iota
+	// PermWrite allows stores.
+	PermWrite
+	// PermExec allows instruction fetch.
+	PermExec
+	// PermUser allows user-mode access.
+	PermUser
+)
+
+// PermRW is the common read-write data permission.
+const PermRW = PermRead | PermWrite
+
+// String renders the permission set as "rwxu" flags.
+func (p Perm) String() string {
+	b := []byte("----")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	if p&PermUser != 0 {
+		b[3] = 'u'
+	}
+	return string(b)
+}

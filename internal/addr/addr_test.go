@@ -1,0 +1,214 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageSizeGeometry(t *testing.T) {
+	cases := []struct {
+		s      PageSize
+		shift  uint
+		bytes  uint64
+		frames uint64
+		name   string
+	}{
+		{Page4K, 12, 4 << 10, 1, "4KB"},
+		{Page2M, 21, 2 << 20, 512, "2MB"},
+		{Page1G, 30, 1 << 30, 262144, "1GB"},
+	}
+	for _, c := range cases {
+		if got := c.s.Shift(); got != c.shift {
+			t.Errorf("%v.Shift() = %d, want %d", c.s, got, c.shift)
+		}
+		if got := c.s.Bytes(); got != c.bytes {
+			t.Errorf("%v.Bytes() = %d, want %d", c.s, got, c.bytes)
+		}
+		if got := c.s.Frames(); got != c.frames {
+			t.Errorf("%v.Frames() = %d, want %d", c.s, got, c.frames)
+		}
+		if got := c.s.String(); got != c.name {
+			t.Errorf("%v.String() = %q, want %q", c.s, got, c.name)
+		}
+		if !c.s.Valid() {
+			t.Errorf("%v.Valid() = false", c.s)
+		}
+	}
+	if PageSize(3).Valid() {
+		t.Error("PageSize(3).Valid() = true, want false")
+	}
+}
+
+func TestInvalidPageSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Shift on invalid page size did not panic")
+		}
+	}()
+	_ = PageSize(7).Shift()
+}
+
+func TestPageNumAndOffsetRoundTrip(t *testing.T) {
+	f := func(raw uint64, sizeSel uint8) bool {
+		va := V(raw & (1<<VABits - 1))
+		s := Sizes()[int(sizeSel)%NumPageSizes]
+		rebuilt := V(va.PageNum(s)<<s.Shift() | va.Offset(s))
+		return rebuilt == va && va.PageBase(s)+V(va.Offset(s)) == va
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhysRoundTrip(t *testing.T) {
+	f := func(raw uint64, sizeSel uint8) bool {
+		pa := P(raw & (1<<PABits - 1))
+		s := Sizes()[int(sizeSel)%NumPageSizes]
+		return P(pa.PageNum(s)<<s.Shift()|pa.Offset(s)) == pa
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVPNExamplesFromPaper(t *testing.T) {
+	// Figure 2: superpage B at VA 0x00400000 = 4KB frame 0x00400.
+	b := V(0x00400000)
+	if got := b.VPN4K(); got != 0x400 {
+		t.Errorf("B VPN4K = %#x, want 0x400", got)
+	}
+	if got := b.PageNum(Page2M); got != 2 {
+		t.Errorf("B 2MB page number = %d, want 2", got)
+	}
+}
+
+func TestSetIndexSmallPage(t *testing.T) {
+	// Sec 1: for split 16-set TLBs the index bits are 15-12 (4KB),
+	// 24-21 (2MB) and 33-30 (1GB).
+	va := V(0b1010_1111_0110_1100_1010_0101_1100_0000_0000)
+	if got, want := SetIndex(va, Page4K, 16), int((uint64(va)>>12)&0xf); got != want {
+		t.Errorf("4KB index = %d, want %d", got, want)
+	}
+	if got, want := SetIndex(va, Page2M, 16), int((uint64(va)>>21)&0xf); got != want {
+		t.Errorf("2MB index = %d, want %d", got, want)
+	}
+	if got, want := SetIndex(va, Page1G, 16), int((uint64(va)>>30)&0xf); got != want {
+		t.Errorf("1GB index = %d, want %d", got, want)
+	}
+}
+
+func TestSetIndexWithinSuperpageOffset(t *testing.T) {
+	// The MIX property: with small-page indexing, consecutive 4KB regions
+	// of one superpage walk through all sets (mirroring, Fig 3).
+	const sets = 16
+	base := V(0x40000000) // 1GB-aligned, also 2MB-aligned
+	seen := make(map[int]bool)
+	for i := 0; i < FramesPer2M; i++ {
+		seen[SetIndex(base+V(i*Size4K), Page4K, sets)] = true
+	}
+	if len(seen) != sets {
+		t.Errorf("2MB page touched %d sets, want %d", len(seen), sets)
+	}
+}
+
+func TestMirrorID(t *testing.T) {
+	// Fig 7: for a 2-set TLB and 2MB pages, the mirror ID is bits 20-13.
+	va := V(0x00400000 | 0x1ABCD) // inside superpage B
+	want := (uint64(va) >> 13) & 0xff
+	if got := MirrorID(va, Page2M, 2); got != want {
+		t.Errorf("MirrorID = %#x, want %#x", got, want)
+	}
+	// All 4KB regions of a superpage have distinct (set, mirrorID) pairs.
+	type key struct {
+		set int
+		mid uint64
+	}
+	seen := make(map[key]bool)
+	for i := 0; i < FramesPer2M; i++ {
+		v := V(0x00400000 + i*Size4K)
+		k := key{SetIndex(v, Page4K, 2), MirrorID(v, Page2M, 2)}
+		if seen[k] {
+			t.Fatalf("duplicate (set, mirror) pair %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for i := uint(0); i < 63; i++ {
+		if got := Log2(1 << i); got != i {
+			t.Errorf("Log2(1<<%d) = %d", i, got)
+		}
+	}
+	if got := Log2(640); got != 9 {
+		t.Errorf("Log2(640) = %d, want 9", got)
+	}
+}
+
+func TestLog2ZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log2(0) did not panic")
+		}
+	}()
+	Log2(0)
+}
+
+func TestIsPow2(t *testing.T) {
+	if IsPow2(0) || IsPow2(3) || IsPow2(640) {
+		t.Error("IsPow2 accepted a non-power-of-two")
+	}
+	if !IsPow2(1) || !IsPow2(2) || !IsPow2(1<<40) {
+		t.Error("IsPow2 rejected a power of two")
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	if got := AlignedDown(0x1234567, Size2M); got != 0x1200000 {
+		t.Errorf("AlignedDown = %#x", got)
+	}
+	if got := AlignedUp(0x1234567, Size2M); got != 0x1400000 {
+		t.Errorf("AlignedUp = %#x", got)
+	}
+	if got := AlignedUp(0x1200000, Size2M); got != 0x1200000 {
+		t.Errorf("AlignedUp of aligned value = %#x", got)
+	}
+}
+
+func TestAlignmentProperties(t *testing.T) {
+	f := func(v uint64, shiftSel uint8) bool {
+		align := uint64(1) << (shiftSel % 31)
+		d, u := AlignedDown(v, align), AlignedUp(v, align)
+		if d%align != 0 || d > v {
+			return false
+		}
+		if v <= ^uint64(0)-align { // avoid overflow in the up case
+			return u%align == 0 && u >= v && u-d < 2*align
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if got := (PermRead | PermWrite).String(); got != "rw--" {
+		t.Errorf("PermRW = %q", got)
+	}
+	if got := Perm(0).String(); got != "----" {
+		t.Errorf("empty perm = %q", got)
+	}
+	if got := (PermRead | PermExec | PermUser).String(); got != "r-xu" {
+		t.Errorf("rxu = %q", got)
+	}
+}
+
+func TestAddressStrings(t *testing.T) {
+	if got := V(0x400000).String(); got != "v:0x400000" {
+		t.Errorf("V.String() = %q", got)
+	}
+	if got := P(0x1000).String(); got != "p:0x1000" {
+		t.Errorf("P.String() = %q", got)
+	}
+}

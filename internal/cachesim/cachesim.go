@@ -1,0 +1,161 @@
+// Package cachesim provides a functional (hit/miss + latency) model of a
+// physically-indexed set-associative cache hierarchy. Page-table walks are
+// memory references: their PTE reads flow through this hierarchy, which is
+// what makes TLB misses expensive and what the analytical performance
+// model weighs (Sec 6.2).
+package cachesim
+
+import (
+	"fmt"
+
+	"mixtlb/internal/addr"
+)
+
+// Level configures one cache level.
+type Level struct {
+	Name    string
+	Size    uint64 // bytes
+	Ways    int
+	Latency uint64 // access latency in cycles
+}
+
+// DefaultHierarchy mirrors the paper's evaluation platform: a Haswell-like
+// three-level hierarchy with a 24MB LLC (Sec 6.1) in front of DRAM.
+func DefaultHierarchy() *Hierarchy {
+	return NewHierarchy([]Level{
+		{Name: "L1D", Size: 32 << 10, Ways: 8, Latency: 4},
+		{Name: "L2", Size: 256 << 10, Ways: 8, Latency: 12},
+		{Name: "LLC", Size: 24 << 20, Ways: 24, Latency: 42},
+	}, 200)
+}
+
+// cache is one level's state: per-set tag arrays with LRU stamps.
+type cache struct {
+	cfg   Level
+	sets  int
+	tags  [][]uint64
+	valid [][]bool
+	stamp [][]uint64
+	clock uint64
+
+	accesses uint64
+	misses   uint64
+}
+
+func newCache(cfg Level) *cache {
+	lines := cfg.Size / addr.CacheLineSize
+	sets := int(lines) / cfg.Ways
+	if sets <= 0 || !addr.IsPow2(uint64(sets)) {
+		panic(fmt.Sprintf("cachesim: %s has %d sets; need a positive power of two", cfg.Name, sets))
+	}
+	c := &cache{cfg: cfg, sets: sets}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.stamp = make([][]uint64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, cfg.Ways)
+		c.valid[i] = make([]bool, cfg.Ways)
+		c.stamp[i] = make([]uint64, cfg.Ways)
+	}
+	return c
+}
+
+// access looks up the line containing pa, filling on miss. Returns hit.
+func (c *cache) access(pa addr.P) bool {
+	c.clock++
+	c.accesses++
+	line := uint64(pa) / addr.CacheLineSize
+	set := int(line) & (c.sets - 1)
+	tag := line >> addr.Log2(uint64(c.sets))
+	victim, oldest := 0, ^uint64(0)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.stamp[set][w] = c.clock
+			return true
+		}
+		if !c.valid[set][w] {
+			victim, oldest = w, 0
+		} else if c.stamp[set][w] < oldest {
+			victim, oldest = w, c.stamp[set][w]
+		}
+	}
+	c.misses++
+	c.valid[set][victim] = true
+	c.tags[set][victim] = tag
+	c.stamp[set][victim] = c.clock
+	return false
+}
+
+// Hierarchy is an inclusive multi-level cache hierarchy over DRAM.
+type Hierarchy struct {
+	levels     []*cache
+	memLatency uint64
+	memAccess  uint64
+}
+
+// NewHierarchy builds a hierarchy from fastest to slowest level, with the
+// given DRAM latency behind the last level.
+func NewHierarchy(levels []Level, memLatency uint64) *Hierarchy {
+	if len(levels) == 0 {
+		panic("cachesim: empty hierarchy")
+	}
+	h := &Hierarchy{memLatency: memLatency}
+	for _, cfg := range levels {
+		h.levels = append(h.levels, newCache(cfg))
+	}
+	return h
+}
+
+// AccessResult describes one reference's journey through the hierarchy.
+type AccessResult struct {
+	// HitLevel is the index of the level that hit, or len(levels) for a
+	// DRAM access.
+	HitLevel int
+	// Cycles is the total latency of the reference.
+	Cycles uint64
+	// LevelReads counts per-level lookups performed (for energy).
+	LevelReads int
+}
+
+// Access simulates one read or write of the line containing pa.
+func (h *Hierarchy) Access(pa addr.P) AccessResult {
+	var res AccessResult
+	for i, c := range h.levels {
+		res.Cycles += c.cfg.Latency
+		res.LevelReads++
+		if c.access(pa) {
+			res.HitLevel = i
+			return res
+		}
+	}
+	h.memAccess++
+	res.Cycles += h.memLatency
+	res.HitLevel = len(h.levels)
+	return res
+}
+
+// Levels returns the number of cache levels.
+func (h *Hierarchy) Levels() int { return len(h.levels) }
+
+// MemLatency returns the DRAM access latency in cycles.
+func (h *Hierarchy) MemLatency() uint64 { return h.memLatency }
+
+// LevelStats reports accesses and misses for level i.
+func (h *Hierarchy) LevelStats(i int) (name string, accesses, misses uint64) {
+	c := h.levels[i]
+	return c.cfg.Name, c.accesses, c.misses
+}
+
+// MemAccesses reports the number of DRAM references.
+func (h *Hierarchy) MemAccesses() uint64 { return h.memAccess }
+
+// Flush invalidates every line in every level (counters are retained).
+func (h *Hierarchy) Flush() {
+	for _, c := range h.levels {
+		for s := range c.valid {
+			for w := range c.valid[s] {
+				c.valid[s][w] = false
+			}
+		}
+	}
+}

@@ -1,0 +1,502 @@
+package core
+
+import (
+	"math/bits"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/pagetable"
+	"mixtlb/internal/tlb"
+)
+
+// Fill implements tlb.TLB. 4KB translations fill one set conventionally.
+// Superpage translations are coalesced with their cache-line neighbours
+// into a bundle, then mirrored into every set any member region can index
+// (Sec 4.2's "fill as many sets as necessary" prefetch strategy). See
+// fillBundle for the mirror-write policy (non-destructive by default;
+// the paper's literal blind fill behind Config.BlindMirrors).
+func (m *MixTLB) Fill(req tlb.Request, walk pagetable.WalkResult) tlb.Cost {
+	if !walk.Found {
+		return tlb.Cost{}
+	}
+	m.clock++
+	tr := walk.Translation
+	if tr.Size == addr.Page4K && m.cfg.SmallCoalesce == 0 {
+		set := m.data[m.setIndex(req.VA)]
+		v := m.victim(set)
+		set[v] = entry{
+			valid: true, size: addr.Page4K,
+			vpn: tr.VA.VPN4K(), pa: tr.PA.PageBase(addr.Page4K),
+			perm: tr.Perm, dirty: tr.Dirty, stamp: m.clock,
+		}
+		m.stats.SmallFills++
+		return tlb.Cost{SetsFilled: 1, EntriesWritten: 1}
+	}
+
+	bundle := m.buildBundle(tr, walk.Line)
+	if tr.Size == addr.Page4K {
+		m.stats.SmallFills++
+	}
+	targets := m.mirrorTargets(req.VA, &bundle)
+	cost := m.fillBundle(req.VA, bundle, targets)
+	m.stats.BundlesFilled++
+	m.stats.MembersPerFill += uint64(bundle.memberCount(m.cfg.Encoding))
+	return cost
+}
+
+// fillBundle writes the bundle into the target sets. The probed set fills
+// normally (merge with a compatible copy, else LRU replacement). Mirror
+// sets are prefetch targets: they merge into an existing copy or allocate
+// an *invalid* way, but never evict a live entry — one miss must not
+// destroy up to sets-1 resident translations (mirror churn would otherwise
+// cap the whole TLB at `ways` distinct bundles under capacity pressure).
+// Under the BlindMirrors ablation (the paper's literal Sec 4.2/4.3 fill),
+// mirrors are written unconditionally with LRU victims.
+func (m *MixTLB) fillBundle(probeVA addr.V, bundle entry, targets []int) tlb.Cost {
+	probed := m.setIndex(probeVA)
+	var cost tlb.Cost
+	for _, si := range targets {
+		set := m.data[si]
+		if si == probed || !m.cfg.BlindMirrors {
+			// Only the probed set's copy is recency-refreshed: a merge
+			// into a mirror set is maintenance, not a use, and counting
+			// it as one inverts LRU (persistently-missing bundles would
+			// look hotter everywhere than resident bundles that hit).
+			if m.mergeIntoExisting(set, &bundle, si == probed) {
+				cost.SetsFilled++
+				cost.EntriesWritten++
+				m.stats.CoalesceMerges++
+				continue
+			}
+		}
+		v := m.victim(set)
+		if si != probed && !m.cfg.BlindMirrors && set[v].valid {
+			continue // no spare way: skip the prefetch, keep live entries
+		}
+		set[v] = bundle
+		set[v].stamp = m.clock
+		cost.SetsFilled++
+		cost.EntriesWritten++
+		if si != probed {
+			m.stats.MirrorWrites++
+		}
+	}
+	return cost
+}
+
+// Promote implements tlb.Promoter: an L1 refill served by an L2 hit fills
+// only the probed set — no mirroring, since re-mirroring on every
+// promotion would churn the other sets — but coalesces the L2 entry's
+// member translations (line) so bundle reach survives the promotion path.
+func (m *MixTLB) Promote(req tlb.Request, t pagetable.Translation, line []pagetable.Translation) tlb.Cost {
+	if !t.Valid() {
+		return tlb.Cost{}
+	}
+	m.clock++
+	if t.Size == addr.Page4K && m.cfg.SmallCoalesce == 0 {
+		set := m.data[m.setIndex(req.VA)]
+		v := m.victim(set)
+		set[v] = entry{
+			valid: true, size: addr.Page4K,
+			vpn: t.VA.VPN4K(), pa: t.PA.PageBase(addr.Page4K),
+			perm: t.Perm, dirty: t.Dirty, stamp: m.clock,
+		}
+		return tlb.Cost{SetsFilled: 1, EntriesWritten: 1}
+	}
+	if len(line) == 0 {
+		line = []pagetable.Translation{t}
+	}
+	bundle := m.buildBundle(t, line)
+	return m.fillBundle(req.VA, bundle, []int{m.setIndex(req.VA)})
+}
+
+// Members implements tlb.BundleProvider: expand the entry covering va
+// into its member translations, the payload an L1 promotion copies.
+func (m *MixTLB) Members(va addr.V) []pagetable.Translation {
+	set := m.data[m.setIndex(va)]
+	for i := range set {
+		e := &set[i]
+		if !e.valid {
+			continue
+		}
+		if e.k == 0 {
+			if e.size == addr.Page4K && e.vpn == va.VPN4K() {
+				return []pagetable.Translation{{
+					VA: va.PageBase(addr.Page4K), PA: e.pa, Size: addr.Page4K,
+					Perm: e.perm, Accessed: true, Dirty: e.dirty,
+				}}
+			}
+			continue
+		}
+		slot, ok := m.slotOf(e, va)
+		if !ok || !e.memberPresent(m.cfg.Encoding, slot) {
+			continue
+		}
+		out := make([]pagetable.Translation, 0, e.memberCount(m.cfg.Encoding))
+		for s := 0; s < int(e.k); s++ {
+			if e.memberPresent(m.cfg.Encoding, s) {
+				out = append(out, m.memberTranslation(e, s))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// victim picks a replacement way: invalid first, else LRU.
+func (m *MixTLB) victim(set []entry) int {
+	victim, oldest := 0, ^uint64(0)
+	for i := range set {
+		if !set[i].valid {
+			return i
+		}
+		if set[i].stamp < oldest {
+			victim, oldest = i, set[i].stamp
+		}
+	}
+	return victim
+}
+
+// mergeIntoExisting folds the new bundle into a compatible entry already
+// present in the set, implementing the incremental extension of Sec 4.2:
+// later misses on superpages adjacent to a cached bundle coalesce into it.
+func (m *MixTLB) mergeIntoExisting(set []entry, b *entry, refreshStamp bool) bool {
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.size == b.size && e.k == b.k && e.window == b.window &&
+			e.basePA == b.basePA && e.perm == b.perm && m.mergeMembers(e, b) {
+			e.dirty = e.dirty && b.dirty
+			if refreshStamp {
+				e.stamp = m.clock
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// buildBundle assembles a bundle entry for tr by scanning the walked PTE
+// cache line for coalescable neighbours: same page size and permissions,
+// accessed bit set (x86 fill rule, Sec 4.4), and both virtually and
+// physically contiguous with tr's implied window placement.
+func (m *MixTLB) buildBundle(tr pagetable.Translation, line []pagetable.Translation) entry {
+	size := tr.Size
+	shift := size.Shift()
+	svn := tr.VA.PageNum(size)
+	k := uint64(m.coalesceLimit(size))
+
+	var window uint64
+	var slot int
+	if m.cfg.NoAlignmentRestriction {
+		// Anchor the window at the start of the maximal contiguous run
+		// containing tr (bounded to K members), instead of an aligned
+		// boundary.
+		window, slot = m.runAnchor(tr, line, int(k))
+	} else {
+		window, slot = windowOf(svn, k)
+	}
+	var baseSVN uint64
+	if m.cfg.NoAlignmentRestriction {
+		baseSVN = window
+	} else {
+		baseSVN = window * k
+	}
+	basePA := tr.PA - addr.P(uint64(slot)<<shift)
+
+	// Collect qualifying window slots. Candidates all come from one PTE
+	// cache line, so they span at most 8 consecutive slots, but their
+	// absolute positions range over the whole window (K can exceed 64
+	// under the range encoding, hence no fixed-width mask).
+	var present, dirtySlot [256]bool
+	present[slot] = true
+	dirtySlot[slot] = tr.Dirty
+	count := 1
+	dirtyAll := tr.Dirty
+	for _, n := range line {
+		if n.Size != size || n.VA == tr.VA || !n.Accessed || n.Perm != tr.Perm {
+			continue
+		}
+		nsvn := n.VA.PageNum(size)
+		if nsvn < baseSVN || nsvn >= baseSVN+k {
+			continue
+		}
+		i := int(nsvn - baseSVN)
+		if n.PA != basePA+addr.P(uint64(i)<<shift) {
+			continue // not physically contiguous with the bundle base
+		}
+		if !present[i] {
+			present[i] = true
+			dirtySlot[i] = n.Dirty
+			count++
+			dirtyAll = dirtyAll && n.Dirty
+		}
+	}
+
+	e := entry{
+		valid: true, size: size, k: uint16(k), window: window, basePA: basePA,
+		perm: tr.Perm, dirty: dirtyAll,
+	}
+	// Seed line-granular dirty knowledge: a slot group whose present
+	// members are all dirty in the fetched line starts exempt from dirty
+	// micro-ops. (Unaligned bundles skip this: their groups would not
+	// correspond to PTE cache lines.)
+	if !m.cfg.NoDirtyGroups && !m.cfg.NoAlignmentRestriction {
+		for g := 0; g < groupCount(int(k)); g++ {
+			any, all := false, true
+			for s := 8 * g; s < 8*g+8 && s < int(k); s++ {
+				if present[s] {
+					any = true
+					all = all && dirtySlot[s]
+				}
+			}
+			if any && all {
+				e.dgroups |= 1 << g
+			}
+		}
+	}
+	// The maximal contiguous run through the demanded slot.
+	runStart, runEnd := slot, slot
+	for runStart > 0 && present[runStart-1] {
+		runStart--
+	}
+	for runEnd+1 < int(k) && present[runEnd+1] {
+		runEnd++
+	}
+	switch m.cfg.Encoding {
+	case Bitmap:
+		for i := 0; i < int(k); i++ {
+			if present[i] {
+				e.bitmap |= 1 << i
+			}
+		}
+		if count > runEnd-runStart+1 {
+			m.stats.HolesRepresent++
+		}
+	case Range:
+		// The range encoding cannot hold holes: keep only the run.
+		e.start, e.length = uint16(runStart), uint16(runEnd-runStart+1)
+		if count > runEnd-runStart+1 {
+			m.stats.RangeTruncation++
+		}
+	}
+	return e
+}
+
+// runAnchor finds the base superpage number and tr's slot for the
+// unaligned-bundle ablation: extend downward and upward from tr through
+// the line while VA and PA stay contiguous, capping the run at K.
+func (m *MixTLB) runAnchor(tr pagetable.Translation, line []pagetable.Translation, k int) (uint64, int) {
+	size := tr.Size
+	shift := size.Shift()
+	present := make(map[uint64]pagetable.Translation, len(line))
+	for _, n := range line {
+		if n.Size == size && n.Accessed && n.Perm == tr.Perm {
+			present[n.VA.PageNum(size)] = n
+		}
+	}
+	svn := tr.VA.PageNum(size)
+	base := svn
+	for base > 0 {
+		prev, ok := present[base-1]
+		if !ok || svn-base+1 >= uint64(k) {
+			break
+		}
+		cur := present[base]
+		if prev.PA+addr.P(uint64(1)<<shift) != cur.PA {
+			break
+		}
+		base--
+	}
+	return base, int(svn - base)
+}
+
+// mirrorTargets lists the set indices the bundle must be written to: the
+// sets indexed by the 4KB regions the bundle's present members span. For
+// 2MB/1GB pages under small-page indexing that is every set (N >= M,
+// Sec 3); the list degenerates under the superpage-index ablation or
+// MirrorProbedSetOnly.
+func (m *MixTLB) mirrorTargets(probeVA addr.V, b *entry) []int {
+	if m.cfg.MirrorProbedSetOnly {
+		return []int{m.setIndex(probeVA)}
+	}
+	shift := b.size.Shift()
+	var baseSVN uint64
+	if m.cfg.NoAlignmentRestriction {
+		baseSVN = b.window
+	} else {
+		baseSVN = b.window * uint64(b.k)
+	}
+	lo, hi := memberBounds(b, m.cfg.Encoding)
+	baseVA := (baseSVN + uint64(lo)) << shift
+	spanBytes := uint64(hi-lo+1) << shift
+	granules := spanBytes >> m.cfg.IndexShift
+	if granules == 0 {
+		granules = 1
+	}
+	if granules >= uint64(m.cfg.Sets) {
+		all := make([]int, m.cfg.Sets)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	first := int((baseVA >> m.cfg.IndexShift) & uint64(m.cfg.Sets-1))
+	out := make([]int, 0, granules)
+	seen := make(map[int]bool, granules)
+	for g := uint64(0); g < granules; g++ {
+		si := (first + int(g)) & (m.cfg.Sets - 1)
+		if !seen[si] {
+			seen[si] = true
+			out = append(out, si)
+		}
+	}
+	return out
+}
+
+// memberBounds returns the lowest and highest present slot of a bundle.
+func memberBounds(e *entry, enc Encoding) (lo, hi int) {
+	if enc == Bitmap {
+		return bits.TrailingZeros64(e.bitmap), 63 - bits.LeadingZeros64(e.bitmap)
+	}
+	return int(e.start), int(e.start) + int(e.length) - 1
+}
+
+// RefreshDirty implements tlb.DirtyRefresher: the dirty micro-op's assist
+// just wrote one member's PTE D bit and read the surrounding cache line,
+// so the design can re-derive the dirty state of the member's whole slot
+// group (exactly that line) for free. When every present member of the
+// group is dirty, the group's bit is set and future stores to it skip the
+// micro-op. Under NoDirtyGroups (the paper's literal single-bit policy),
+// only singleton bundles can be marked, as in MarkDirty.
+func (m *MixTLB) RefreshDirty(va addr.V, line []pagetable.Translation) bool {
+	set := m.data[m.setIndex(va)]
+	for i := range set {
+		e := &set[i]
+		if !e.valid {
+			continue
+		}
+		if e.k == 0 { // plain 4KB entry
+			if e.size == addr.Page4K && e.vpn == va.VPN4K() {
+				e.dirty = true
+				return true
+			}
+			continue
+		}
+		slot, ok := m.slotOf(e, va)
+		if !ok || !e.memberPresent(m.cfg.Encoding, slot) {
+			continue
+		}
+		if m.cfg.NoDirtyGroups || m.cfg.NoAlignmentRestriction {
+			if e.memberCount(m.cfg.Encoding) == 1 {
+				e.dirty = true
+				return true
+			}
+			return false
+		}
+		dirtyBy := make(map[uint64]bool, len(line))
+		for _, n := range line {
+			if n.Size == e.size {
+				dirtyBy[n.VA.PageNum(n.Size)] = n.Dirty
+			}
+		}
+		base := m.baseSVN(e)
+		g := slot / 8
+		all := true
+		for s := 8 * g; s < 8*g+8 && s < int(e.k); s++ {
+			if !e.memberPresent(m.cfg.Encoding, s) {
+				continue
+			}
+			if d, ok := dirtyBy[base+uint64(s)]; !ok || !d {
+				all = false
+				break
+			}
+		}
+		if all {
+			e.dgroups |= 1 << g
+		}
+		return all
+	}
+	return false
+}
+
+// MarkDirty implements tlb.TLB with the conservative policy of Sec 4.4: a
+// bundle's dirty bit may only be set when every member is known dirty,
+// which the hardware can only be sure of for single-member bundles. Stores
+// through multi-member bundles therefore always inject the PTE update
+// micro-op.
+func (m *MixTLB) MarkDirty(va addr.V) bool {
+	set := m.data[m.setIndex(va)]
+	for i := range set {
+		e := &set[i]
+		if !e.valid {
+			continue
+		}
+		if e.k == 0 { // plain 4KB entry
+			if e.vpn == va.VPN4K() {
+				e.dirty = true
+				return true
+			}
+			continue
+		}
+		slot, ok := m.slotOf(e, va)
+		if !ok || !e.memberPresent(m.cfg.Encoding, slot) {
+			continue
+		}
+		if e.memberCount(m.cfg.Encoding) == 1 {
+			e.dirty = true
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// Invalidate implements tlb.TLB. 4KB entries live in exactly one set and
+// are dropped there. Superpage members may be mirrored anywhere, so every
+// set is visited (invalidations are software-initiated and rare, Sec 4.4):
+// bitmap bundles clear the member's bit, keeping neighbours cached; range
+// bundles drop the whole coalesced entry — the paper's simple option.
+func (m *MixTLB) Invalidate(va addr.V, size addr.PageSize) int {
+	n := 0
+	if size == addr.Page4K && m.cfg.SmallCoalesce == 0 {
+		set := m.data[m.setIndex(va)]
+		for i := range set {
+			e := &set[i]
+			if e.valid && e.size == addr.Page4K && e.vpn == va.VPN4K() {
+				e.valid = false
+				n++
+			}
+		}
+		return n
+	}
+	for _, set := range m.data {
+		for i := range set {
+			e := &set[i]
+			if !e.valid || e.size != size || e.k == 0 {
+				continue
+			}
+			slot, ok := m.slotOf(e, va)
+			if !ok || !e.memberPresent(m.cfg.Encoding, slot) {
+				continue
+			}
+			n++
+			if m.cfg.Encoding == Bitmap {
+				e.bitmap &^= 1 << slot
+				if e.bitmap == 0 {
+					e.valid = false
+				}
+			} else {
+				e.valid = false
+			}
+		}
+	}
+	return n
+}
+
+// Flush implements tlb.TLB.
+func (m *MixTLB) Flush() {
+	for _, set := range m.data {
+		for i := range set {
+			set[i].valid = false
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/tlb"
+)
+
+// mixColtConfig is the Fig 18 "MIX+COLT" design: a MIX TLB that also
+// coalesces up to 4 contiguous small pages.
+func mixColtConfig() Config {
+	cfg := L1Config()
+	cfg.Name = "mix+colt-L1"
+	cfg.SmallCoalesce = 4
+	return cfg
+}
+
+func TestSmallCoalesceBundlesFourPages(t *testing.T) {
+	m := New(mixColtConfig())
+	// Four contiguous, window-aligned 4KB pages in one walker line.
+	line := []addr.V{}
+	trs := make([]struct{}, 0)
+	_ = line
+	_ = trs
+	l := []struct{ vpn, ppn uint64 }{{8, 100}, {9, 101}, {10, 102}, {11, 103}}
+	walk := walkOf(
+		tr(l[0].vpn, l[0].ppn, addr.Page4K),
+		tr(l[1].vpn, l[1].ppn, addr.Page4K),
+		tr(l[2].vpn, l[2].ppn, addr.Page4K),
+		tr(l[3].vpn, l[3].ppn, addr.Page4K),
+	)
+	cost := m.Fill(tlb.Request{VA: walk.Translation.VA}, walk)
+	// The 16KB bundle spans 4 index granules: 4 mirror sets.
+	if cost.SetsFilled != 4 {
+		t.Errorf("4KB bundle filled %d sets, want 4", cost.SetsFilled)
+	}
+	for _, e := range l {
+		r := look(m, addr.V(e.vpn<<12|0x9a))
+		if !r.Hit {
+			t.Fatalf("page %d missed", e.vpn)
+		}
+		if got := r.T.Translate(addr.V(e.vpn<<12 | 0x9a)); got != addr.P(e.ppn<<12|0x9a) {
+			t.Errorf("page %d PA = %v", e.vpn, got)
+		}
+	}
+	if m.Stats().MembersPerFill != 4 {
+		t.Errorf("coalesced %d members", m.Stats().MembersPerFill)
+	}
+}
+
+func TestSmallCoalesceAlignmentWindow(t *testing.T) {
+	m := New(mixColtConfig())
+	// Pages 10,11,12,13: window boundary at 12 splits the run.
+	walk := walkOf(
+		tr(10, 100, addr.Page4K), tr(11, 101, addr.Page4K),
+		tr(12, 102, addr.Page4K), tr(13, 103, addr.Page4K),
+	)
+	m.Fill(tlb.Request{VA: walk.Translation.VA}, walk)
+	if !look(m, addr.V(10)<<12).Hit || !look(m, addr.V(11)<<12).Hit {
+		t.Error("same-window pages missing")
+	}
+	if look(m, addr.V(12)<<12).Hit {
+		t.Error("page across the 4-page window boundary was coalesced")
+	}
+}
+
+func TestSmallCoalesceRejectsDiscontiguousPhysical(t *testing.T) {
+	m := New(mixColtConfig())
+	walk := walkOf(tr(8, 100, addr.Page4K), tr(9, 555, addr.Page4K))
+	m.Fill(tlb.Request{VA: walk.Translation.VA}, walk)
+	if look(m, addr.V(9)<<12).Hit {
+		t.Error("physically discontiguous 4KB page coalesced")
+	}
+}
+
+func TestSmallCoalesceCoexistsWithSuperpages(t *testing.T) {
+	m := New(mixColtConfig())
+	m.Fill(tlb.Request{VA: addr.V(2) << 21}, walkOf(tr(2, 7, addr.Page2M)))
+	walk := walkOf(tr(0x40000, 9, addr.Page4K), tr(0x40001, 10, addr.Page4K))
+	m.Fill(tlb.Request{VA: walk.Translation.VA}, walk)
+	if !look(m, addr.V(2)<<21|0x5000).Hit {
+		t.Error("2MB bundle lost")
+	}
+	if !look(m, addr.V(0x40000)<<12).Hit || !look(m, addr.V(0x40001)<<12).Hit {
+		t.Error("4KB bundle lost")
+	}
+}
+
+func TestSmallCoalesceInvalidation(t *testing.T) {
+	m := New(mixColtConfig())
+	walk := walkOf(tr(8, 100, addr.Page4K), tr(9, 101, addr.Page4K))
+	m.Fill(tlb.Request{VA: walk.Translation.VA}, walk)
+	if n := m.Invalidate(addr.V(8)<<12, addr.Page4K); n == 0 {
+		t.Fatal("nothing invalidated")
+	}
+	if look(m, addr.V(8)<<12).Hit {
+		t.Error("invalidated page hits")
+	}
+	if !look(m, addr.V(9)<<12).Hit {
+		t.Error("bitmap sibling lost")
+	}
+}
+
+func TestSmallCoalesceDirtyPolicy(t *testing.T) {
+	m := New(mixColtConfig())
+	walk := walkOf(tr(8, 100, addr.Page4K), tr(9, 101, addr.Page4K))
+	m.Fill(tlb.Request{VA: walk.Translation.VA}, walk)
+	if m.MarkDirty(addr.V(8) << 12) {
+		t.Error("multi-member 4KB bundle accepted MarkDirty")
+	}
+	m2 := New(mixColtConfig())
+	m2.Fill(tlb.Request{VA: addr.V(8) << 12}, walkOf(tr(8, 100, addr.Page4K)))
+	if !m2.MarkDirty(addr.V(8) << 12) {
+		t.Error("singleton 4KB bundle refused MarkDirty")
+	}
+}

@@ -1,0 +1,144 @@
+// Package energy prices the micro-architectural events the functional
+// simulator counts, standing in for the paper's CACTI/RTL models
+// (Sec 4.5, 6.2). Absolute joules are not the target — Figures 16-17 are
+// *relative* comparisons, and relative ordering comes from event counts —
+// so the constants below are CACTI-flavoured magnitudes (pJ) with the
+// right ratios: SRAM reads scale with structure size, predictor tables are
+// small, cache accesses dwarf TLB reads, and DRAM dwarfs everything.
+package energy
+
+import (
+	"math"
+
+	"mixtlb/internal/cachesim"
+	"mixtlb/internal/mmu"
+)
+
+// Model holds per-event energies in picojoules.
+type Model struct {
+	// WayRead64 is the cost of reading one TLB entry (tag+data) in a
+	// 64-entry structure; larger structures scale by sqrt(capacity).
+	WayRead64 float64
+	// EntryWrite is the cost of writing one TLB entry (fills, mirrors).
+	EntryWrite float64
+	// PredictorRead and PredictorWrite price page-size predictor access.
+	PredictorRead  float64
+	PredictorWrite float64
+	// CacheRead prices one lookup per cache level, outermost last.
+	CacheRead []float64
+	// DRAMAccess prices one memory access.
+	DRAMAccess float64
+	// TimestampOverhead multiplies lookup energy for designs carrying
+	// replacement timestamps (skew-associative, Sec 7.2).
+	TimestampOverhead float64
+	// LeakagePJPerCycle is whole-MMU leakage per cycle; shorter runtime
+	// directly saves leakage (Sec 7.2's "energy efficiency from shorter
+	// runtime").
+	LeakagePJPerCycle float64
+}
+
+// Default returns the reference model.
+func Default() Model {
+	return Model{
+		WayRead64:         0.6,
+		EntryWrite:        0.8,
+		PredictorRead:     0.3,
+		PredictorWrite:    0.3,
+		CacheRead:         []float64{8, 20, 80}, // L1D, L2, LLC
+		DRAMAccess:        2000,
+		TimestampOverhead: 1.15,
+		LeakagePJPerCycle: 0.05,
+	}
+}
+
+// wayRead scales the 64-entry read energy to a structure of n entries.
+func (m Model) wayRead(n int) float64 {
+	if n <= 0 {
+		n = 64
+	}
+	return m.WayRead64 * math.Sqrt(float64(n)/64)
+}
+
+// Breakdown is translation energy by activity, the Fig 17 categories.
+type Breakdown struct {
+	Lookup float64 // TLB probes (and predictors)
+	Walk   float64 // page-table-walk cache/DRAM references
+	Fill   float64 // TLB entry writes, including mirrors
+	Other  float64 // dirty micro-ops, invalidations
+}
+
+// Total sums the categories.
+func (b Breakdown) Total() float64 { return b.Lookup + b.Walk + b.Fill + b.Other }
+
+// Config describes the design being priced.
+type Config struct {
+	L1Entries, L2Entries int
+	// Timestamps marks skew-style designs that pay the replacement
+	// timestamp overhead on every lookup.
+	Timestamps bool
+}
+
+// Dynamic prices the dynamic energy of the events in st. Walk references
+// are attributed per cache level using the hierarchy's counters, which see
+// only walker traffic in this simulator.
+func (m Model) Dynamic(st mmu.Stats, h *cachesim.Hierarchy, cfg Config) Breakdown {
+	var b Breakdown
+	l1Read := m.wayRead(cfg.L1Entries)
+	l2Read := m.wayRead(cfg.L2Entries)
+	if cfg.Timestamps {
+		l1Read *= m.TimestampOverhead
+		l2Read *= m.TimestampOverhead
+	}
+	b.Lookup += float64(st.L1Lookup.WaysRead) * l1Read
+	b.Lookup += float64(st.L2Lookup.WaysRead) * l2Read
+	b.Lookup += float64(st.L1Lookup.PredictorReads+st.L2Lookup.PredictorReads) * m.PredictorRead
+	b.Lookup += float64(st.L1Lookup.PredictorWrites+st.L2Lookup.PredictorWrites) * m.PredictorWrite
+
+	b.Fill += float64(st.L1Fill.EntriesWritten+st.L2Fill.EntriesWritten) * m.EntryWrite
+	b.Fill += float64(st.L1Fill.PredictorWrites+st.L2Fill.PredictorWrites) * m.PredictorWrite
+
+	if h != nil {
+		for i := 0; i < h.Levels() && i < len(m.CacheRead); i++ {
+			_, accesses, _ := h.LevelStats(i)
+			b.Walk += float64(accesses) * m.CacheRead[i]
+		}
+		b.Walk += float64(h.MemAccesses()) * m.DRAMAccess
+	}
+
+	// A dirty micro-op is a store to the PTE's cache line; invalidations
+	// are CAM-ish sweeps priced as one set read per entry touched.
+	microOp := m.CacheRead[0]
+	if len(m.CacheRead) > 1 {
+		microOp = m.CacheRead[1]
+	}
+	b.Other += float64(st.DirtyMicroOps) * microOp
+	b.Other += float64(st.Invalidations) * (l1Read + l2Read)
+	return b
+}
+
+// Leakage prices static energy over the run's translation-visible cycles.
+func (m Model) Leakage(st mmu.Stats) float64 {
+	return float64(st.Cycles) * m.LeakagePJPerCycle
+}
+
+// Total returns dynamic + leakage energy, with leakage over the
+// translation cycles the MMU observed.
+func (m Model) Total(st mmu.Stats, h *cachesim.Hierarchy, cfg Config) float64 {
+	return m.Dynamic(st, h, cfg).Total() + m.Leakage(st)
+}
+
+// TotalWithRuntime prices dynamic energy plus leakage over an externally
+// estimated total runtime (in cycles) — slower designs leak longer, the
+// Sec 7.2 effect ("energy efficiency from shorter runtime").
+func (m Model) TotalWithRuntime(st mmu.Stats, h *cachesim.Hierarchy, cfg Config, runtimeCycles float64) float64 {
+	return m.Dynamic(st, h, cfg).Total() + runtimeCycles*m.LeakagePJPerCycle
+}
+
+// SavingsPercent returns how much energy design `test` saves relative to
+// `base` (positive = test is better), the Fig 16 y-axis.
+func SavingsPercent(base, test float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - test) / base
+}

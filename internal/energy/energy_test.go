@@ -1,0 +1,104 @@
+package energy
+
+import (
+	"testing"
+
+	"mixtlb/internal/cachesim"
+	"mixtlb/internal/mmu"
+	"mixtlb/internal/tlb"
+)
+
+func statsWith(l1Ways, l2Ways, fills, walks, micro uint64) mmu.Stats {
+	var st mmu.Stats
+	st.L1Lookup = tlb.Cost{WaysRead: int(l1Ways)}
+	st.L2Lookup = tlb.Cost{WaysRead: int(l2Ways)}
+	st.L1Fill = tlb.Cost{EntriesWritten: int(fills)}
+	st.WalkRefs = walks
+	st.DirtyMicroOps = micro
+	st.Cycles = 1000
+	return st
+}
+
+func TestBreakdownCategories(t *testing.T) {
+	m := Default()
+	st := statsWith(100, 50, 10, 0, 5)
+	b := m.Dynamic(st, nil, Config{L1Entries: 64, L2Entries: 512})
+	if b.Lookup <= 0 || b.Fill <= 0 || b.Other <= 0 {
+		t.Errorf("breakdown has empty categories: %+v", b)
+	}
+	if b.Walk != 0 {
+		t.Errorf("walk energy with nil hierarchy = %v", b.Walk)
+	}
+	if b.Total() != b.Lookup+b.Walk+b.Fill+b.Other {
+		t.Error("Total mismatch")
+	}
+}
+
+func TestWalkEnergyFromHierarchy(t *testing.T) {
+	m := Default()
+	h := cachesim.DefaultHierarchy()
+	h.Access(0x1000) // one L1D+L2+LLC+DRAM reference
+	b := m.Dynamic(mmu.Stats{}, h, Config{})
+	want := m.CacheRead[0] + m.CacheRead[1] + m.CacheRead[2] + m.DRAMAccess
+	if b.Walk != want {
+		t.Errorf("walk energy = %v, want %v", b.Walk, want)
+	}
+}
+
+func TestSizeScaling(t *testing.T) {
+	m := Default()
+	small := m.Dynamic(statsWith(100, 0, 0, 0, 0), nil, Config{L1Entries: 64})
+	big := m.Dynamic(statsWith(100, 0, 0, 0, 0), nil, Config{L1Entries: 1024})
+	if big.Lookup <= small.Lookup {
+		t.Errorf("larger structure not pricier: %v vs %v", big.Lookup, small.Lookup)
+	}
+	// sqrt scaling: 16x entries -> 4x energy.
+	if ratio := big.Lookup / small.Lookup; ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("scaling ratio = %v, want ~4", ratio)
+	}
+}
+
+func TestTimestampOverhead(t *testing.T) {
+	m := Default()
+	plain := m.Dynamic(statsWith(100, 100, 0, 0, 0), nil, Config{L1Entries: 64, L2Entries: 64})
+	stamped := m.Dynamic(statsWith(100, 100, 0, 0, 0), nil, Config{L1Entries: 64, L2Entries: 64, Timestamps: true})
+	if stamped.Lookup <= plain.Lookup {
+		t.Error("timestamp overhead not applied")
+	}
+}
+
+func TestLeakageTracksCycles(t *testing.T) {
+	m := Default()
+	short := m.Leakage(mmu.Stats{Cycles: 100})
+	long := m.Leakage(mmu.Stats{Cycles: 1000})
+	if long <= short {
+		t.Error("leakage does not track runtime")
+	}
+	if m.Total(mmu.Stats{Cycles: 100}, nil, Config{}) != short {
+		t.Error("Total without events != leakage")
+	}
+}
+
+func TestSavingsPercent(t *testing.T) {
+	if got := SavingsPercent(200, 100); got != 50 {
+		t.Errorf("SavingsPercent = %v", got)
+	}
+	if got := SavingsPercent(100, 150); got != -50 {
+		t.Errorf("negative savings = %v", got)
+	}
+	if SavingsPercent(0, 10) != 0 {
+		t.Error("zero base not handled")
+	}
+}
+
+func TestMirroringCostVisibleInFill(t *testing.T) {
+	// MIX mirroring writes many entries per fill: fill energy must grow
+	// linearly with entries written — the Fig 17 "fills are cheap
+	// relative to lookups+walks" argument depends on this accounting.
+	m := Default()
+	one := m.Dynamic(statsWith(0, 0, 1, 0, 0), nil, Config{})
+	sixteen := m.Dynamic(statsWith(0, 0, 16, 0, 0), nil, Config{})
+	if sixteen.Fill != 16*one.Fill {
+		t.Errorf("fill scaling: %v vs %v", sixteen.Fill, one.Fill)
+	}
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/osmm"
+	"mixtlb/internal/simrand"
+	"mixtlb/internal/stats"
+	"mixtlb/internal/virt"
+)
+
+// Figure9 regenerates the superpage-frequency characterization: the
+// fraction of the memory footprint backed by superpages as memhog
+// fragments an increasing share of physical memory, for native CPU
+// (Spec/PARSEC-sized and big-memory-sized footprints) and GPU-sized
+// footprints, all under THS (Sec 7.1, Fig 9).
+func Figure9(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Figure 9: fraction of footprint backed by superpages vs memhog",
+		Columns: []string{"memhog%", "cpu-spec+parsec", "cpu-big-memory", "gpu"},
+	}
+	// The paper's footprints are scaled to the machine's memory (80GB on
+	// 80GB, 24GB for GPU studies), so the demand pressure that produces
+	// the three regimes comes from memory size, not the perf-run
+	// footprint parameter.
+	classes := []struct {
+		name string
+		fp   uint64
+	}{
+		{"cpu-spec", s.MemoryBytes / 2},
+		{"cpu-bigmem", s.MemoryBytes},
+		{"gpu", s.MemoryBytes * 3 / 10},
+	}
+	for _, hogPct := range []int{0, 20, 40, 60, 80} {
+		row := []interface{}{hogPct}
+		for i, cl := range classes {
+			sub := s
+			sub.FootprintBytes = cl.fp
+			env, err := newNative(sub, osmm.THS, float64(hogPct)/100, s.Seed+uint64(i))
+			if err != nil {
+				return nil, fmt.Errorf("fig9 memhog=%d%%: %w", hogPct, err)
+			}
+			rep := osmm.ScanContiguity(env.as.PageTable())
+			row = append(row, rep.SuperpageFraction())
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Figure10 regenerates the virtualized superpage-frequency study: the
+// fraction of guest footprints backed by *effective* (guest and host
+// agreeing) superpages under VM consolidation and in-VM memhog (Fig 10).
+//
+// Unlike the performance environments (newVirt, which sizes guests so
+// simulations never exhaust the host), this characterization reproduces
+// the paper's loaded-host setup: consolidated guests whose combined
+// demand approaches host memory, with in-VM memhog under the same
+// pressure model as the native runs — so splintering and guest fallbacks
+// emerge at high consolidation x fragmentation.
+func Figure10(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Figure 10: effective superpage fraction vs VM consolidation x memhog",
+		Columns: []string{"vms", "memhog%", "superpage-fraction"},
+	}
+	for _, vms := range []int{1, 2, 4, 8} {
+		for _, hogPct := range []int{0, 20, 40, 60} {
+			frac, err := figure10Point(s, vms, float64(hogPct)/100)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 vms=%d memhog=%d%%: %w", vms, hogPct, err)
+			}
+			t.AddRow(vms, hogPct, frac)
+		}
+	}
+	return t, nil
+}
+
+// figure10Point builds one consolidated-host configuration and returns
+// the average effective superpage fraction across its VMs. As in the
+// paper's setup (8 x 10GB guests on an 80GB host), the per-guest size is
+// fixed at one eighth of host memory, so total demand scales with the VM
+// count; the host proactively splinters backings under memory pressure
+// (the page-sharing behaviour the paper cites); and in-VM memhog memory
+// is host-backed, because the guest's hog really touches it.
+func figure10Point(s Scale, vms int, hogFrac float64) (float64, error) {
+	m := virt.NewMachine(s.MemoryBytes, simrand.New(s.Seed^0x77))
+	m.SplinterThreshold = 0.25
+	guestBytes := s.MemoryBytes / 8
+	fp := guestBytes * 3 / 4
+	var total float64
+	for i := 0; i < vms; i++ {
+		vm, err := m.AddVM(guestBytes, osmm.Config{Policy: osmm.THS}, simrand.New(s.Seed+uint64(i)))
+		if err != nil {
+			return 0, err
+		}
+		hog := vm.GuestHog()
+		if hogFrac >= 0.5 { // in-VM load pollutes like native load does
+			hog.UnmovableFrac = 0.25 + (hogFrac-0.4)*1.75
+			if hog.UnmovableFrac > 0.95 {
+				hog.UnmovableFrac = 0.95
+			}
+			hog.UnmovableScatterFrac = (hogFrac - 0.4) * 4
+			if hog.UnmovableScatterFrac > 1 {
+				hog.UnmovableScatterFrac = 1
+			}
+		}
+		if hogFrac > 0 {
+			hog.Run(hogFrac)
+			// The guest's memhog touches its memory: the host must back it.
+			hog.HeldFrames(func(f uint64) bool {
+				return vm.EnsureBacked(addr.P(f<<addr.Shift4K)) == nil
+			})
+		}
+		base, err := vm.GuestAS().Mmap(fp)
+		if err != nil {
+			return 0, err
+		}
+		// Guests take what fits: host exhaustion mid-populate is the
+		// consolidation pressure this figure is about.
+		if _, err := vm.Populate(base, fp); err != nil && err != osmm.ErrNoMemory {
+			return 0, err
+		}
+		total += vm.EffectiveContiguity().SuperpageFraction()
+	}
+	return total / float64(vms), nil
+}
+
+// Figure11 regenerates the contiguity characterization: the paper's
+// average-contiguity metric for 2MB pages (THS) and 1GB pages
+// (libhugetlbfs pools) as memhog varies. Several seeds stand in for the
+// per-workload instances on the paper's x-axis (Fig 11).
+func Figure11(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Figure 11: average superpage contiguity vs memhog",
+		Columns: []string{"instance", "memhog%", "avg-contig-2MB", "avg-contig-1GB"},
+	}
+	const instances = 4
+	for inst := 0; inst < instances; inst++ {
+		for _, hogPct := range []int{20, 40, 60} {
+			frac := float64(hogPct) / 100
+			sub := s
+			sub.FootprintBytes = s.MemoryBytes
+			env2, err := newNative(sub, osmm.THS, frac, s.Seed+uint64(100*inst))
+			if err != nil {
+				return nil, fmt.Errorf("fig11 inst=%d: %w", inst, err)
+			}
+			c2 := osmm.ScanContiguity(env2.as.PageTable()).AverageContiguity(addr.Page2M)
+			env1, err := newNative(sub, osmm.Hugetlbfs1G, frac, s.Seed+uint64(100*inst))
+			if err != nil {
+				return nil, fmt.Errorf("fig11 1GB inst=%d: %w", inst, err)
+			}
+			c1 := osmm.ScanContiguity(env1.as.PageTable()).AverageContiguity(addr.Page1G)
+			t.AddRow(inst, hogPct, c2, c1)
+		}
+	}
+	return t, nil
+}
+
+// Figure12 regenerates the native-CPU contiguity CDFs: the fraction of
+// 2MB translations residing in runs of length <= x, as memhog varies
+// (Fig 12).
+func Figure12(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Figure 12: 2MB contiguity CDF, native CPU",
+		Columns: []string{"memhog%", "run-length", "cum-fraction"},
+	}
+	for _, hogPct := range []int{20, 40, 60} {
+		sub := s
+		sub.FootprintBytes = s.MemoryBytes
+		env, err := newNative(sub, osmm.THS, float64(hogPct)/100, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 memhog=%d%%: %w", hogPct, err)
+		}
+		rep := osmm.ScanContiguity(env.as.PageTable())
+		for _, p := range rep.CDF(addr.Page2M) {
+			t.AddRow(hogPct, p.Value, p.Frac)
+		}
+	}
+	return t, nil
+}
+
+// Figure13 regenerates the virtualized and GPU contiguity CDFs (Fig 13):
+// effective-translation contiguity inside a consolidated VM, and native
+// contiguity at GPU footprints.
+func Figure13(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Figure 13: 2MB contiguity CDF, virtualized CPU and GPU",
+		Columns: []string{"system", "memhog%", "run-length", "cum-fraction"},
+	}
+	for _, hogPct := range []int{20, 40} {
+		env, err := newVirt(s, 2, float64(hogPct)/100, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig13 virt: %w", err)
+		}
+		rep := env.vms[0].EffectiveContiguity()
+		for _, p := range rep.CDF(addr.Page2M) {
+			t.AddRow("virt-2vm", hogPct, p.Value, p.Frac)
+		}
+	}
+	for _, hogPct := range []int{20, 40} {
+		sub := s
+		sub.FootprintBytes = s.FootprintBytes * 3 / 10
+		env, err := newNative(sub, osmm.THS, float64(hogPct)/100, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig13 gpu: %w", err)
+		}
+		rep := osmm.ScanContiguity(env.as.PageTable())
+		for _, p := range rep.CDF(addr.Page2M) {
+			t.AddRow("gpu", hogPct, p.Value, p.Frac)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mixtlb/internal/cachesim"
+	"mixtlb/internal/energy"
+	"mixtlb/internal/gpu"
+	"mixtlb/internal/mmu"
+	"mixtlb/internal/osmm"
+	"mixtlb/internal/perfmodel"
+	"mixtlb/internal/simrand"
+	"mixtlb/internal/stats"
+	"mixtlb/internal/workload"
+)
+
+// designEnergyConfig maps a design to its energy-model description.
+func designEnergyConfig(d mmu.Design) energy.Config {
+	switch d {
+	case mmu.DesignSkew:
+		return energy.Config{L1Entries: 96, L2Entries: 384, Timestamps: true}
+	case mmu.DesignMix, mmu.DesignMixColt:
+		return energy.Config{L1Entries: 96, L2Entries: 512}
+	case mmu.DesignRehash:
+		return energy.Config{L1Entries: 96, L2Entries: 512}
+	default: // split, colt variants
+		return energy.Config{L1Entries: 100, L2Entries: 544}
+	}
+}
+
+// Figure16 regenerates the performance-energy scatter (Fig 16): for each
+// workload and multi-indexing design (skew-associative + predictor,
+// hash-rehash + predictor) and for MIX, the % performance improvement and
+// % address-translation energy saved, both relative to split TLBs.
+func Figure16(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Figure 16: performance vs energy, relative to split",
+		Columns: []string{"design", "system", "workload", "perf-improvement-%", "energy-savings-%"},
+	}
+	model := energy.Default()
+	env, err := newNative(s, osmm.THS, 0.2, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	type result struct {
+		est perfmodel.Estimate
+		e   float64
+	}
+	measure := func(spec workload.Spec, d mmu.Design) (result, error) {
+		st, est, caches, err := measureNative(s, env, spec, d)
+		if err != nil {
+			return result{}, err
+		}
+		return result{est, model.TotalWithRuntime(st, caches, designEnergyConfig(d), est.TotalCycles)}, nil
+	}
+	for _, spec := range s.workloads() {
+		base, err := measure(spec, mmu.DesignSplit)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range []mmu.Design{mmu.DesignSkew, mmu.DesignRehash, mmu.DesignMix} {
+			r, err := measure(spec, d)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(string(d), "native", spec.Name,
+				perfmodel.ImprovementPercent(base.est, r.est),
+				energy.SavingsPercent(base.e, r.e))
+		}
+	}
+	// Virtualized points.
+	venv, err := newVirt(s, 2, 0.2, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, spec := range s.workloads() {
+		baseSt, baseEst, err := measureVirt(s, venv, spec, mmu.DesignSplit)
+		if err != nil {
+			return nil, err
+		}
+		baseE := model.TotalWithRuntime(baseSt, nil, designEnergyConfig(mmu.DesignSplit), baseEst.TotalCycles)
+		for _, d := range []mmu.Design{mmu.DesignSkew, mmu.DesignRehash, mmu.DesignMix} {
+			st, est, err := measureVirt(s, venv, spec, d)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(string(d), "virtual", spec.Name,
+				perfmodel.ImprovementPercent(baseEst, est),
+				energy.SavingsPercent(baseE, model.TotalWithRuntime(st, nil, designEnergyConfig(d), est.TotalCycles)))
+		}
+	}
+	return t, nil
+}
+
+// Figure17 regenerates the dynamic-energy breakdown (Fig 17): the share
+// of address-translation dynamic energy spent on lookups, page-table
+// walks, fills, and other operations, for GPU TLB designs, normalized to
+// the split design's total.
+func Figure17(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Figure 17: dynamic energy breakdown (GPU), normalized to split total",
+		Columns: []string{"design", "kernel", "lookup", "walk", "fill", "other", "total"},
+	}
+	model := energy.Default()
+	sub := s
+	sub.FootprintBytes = s.FootprintBytes * 3 / 10
+	env, err := newNative(sub, osmm.THS, 0.2, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	kernels := gpu.Kernels()
+	if len(kernels) > 3 {
+		kernels = kernels[:3]
+	}
+	for _, k := range kernels {
+		run := func(d mmu.Design) (energy.Breakdown, error) {
+			caches := cachesim.DefaultHierarchy()
+			sys := gpu.New(gpu.Config{Cores: s.GPUCores, Design: d}, env.as, caches)
+			cores := s.GPUCores
+			kb := k.Build
+			sys.AttachStreams(func(id int) workload.Stream {
+				return kb(id, cores, env.base, env.fp, simrand.New(s.Seed+uint64(id)))
+			})
+			if err := sys.Run(s.WarmupRefs); err != nil {
+				return energy.Breakdown{}, err
+			}
+			sys.ResetStats()
+			cachesMeasured := cachesim.DefaultHierarchy()
+			_ = cachesMeasured
+			if err := sys.Run(s.MeasureRefs); err != nil {
+				return energy.Breakdown{}, err
+			}
+			cfg := designEnergyConfig(d)
+			cfg.L1Entries *= s.GPUCores // per-core L1s all burn energy
+			return model.Dynamic(sys.Stats(), caches, cfg), nil
+		}
+		baseB, err := run(mmu.DesignSplit)
+		if err != nil {
+			return nil, fmt.Errorf("fig17 %s split: %w", k.Name, err)
+		}
+		norm := baseB.Total()
+		if norm == 0 {
+			norm = 1
+		}
+		for _, d := range []mmu.Design{mmu.DesignSplit, mmu.DesignRehash, mmu.DesignSkew, mmu.DesignMix} {
+			b, err := run(d)
+			if err != nil {
+				return nil, fmt.Errorf("fig17 %s %s: %w", k.Name, d, err)
+			}
+			t.AddRow(string(d), k.Name, b.Lookup/norm, b.Walk/norm, b.Fill/norm, b.Other/norm, b.Total()/norm)
+		}
+	}
+	return t, nil
+}
+
+// Figure18 regenerates the COLT comparison (Fig 18): average improvement
+// over split for COLT (coalescing 4KB pages only), COLT++ (all split
+// components coalescing), MIX, and MIX+COLT, for native and virtualized
+// systems under two fragmentation levels.
+func Figure18(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Figure 18: COLT variants and MIX vs split (average improvement %)",
+		Columns: []string{"system", "memhog%", "colt", "colt++", "mix", "mix+colt"},
+	}
+	designs := []mmu.Design{mmu.DesignColt, mmu.DesignColtPP, mmu.DesignMix, mmu.DesignMixColt}
+	for _, hogPct := range []int{20, 60} {
+		env, err := newNative(s, osmm.THS, float64(hogPct)/100, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig18 memhog=%d%%: %w", hogPct, err)
+		}
+		avgs := make([]float64, len(designs))
+		n := 0
+		for _, spec := range s.workloads() {
+			_, baseEst, _, err := measureNative(s, env, spec, mmu.DesignSplit)
+			if err != nil {
+				return nil, err
+			}
+			for i, d := range designs {
+				_, est, _, err := measureNative(s, env, spec, d)
+				if err != nil {
+					return nil, err
+				}
+				avgs[i] += perfmodel.ImprovementPercent(baseEst, est)
+			}
+			n++
+		}
+		row := []interface{}{"native", hogPct}
+		for _, a := range avgs {
+			row = append(row, a/float64(n))
+		}
+		t.AddRow(row...)
+	}
+	// Virtualized: one consolidation point.
+	venv, err := newVirt(s, 2, 0.2, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	avgs := make([]float64, len(designs))
+	n := 0
+	for _, spec := range s.workloads() {
+		_, baseEst, err := measureVirt(s, venv, spec, mmu.DesignSplit)
+		if err != nil {
+			return nil, err
+		}
+		for i, d := range designs {
+			_, est, err := measureVirt(s, venv, spec, d)
+			if err != nil {
+				return nil, err
+			}
+			avgs[i] += perfmodel.ImprovementPercent(baseEst, est)
+		}
+		n++
+	}
+	row := []interface{}{"virtual-2vm", 20}
+	for _, a := range avgs {
+		row = append(row, a/float64(n))
+	}
+	t.AddRow(row...)
+	return t, nil
+}

@@ -1,0 +1,283 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec 7) from the simulator: OS page-allocation
+// characterization (Figures 9-13), performance comparisons against split
+// and multi-indexing TLBs (Figures 1, 14, 15), energy studies (Figures
+// 16, 17), COLT combinations (Figure 18), and the ablations the design
+// discussion calls out (superpage index bits, set-count scaling,
+// duplicate handling).
+//
+// Every experiment takes a Scale so the same code serves the full CLI
+// runs and the fast `go test -bench` harness; absolute numbers shift with
+// scale but the qualitative shapes (who wins, by roughly what factor) are
+// stable.
+package experiments
+
+import (
+	"fmt"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/cachesim"
+	"mixtlb/internal/mmu"
+	"mixtlb/internal/osmm"
+	"mixtlb/internal/perfmodel"
+	"mixtlb/internal/physmem"
+	"mixtlb/internal/simrand"
+	"mixtlb/internal/stats"
+	"mixtlb/internal/tlb"
+	"mixtlb/internal/virt"
+	"mixtlb/internal/workload"
+)
+
+// Scale sizes an experiment run.
+type Scale struct {
+	// MemoryBytes is system physical memory (the paper's machine: 80GB).
+	MemoryBytes uint64
+	// FootprintBytes is the workload footprint (the paper: ~80GB).
+	FootprintBytes uint64
+	// WarmupRefs and MeasureRefs bound each simulation.
+	WarmupRefs  uint64
+	MeasureRefs uint64
+	// GPUCores sizes the GPU model.
+	GPUCores int
+	// Workloads optionally restricts the CPU workload set (nil = all).
+	Workloads []string
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultScale is the CLI configuration: footprints far beyond TLB reach
+// while keeping each figure's regeneration in minutes on a laptop.
+func DefaultScale() Scale {
+	return Scale{
+		MemoryBytes:    8 << 30,
+		FootprintBytes: 2 << 30,
+		WarmupRefs:     300_000,
+		MeasureRefs:    700_000,
+		GPUCores:       8,
+		Seed:           42,
+	}
+}
+
+// QuickScale keeps everything small enough for unit tests and benchmarks.
+func QuickScale() Scale {
+	return Scale{
+		MemoryBytes:    1 << 30,
+		FootprintBytes: 256 << 20,
+		WarmupRefs:     30_000,
+		MeasureRefs:    60_000,
+		GPUCores:       4,
+		Workloads:      []string{"mcf", "gups", "memcached"},
+		Seed:           42,
+	}
+}
+
+// workloads resolves the scale's workload set.
+func (s Scale) workloads() []workload.Spec {
+	all := workload.Catalog()
+	if len(s.Workloads) == 0 {
+		return all
+	}
+	var out []workload.Spec
+	for _, name := range s.Workloads {
+		for _, spec := range all {
+			if spec.Name == name {
+				out = append(out, spec)
+			}
+		}
+	}
+	return out
+}
+
+// nativeEnv is one native-CPU simulation environment: physical memory, an
+// OS address space with a chosen page-size policy, an optional memhog.
+type nativeEnv struct {
+	phys *physmem.Buddy
+	hog  *physmem.Memhog
+	as   *osmm.AddressSpace
+	base addr.V
+	fp   uint64 // footprint actually mapped (capped under memory pressure)
+}
+
+// newNative builds an environment: memhog fragments first (background
+// load), then the address space is created (reserving hugetlbfs pools
+// under that fragmentation) and the footprint is faulted in ascending
+// order.
+func newNative(s Scale, policy osmm.Policy, memhogFrac float64, seed uint64) (*nativeEnv, error) {
+	phys := physmem.NewBuddy(s.MemoryBytes)
+	hog := physmem.NewMemhog(phys, simrand.New(seed^0x9e37))
+	// Heavy background load does not just consume memory: on long-loaded
+	// systems, migratetype fallbacks let unmovable allocations pollute
+	// movable pageblocks, which is what ultimately defeats compaction and
+	// pushes the OS into the mixed / mostly-small-pages regimes of Fig 9.
+	if memhogFrac >= 0.5 {
+		hog.UnmovableFrac = 0.25 + (memhogFrac-0.4)*1.75
+		if hog.UnmovableFrac > 0.95 {
+			hog.UnmovableFrac = 0.95
+		}
+		hog.UnmovableScatterFrac = (memhogFrac - 0.4) * 4
+		if hog.UnmovableScatterFrac > 1 {
+			hog.UnmovableScatterFrac = 1
+		}
+	}
+	if memhogFrac > 0 {
+		hog.Run(memhogFrac)
+	}
+	// The workload takes whatever memory the hog left over (the paper's
+	// machines run footprints the size of memory; this simulator cannot
+	// swap, so populate stops gracefully at exhaustion and the stream
+	// runs over what was mapped).
+	fp := s.FootprintBytes
+	if free := phys.FreeFrames() * addr.Size4K * 97 / 100; fp > free {
+		fp = addr.AlignedDown(free, addr.Size2M)
+	}
+	cfg := osmm.Config{Policy: policy, Compactor: hog}
+	switch policy {
+	case osmm.Hugetlbfs2M, osmm.Hugetlbfs1G:
+		cfg.PoolBytes = fp
+	}
+	as, err := osmm.New(phys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	base, err := as.Mmap(fp)
+	if err != nil {
+		return nil, err
+	}
+	mapped, err := as.Populate(base, fp)
+	if err != nil {
+		if mapped < 8*addr.Size2M {
+			return nil, fmt.Errorf("populate: %w (only %d bytes fit)", err, mapped)
+		}
+		fp = addr.AlignedDown(mapped, addr.Size2M) // memory exhausted: run over what fit
+	}
+	return &nativeEnv{phys: phys, hog: hog, as: as, base: base, fp: fp}, nil
+}
+
+// buildMMU constructs a design's MMU over the environment with a fresh
+// cache hierarchy.
+func (e *nativeEnv) buildMMU(d mmu.Design) (*mmu.MMU, *cachesim.Hierarchy) {
+	caches := cachesim.DefaultHierarchy()
+	m := mmu.Build(d, e.as.PageTable(), e.as.PageTable(), caches, e.as.HandleFault)
+	return m, caches
+}
+
+// runStream drives refs through an MMU: warmup, reset, measure.
+func runStream(m *mmu.MMU, stream workload.Stream, warmup, measure uint64) (mmu.Stats, error) {
+	for i := uint64(0); i < warmup; i++ {
+		ref := stream.Next()
+		if r := m.Translate(tlb.Request{VA: ref.VA, Write: ref.Write, PC: ref.PC}); r.Faulted {
+			return mmu.Stats{}, fmt.Errorf("fault at %v during warmup", ref.VA)
+		}
+	}
+	m.ResetStats()
+	for i := uint64(0); i < measure; i++ {
+		ref := stream.Next()
+		if r := m.Translate(tlb.Request{VA: ref.VA, Write: ref.Write, PC: ref.PC}); r.Faulted {
+			return mmu.Stats{}, fmt.Errorf("fault at %v", ref.VA)
+		}
+	}
+	return m.Stats(), nil
+}
+
+// measureNative runs one workload on one design in an environment,
+// returning functional stats and the runtime estimate.
+func measureNative(s Scale, env *nativeEnv, spec workload.Spec, d mmu.Design) (mmu.Stats, perfmodel.Estimate, *cachesim.Hierarchy, error) {
+	m, caches := env.buildMMU(d)
+	stream := spec.Build(env.base, env.fp, simrand.New(s.Seed))
+	st, err := runStream(m, stream, s.WarmupRefs, s.MeasureRefs)
+	if err != nil {
+		return mmu.Stats{}, perfmodel.Estimate{}, nil, fmt.Errorf("%s/%s: %w", spec.Name, d, err)
+	}
+	est := perfmodel.Default(spec.BaseCPI, spec.RefsPerInstr).Runtime(st)
+	return st, est, caches, nil
+}
+
+// vmEnv is a consolidated virtualized environment.
+type vmEnv struct {
+	machine *virt.Machine
+	vms     []*virt.VM
+	bases   []addr.V
+	fp      uint64
+}
+
+// newVirt consolidates `vms` guests on one host, each running memhog at
+// guestHogFrac inside the VM (the Fig 10 methodology), with THS guests.
+func newVirt(s Scale, vms int, guestHogFrac float64, seed uint64) (*vmEnv, error) {
+	m := virt.NewMachine(s.MemoryBytes, simrand.New(seed^0x51))
+	env := &vmEnv{machine: m}
+	// Guests split the host memory as in Sec 7.1 (8 x 10GB on 80GB).
+	guestBytes := s.MemoryBytes / uint64(vms)
+	env.fp = guestBytes / 2
+	for i := 0; i < vms; i++ {
+		vm, err := m.AddVM(guestBytes, osmm.Config{Policy: osmm.THS}, simrand.New(seed+uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+		if guestHogFrac > 0 {
+			vm.GuestHog().Run(guestHogFrac)
+		}
+		base, err := vm.GuestAS().Mmap(env.fp)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := vm.Populate(base, env.fp); err != nil {
+			return nil, fmt.Errorf("VM %d populate: %w", i, err)
+		}
+		env.vms = append(env.vms, vm)
+		env.bases = append(env.bases, base)
+	}
+	return env, nil
+}
+
+// measureVirt runs a workload inside VM 0 of the environment on a design.
+func measureVirt(s Scale, env *vmEnv, spec workload.Spec, d mmu.Design) (mmu.Stats, perfmodel.Estimate, error) {
+	vm := env.vms[0]
+	caches := cachesim.DefaultHierarchy()
+	m := mmu.Build(d, vm.Walker(), nil, caches, vm.HandleFault)
+	stream := spec.Build(env.bases[0], env.fp, simrand.New(s.Seed))
+	st, err := runStream(m, stream, s.WarmupRefs, s.MeasureRefs)
+	if err != nil {
+		return mmu.Stats{}, perfmodel.Estimate{}, fmt.Errorf("%s/%s virt: %w", spec.Name, d, err)
+	}
+	est := perfmodel.Default(spec.BaseCPI, spec.RefsPerInstr).Runtime(st)
+	return st, est, nil
+}
+
+// Registry maps experiment names to their functions for the CLI.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(Scale) (*stats.Table, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1", "% runtime in address translation: split vs ideal across page-size policies", Figure1},
+		{"fig9", "fraction of footprint in superpages vs memhog fragmentation", Figure9},
+		{"fig10", "superpage fraction vs VM consolidation x memhog", Figure10},
+		{"fig11", "average superpage contiguity vs memhog (2MB and 1GB)", Figure11},
+		{"fig12", "superpage contiguity CDF, native CPU", Figure12},
+		{"fig13", "superpage contiguity CDF, virtualized and GPU", Figure13},
+		{"fig14", "% performance improvement of MIX vs split", Figure14},
+		{"fig15l", "MIX improvement vs split as memhog varies", Figure15Left},
+		{"fig15r", "overhead vs ideal TLB: split and MIX curves", Figure15Right},
+		{"fig16", "performance-energy tradeoffs: skew+pred, rehash+pred, MIX", Figure16},
+		{"fig17", "dynamic energy breakdown by TLB activity (GPU)", Figure17},
+		{"fig18", "COLT, COLT++, MIX and MIX+COLT vs split", Figure18},
+		{"ablation-index", "Sec 3 ablation: superpage index bits vs small-page index bits", AblationIndexBits},
+		{"scaling", "Sec 7.2 scaling study: set counts up to 512", ScalingStudy},
+		{"duplicates", "Sec 4.3 duplicate creation and elimination study", DuplicateStudy},
+		{"invalidation", "Sec 4.4 invalidation study: shootdown refill traffic by design", InvalidationStudy},
+	}
+}
+
+// ByName finds an experiment.
+func ByName(name string) (Experiment, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", name)
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// q is the test scale.
+func q() Scale { return QuickScale() }
+
+func f(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", s, err)
+	}
+	return v
+}
+
+func TestRegistry(t *testing.T) {
+	if len(All()) != 16 {
+		t.Errorf("%d experiments registered", len(All()))
+	}
+	if _, err := ByName("fig14"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	for _, e := range All() {
+		if e.Desc == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.Name)
+		}
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	t.Parallel()
+	tbl, err := Figure1(q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(figure1Workloads)*len(figure1Policies) {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	anyOverhead := false
+	for _, row := range tbl.Rows {
+		split, ideal := f(t, row[2]), f(t, row[3])
+		if split < ideal {
+			t.Errorf("%s/%s: split %%runtime %v < ideal %v", row[0], row[1], split, ideal)
+		}
+		if ideal != 0 {
+			t.Errorf("ideal TLB shows %v%% translation time", ideal)
+		}
+		if split > 0.5 {
+			anyOverhead = true
+		}
+	}
+	if !anyOverhead {
+		t.Error("no workload shows translation overhead on split TLBs")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	t.Parallel()
+	tbl, err := Figure9(q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Pristine memory: essentially all superpages. Severe fragmentation:
+	// clearly fewer.
+	for c := 1; c <= 3; c++ {
+		first, last := f(t, tbl.Rows[0][c]), f(t, tbl.Rows[4][c])
+		if first < 0.9 {
+			t.Errorf("col %d: pristine superpage fraction %v", c, first)
+		}
+		if last > first {
+			t.Errorf("col %d: fraction rose with fragmentation (%v -> %v)", c, first, last)
+		}
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	t.Parallel()
+	tbl, err := Figure10(q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 16 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Low consolidation + no memhog (first row) beats heavy consolidation
+	// + memhog (last row).
+	first, last := f(t, tbl.Rows[0][2]), f(t, tbl.Rows[len(tbl.Rows)-1][2])
+	if first < last {
+		t.Errorf("superpage fraction: 1VM/0%%=%v < 8VM/40%%=%v", first, last)
+	}
+	if first < 0.8 {
+		t.Errorf("unloaded VM superpage fraction = %v", first)
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	t.Parallel()
+	tbl, err := Figure11(q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	for _, row := range tbl.Rows {
+		if c2 := f(t, row[2]); c2 < 1 {
+			t.Errorf("2MB contiguity %v < 1 despite superpages", c2)
+		}
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	t.Parallel()
+	tbl, err := Figure12(q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	// Per memhog level, the CDF is monotone and ends at 1.
+	last := map[string]float64{}
+	for _, row := range tbl.Rows {
+		frac := f(t, row[2])
+		if frac < last[row[0]] {
+			t.Errorf("memhog %s: CDF decreases", row[0])
+		}
+		last[row[0]] = frac
+	}
+	for g, v := range last {
+		if v < 0.999 {
+			t.Errorf("memhog %s: CDF tops out at %v", g, v)
+		}
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	t.Parallel()
+	tbl, err := Figure13(q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := map[string]float64{}
+	seen := map[string]bool{}
+	for _, row := range tbl.Rows {
+		k := row[0] + "/" + row[1]
+		frac := f(t, row[3])
+		if frac < groups[k] {
+			t.Errorf("%s: CDF not monotone", k)
+		}
+		groups[k] = frac
+		seen[row[0]] = true
+	}
+	if !seen["virt-2vm"] || !seen["gpu"] {
+		t.Errorf("missing systems: %v", seen)
+	}
+}

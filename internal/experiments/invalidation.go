@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/cachesim"
+	"mixtlb/internal/core"
+	"mixtlb/internal/osmm"
+	"mixtlb/internal/physmem"
+	"mixtlb/internal/simrand"
+	"mixtlb/internal/smp"
+	"mixtlb/internal/stats"
+	"mixtlb/internal/tlb"
+	"mixtlb/internal/workload"
+)
+
+// InvalidationStudy quantifies the Sec 4.4 invalidation trade-off at
+// system level: a multi-core machine runs superpage traffic while the OS
+// periodically unmaps-and-remaps regions (TLB shootdowns to every core).
+// Bitmap-encoded bundles lose only the invalidated member; range-encoded
+// bundles drop the whole coalesced entry; split TLBs lose a single entry.
+// Reported: walks per shootdown (post-invalidation refill traffic).
+func InvalidationStudy(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Sec 4.4 invalidations: post-shootdown refill traffic by design",
+		Columns: []string{"design", "walks-per-1k-refs", "shootdowns", "invalidations"},
+	}
+	type point struct {
+		name  string
+		build func() (tlb.TLB, tlb.TLB)
+	}
+	points := []point{
+		{"split", func() (tlb.TLB, tlb.TLB) { return tlb.NewHaswellL1(), tlb.NewHaswellL2() }},
+		{"mix-bitmap", func() (tlb.TLB, tlb.TLB) {
+			return core.New(core.L1Config()), core.New(core.L2Config())
+		}},
+		{"mix-range", func() (tlb.TLB, tlb.TLB) {
+			return core.New(core.L1Config()), core.New(core.L2RangeConfig())
+		}},
+	}
+	const cores = 2
+	for _, p := range points {
+		phys := physmem.NewBuddy(s.MemoryBytes)
+		as, err := osmm.New(phys, osmm.Config{Policy: osmm.THS})
+		if err != nil {
+			return nil, err
+		}
+		fp := s.FootprintBytes / 2
+		base, err := as.Mmap(fp)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := as.Populate(base, fp); err != nil {
+			return nil, fmt.Errorf("invalidation study populate: %w", err)
+		}
+		sys := smp.NewWithTLBs(cores, as, cachesim.DefaultHierarchy(), p.build)
+		streams := make([]workload.Stream, cores)
+		for i := range streams {
+			streams[i] = workload.NewZipf(base, fp, simrand.New(s.Seed+uint64(i)), 0.9, 0.1, uint64(p.name[0]))
+		}
+		if err := sys.Run(streams, s.WarmupRefs); err != nil {
+			return nil, err
+		}
+		sys.ResetStats()
+		rng := simrand.New(s.Seed ^ 0xdead)
+		var total uint64
+		chunk := s.MeasureRefs / 10
+		for round := 0; round < 10; round++ {
+			if err := sys.Run(streams, chunk); err != nil {
+				return nil, err
+			}
+			total += chunk
+			// Unmap and immediately fault back a random 4MB region,
+			// modeling mapping churn (e.g. an allocator's MADV_FREE).
+			off := addr.AlignedDown(rng.Uint64n(fp-(4<<20)), addr.Size2M)
+			sys.Munmap(base+addr.V(off), 4<<20)
+		}
+		agg := sys.Aggregate()
+		t.AddRow(p.name, 1000*float64(agg.Walks)/float64(total),
+			sys.Stats().Shootdowns, agg.Invalidations)
+	}
+	return t, nil
+}

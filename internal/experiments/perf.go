@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"mixtlb/internal/cachesim"
+	"mixtlb/internal/gpu"
+	"mixtlb/internal/mmu"
+	"mixtlb/internal/osmm"
+	"mixtlb/internal/perfmodel"
+	"mixtlb/internal/simrand"
+	"mixtlb/internal/stats"
+	"mixtlb/internal/workload"
+)
+
+// figure1Workloads are the three applications of the paper's motivation
+// figure.
+var figure1Workloads = []string{"mcf", "graph500", "memcached"}
+
+// figure1Policies are the fixed-page-size and mixed allocations compared.
+var figure1Policies = []osmm.Policy{osmm.BasePages, osmm.Hugetlbfs2M, osmm.Hugetlbfs1G, osmm.THS}
+
+// Figure1 regenerates the motivation figure: the percentage of runtime
+// devoted to address translation on a commercial split-TLB hierarchy
+// versus a hypothetical ideal TLB, across page-size policies (Fig 1).
+func Figure1(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Figure 1: % runtime in address translation, split vs ideal",
+		Columns: []string{"workload", "policy", "split-%runtime", "ideal-%runtime"},
+	}
+	for _, name := range figure1Workloads {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, policy := range figure1Policies {
+			env, err := newNative(s, policy, 0, s.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig1 %s/%v: %w", name, policy, err)
+			}
+			_, splitEst, _, err := measureNative(s, env, spec, mmu.DesignSplit)
+			if err != nil {
+				return nil, err
+			}
+			_, idealEst, _, err := measureNative(s, env, spec, mmu.DesignIdeal)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(name, policy.String(), splitEst.PctTranslation(), idealEst.PctTranslation())
+		}
+	}
+	return t, nil
+}
+
+// gpuImprovement measures MIX's improvement over split for one kernel.
+func gpuImprovement(s Scale, hogFrac float64, kernelName string) (float64, error) {
+	env, err := newNative(s, osmm.THS, hogFrac, s.Seed)
+	if err != nil {
+		return 0, err
+	}
+	k, err := gpu.KernelByName(kernelName)
+	if err != nil {
+		return 0, err
+	}
+	run := func(d mmu.Design) (perfmodel.Estimate, error) {
+		sys := gpu.New(gpu.Config{Cores: s.GPUCores, Design: d}, env.as, cachesim.DefaultHierarchy())
+		cores := s.GPUCores
+		sys.AttachStreams(func(id int) workload.Stream {
+			return k.Build(id, cores, env.base, env.fp, simrand.New(s.Seed+uint64(id)))
+		})
+		if err := sys.Run(s.WarmupRefs); err != nil {
+			return perfmodel.Estimate{}, err
+		}
+		sys.ResetStats()
+		if err := sys.Run(s.MeasureRefs); err != nil {
+			return perfmodel.Estimate{}, err
+		}
+		// GPU throughput parameters: abundant memory parallelism hides
+		// some latency; a fixed parameterization suffices for relative
+		// comparisons.
+		return perfmodel.Default(1.0, 0.5).Runtime(sys.Stats()), nil
+	}
+	splitEst, err := run(mmu.DesignSplit)
+	if err != nil {
+		return 0, fmt.Errorf("gpu %s split: %w", kernelName, err)
+	}
+	mixEst, err := run(mmu.DesignMix)
+	if err != nil {
+		return 0, fmt.Errorf("gpu %s mix: %w", kernelName, err)
+	}
+	return perfmodel.ImprovementPercent(splitEst, mixEst), nil
+}
+
+// Figure14 regenerates the headline comparison: % performance improvement
+// of area-equivalent MIX TLBs over Haswell-style split TLBs across native
+// page-size policies, virtualized systems, and GPUs (Fig 14).
+func Figure14(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Figure 14: % performance improvement, MIX vs split",
+		Columns: []string{"system", "config", "workload", "improvement-%"},
+	}
+	// Native configs.
+	nativeConfigs := []struct {
+		label  string
+		policy osmm.Policy
+	}{
+		{"4KB", osmm.BasePages},
+		{"2MB", osmm.Hugetlbfs2M},
+		{"1GB", osmm.Hugetlbfs1G},
+		{"THS", osmm.THS},
+	}
+	for _, cfg := range nativeConfigs {
+		env, err := newNative(s, cfg.policy, 0, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig14 %s: %w", cfg.label, err)
+		}
+		for _, spec := range s.workloads() {
+			_, splitEst, _, err := measureNative(s, env, spec, mmu.DesignSplit)
+			if err != nil {
+				return nil, err
+			}
+			_, mixEst, _, err := measureNative(s, env, spec, mmu.DesignMix)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow("native", cfg.label, spec.Name, perfmodel.ImprovementPercent(splitEst, mixEst))
+		}
+	}
+	// Virtualized configs: 1 VM and a consolidated 4-VM host.
+	for _, vms := range []int{1, 4} {
+		env, err := newVirt(s, vms, 0.2, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig14 virt %dVM: %w", vms, err)
+		}
+		for _, spec := range s.workloads() {
+			_, splitEst, err := measureVirt(s, env, spec, mmu.DesignSplit)
+			if err != nil {
+				return nil, err
+			}
+			_, mixEst, err := measureVirt(s, env, spec, mmu.DesignMix)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow("virtual", fmt.Sprintf("%dVM", vms), spec.Name,
+				perfmodel.ImprovementPercent(splitEst, mixEst))
+		}
+	}
+	// GPU kernels.
+	for _, k := range gpu.Kernels() {
+		imp, err := gpuImprovement(s, 0, k.Name)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("gpu", "THS", k.Name, imp)
+	}
+	return t, nil
+}
+
+// Figure15Left regenerates the fragmentation sensitivity study: MIX's
+// improvement over split as memhog fragments 20% and 80% of CPU memory
+// (20% and 60% for GPUs), workloads sorted ascending as in the paper.
+func Figure15Left(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Figure 15 (left): MIX improvement vs split under fragmentation",
+		Columns: []string{"system", "memhog%", "workload", "improvement-%"},
+	}
+	type entry struct {
+		name string
+		imp  float64
+	}
+	for _, hogPct := range []int{20, 80} {
+		env, err := newNative(s, osmm.THS, float64(hogPct)/100, s.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig15l memhog=%d%%: %w", hogPct, err)
+		}
+		var rows []entry
+		for _, spec := range s.workloads() {
+			_, splitEst, _, err := measureNative(s, env, spec, mmu.DesignSplit)
+			if err != nil {
+				return nil, err
+			}
+			_, mixEst, _, err := measureNative(s, env, spec, mmu.DesignMix)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, entry{spec.Name, perfmodel.ImprovementPercent(splitEst, mixEst)})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].imp < rows[j].imp })
+		for _, r := range rows {
+			t.AddRow("cpu", hogPct, r.name, r.imp)
+		}
+	}
+	for _, hogPct := range []int{20, 60} {
+		var rows []entry
+		for _, k := range gpu.Kernels() {
+			imp, err := gpuImprovement(s, float64(hogPct)/100, k.Name)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, entry{k.Name, imp})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].imp < rows[j].imp })
+		for _, r := range rows {
+			t.AddRow("gpu", hogPct, r.name, r.imp)
+		}
+	}
+	return t, nil
+}
+
+// Figure15Right regenerates the ideal-TLB comparison: the runtime
+// overhead each design pays relative to a TLB that never misses, for
+// split and MIX, sorted ascending (the paper's curves; Fig 15 right).
+func Figure15Right(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Figure 15 (right): % overhead vs ideal TLB",
+		Columns: []string{"design", "workload", "overhead-%"},
+	}
+	env, err := newNative(s, osmm.THS, 0.2, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range []mmu.Design{mmu.DesignSplit, mmu.DesignMix} {
+		type entry struct {
+			name string
+			ov   float64
+		}
+		var rows []entry
+		for _, spec := range s.workloads() {
+			_, est, _, err := measureNative(s, env, spec, d)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, entry{spec.Name, est.OverheadVsIdealPercent()})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].ov < rows[j].ov })
+		for _, r := range rows {
+			t.AddRow(string(d), r.name, r.ov)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"testing"
+
+	"mixtlb/internal/stats"
+)
+
+func avgCol(t *testing.T, tbl *stats.Table, filter func(row []string) bool, col int) float64 {
+	t.Helper()
+	var sum float64
+	n := 0
+	for _, row := range tbl.Rows {
+		if filter == nil || filter(row) {
+			sum += f(t, row[col])
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no matching rows")
+	}
+	return sum / float64(n)
+}
+
+func TestFigure14Shape(t *testing.T) {
+	t.Parallel()
+	tbl, err := Figure14(q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	systems := map[string]bool{}
+	for _, row := range tbl.Rows {
+		systems[row[0]] = true
+	}
+	for _, want := range []string{"native", "virtual", "gpu"} {
+		if !systems[want] {
+			t.Errorf("missing system %q", want)
+		}
+	}
+	// The headline claim: MIX improves on split on average, and the
+	// improvement is clearly positive for the superpage-heavy configs.
+	if avg := avgCol(t, tbl, nil, 3); avg <= 0 {
+		t.Errorf("average improvement = %v, want > 0", avg)
+	}
+	for _, cfg := range []string{"2MB", "1GB"} {
+		avg := avgCol(t, tbl, func(row []string) bool { return row[1] == cfg }, 3)
+		if avg <= 0 {
+			t.Errorf("%s config: average improvement %v <= 0", cfg, avg)
+		}
+	}
+}
+
+func TestFigure15LeftShape(t *testing.T) {
+	t.Parallel()
+	tbl, err := Figure15Left(q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows per (system, memhog) group are ascending (the paper sorts
+	// workloads by improvement).
+	last := map[string]float64{}
+	started := map[string]bool{}
+	for _, row := range tbl.Rows {
+		k := row[0] + "/" + row[1]
+		v := f(t, row[3])
+		if started[k] && v < last[k] {
+			t.Errorf("group %s not ascending", k)
+		}
+		last[k], started[k] = v, true
+	}
+	if len(started) != 4 {
+		t.Errorf("groups = %v", started)
+	}
+}
+
+func TestFigure15RightShape(t *testing.T) {
+	t.Parallel()
+	tbl, err := Figure15Right(q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	splitAvg := avgCol(t, tbl, func(r []string) bool { return r[0] == "split" }, 2)
+	mixAvg := avgCol(t, tbl, func(r []string) bool { return r[0] == "mix" }, 2)
+	// MIX sits closer to ideal than split (Fig 15 right).
+	if mixAvg > splitAvg {
+		t.Errorf("overhead vs ideal: mix=%v split=%v, want mix <= split", mixAvg, splitAvg)
+	}
+}
+
+func TestFigure16Shape(t *testing.T) {
+	t.Parallel()
+	tbl, err := Figure16(q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	designs := map[string]bool{}
+	for _, row := range tbl.Rows {
+		designs[row[0]] = true
+	}
+	for _, want := range []string{"skew+pred", "rehash+pred", "mix"} {
+		if !designs[want] {
+			t.Errorf("missing design %q in %v", want, designs)
+		}
+	}
+	// The paper's Fig 16 claim: MIX sits in the top-right quadrant (both
+	// improvements positive), while multi-indexing designs trade one axis
+	// for the other (skew's predicted 2-way reads save energy but its
+	// probe behaviour costs performance).
+	mixPerf := avgCol(t, tbl, func(r []string) bool { return r[0] == "mix" }, 3)
+	mixEnergy := avgCol(t, tbl, func(r []string) bool { return r[0] == "mix" }, 4)
+	skewPerf := avgCol(t, tbl, func(r []string) bool { return r[0] == "skew+pred" }, 3)
+	if mixPerf < 0 {
+		t.Errorf("mix average perf improvement %v < 0", mixPerf)
+	}
+	if mixEnergy < 0 {
+		t.Errorf("mix average energy savings %v < 0", mixEnergy)
+	}
+	if mixPerf < skewPerf {
+		t.Errorf("mix perf %v below skew %v", mixPerf, skewPerf)
+	}
+}
+
+func TestFigure17Shape(t *testing.T) {
+	t.Parallel()
+	tbl, err := Figure17(q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		total := f(t, row[6])
+		sum := f(t, row[2]) + f(t, row[3]) + f(t, row[4]) + f(t, row[5])
+		if diff := total - sum; diff > 0.02 || diff < -0.02 {
+			t.Errorf("%s/%s: breakdown does not sum to total (%v vs %v)", row[0], row[1], sum, total)
+		}
+		if row[0] == "split" && (total < 0.99 || total > 1.01) {
+			t.Errorf("split not normalized to 1: %v", total)
+		}
+		// Fig 17: lookups+walks dominate; fills (mirroring) are minor.
+		if fill := f(t, row[4]); row[0] == "mix" && fill > total/2 {
+			t.Errorf("mix fill energy %v dominates total %v", fill, total)
+		}
+	}
+}
+
+func TestFigure18Shape(t *testing.T) {
+	t.Parallel()
+	tbl, err := Figure18(q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		colt, coltpp, mix, mixcolt := f(t, row[2]), f(t, row[3]), f(t, row[4]), f(t, row[5])
+		_ = coltpp
+		// MIX+COLT is the best combination on average (Fig 18).
+		if mixcolt < mix-1e-9 && mixcolt < colt {
+			t.Errorf("%s/%s: mix+colt=%v below both mix=%v and colt=%v", row[0], row[1], mixcolt, mix, colt)
+		}
+	}
+}
+
+func TestAblationIndexBits(t *testing.T) {
+	t.Parallel()
+	tbl, err := AblationIndexBits(q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Superpage indexing must raise misses substantially (the paper
+	// reports 4-8x on average).
+	var factors float64
+	n := 0
+	for _, row := range tbl.Rows {
+		factors += f(t, row[3])
+		n++
+	}
+	if avg := factors / float64(n); avg < 1.5 {
+		t.Errorf("superpage-index miss inflation = %vx, want clearly > 1", avg)
+	}
+}
+
+func TestScalingStudy(t *testing.T) {
+	t.Parallel()
+	tbl, err := ScalingStudy(q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestDuplicateStudy(t *testing.T) {
+	t.Parallel()
+	tbl, err := DuplicateStudy(q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blindDups float64
+	for _, row := range tbl.Rows {
+		if row[0] == "blind-mirrors" {
+			blindDups += f(t, row[3])
+		}
+	}
+	if blindDups == 0 {
+		t.Error("blind mirroring produced no duplicates to eliminate")
+	}
+}
+
+func TestCoalesceCapStudy(t *testing.T) {
+	t.Parallel()
+	tbl, err := CoalesceCapStudy(q(), []int{1, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K=1 (no coalescing, pure mirroring) must miss more than K=16.
+	byK := map[string]float64{}
+	n := map[string]int{}
+	for _, row := range tbl.Rows {
+		byK[row[1]] += f(t, row[2])
+		n[row[1]]++
+	}
+	if byK["1"]/float64(n["1"]) < byK["16"]/float64(n["16"]) {
+		t.Errorf("K=1 misses (%v) below K=16 (%v)", byK["1"], byK["16"])
+	}
+}
+
+func TestEncodingStudy(t *testing.T) {
+	t.Parallel()
+	tbl, err := EncodingStudy(q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, row := range tbl.Rows {
+		vals[row[0]+"/"+row[1]] = f(t, row[2])
+	}
+	// Under popularity-ordered arrival the range encoding fragments:
+	// bitmap must miss no more than range there.
+	if vals["popularity/bitmap"] > vals["popularity/range"]+1e-9 {
+		t.Errorf("bitmap %v vs range %v under popularity arrival", vals["popularity/bitmap"], vals["popularity/range"])
+	}
+}
+
+func TestInvalidationStudy(t *testing.T) {
+	t.Parallel()
+	tbl, err := InvalidationStudy(q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	walks := map[string]float64{}
+	for _, row := range tbl.Rows {
+		walks[row[0]] = f(t, row[1])
+	}
+	// Range entries drop whole bundles on invalidation, so their refill
+	// traffic must be at least the bitmap design's.
+	if walks["mix-range"] < walks["mix-bitmap"]-1e-9 {
+		t.Errorf("range refill traffic %v below bitmap %v", walks["mix-range"], walks["mix-bitmap"])
+	}
+}

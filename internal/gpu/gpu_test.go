@@ -1,0 +1,165 @@
+package gpu
+
+import (
+	"testing"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/cachesim"
+	"mixtlb/internal/mmu"
+	"mixtlb/internal/osmm"
+	"mixtlb/internal/physmem"
+	"mixtlb/internal/simrand"
+	"mixtlb/internal/workload"
+)
+
+func newGPUEnv(t *testing.T, policy osmm.Policy, design mmu.Design, cores int) (*System, addr.V, uint64) {
+	t.Helper()
+	phys := physmem.NewBuddy(4 << 30)
+	as, err := osmm.New(phys, osmm.Config{Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fp = 2 << 30
+	base, err := as.Mmap(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Populate(base, fp); err != nil {
+		t.Fatal(err)
+	}
+	sys := New(Config{Cores: cores, Design: design}, as, cachesim.DefaultHierarchy())
+	return sys, base, fp
+}
+
+func TestRunAllKernelsBothDesigns(t *testing.T) {
+	for _, design := range []mmu.Design{mmu.DesignSplit, mmu.DesignMix} {
+		for _, k := range Kernels() {
+			sys, base, fp := newGPUEnv(t, osmm.THS, design, 4)
+			kernel := k
+			sys.AttachStreams(func(id int) workload.Stream {
+				return kernel.Build(id, 4, base, fp, simrand.New(uint64(id)))
+			})
+			if err := sys.Run(20000); err != nil {
+				t.Fatalf("%s/%s: %v", design, k.Name, err)
+			}
+			st := sys.Stats()
+			if st.Accesses != 20000 {
+				t.Errorf("%s/%s accesses = %d", design, k.Name, st.Accesses)
+			}
+			if st.L1Hits == 0 {
+				t.Errorf("%s/%s: no L1 hits", design, k.Name)
+			}
+		}
+	}
+}
+
+func TestMixBeatsSplitOnSuperpageGPU(t *testing.T) {
+	// The Fig 14 GPU claim at unit scale: with THS superpages and
+	// low-locality traffic, a split design funnels all 2MB translations
+	// through its small dedicated 2MB L1 (64MB of reach) while MIX uses
+	// its whole L1 for coalesced superpage bundles (hundreds of MB), so
+	// MIX spends fewer cycles per translation.
+	run := func(design mmu.Design) float64 {
+		sys, base, fp := newGPUEnv(t, osmm.THS, design, 4)
+		sys.AttachStreams(func(id int) workload.Stream {
+			return workload.NewZipf(base, fp/2, simrand.New(uint64(100+id)), 0.99, 0.05, 42)
+		})
+		if err := sys.Run(30000); err != nil {
+			t.Fatal(err)
+		}
+		sys.ResetStats()
+		if err := sys.Run(30000); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Stats().CyclesPerAccess()
+	}
+	split := run(mmu.DesignSplit)
+	mix := run(mmu.DesignMix)
+	if mix >= split {
+		t.Errorf("cycles/access: mix=%v split=%v (want mix < split)", mix, split)
+	}
+}
+
+func TestCoresShareL2(t *testing.T) {
+	sys, base, fp := newGPUEnv(t, osmm.BasePages, mmu.DesignSplit, 2)
+	// Core 0 and core 1 run the same stream: core 1's L1 misses should
+	// hit in the shared L2 warmed by core 0's walks.
+	sameStream := func(id int) workload.Stream {
+		return workload.NewSequential(base, fp/64, 4096, false, 1)
+	}
+	sys.AttachStreams(sameStream)
+	if err := sys.Run(4000); err != nil {
+		t.Fatal(err)
+	}
+	var l2hits uint64
+	for _, c := range sys.Cores() {
+		l2hits += c.Stats().L2Hits
+	}
+	if l2hits == 0 {
+		t.Error("no cross-core L2 TLB sharing observed")
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	sys, base, fp := newGPUEnv(t, osmm.BasePages, mmu.DesignMix, 3)
+	sys.AttachStreams(func(id int) workload.Stream {
+		return workload.NewUniform(base, fp, simrand.New(uint64(id)), 0.5, 7)
+	})
+	if err := sys.Run(9999); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.Accesses != 9999 {
+		t.Errorf("aggregated accesses = %d", st.Accesses)
+	}
+	var sum uint64
+	for _, c := range sys.Cores() {
+		sum += c.Stats().Accesses
+	}
+	if sum != st.Accesses {
+		t.Errorf("per-core sum %d != aggregate %d", sum, st.Accesses)
+	}
+	if st.DirtyMicroOps == 0 {
+		t.Error("no dirty micro-ops despite 50% writes")
+	}
+}
+
+func TestRunWithoutStreamsFails(t *testing.T) {
+	sys, _, _ := newGPUEnv(t, osmm.BasePages, mmu.DesignSplit, 2)
+	if err := sys.Run(10); err == nil {
+		t.Error("Run without streams succeeded")
+	}
+}
+
+func TestKernelByName(t *testing.T) {
+	if _, err := KernelByName("hotspot"); err != nil {
+		t.Error(err)
+	}
+	if _, err := KernelByName("nope"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if len(Kernels()) < 9 {
+		t.Errorf("only %d kernels", len(Kernels()))
+	}
+}
+
+func TestAllDesignsSupported(t *testing.T) {
+	for _, d := range []mmu.Design{mmu.DesignSplit, mmu.DesignMix, mmu.DesignRehash, mmu.DesignSkew} {
+		sys, base, fp := newGPUEnv(t, osmm.THS, d, 2)
+		sys.AttachStreams(func(id int) workload.Stream {
+			return workload.NewSequential(base, fp, 64, false, 3)
+		})
+		if err := sys.Run(1000); err != nil {
+			t.Errorf("%s: %v", d, err)
+		}
+	}
+}
+
+func TestUnsupportedDesignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	perCoreL1(mmu.DesignIdeal, 0)
+}

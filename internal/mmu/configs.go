@@ -1,0 +1,107 @@
+package mmu
+
+import (
+	"fmt"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/cachesim"
+	"mixtlb/internal/core"
+	"mixtlb/internal/pagetable"
+	"mixtlb/internal/tlb"
+)
+
+// Design names the TLB organizations compared in the evaluation (Sec 7.2).
+type Design string
+
+// The design points. All are area-equivalent to the split baseline at the
+// L1 (about 100 entries) and L2 (about 544 entries), except where a
+// design's own overheads (skew timestamps) or savings (MIX absorbing the
+// separate 1GB TLB) change the entry budget, as the paper describes.
+const (
+	// DesignSplit is the commercial Haswell-style baseline.
+	DesignSplit Design = "split"
+	// DesignMix is the paper's contribution.
+	DesignMix Design = "mix"
+	// DesignMixColt is MIX plus small-page coalescing (Fig 18's best).
+	DesignMixColt Design = "mix+colt"
+	// DesignRehash is hash-rehash for all sizes with the best predictor.
+	DesignRehash Design = "rehash+pred"
+	// DesignSkew is a skew-associative TLB with the best predictor.
+	DesignSkew Design = "skew+pred"
+	// DesignColt is split with a coalescing 4KB component (CoLT).
+	DesignColt Design = "colt"
+	// DesignColtPP is split with every component coalescing (COLT++).
+	DesignColtPP Design = "colt++"
+	// DesignIdeal never misses on mapped pages (Figures 1, 15).
+	DesignIdeal Design = "ideal"
+	// DesignMixSuperIndex is the Sec 3 ablation: MIX indexed by superpage
+	// bits.
+	DesignMixSuperIndex Design = "mix-superidx"
+)
+
+// AllDesigns lists the comparable designs in report order.
+func AllDesigns() []Design {
+	return []Design{DesignSplit, DesignMix, DesignMixColt, DesignRehash,
+		DesignSkew, DesignColt, DesignColtPP, DesignIdeal}
+}
+
+// Build constructs a two-level MMU of the given design over the page table
+// and cache hierarchy. fault handles demand paging (may be nil).
+func Build(d Design, src TranslationSource, pt *pagetable.PageTable, caches *cachesim.Hierarchy, fault FaultHandler) *MMU {
+	cfg := Config{Name: string(d)}
+	switch d {
+	case DesignSplit:
+		cfg.L1 = tlb.NewHaswellL1()
+		cfg.L2 = tlb.NewHaswellL2()
+	case DesignMix:
+		cfg.L1 = core.New(core.L1Config())
+		cfg.L2 = core.New(core.L2Config())
+	case DesignMixColt:
+		l1 := core.L1Config()
+		l1.Name, l1.SmallCoalesce = "mix+colt-L1", 4
+		l2 := core.L2Config()
+		l2.Name, l2.SmallCoalesce = "mix+colt-L2", 4
+		cfg.L1 = core.New(l1)
+		cfg.L2 = core.New(l2)
+	case DesignRehash:
+		// 16 sets x 6 ways = 96 entries at L1; 128 x 4 at L2, all sizes.
+		cfg.L1 = tlb.NewPredictedRehash(
+			tlb.NewHashRehash("rehash-L1", 16, 6, addr.Page4K, addr.Page2M, addr.Page1G),
+			tlb.NewSizePredictor(512))
+		cfg.L2 = tlb.NewPredictedRehash(
+			tlb.NewHashRehash("rehash-L2", 128, 4, addr.Page4K, addr.Page2M, addr.Page1G),
+			tlb.NewSizePredictor(512))
+	case DesignSkew:
+		// Skew pays area for replacement timestamps (Sec 7.2), so its
+		// area-equivalent builds carry fewer entries: 16x6=96 -> 16 sets
+		// of 2 ways per size at L1 is already 96, minus the timestamp
+		// tax modeled as one fewer way-set at the L2 (64x6=384 vs 512).
+		cfg.L1 = tlb.NewPredictedSkew(tlb.NewSkewAllSizes("skew-L1", 16, 2), tlb.NewSizePredictor(512))
+		cfg.L2 = tlb.NewPredictedSkew(tlb.NewSkewAllSizes("skew-L2", 64, 2), tlb.NewSizePredictor(512))
+	case DesignColt:
+		cfg.L1 = tlb.NewColtSplitL1()
+		cfg.L2 = tlb.NewHaswellL2()
+	case DesignColtPP:
+		// COLT++ coalesces within each *split* TLB (Sec 7.2); the L2
+		// keeps the commercial shared hash-rehash array, which cannot
+		// coalesce across its mixed-size sets.
+		cfg.L1 = tlb.NewColtPlusPlusL1()
+		cfg.L2 = tlb.NewHaswellL2()
+	case DesignIdeal:
+		if pt == nil {
+			panic("mmu: ideal design requires the native page table")
+		}
+		cfg.L1 = tlb.NewIdeal(pt)
+		cfg.FreeWalks = true
+	case DesignMixSuperIndex:
+		l1 := core.L1Config()
+		l1.Name, l1.IndexShift = "mix-superidx-L1", addr.Shift2M
+		l2 := core.L2Config()
+		l2.Name, l2.IndexShift = "mix-superidx-L2", addr.Shift2M
+		cfg.L1 = core.New(l1)
+		cfg.L2 = core.New(l2)
+	default:
+		panic(fmt.Sprintf("mmu: unknown design %q", d))
+	}
+	return New(cfg, src, caches, fault)
+}

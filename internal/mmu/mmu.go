@@ -1,0 +1,303 @@
+// Package mmu composes a two-level TLB hierarchy, a hardware page-table
+// walker, and the cache hierarchy into a memory-management unit with full
+// latency and event accounting — the functional simulator of Sec 6.2.
+//
+// Every translation request flows L1 TLB → L2 TLB → page-table walk, with
+// walker PTE reads going through the cache hierarchy (so walk cost depends
+// on page-table locality, as on real hardware). Misses on unmapped
+// addresses invoke a demand-paging callback (the OS layer) and re-walk.
+package mmu
+
+import (
+	"fmt"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/cachesim"
+	"mixtlb/internal/pagetable"
+	"mixtlb/internal/tlb"
+)
+
+// TranslationSource abstracts the page-table walker: the native
+// pagetable.PageTable, or a nested (2D) walker for virtualized systems.
+type TranslationSource interface {
+	// Walk performs a hardware walk for va.
+	Walk(va addr.V) pagetable.WalkResult
+	// SetDirty sets the dirty bit of the leaf covering va (the micro-op
+	// injected on a store through a non-dirty TLB entry).
+	SetDirty(va addr.V) bool
+}
+
+// FaultHandler demand-maps va on a page fault, returning false if the
+// address is invalid (a true segfault).
+type FaultHandler func(va addr.V, write bool) bool
+
+// Latencies configures the cycle model.
+type Latencies struct {
+	// L1Hit is charged for every request (the L1 TLB probe overlaps the
+	// L1 cache access on real parts; this is its exposed cost).
+	L1Hit uint64
+	// L2Hit is the added cost of an L2 TLB probe round.
+	L2Hit uint64
+	// ExtraProbe is the added cost of each probe round beyond the first
+	// (hash-rehash re-probes, predictor second rounds).
+	ExtraProbe uint64
+	// DirtyMicroOp is the cost of the injected PTE dirty-bit store.
+	DirtyMicroOp uint64
+}
+
+// DefaultLatencies mirrors commercial parts (Sec 4: L2 TLBs take 5-7
+// cycles). The dirty micro-op has no default exposed latency: it is a
+// store to an (almost always L1D-resident) PTE line that retires off the
+// original store's critical path. The paper accounts for it the same way
+// — as added cache traffic, not runtime (Sec 4.4) — and the simulator
+// still counts every micro-op for the energy model. Set DirtyMicroOp to
+// model in-order or assist-based implementations that expose it.
+func DefaultLatencies() Latencies {
+	return Latencies{L1Hit: 1, L2Hit: 7, ExtraProbe: 2, DirtyMicroOp: 0}
+}
+
+// Config assembles an MMU.
+type Config struct {
+	Name string
+	L1   tlb.TLB
+	L2   tlb.TLB // optional
+	Lat  Latencies
+	// FreeWalks makes misses cost nothing — used by the ideal-TLB
+	// yardstick so its only cost is the L1 hit cycle.
+	FreeWalks bool
+}
+
+// Stats aggregates the MMU's event counters.
+type Stats struct {
+	Accesses uint64
+	L1Hits   uint64
+	L2Hits   uint64
+	Walks    uint64
+	Faults   uint64
+
+	Cycles     uint64 // total translation cycles
+	WalkCycles uint64 // subset spent in page-table walks
+
+	L1Lookup tlb.Cost // accumulated lookup costs
+	L2Lookup tlb.Cost
+	L1Fill   tlb.Cost // accumulated fill costs
+	L2Fill   tlb.Cost
+
+	WalkRefs      uint64 // PTE memory references issued by the walker
+	DirtyMicroOps uint64
+	Invalidations uint64
+	Flushes       uint64
+}
+
+// MMU is a simulated memory-management unit.
+type MMU struct {
+	cfg    Config
+	src    TranslationSource
+	caches *cachesim.Hierarchy
+	fault  FaultHandler
+	stats  Stats
+}
+
+// New builds an MMU. caches may be shared with other MMUs (e.g. GPU
+// shader cores sharing an LLC); fault may be nil if every access is
+// pre-mapped.
+func New(cfg Config, src TranslationSource, caches *cachesim.Hierarchy, fault FaultHandler) *MMU {
+	if cfg.L1 == nil {
+		panic("mmu: config needs an L1 TLB")
+	}
+	if cfg.Lat == (Latencies{}) {
+		cfg.Lat = DefaultLatencies()
+	}
+	return &MMU{cfg: cfg, src: src, caches: caches, fault: fault}
+}
+
+// Name returns the MMU's configuration name.
+func (m *MMU) Name() string { return m.cfg.Name }
+
+// Stats returns a snapshot of the counters.
+func (m *MMU) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters (TLB and cache contents are retained),
+// separating warm-up from measurement.
+func (m *MMU) ResetStats() { m.stats = Stats{} }
+
+// Result reports one translated access.
+type Result struct {
+	PA      addr.P
+	Cycles  uint64
+	L1Hit   bool
+	L2Hit   bool
+	Walked  bool
+	Faulted bool // unmapped and the fault handler refused
+}
+
+// Translate services one memory access.
+func (m *MMU) Translate(req tlb.Request) Result {
+	m.stats.Accesses++
+	var res Result
+	res.Cycles = m.cfg.Lat.L1Hit
+
+	r1 := m.cfg.L1.Lookup(req)
+	m.stats.L1Lookup.Add(r1.Cost)
+	if r1.Cost.Probes > 1 {
+		res.Cycles += uint64(r1.Cost.Probes-1) * m.cfg.Lat.ExtraProbe
+	}
+	if r1.Hit {
+		m.stats.L1Hits++
+		res.L1Hit = true
+		res.PA = r1.T.Translate(req.VA)
+		m.handleDirty(req, r1.Dirty, &res)
+		m.stats.Cycles += res.Cycles
+		return res
+	}
+
+	if m.cfg.L2 != nil {
+		r2 := m.cfg.L2.Lookup(req)
+		m.stats.L2Lookup.Add(r2.Cost)
+		res.Cycles += m.cfg.Lat.L2Hit
+		if r2.Cost.Probes > 1 {
+			res.Cycles += uint64(r2.Cost.Probes-1) * m.cfg.Lat.ExtraProbe
+		}
+		if r2.Hit {
+			m.stats.L2Hits++
+			res.L2Hit = true
+			res.PA = r2.T.Translate(req.VA)
+			// Promote into L1: hardware refills the L1 from the L2
+			// entry, carrying the entry's whole coalesced membership.
+			// Mirroring designs fill only the probed set here.
+			line := []pagetable.Translation{r2.T}
+			if bp, ok := m.cfg.L2.(tlb.BundleProvider); ok {
+				if members := bp.Members(req.VA); len(members) > 0 {
+					line = members
+				}
+			}
+			if p, ok := m.cfg.L1.(tlb.Promoter); ok {
+				m.stats.L1Fill.Add(p.Promote(req, r2.T, line))
+			} else {
+				m.stats.L1Fill.Add(m.cfg.L1.Fill(req, pagetable.WalkResult{
+					Found: true, Translation: r2.T, Line: line,
+				}))
+			}
+			m.handleDirty(req, r2.Dirty, &res)
+			m.stats.Cycles += res.Cycles
+			return res
+		}
+	}
+
+	walk := m.walk(req, &res)
+	if !walk.Found {
+		res.Faulted = true
+		m.stats.Faults++
+		m.stats.Cycles += res.Cycles
+		return res
+	}
+	res.Walked = true
+	res.PA = walk.Translation.Translate(req.VA)
+	if m.cfg.L2 != nil {
+		m.stats.L2Fill.Add(m.cfg.L2.Fill(req, walk))
+	}
+	m.stats.L1Fill.Add(m.cfg.L1.Fill(req, walk))
+	m.handleDirty(req, walk.Translation.Dirty, &res)
+	m.stats.Cycles += res.Cycles
+	return res
+}
+
+// walk runs the hardware walker (and demand paging on a fault), charging
+// each PTE reference through the cache hierarchy.
+func (m *MMU) walk(req tlb.Request, res *Result) pagetable.WalkResult {
+	m.stats.Walks++
+	walk := m.src.Walk(req.VA)
+	if !walk.Found && m.fault != nil && m.fault(req.VA, req.Write) {
+		// Demand paging succeeded; the re-walk models the hardware retry
+		// after the OS returns. (OS fault-handling time itself is not
+		// part of the address-translation cost the paper measures.)
+		walk = m.src.Walk(req.VA)
+	}
+	if !m.cfg.FreeWalks {
+		for _, pa := range walk.Accesses {
+			m.stats.WalkRefs++
+			c := m.caches.Access(pa)
+			res.Cycles += c.Cycles
+			m.stats.WalkCycles += c.Cycles
+		}
+	}
+	return walk
+}
+
+// handleDirty implements the store path of Sec 4.4: a store through an
+// entry whose dirty bit is clear injects a micro-op that updates the PTE's
+// dirty bit, then lets the TLBs set their entry bits where their policy
+// permits (always for 4KB entries; only singleton bundles for MIX/COLT).
+func (m *MMU) handleDirty(req tlb.Request, entryDirty bool, res *Result) {
+	if !req.Write || entryDirty {
+		return
+	}
+	m.stats.DirtyMicroOps++
+	res.Cycles += m.cfg.Lat.DirtyMicroOp
+	m.src.SetDirty(req.VA)
+	// The assist read the PTE's cache line to write the D bit; coalescing
+	// TLBs use the neighbouring D bits to refresh bundle dirty state
+	// (free: the access already happened and is priced above).
+	line := m.src.Walk(req.VA).Line
+	refresh := func(t tlb.TLB) {
+		if r, ok := t.(tlb.DirtyRefresher); ok {
+			r.RefreshDirty(req.VA, line)
+		} else {
+			t.MarkDirty(req.VA)
+		}
+	}
+	refresh(m.cfg.L1)
+	if m.cfg.L2 != nil {
+		refresh(m.cfg.L2)
+	}
+}
+
+// Invalidate performs a TLB shootdown for one page in both levels.
+func (m *MMU) Invalidate(va addr.V, size addr.PageSize) {
+	m.stats.Invalidations++
+	m.cfg.L1.Invalidate(va, size)
+	if m.cfg.L2 != nil {
+		m.cfg.L2.Invalidate(va, size)
+	}
+}
+
+// Flush empties both TLB levels.
+func (m *MMU) Flush() {
+	m.stats.Flushes++
+	m.cfg.L1.Flush()
+	if m.cfg.L2 != nil {
+		m.cfg.L2.Flush()
+	}
+}
+
+// MissRatio returns overall TLB miss ratio (walks / accesses).
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Walks) / float64(s.Accesses)
+}
+
+// CyclesPerAccess returns average translation cycles per access.
+func (s Stats) CyclesPerAccess() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Accesses)
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("acc=%d l1=%.2f%% l2=%.2f%% walks=%d cyc/acc=%.2f",
+		s.Accesses,
+		100*float64(s.L1Hits)/max1(s.Accesses),
+		100*float64(s.L2Hits)/max1(s.Accesses),
+		s.Walks, s.CyclesPerAccess())
+}
+
+func max1(v uint64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return float64(v)
+}

@@ -1,0 +1,179 @@
+package mmu
+
+import (
+	"mixtlb/internal/addr"
+	"mixtlb/internal/pagetable"
+)
+
+// WalkCache models the paging-structure caches (Intel PSCs / AMD page walk
+// caches) that real walkers use to skip upper page-table levels: small
+// per-level caches of PML4E/PDPTE/PDE entries keyed by the virtual-address
+// prefix. A PDE hit lets a 4KB walk read only the final PTE (1 memory
+// reference instead of 4). The paper's baseline walkers are uncached; this
+// decorator exists to study how much of the TLB-design gap walk caches
+// close (they shrink the *cost* of misses, not their number), following
+// the MMU-cache literature the paper cites.
+type WalkCache struct {
+	// levels[0] caches PML4 entries (skip 1), levels[1] PDPT entries
+	// (skip 2), levels[2] PD entries (skip 3).
+	levels [3]*prefixCache
+
+	hits   uint64
+	misses uint64
+}
+
+// prefixShift gives the VA shift keying each cached level.
+var prefixShift = [3]uint{39, 30, 21}
+
+// NewWalkCache builds a walk cache with the given entries per level
+// (fully associative, LRU; real PSCs have 2-32 entries per level).
+func NewWalkCache(entriesPerLevel int) *WalkCache {
+	if entriesPerLevel <= 0 {
+		entriesPerLevel = 16
+	}
+	w := &WalkCache{}
+	for i := range w.levels {
+		w.levels[i] = newPrefixCache(entriesPerLevel)
+	}
+	return w
+}
+
+// Stats reports hit/miss counts of the deepest-level probe.
+func (w *WalkCache) Stats() (hits, misses uint64) { return w.hits, w.misses }
+
+// skip returns how many leading walk accesses a lookup for va can skip:
+// the deepest cached level wins. maxSkip caps it (a 2MB walk has only 3
+// accesses, so a PDE hit cannot skip more than 2).
+func (w *WalkCache) skip(va addr.V, maxSkip int) int {
+	for lvl := 2; lvl >= 0; lvl-- {
+		if lvl+1 > maxSkip {
+			continue
+		}
+		if w.levels[lvl].lookup(uint64(va) >> prefixShift[lvl]) {
+			w.hits++
+			return lvl + 1
+		}
+	}
+	w.misses++
+	return 0
+}
+
+// fill records the traversed non-leaf levels of a completed walk.
+// walkLen is the access count (4 for a 4KB walk, 3 for 2MB, 2 for 1GB):
+// a walk of length L traversed levels PML4..(PML4+L-2) as pointers.
+func (w *WalkCache) fill(va addr.V, walkLen int) {
+	for lvl := 0; lvl < walkLen-1 && lvl < 3; lvl++ {
+		w.levels[lvl].insert(uint64(va) >> prefixShift[lvl])
+	}
+}
+
+// Invalidate drops every cached entry covering va (page-table updates
+// must invalidate paging-structure caches too).
+func (w *WalkCache) Invalidate(va addr.V) {
+	for lvl := range w.levels {
+		w.levels[lvl].invalidate(uint64(va) >> prefixShift[lvl])
+	}
+}
+
+// Flush empties the cache.
+func (w *WalkCache) Flush() {
+	for _, c := range w.levels {
+		c.flush()
+	}
+}
+
+// prefixCache is a tiny fully-associative LRU cache of VA prefixes.
+type prefixCache struct {
+	keys  []uint64
+	valid []bool
+	stamp []uint64
+	clock uint64
+}
+
+func newPrefixCache(entries int) *prefixCache {
+	return &prefixCache{
+		keys:  make([]uint64, entries),
+		valid: make([]bool, entries),
+		stamp: make([]uint64, entries),
+	}
+}
+
+func (c *prefixCache) lookup(key uint64) bool {
+	c.clock++
+	for i := range c.keys {
+		if c.valid[i] && c.keys[i] == key {
+			c.stamp[i] = c.clock
+			return true
+		}
+	}
+	return false
+}
+
+func (c *prefixCache) insert(key uint64) {
+	c.clock++
+	victim, oldest := 0, ^uint64(0)
+	for i := range c.keys {
+		if c.valid[i] && c.keys[i] == key {
+			c.stamp[i] = c.clock
+			return
+		}
+		if !c.valid[i] {
+			victim, oldest = i, 0
+		} else if c.stamp[i] < oldest {
+			victim, oldest = i, c.stamp[i]
+		}
+	}
+	c.keys[victim], c.valid[victim], c.stamp[victim] = key, true, c.clock
+}
+
+func (c *prefixCache) invalidate(key uint64) {
+	for i := range c.keys {
+		if c.valid[i] && c.keys[i] == key {
+			c.valid[i] = false
+		}
+	}
+}
+
+func (c *prefixCache) flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// CachedSource decorates a TranslationSource with a WalkCache: walks skip
+// the upper-level memory references the cache can supply.
+type CachedSource struct {
+	src TranslationSource
+	pwc *WalkCache
+}
+
+// NewCachedSource wraps src. The same WalkCache may not be shared across
+// address spaces (prefixes would alias).
+func NewCachedSource(src TranslationSource, pwc *WalkCache) *CachedSource {
+	if pwc == nil {
+		pwc = NewWalkCache(16)
+	}
+	return &CachedSource{src: src, pwc: pwc}
+}
+
+// Cache exposes the underlying walk cache (stats, invalidation).
+func (c *CachedSource) Cache() *WalkCache { return c.pwc }
+
+// Walk implements TranslationSource: perform the full architectural walk,
+// then drop the leading accesses a paging-structure-cache hit skips.
+func (c *CachedSource) Walk(va addr.V) pagetable.WalkResult {
+	res := c.src.Walk(va)
+	origLen := len(res.Accesses)
+	if origLen > 1 {
+		if skip := c.pwc.skip(va, origLen-1); skip > 0 {
+			res.Accesses = res.Accesses[skip:]
+		}
+	}
+	if res.Found {
+		c.pwc.fill(va, origLen)
+	}
+	return res
+}
+
+// SetDirty implements TranslationSource.
+func (c *CachedSource) SetDirty(va addr.V) bool { return c.src.SetDirty(va) }

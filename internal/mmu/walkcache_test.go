@@ -1,0 +1,123 @@
+package mmu
+
+import (
+	"testing"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/tlb"
+)
+
+func TestWalkCacheSkipsUpperLevels(t *testing.T) {
+	e := newEnv(t)
+	e.mapPage(t, 0x1000, addr.Page4K)
+	e.mapPage(t, 0x2000, addr.Page4K) // same PT, same upper levels
+	src := NewCachedSource(e.pt, NewWalkCache(16))
+
+	// First walk: cold cache, full 4 accesses.
+	res := src.Walk(0x1000)
+	if len(res.Accesses) != 4 {
+		t.Fatalf("cold walk made %d accesses", len(res.Accesses))
+	}
+	// Second walk to a sibling page: PDE cached, only the PTE is read.
+	res = src.Walk(0x2000)
+	if len(res.Accesses) != 1 {
+		t.Errorf("PDE-cached walk made %d accesses, want 1", len(res.Accesses))
+	}
+	hits, misses := src.Cache().Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("cache stats: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestWalkCachePartialHit(t *testing.T) {
+	e := newEnv(t)
+	e.mapPage(t, 0x1000, addr.Page4K)
+	// A page in a different PD but same PDPT: PDPTE hit skips 2 levels.
+	e.mapPage(t, addr.V(1)<<30|0x1000, addr.Page4K) // different PDPT entry? 1GB apart: same PML4, different PDPTE
+	src := NewCachedSource(e.pt, NewWalkCache(16))
+	src.Walk(0x1000)
+	res := src.Walk(addr.V(1)<<30 | 0x1000)
+	// Same PML4 entry cached (skip 1): 3 accesses remain.
+	if len(res.Accesses) != 3 {
+		t.Errorf("PML4E-cached walk made %d accesses, want 3", len(res.Accesses))
+	}
+}
+
+func TestWalkCacheOnSuperpageWalks(t *testing.T) {
+	e := newEnv(t)
+	e.mapPage(t, 0x40000000, addr.Page2M)
+	e.mapPage(t, 0x40200000, addr.Page2M)
+	src := NewCachedSource(e.pt, NewWalkCache(16))
+	if res := src.Walk(0x40000000); len(res.Accesses) != 3 {
+		t.Fatalf("cold 2MB walk: %d accesses", len(res.Accesses))
+	}
+	// Sibling 2MB page: PDPTE cached → only the PDE access remains. The
+	// PDE *cache* must not over-skip a walk whose leaf is the PDE itself.
+	if res := src.Walk(0x40200000); len(res.Accesses) != 1 {
+		t.Errorf("cached 2MB walk: %d accesses, want 1", len(res.Accesses))
+	}
+}
+
+func TestWalkCacheInvalidateAndFlush(t *testing.T) {
+	e := newEnv(t)
+	e.mapPage(t, 0x1000, addr.Page4K)
+	src := NewCachedSource(e.pt, NewWalkCache(16))
+	src.Walk(0x1000)
+	src.Cache().Invalidate(0x1000)
+	if res := src.Walk(0x1000); len(res.Accesses) != 4 {
+		t.Errorf("post-invalidate walk: %d accesses", len(res.Accesses))
+	}
+	src.Cache().Flush()
+	if res := src.Walk(0x1000); len(res.Accesses) != 4 {
+		t.Errorf("post-flush walk: %d accesses", len(res.Accesses))
+	}
+}
+
+func TestWalkCacheReducesMMUMissCost(t *testing.T) {
+	// End-to-end: a split MMU over a cached source pays fewer walk cycles
+	// for the same miss count.
+	run := func(cached bool) (uint64, uint64) {
+		e := newEnv(t)
+		for i := 0; i < 256; i++ {
+			e.mapPage(t, addr.V(i)<<12, addr.Page4K)
+		}
+		var src TranslationSource = e.pt
+		if cached {
+			src = NewCachedSource(e.pt, NewWalkCache(16))
+		}
+		m := New(Config{Name: "t", L1: tlb.NewSetAssoc("l1", addr.Page4K, 2, 2)}, src, e.caches, nil)
+		for round := 0; round < 3; round++ {
+			for i := 0; i < 256; i++ { // thrashes the 4-entry TLB: all walks
+				m.Translate(tlb.Request{VA: addr.V(i) << 12})
+			}
+		}
+		return m.Stats().Walks, m.Stats().WalkRefs
+	}
+	walksPlain, refsPlain := run(false)
+	walksCached, refsCached := run(true)
+	if walksPlain != walksCached {
+		t.Errorf("walk counts differ: %d vs %d", walksPlain, walksCached)
+	}
+	if refsCached >= refsPlain/2 {
+		t.Errorf("walk refs: cached=%d plain=%d, want large reduction", refsCached, refsPlain)
+	}
+}
+
+func TestWalkCacheLRU(t *testing.T) {
+	// 2-entry PDE cache: three distinct PDs evict round-robin.
+	e := newEnv(t)
+	for i := 0; i < 3; i++ {
+		e.mapPage(t, addr.V(i)<<21|0x1000, addr.Page4K)
+	}
+	src := NewCachedSource(e.pt, NewWalkCache(2))
+	src.Walk(0x1000)
+	src.Walk(addr.V(1)<<21 | 0x1000)
+	src.Walk(addr.V(2)<<21 | 0x1000) // evicts PD 0's entry
+	if res := src.Walk(0x1000); len(res.Accesses) == 1 {
+		t.Error("evicted PDE still hit")
+	}
+	// PD 2 is MRU: still cached.
+	if res := src.Walk(addr.V(2)<<21 | 0x1000); len(res.Accesses) != 1 {
+		t.Errorf("MRU PDE missed: %d accesses", len(res.Accesses))
+	}
+}

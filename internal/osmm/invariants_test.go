@@ -1,0 +1,119 @@
+package osmm
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/pagetable"
+	"mixtlb/internal/physmem"
+	"mixtlb/internal/simrand"
+)
+
+// TestPopulateInvariants is the OS layer's safety net: for any policy and
+// fragmentation level, a populated VMA must (a) cover every byte exactly
+// once in virtual space, and (b) never map two virtual pages onto
+// overlapping physical ranges.
+func TestPopulateInvariants(t *testing.T) {
+	prop := func(seed uint64, policySel, hogPct uint8) bool {
+		policy := []Policy{BasePages, THS, Hugetlbfs2M}[int(policySel)%3]
+		frac := float64(hogPct%60) / 100
+		phys := physmem.NewBuddy(512 << 20)
+		hog := physmem.NewMemhog(phys, simrand.New(seed))
+		hog.ScatterFrac = 0.3
+		hog.Run(frac)
+		cfg := Config{Policy: policy, Compactor: hog, PoolBytes: 64 << 20}
+		as, err := New(phys, cfg)
+		if err != nil {
+			return false
+		}
+		const fp = 64 << 20
+		base, err := as.Mmap(fp)
+		if err != nil {
+			return false
+		}
+		if _, err := as.Populate(base, fp); err != nil {
+			return false
+		}
+
+		type span struct{ lo, hi uint64 }
+		var vspans, pspans []span
+		as.PageTable().ForEach(func(tr pagetable.Translation) bool {
+			vspans = append(vspans, span{uint64(tr.VA), uint64(tr.VA) + tr.Size.Bytes()})
+			pspans = append(pspans, span{uint64(tr.PA), uint64(tr.PA) + tr.Size.Bytes()})
+			return true
+		})
+		// Virtual coverage: sorted spans tile [base, base+fp) exactly.
+		sort.Slice(vspans, func(i, j int) bool { return vspans[i].lo < vspans[j].lo })
+		cursor := uint64(base)
+		for _, s := range vspans {
+			if s.lo != cursor {
+				t.Logf("virtual gap/overlap at %#x (expected %#x)", s.lo, cursor)
+				return false
+			}
+			cursor = s.hi
+		}
+		if cursor != uint64(base)+fp {
+			t.Logf("virtual coverage ends at %#x", cursor)
+			return false
+		}
+		// Physical non-overlap.
+		sort.Slice(pspans, func(i, j int) bool { return pspans[i].lo < pspans[j].lo })
+		for i := 1; i < len(pspans); i++ {
+			if pspans[i].lo < pspans[i-1].hi {
+				t.Logf("physical overlap: [%#x,%#x) and [%#x,%#x)",
+					pspans[i-1].lo, pspans[i-1].hi, pspans[i].lo, pspans[i].hi)
+				return false
+			}
+		}
+		// No mapped frame is simultaneously free in the allocator.
+		for _, s := range pspans {
+			if phys.FrameFree(s.lo / addr.Size4K) {
+				t.Logf("mapped frame %#x is free", s.lo)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMunmapReuseInvariant: freed physical memory is reusable and never
+// doubly mapped after remapping.
+func TestMunmapReuseInvariant(t *testing.T) {
+	phys := physmem.NewBuddy(256 << 20)
+	as, err := New(phys, Config{Policy: THS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := as.Mmap(64 << 20)
+	as.Populate(base, 64<<20)
+	rng := simrand.New(3)
+	for round := 0; round < 20; round++ {
+		off := addr.AlignedDown(rng.Uint64n(60<<20), addr.Size2M)
+		as.Munmap(base+addr.V(off), 4<<20, nil)
+		if _, err := as.Populate(base+addr.V(off), 4<<20); err != nil {
+			t.Fatal(err)
+		}
+		// Physical non-overlap still holds.
+		seen := map[uint64]addr.V{}
+		ok := true
+		as.PageTable().ForEach(func(tr pagetable.Translation) bool {
+			for f := tr.PA.PFN4K(); f < tr.PA.PFN4K()+tr.Size.Frames(); f++ {
+				if prev, dup := seen[f]; dup {
+					t.Errorf("frame %d mapped by both %v and %v", f, prev, tr.VA)
+					ok = false
+					return false
+				}
+				seen[f] = tr.VA
+			}
+			return true
+		})
+		if !ok {
+			return
+		}
+	}
+}

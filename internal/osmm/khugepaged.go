@@ -1,0 +1,91 @@
+package osmm
+
+import (
+	"mixtlb/internal/addr"
+	"mixtlb/internal/pagetable"
+)
+
+// Khugepaged models Linux's background promotion daemon: it scans VMAs
+// for 2MB-aligned regions currently mapped entirely with 4KB pages,
+// allocates a fresh 2MB block (compacting if configured), copies the
+// region's contents (modeled as remapping), frees the old 4KB frames, and
+// installs a single 2MB translation. Promotions change mappings, so every
+// replaced translation triggers the shootdown callback — the TLB
+// invalidation traffic promotion causes on real systems.
+//
+// It returns the number of regions promoted, scanning at most maxScan
+// candidate regions (the daemon is budgeted, like the real one).
+func (as *AddressSpace) Khugepaged(maxScan int, shootdown func(pagetable.Translation)) int {
+	promoted := 0
+	scanned := 0
+	for _, vma := range as.vmas {
+		start := addr.V(addr.AlignedUp(uint64(vma.Start), addr.Size2M))
+		end := uint64(vma.Start) + vma.Length
+		for va := start; uint64(va)+addr.Size2M <= end; va += addr.Size2M {
+			if scanned >= maxScan {
+				return promoted
+			}
+			scanned++
+			if !as.regionFullyBase(va) {
+				continue
+			}
+			if as.promoteRegion(va, shootdown) {
+				promoted++
+			}
+		}
+	}
+	return promoted
+}
+
+// regionFullyBase reports whether the 2MB region at va is mapped entirely
+// with 4KB pages (the promotion precondition).
+func (as *AddressSpace) regionFullyBase(va addr.V) bool {
+	for off := uint64(0); off < addr.Size2M; off += addr.Size4K {
+		tr, ok := as.pt.Lookup(va + addr.V(off))
+		if !ok || tr.Size != addr.Page4K {
+			return false
+		}
+	}
+	return true
+}
+
+// promoteRegion replaces the region's 512 4KB mappings with one 2MB page.
+func (as *AddressSpace) promoteRegion(va addr.V, shootdown func(pagetable.Translation)) bool {
+	pa, ok := as.allocSuper(addr.Page2M)
+	if !ok {
+		return false
+	}
+	// Collect and remove the old mappings (copy + remap on real systems).
+	var old []pagetable.Translation
+	for off := uint64(0); off < addr.Size2M; off += addr.Size4K {
+		tr, err := as.pt.Unmap(va + addr.V(off))
+		if err != nil {
+			// Should be impossible after regionFullyBase; restore what we
+			// removed and abort.
+			for _, o := range old {
+				_ = as.pt.Map(o.VA, o.PA, o.Size, o.Perm)
+			}
+			as.phys.FreePage(pa, addr.Page2M)
+			return false
+		}
+		old = append(old, tr)
+	}
+	if err := as.pt.Map(va, pa, addr.Page2M, addr.PermRW|addr.PermUser); err != nil {
+		for _, o := range old {
+			_ = as.pt.Map(o.VA, o.PA, o.Size, o.Perm)
+		}
+		as.phys.FreePage(pa, addr.Page2M)
+		return false
+	}
+	as.pt.SetAccessed(va)
+	for _, o := range old {
+		as.phys.FreePage(o.PA, addr.Page4K)
+		as.stats.Bytes[addr.Page4K] -= addr.Size4K
+		if shootdown != nil {
+			shootdown(o)
+		}
+	}
+	as.stats.Bytes[addr.Page2M] += addr.Size2M
+	as.stats.Promotions++
+	return true
+}

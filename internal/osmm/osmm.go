@@ -1,0 +1,431 @@
+// Package osmm models the OS memory-management behaviour that the paper
+// characterizes in Sec 7.1: virtual memory areas, lazy (demand) physical
+// allocation, and the page-size policies of Linux — transparent hugepage
+// support (THS) and libhugetlbfs pools — all on top of the physmem buddy
+// allocator. Superpage frequency and superpage *contiguity* (Figures 9-13)
+// are emergent properties of this layer plus fragmentation.
+package osmm
+
+import (
+	"errors"
+	"fmt"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/pagetable"
+	"mixtlb/internal/physmem"
+	"mixtlb/internal/stats"
+)
+
+// Policy selects the OS page-size strategy (Sec 7.1).
+type Policy int
+
+const (
+	// BasePages maps everything with 4KB pages.
+	BasePages Policy = iota
+	// THS is transparent hugepage support: faults on eligible 2MB
+	// regions try a 2MB physical block first, falling back to 4KB when
+	// fragmentation defeats the allocation.
+	THS
+	// Hugetlbfs2M reserves a pool of 2MB pages at startup (libhugetlbfs
+	// with a 2MB preference); when the pool runs dry, 4KB pages are used.
+	Hugetlbfs2M
+	// Hugetlbfs1G reserves a pool of 1GB pages (libhugetlbfs with a 1GB
+	// preference), falling back to 4KB.
+	Hugetlbfs1G
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case BasePages:
+		return "4KB"
+	case THS:
+		return "THS"
+	case Hugetlbfs2M:
+		return "2MB"
+	case Hugetlbfs1G:
+		return "1GB"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Errors.
+var (
+	// ErrNoVirtualSpace indicates VA exhaustion (not expected at
+	// simulated scales).
+	ErrNoVirtualSpace = errors.New("osmm: out of virtual address space")
+	// ErrNoMemory indicates physical memory exhaustion during an
+	// explicit operation.
+	ErrNoMemory = errors.New("osmm: out of physical memory")
+)
+
+// Compactor assembles a free block of 2^order frames by migrating movable
+// pages, returning the allocated block's first frame. physmem.Memhog
+// implements it (its holdings are the movable pages, as in a real system
+// where user memory is migratable).
+type Compactor interface {
+	CompactFor(order uint) (frame uint64, ok bool)
+}
+
+// Config tunes an address space.
+type Config struct {
+	Policy Policy
+	// PoolBytes is the libhugetlbfs reservation (used by the Hugetlbfs
+	// policies). Zero reserves nothing, degenerating to BasePages.
+	PoolBytes uint64
+	// Compactor, when non-nil, models Linux memory compaction: superpage
+	// allocations that fail in the buddy allocator retry after
+	// compaction (Sec 7.1: "THS tries to defragment memory sufficiently
+	// to maintain swathes of contiguous free physical pages").
+	Compactor Compactor
+}
+
+// VMA is one virtual memory area created by Mmap.
+type VMA struct {
+	Start  addr.V
+	Length uint64
+}
+
+// Contains reports whether va falls inside the area.
+func (v VMA) Contains(va addr.V) bool {
+	return va >= v.Start && uint64(va) < uint64(v.Start)+v.Length
+}
+
+// Stats counts OS-level allocation events.
+type Stats struct {
+	Bytes         [addr.NumPageSizes]uint64 // mapped bytes per page size
+	Faults        uint64
+	SuperFallback uint64 // superpage attempts degraded to 4KB
+	PoolReserved  uint64 // pages successfully reserved in the pool
+	PoolMisses    uint64 // pool exhaustion events
+	Promotions    uint64 // khugepaged 4KB->2MB region promotions
+}
+
+// SuperpageFraction returns the fraction of the mapped footprint backed by
+// 2MB or 1GB pages — the Figure 9/10 metric.
+func (s Stats) SuperpageFraction() float64 {
+	total := s.Bytes[addr.Page4K] + s.Bytes[addr.Page2M] + s.Bytes[addr.Page1G]
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Bytes[addr.Page2M]+s.Bytes[addr.Page1G]) / float64(total)
+}
+
+// AddressSpace is one process's virtual address space under OS management.
+type AddressSpace struct {
+	phys   *physmem.Buddy
+	pt     *pagetable.PageTable
+	cfg    Config
+	vmas   []VMA
+	nextVA addr.V
+	pool   []addr.P // reserved superpages, ascending allocation order
+	stats  Stats
+
+	// Deferred-compaction state (Linux's compaction_deferred mechanism):
+	// after a compaction failure, the next 2^shift superpage attempts
+	// skip compaction entirely and fall straight back to 4KB pages. This
+	// makes fallbacks cluster in (fault, hence VA) order rather than
+	// interleave — which is why, on real systems, whatever superpages do
+	// exist sit in long contiguous runs (the Sec 1 observation that
+	// frequency and contiguity go together).
+	superAttempts uint64
+	deferUntil    uint64
+	deferShift    uint
+}
+
+// vaBase is where Mmap places the first area; 1GB-aligned so any page size
+// is eligible anywhere in a VMA.
+const vaBase = addr.V(0x10000000000)
+
+// New creates an address space over the given physical memory. The page
+// table's own pages come from the same allocator. Hugetlbfs policies
+// reserve their pool immediately (link-time reservation, Sec 7.1).
+func New(phys *physmem.Buddy, cfg Config) (*AddressSpace, error) {
+	pt, err := pagetable.New(phys)
+	if err != nil {
+		return nil, err
+	}
+	as := &AddressSpace{phys: phys, pt: pt, cfg: cfg, nextVA: vaBase}
+	switch cfg.Policy {
+	case Hugetlbfs2M:
+		as.reservePool(addr.Page2M)
+	case Hugetlbfs1G:
+		as.reservePool(addr.Page1G)
+	}
+	return as, nil
+}
+
+// reservePool grabs as much of PoolBytes as fragmentation (after
+// compaction) allows.
+func (as *AddressSpace) reservePool(size addr.PageSize) {
+	want := as.cfg.PoolBytes / size.Bytes()
+	for i := uint64(0); i < want; i++ {
+		pa, ok := as.allocSuper(size)
+		if !ok {
+			break
+		}
+		as.pool = append(as.pool, pa)
+		as.stats.PoolReserved++
+	}
+}
+
+// allocSuper allocates a superpage block, invoking compaction on failure
+// unless compaction is currently deferred.
+func (as *AddressSpace) allocSuper(size addr.PageSize) (addr.P, bool) {
+	if pa, ok := as.phys.AllocPage(size); ok {
+		return pa, true
+	}
+	if as.cfg.Compactor == nil {
+		return 0, false
+	}
+	as.superAttempts++
+	if as.superAttempts < as.deferUntil {
+		return 0, false // compaction deferred after recent failures
+	}
+	if frame, ok := as.cfg.Compactor.CompactFor(uint(size.Shift() - addr.Shift4K)); ok {
+		as.deferShift = 0
+		return addr.P(frame << addr.Shift4K), true
+	}
+	if as.deferShift < 6 {
+		as.deferShift++
+	}
+	as.deferUntil = as.superAttempts + 1<<(as.deferShift+2)
+	return 0, false
+}
+
+// PageTable exposes the hardware-visible page table.
+func (as *AddressSpace) PageTable() *pagetable.PageTable { return as.pt }
+
+// Stats returns a snapshot of OS counters.
+func (as *AddressSpace) Stats() Stats { return as.stats }
+
+// VMAs lists the mapped areas.
+func (as *AddressSpace) VMAs() []VMA { return as.vmas }
+
+// Mmap reserves a new area of the given length (rounded up to 4KB) and
+// returns its start. Physical memory is allocated lazily on fault, as in
+// real OSes. Areas are 1GB-aligned so superpage policies are always
+// geometrically possible.
+func (as *AddressSpace) Mmap(length uint64) (addr.V, error) {
+	if length == 0 {
+		return 0, errors.New("osmm: zero-length mmap")
+	}
+	length = addr.AlignedUp(length, addr.Size4K)
+	start := addr.V(addr.AlignedUp(uint64(as.nextVA), addr.Size1G))
+	if uint64(start)+length >= 1<<addr.VABits {
+		return 0, ErrNoVirtualSpace
+	}
+	as.vmas = append(as.vmas, VMA{Start: start, Length: length})
+	as.nextVA = start + addr.V(length) + addr.Size1G // guard gap
+	return start, nil
+}
+
+// vmaOf finds the area containing va.
+func (as *AddressSpace) vmaOf(va addr.V) (VMA, bool) {
+	for _, v := range as.vmas {
+		if v.Contains(va) {
+			return v, true
+		}
+	}
+	return VMA{}, false
+}
+
+// HandleFault demand-maps the page containing va according to the policy,
+// returning false for addresses outside every VMA (a segfault). It has
+// the mmu.FaultHandler signature.
+func (as *AddressSpace) HandleFault(va addr.V, write bool) bool {
+	vma, ok := as.vmaOf(va)
+	if !ok {
+		return false
+	}
+	if _, mapped := as.pt.Lookup(va); mapped {
+		return true // raced with a neighbouring superpage fault
+	}
+	as.stats.Faults++
+	switch as.cfg.Policy {
+	case THS:
+		if as.tryMapSuper(vma, va, addr.Page2M, as.allocTHS) {
+			return true
+		}
+		as.stats.SuperFallback++
+	case Hugetlbfs2M:
+		if as.tryMapSuper(vma, va, addr.Page2M, as.allocPool) {
+			return true
+		}
+		as.stats.SuperFallback++
+	case Hugetlbfs1G:
+		if as.tryMapSuper(vma, va, addr.Page1G, as.allocPool) {
+			return true
+		}
+		as.stats.SuperFallback++
+	}
+	return as.mapOne(va, addr.Page4K)
+}
+
+// allocTHS allocates a superpage from the buddy allocator, retrying after
+// compaction when configured.
+func (as *AddressSpace) allocTHS(size addr.PageSize) (addr.P, bool) {
+	return as.allocSuper(size)
+}
+
+// allocPool pops the next reserved superpage.
+func (as *AddressSpace) allocPool(size addr.PageSize) (addr.P, bool) {
+	if len(as.pool) == 0 {
+		as.stats.PoolMisses++
+		return 0, false
+	}
+	pa := as.pool[0]
+	as.pool = as.pool[1:]
+	return pa, true
+}
+
+// tryMapSuper maps the aligned superpage region containing va if the VMA
+// fully covers it and physical allocation succeeds.
+func (as *AddressSpace) tryMapSuper(vma VMA, va addr.V, size addr.PageSize, alloc func(addr.PageSize) (addr.P, bool)) bool {
+	base := va.PageBase(size)
+	if base < vma.Start || uint64(base)+size.Bytes() > uint64(vma.Start)+vma.Length {
+		return false // region pokes out of the VMA
+	}
+	pa, ok := alloc(size)
+	if !ok {
+		return false
+	}
+	if err := as.pt.Map(base, pa, size, addr.PermRW|addr.PermUser); err != nil {
+		// Part of the region was already mapped with 4KB pages by an
+		// earlier fallback; give the block back and use a small page.
+		as.phys.FreePage(pa, size)
+		return false
+	}
+	// Linux creates fault-installed PTEs young (accessed): the faulting
+	// access is about to touch the page. The accessed bit gates TLB
+	// coalescing (Sec 4.4), so this matters for first-touch behaviour.
+	as.pt.SetAccessed(base)
+	as.stats.Bytes[size] += size.Bytes()
+	return true
+}
+
+// mapOne maps a single page of the given size at va's page base.
+func (as *AddressSpace) mapOne(va addr.V, size addr.PageSize) bool {
+	pa, ok := as.phys.AllocPage(size)
+	if !ok {
+		return false
+	}
+	if err := as.pt.Map(va.PageBase(size), pa, size, addr.PermRW|addr.PermUser); err != nil {
+		as.phys.FreePage(pa, size)
+		return false
+	}
+	as.pt.SetAccessed(va)
+	as.stats.Bytes[size] += size.Bytes()
+	return true
+}
+
+// Populate faults in an entire VMA in ascending order, the first-touch
+// pattern of an application initializing its heap (Sec 7.1: "if the
+// program page faults through the virtual pages in ascending order, they
+// are handed contiguous physical pages"). Returns the bytes mapped.
+func (as *AddressSpace) Populate(start addr.V, length uint64) (uint64, error) {
+	var mapped uint64
+	end := uint64(start) + length
+	for va := start; uint64(va) < end; {
+		if !as.HandleFault(va, false) {
+			return mapped, ErrNoMemory
+		}
+		tr, ok := as.pt.Lookup(va)
+		if !ok {
+			return mapped, ErrNoMemory
+		}
+		step := tr.Size.Bytes() - va.Offset(tr.Size)
+		mapped += step
+		va += addr.V(step)
+	}
+	return mapped, nil
+}
+
+// Munmap removes every translation overlapping [start, start+length) and
+// frees the physical pages, invoking shootdown (if non-nil) per removed
+// translation — the TLB invalidation side effect.
+func (as *AddressSpace) Munmap(start addr.V, length uint64, shootdown func(pagetable.Translation)) {
+	end := uint64(start) + length
+	for va := start; uint64(va) < end; {
+		tr, ok := as.pt.Lookup(va)
+		if !ok {
+			va = addr.V(uint64(va) + addr.Size4K)
+			continue
+		}
+		if _, err := as.pt.Unmap(va); err == nil {
+			as.phys.FreePage(tr.PA, tr.Size)
+			as.stats.Bytes[tr.Size] -= tr.Size.Bytes()
+			if shootdown != nil {
+				shootdown(tr)
+			}
+		}
+		va = tr.VA + addr.V(tr.Size.Bytes())
+	}
+}
+
+// ContiguityReport captures the Sec 7.1 characterization: per page size,
+// the distribution of maximal runs of translations contiguous in both
+// virtual and physical address space.
+type ContiguityReport struct {
+	Runs      map[addr.PageSize]*stats.Histogram
+	Footprint map[addr.PageSize]uint64 // mapped bytes per size
+}
+
+// AverageContiguity returns the paper's average-contiguity metric for a
+// page size (Fig 11).
+func (r *ContiguityReport) AverageContiguity(s addr.PageSize) float64 {
+	return r.Runs[s].AverageContiguity()
+}
+
+// SuperpageFraction returns the footprint fraction in superpages (Fig 9).
+func (r *ContiguityReport) SuperpageFraction() float64 {
+	total := r.Footprint[addr.Page4K] + r.Footprint[addr.Page2M] + r.Footprint[addr.Page1G]
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Footprint[addr.Page2M]+r.Footprint[addr.Page1G]) / float64(total)
+}
+
+// CDF returns the translation-weighted contiguity CDF for a page size
+// (Figures 12-13).
+func (r *ContiguityReport) CDF(s addr.PageSize) []stats.CDFPoint {
+	return r.Runs[s].TranslationWeightedCDF()
+}
+
+// ScanContiguity walks the page table in VA order and identifies runs:
+// consecutive translations of equal size whose virtual and physical
+// addresses are both adjacent. This is exactly the paper's methodology
+// ("we scan the entire page table and identify runs of contiguous
+// superpages").
+func ScanContiguity(pt *pagetable.PageTable) *ContiguityReport {
+	rep := &ContiguityReport{
+		Runs:      make(map[addr.PageSize]*stats.Histogram, addr.NumPageSizes),
+		Footprint: make(map[addr.PageSize]uint64, addr.NumPageSizes),
+	}
+	for _, s := range addr.Sizes() {
+		rep.Runs[s] = stats.NewHistogram()
+	}
+	var have bool
+	var prev pagetable.Translation
+	var runLen uint64
+	flush := func() {
+		if have && runLen > 0 {
+			rep.Runs[prev.Size].Observe(runLen)
+		}
+	}
+	pt.ForEach(func(tr pagetable.Translation) bool {
+		rep.Footprint[tr.Size] += tr.Size.Bytes()
+		if have && tr.Size == prev.Size &&
+			tr.VA == prev.VA+addr.V(prev.Size.Bytes()) &&
+			tr.PA == prev.PA+addr.P(prev.Size.Bytes()) {
+			runLen++
+		} else {
+			flush()
+			runLen = 1
+		}
+		prev, have = tr, true
+		return true
+	})
+	flush()
+	return rep
+}

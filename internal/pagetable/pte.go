@@ -1,0 +1,89 @@
+package pagetable
+
+import "mixtlb/internal/addr"
+
+// Packed 8-byte PTE format, following the x86-64 layout (Intel SDM Vol 3):
+//
+//	bit 0   P    present
+//	bit 1   R/W  writable
+//	bit 2   U/S  user accessible
+//	bit 5   A    accessed
+//	bit 6   D    dirty
+//	bit 7   PS   page size (leaf at levels 2/3)
+//	bits 12..47  physical frame number
+//	bit 63  XD   execute disable
+//
+// The simulator keeps entries decoded for clarity; the packed form exists
+// so entry layout claims (e.g. "translations are 8 bytes, 8 per cache
+// line") rest on a concrete encoding, and round-trips are tested.
+const (
+	pteP  = 1 << 0
+	pteRW = 1 << 1
+	pteUS = 1 << 2
+	pteA  = 1 << 5
+	pteD  = 1 << 6
+	ptePS = 1 << 7
+	pteXD = 1 << 63
+
+	ptePFNMask = ((uint64(1) << addr.PABits) - 1) &^ (addr.Size4K - 1)
+)
+
+// EncodePTE packs a translation into the 8-byte hardware format. level is
+// the radix level the entry lives at (1, 2 or 3 for leaves).
+func EncodePTE(t Translation, level int) uint64 {
+	var v uint64 = pteP
+	if t.Perm&addr.PermWrite != 0 {
+		v |= pteRW
+	}
+	if t.Perm&addr.PermUser != 0 {
+		v |= pteUS
+	}
+	if t.Perm&addr.PermExec == 0 {
+		v |= pteXD
+	}
+	if t.Accessed {
+		v |= pteA
+	}
+	if t.Dirty {
+		v |= pteD
+	}
+	if level > 1 {
+		v |= ptePS
+	}
+	v |= uint64(t.PA) & ptePFNMask
+	return v
+}
+
+// DecodePTE unpacks an 8-byte PTE for the page at va and radix level.
+// ok is false when the entry is not present or is malformed for the level
+// (e.g. PS set at level 1).
+func DecodePTE(raw uint64, va addr.V, level int) (Translation, bool) {
+	if raw&pteP == 0 {
+		return Translation{}, false
+	}
+	if level == 1 && raw&ptePS != 0 {
+		return Translation{}, false
+	}
+	if level > 1 && raw&ptePS == 0 {
+		return Translation{}, false // points to a table, not a leaf
+	}
+	size := sizeAtLevel(level)
+	perm := addr.PermRead
+	if raw&pteRW != 0 {
+		perm |= addr.PermWrite
+	}
+	if raw&pteUS != 0 {
+		perm |= addr.PermUser
+	}
+	if raw&pteXD == 0 {
+		perm |= addr.PermExec
+	}
+	return Translation{
+		VA:       va.PageBase(size),
+		PA:       addr.P(raw & ptePFNMask).PageBase(size),
+		Size:     size,
+		Perm:     perm,
+		Accessed: raw&pteA != 0,
+		Dirty:    raw&pteD != 0,
+	}, true
+}

@@ -1,0 +1,149 @@
+// Package smp models a multi-core CPU sharing one address space: every
+// core has its own two-level TLB hierarchy, all cores share the page
+// table, the cache hierarchy, and the OS — and page-table updates
+// broadcast TLB shootdowns to every core (Sec 4.4's invalidation
+// operations, exercised under real sharing).
+//
+// The interesting design consequence for MIX TLBs: invalidating one
+// superpage touches mirror copies in many sets, and the two bundle
+// encodings degrade differently — bitmaps clear one member bit and keep
+// the bundle's neighbours cached, while range entries drop the whole
+// coalesced bundle (the paper's simple option), making post-shootdown
+// refill traffic visibly worse. InvalidationStudy in the experiments
+// package quantifies this.
+package smp
+
+import (
+	"fmt"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/cachesim"
+	"mixtlb/internal/mmu"
+	"mixtlb/internal/osmm"
+	"mixtlb/internal/pagetable"
+	"mixtlb/internal/tlb"
+	"mixtlb/internal/workload"
+)
+
+// Config sizes the system.
+type Config struct {
+	Cores  int
+	Design mmu.Design
+}
+
+// Stats aggregates system-wide shootdown activity.
+type Stats struct {
+	// Shootdowns counts munmap-driven invalidation broadcasts (one per
+	// unmapped translation).
+	Shootdowns uint64
+	// IPIs counts per-core interrupts delivered (Shootdowns x cores).
+	IPIs uint64
+}
+
+// System is a multi-core machine over one OS address space.
+type System struct {
+	cfg    Config
+	as     *osmm.AddressSpace
+	caches *cachesim.Hierarchy
+	cores  []*mmu.MMU
+	stats  Stats
+}
+
+// New builds the system; all cores share the cache hierarchy and fault
+// into the same OS.
+func New(cfg Config, as *osmm.AddressSpace, caches *cachesim.Hierarchy) *System {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 4
+	}
+	s := &System{cfg: cfg, as: as, caches: caches}
+	for i := 0; i < cfg.Cores; i++ {
+		m := mmu.Build(cfg.Design, as.PageTable(), as.PageTable(), caches, as.HandleFault)
+		s.cores = append(s.cores, m)
+	}
+	return s
+}
+
+// Cores exposes the per-core MMUs.
+func (s *System) Cores() []*mmu.MMU { return s.cores }
+
+// Stats returns shootdown counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// Translate services a reference on one core.
+func (s *System) Translate(core int, req tlb.Request) mmu.Result {
+	return s.cores[core].Translate(req)
+}
+
+// Run interleaves per-core streams round-robin for n total references.
+func (s *System) Run(streams []workload.Stream, n uint64) error {
+	if len(streams) != len(s.cores) {
+		return fmt.Errorf("smp: %d streams for %d cores", len(streams), len(s.cores))
+	}
+	for i := uint64(0); i < n; i++ {
+		c := int(i) % len(s.cores)
+		ref := streams[c].Next()
+		if r := s.cores[c].Translate(tlb.Request{VA: ref.VA, Write: ref.Write, PC: ref.PC}); r.Faulted {
+			return fmt.Errorf("smp: core %d faulted at %v", c, ref.VA)
+		}
+	}
+	return nil
+}
+
+// ResetStats zeroes every core's counters (shootdown counters retained).
+func (s *System) ResetStats() {
+	for _, c := range s.cores {
+		c.ResetStats()
+	}
+}
+
+// Munmap unmaps a range through the OS and broadcasts the TLB shootdowns
+// to every core, as an munmap syscall's IPI storm does.
+func (s *System) Munmap(start addr.V, length uint64) {
+	s.as.Munmap(start, length, func(tr pagetable.Translation) {
+		s.stats.Shootdowns++
+		for _, c := range s.cores {
+			c.Invalidate(tr.VA, tr.Size)
+			s.stats.IPIs++
+		}
+	})
+}
+
+// Aggregate sums all cores' MMU stats.
+func (s *System) Aggregate() mmu.Stats {
+	var total mmu.Stats
+	for _, c := range s.cores {
+		st := c.Stats()
+		total.Accesses += st.Accesses
+		total.L1Hits += st.L1Hits
+		total.L2Hits += st.L2Hits
+		total.Walks += st.Walks
+		total.Faults += st.Faults
+		total.Cycles += st.Cycles
+		total.WalkCycles += st.WalkCycles
+		total.WalkRefs += st.WalkRefs
+		total.DirtyMicroOps += st.DirtyMicroOps
+		total.Invalidations += st.Invalidations
+		total.L1Lookup.Add(st.L1Lookup)
+		total.L2Lookup.Add(st.L2Lookup)
+		total.L1Fill.Add(st.L1Fill)
+		total.L2Fill.Add(st.L2Fill)
+	}
+	return total
+}
+
+// NewWithTLBs builds a system whose cores use explicitly constructed TLB
+// pairs instead of a registered design — each core gets a fresh (L1, L2)
+// from build. Used by experiments that sweep custom configurations.
+func NewWithTLBs(cores int, as *osmm.AddressSpace, caches *cachesim.Hierarchy, build func() (tlb.TLB, tlb.TLB)) *System {
+	if cores <= 0 {
+		cores = 4
+	}
+	s := &System{cfg: Config{Cores: cores}, as: as, caches: caches}
+	for i := 0; i < cores; i++ {
+		l1, l2 := build()
+		m := mmu.New(mmu.Config{Name: fmt.Sprintf("custom.core%d", i), L1: l1, L2: l2},
+			as.PageTable(), caches, as.HandleFault)
+		s.cores = append(s.cores, m)
+	}
+	return s
+}

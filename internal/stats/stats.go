@@ -1,0 +1,298 @@
+// Package stats provides the measurement plumbing for the simulator:
+// counters, histograms, and the run-length / contiguity statistics that
+// Figures 9-13 of the paper are built from.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a simple named event counter.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Ratio returns a/b as a float, or 0 when b is zero.
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Percent returns 100*a/b, or 0 when b is zero.
+func Percent(a, b uint64) float64 { return 100 * Ratio(a, b) }
+
+// Histogram counts occurrences of integer-valued observations. It is used
+// for run-length distributions where the domain is small and dense enough
+// that exact counting beats bucketing.
+type Histogram struct {
+	counts map[uint64]uint64
+	total  uint64
+	sum    float64
+	// weighted accumulates Σ value*count for weighted means.
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[uint64]uint64)}
+}
+
+// Observe records one occurrence of v.
+func (h *Histogram) Observe(v uint64) { h.ObserveN(v, 1) }
+
+// ObserveN records n occurrences of v.
+func (h *Histogram) ObserveN(v, n uint64) {
+	h.counts[v] += n
+	h.total += n
+	h.sum += float64(v) * float64(n)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// CountOf returns the number of observations equal to v.
+func (h *Histogram) CountOf(v uint64) uint64 { return h.counts[v] }
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() uint64 {
+	var m uint64
+	for v := range h.counts {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Quantile returns the smallest observed value v such that at least
+// fraction q of the observations are <= v. q must be in [0, 1].
+func (h *Histogram) Quantile(q float64) uint64 {
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of range")
+	}
+	if h.total == 0 {
+		return 0
+	}
+	values := h.sortedValues()
+	need := uint64(math.Ceil(q * float64(h.total)))
+	if need == 0 {
+		need = 1
+	}
+	var cum uint64
+	for _, v := range values {
+		cum += h.counts[v]
+		if cum >= need {
+			return v
+		}
+	}
+	return values[len(values)-1]
+}
+
+func (h *Histogram) sortedValues() []uint64 {
+	values := make([]uint64, 0, len(h.counts))
+	for v := range h.counts {
+		values = append(values, v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	return values
+}
+
+// CDFPoint is one point of an empirical cumulative distribution.
+type CDFPoint struct {
+	Value uint64  // observation value (e.g. run length)
+	Frac  float64 // fraction of observations <= Value
+}
+
+// CDF returns the empirical CDF of the histogram, one point per distinct
+// value, in increasing value order. Figures 12-13 plot exactly this.
+func (h *Histogram) CDF() []CDFPoint {
+	if h.total == 0 {
+		return nil
+	}
+	values := h.sortedValues()
+	points := make([]CDFPoint, 0, len(values))
+	var cum uint64
+	for _, v := range values {
+		cum += h.counts[v]
+		points = append(points, CDFPoint{Value: v, Frac: float64(cum) / float64(h.total)})
+	}
+	return points
+}
+
+// CDFAt evaluates the empirical CDF at value x.
+func (h *Histogram) CDFAt(x uint64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var cum uint64
+	for v, c := range h.counts {
+		if v <= x {
+			cum += c
+		}
+	}
+	return float64(cum) / float64(h.total)
+}
+
+// RunLengths computes the paper's average-contiguity metric (Sec 7.1) from
+// a histogram of run lengths, where Observe(L) is called once per run of
+// length L. The metric weights each translation by the length of the run
+// it belongs to: for runs (1, 1, 2) the average is (1 + 1 + 2×2)/4 = 1.5.
+func (h *Histogram) AverageContiguity() float64 {
+	var weighted float64
+	var translations uint64
+	for l, runs := range h.counts {
+		weighted += float64(l) * float64(l) * float64(runs)
+		translations += l * runs
+	}
+	if translations == 0 {
+		return 0
+	}
+	return weighted / float64(translations)
+}
+
+// TranslationWeightedCDF returns the CDF over translations (not runs):
+// each run of length L contributes L observations of value L. This is the
+// distribution the paper's contiguity CDFs (Figures 12-13) describe —
+// "what fraction of superpage translations sit in runs of length <= x".
+func (h *Histogram) TranslationWeightedCDF() []CDFPoint {
+	w := NewHistogram()
+	for l, runs := range h.counts {
+		w.ObserveN(l, l*runs)
+	}
+	return w.CDF()
+}
+
+// Summary renders a short human-readable digest of the distribution.
+func (h *Histogram) Summary() string {
+	if h.total == 0 {
+		return "empty"
+	}
+	return fmt.Sprintf("n=%d mean=%.2f p50=%d p90=%d max=%d",
+		h.total, h.Mean(), h.Quantile(0.5), h.Quantile(0.9), h.Max())
+}
+
+// Mean returns the arithmetic mean of xs (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs (0 when empty). Values must be
+// positive; speedup aggregation across workloads conventionally uses this.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: GeoMean of non-positive value")
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Table is a simple printable result table used by the experiment harness.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row; values are rendered with %v, floats with
+// two decimals.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header + rows).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

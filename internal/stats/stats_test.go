@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Errorf("Value = %d, want 10", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Errorf("Value after Reset = %d", c.Value())
+	}
+}
+
+func TestRatioAndPercent(t *testing.T) {
+	if Ratio(1, 0) != 0 || Percent(1, 0) != 0 {
+		t.Error("division by zero should yield 0")
+	}
+	if got := Ratio(1, 4); got != 0.25 {
+		t.Errorf("Ratio = %v", got)
+	}
+	if got := Percent(1, 4); got != 25 {
+		t.Errorf("Percent = %v", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Summary() != "empty" {
+		t.Errorf("empty summary = %q", h.Summary())
+	}
+	h.Observe(1)
+	h.Observe(1)
+	h.ObserveN(4, 3)
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.CountOf(4) != 3 {
+		t.Errorf("CountOf(4) = %d", h.CountOf(4))
+	}
+	if got, want := h.Mean(), (1.0+1+4+4+4)/5; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if h.Max() != 4 {
+		t.Errorf("Max = %d", h.Max())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := NewHistogram()
+	for i := uint64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	if got := h.Quantile(0.5); got != 50 {
+		t.Errorf("p50 = %d", got)
+	}
+	if got := h.Quantile(0.9); got != 90 {
+		t.Errorf("p90 = %d", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("p0 = %d", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("p100 = %d", got)
+	}
+}
+
+func TestQuantileOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHistogram().Quantile(1.5)
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(vals []uint8) bool {
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Observe(uint64(v) % 32)
+		}
+		cdf := h.CDF()
+		prevV, prevF := uint64(0), 0.0
+		for i, p := range cdf {
+			if i > 0 && (p.Value <= prevV || p.Frac < prevF) {
+				return false
+			}
+			prevV, prevF = p.Value, p.Frac
+		}
+		return len(cdf) == 0 || math.Abs(cdf[len(cdf)-1].Frac-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveN(1, 2)
+	h.ObserveN(10, 2)
+	if got := h.CDFAt(5); got != 0.5 {
+		t.Errorf("CDFAt(5) = %v", got)
+	}
+	if got := h.CDFAt(10); got != 1 {
+		t.Errorf("CDFAt(10) = %v", got)
+	}
+	if got := h.CDFAt(0); got != 0 {
+		t.Errorf("CDFAt(0) = %v", got)
+	}
+}
+
+func TestAverageContiguityPaperExample(t *testing.T) {
+	// Sec 7.1: runs (1, 1, 2) over 4 translations → (1+1+2×2)/4 = 1.5.
+	h := NewHistogram()
+	h.Observe(1)
+	h.Observe(1)
+	h.Observe(2)
+	if got := h.AverageContiguity(); got != 1.5 {
+		t.Errorf("AverageContiguity = %v, want 1.5", got)
+	}
+}
+
+func TestAverageContiguityAllSingletons(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveN(1, 100)
+	if got := h.AverageContiguity(); got != 1 {
+		t.Errorf("AverageContiguity = %v, want 1", got)
+	}
+}
+
+func TestAverageContiguityEmpty(t *testing.T) {
+	if got := NewHistogram().AverageContiguity(); got != 0 {
+		t.Errorf("empty AverageContiguity = %v", got)
+	}
+}
+
+func TestTranslationWeightedCDF(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1) // 1 translation in a run of 1
+	h.Observe(3) // 3 translations in a run of 3
+	cdf := h.TranslationWeightedCDF()
+	if len(cdf) != 2 {
+		t.Fatalf("cdf has %d points", len(cdf))
+	}
+	if cdf[0].Value != 1 || math.Abs(cdf[0].Frac-0.25) > 1e-12 {
+		t.Errorf("point 0 = %+v, want {1 0.25}", cdf[0])
+	}
+	if cdf[1].Value != 3 || math.Abs(cdf[1].Frac-1) > 1e-12 {
+		t.Errorf("point 1 = %+v", cdf[1])
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if Mean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Error("empty means should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v", got)
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "demo", Columns: []string{"name", "value"}}
+	tb.AddRow("alpha", 1.234)
+	tb.AddRow("b", 42)
+	s := tb.String()
+	for _, want := range []string{"demo", "alpha", "1.23", "42", "name", "value"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "name,value\n") {
+		t.Errorf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "alpha,1.23") {
+		t.Errorf("csv missing row: %q", csv)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveN(2, 10)
+	s := h.Summary()
+	if !strings.Contains(s, "n=10") || !strings.Contains(s, "max=2") {
+		t.Errorf("summary = %q", s)
+	}
+}

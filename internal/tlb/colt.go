@@ -1,0 +1,300 @@
+package tlb
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/pagetable"
+)
+
+// Colt is a coalesced TLB in the style of CoLT (Pham et al., MICRO'12,
+// Sec 5.2): a set-associative TLB for a single page size whose entries can
+// each hold a run of up to `window` pages that are contiguous in both
+// virtual and physical address space and aligned to the window. Coalescing
+// candidates come from the PTE cache line the walker fetched, exactly as
+// in MIX TLBs.
+//
+// The paper's COLT comparison coalesces up to 4 contiguous small pages
+// (Sec 7.2); COLT++ applies the same machinery to each component of a
+// split TLB, including the superpage components.
+type Colt struct {
+	name   string
+	size   addr.PageSize
+	sets   int
+	ways   int
+	window int
+	data   [][]coltEntry
+	clock  uint64
+}
+
+type coltEntry struct {
+	valid  bool
+	group  uint64 // pageNum / window
+	bitmap uint32 // members present; bit i = page group*window + i
+	basePA addr.P // PA of the window's first page position
+	perm   addr.Perm
+	dirty  bool
+	stamp  uint64
+}
+
+// NewColt builds a coalescing TLB for pages of size s. window is the
+// maximum pages per entry (a power of two, at most 32, and at most the
+// walker's 8-PTE line for single-fill coalescing to be exercised fully).
+func NewColt(name string, s addr.PageSize, sets, ways, window int) *Colt {
+	if sets <= 0 || !addr.IsPow2(uint64(sets)) || ways <= 0 {
+		panic(fmt.Sprintf("tlb: bad geometry %dx%d", sets, ways))
+	}
+	if window <= 0 || window > 32 || !addr.IsPow2(uint64(window)) {
+		panic(fmt.Sprintf("tlb: bad coalescing window %d", window))
+	}
+	t := &Colt{name: name, size: s, sets: sets, ways: ways, window: window}
+	t.data = make([][]coltEntry, sets)
+	for i := range t.data {
+		t.data[i] = make([]coltEntry, ways)
+	}
+	return t
+}
+
+// Name implements TLB.
+func (t *Colt) Name() string { return t.name }
+
+// Entries implements TLB.
+func (t *Colt) Entries() int { return t.sets * t.ways }
+
+// PageSize returns the page size this TLB caches.
+func (t *Colt) PageSize() addr.PageSize { return t.size }
+
+// group maps a VA to its coalescing-window number; the set index uses the
+// group so every member of a window lands in (and hits in) one set.
+func (t *Colt) group(va addr.V) uint64 { return va.PageNum(t.size) / uint64(t.window) }
+
+func (t *Colt) set(va addr.V) []coltEntry {
+	return t.data[t.group(va)&uint64(t.sets-1)]
+}
+
+// member translation for slot i of entry e.
+func (t *Colt) member(e *coltEntry, i int) pagetable.Translation {
+	vpn := e.group*uint64(t.window) + uint64(i)
+	return pagetable.Translation{
+		VA:       addr.V(vpn << t.size.Shift()),
+		PA:       e.basePA + addr.P(uint64(i)<<t.size.Shift()),
+		Size:     t.size,
+		Perm:     e.perm,
+		Accessed: true,
+		Dirty:    e.dirty,
+	}
+}
+
+// Lookup implements TLB.
+func (t *Colt) Lookup(req Request) Result {
+	t.clock++
+	res := Result{Cost: Cost{Probes: 1, WaysRead: t.ways}}
+	set := t.set(req.VA)
+	g := t.group(req.VA)
+	slot := int(req.VA.PageNum(t.size) % uint64(t.window))
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.group == g && e.bitmap&(1<<slot) != 0 {
+			e.stamp = t.clock
+			res.Hit = true
+			res.T = t.member(e, slot)
+			res.Dirty = e.dirty
+			return res
+		}
+	}
+	return res
+}
+
+// Fill implements TLB: scan the walked PTE line for window members that
+// are virtually and physically contiguous with the demanded translation,
+// share its permissions, and have their accessed bit set; coalesce them
+// into one entry, merging with an existing entry for the window if
+// compatible.
+func (t *Colt) Fill(req Request, walk pagetable.WalkResult) Cost {
+	if !walk.Found || walk.Translation.Size != t.size {
+		return Cost{}
+	}
+	t.clock++
+	tr := walk.Translation
+	g := tr.VA.PageNum(t.size) / uint64(t.window)
+	slot := int(tr.VA.PageNum(t.size) % uint64(t.window))
+	// The window base PA implied by the demanded translation.
+	basePA := tr.PA - addr.P(uint64(slot)<<t.size.Shift())
+	bitmap := uint32(1) << slot
+	dirtyAll := tr.Dirty
+	for _, n := range walk.Line {
+		if n.Size != t.size || n.VA == tr.VA || !n.Accessed || n.Perm != tr.Perm {
+			continue
+		}
+		np := n.VA.PageNum(t.size)
+		if np/uint64(t.window) != g {
+			continue // outside the aligned window
+		}
+		i := int(np % uint64(t.window))
+		if n.PA != basePA+addr.P(uint64(i)<<t.size.Shift()) {
+			continue // not physically contiguous with the run
+		}
+		bitmap |= 1 << i
+		dirtyAll = dirtyAll && n.Dirty
+	}
+	set := t.set(tr.VA)
+	// Merge with an existing compatible entry for the same window.
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.group == g && e.basePA == basePA && e.perm == tr.Perm {
+			e.bitmap |= bitmap
+			e.dirty = e.dirty && dirtyAll
+			e.stamp = t.clock
+			return Cost{SetsFilled: 1, EntriesWritten: 1}
+		}
+	}
+	v := victimIndex2(set)
+	set[v] = coltEntry{
+		valid: true, group: g, bitmap: bitmap, basePA: basePA,
+		perm: tr.Perm, dirty: dirtyAll, stamp: t.clock,
+	}
+	return Cost{SetsFilled: 1, EntriesWritten: 1}
+}
+
+func victimIndex2(set []coltEntry) int {
+	victim, oldest := 0, ^uint64(0)
+	for i := range set {
+		if !set[i].valid {
+			return i
+		}
+		if set[i].stamp < oldest {
+			victim, oldest = i, set[i].stamp
+		}
+	}
+	return victim
+}
+
+// MarkDirty implements TLB: the entry-level dirty bit may only be set when
+// the bundle has a single member (the conservative policy of Sec 4.4 —
+// multi-member bundles keep dirty=false so every member's first store
+// reaches the page table).
+func (t *Colt) MarkDirty(va addr.V) bool {
+	set := t.set(va)
+	g := t.group(va)
+	slot := int(va.PageNum(t.size) % uint64(t.window))
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.group == g && e.bitmap&(1<<slot) != 0 {
+			if bits.OnesCount32(e.bitmap) == 1 {
+				e.dirty = true
+				return true
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// Members implements BundleProvider: expand the entry covering va into
+// its member translations.
+func (t *Colt) Members(va addr.V) []pagetable.Translation {
+	set := t.set(va)
+	g := t.group(va)
+	slot := int(va.PageNum(t.size) % uint64(t.window))
+	for i := range set {
+		e := &set[i]
+		if !e.valid || e.group != g || e.bitmap&(1<<slot) == 0 {
+			continue
+		}
+		out := make([]pagetable.Translation, 0, t.window)
+		for s := 0; s < t.window; s++ {
+			if e.bitmap&(1<<s) != 0 {
+				out = append(out, t.member(e, s))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// RefreshDirty implements DirtyRefresher: COLT windows fit inside one PTE
+// cache line, so the dirty micro-op's assist sees every member's D bit;
+// when all present members are dirty the entry's bit is set and further
+// stores skip the micro-op.
+func (t *Colt) RefreshDirty(va addr.V, line []pagetable.Translation) bool {
+	set := t.set(va)
+	g := t.group(va)
+	slot := int(va.PageNum(t.size) % uint64(t.window))
+	for i := range set {
+		e := &set[i]
+		if !e.valid || e.group != g || e.bitmap&(1<<slot) == 0 {
+			continue
+		}
+		dirtyBy := make(map[uint64]bool, len(line))
+		for _, n := range line {
+			if n.Size == t.size {
+				dirtyBy[n.VA.PageNum(n.Size)] = n.Dirty
+			}
+		}
+		base := g * uint64(t.window)
+		for s := 0; s < t.window; s++ {
+			if e.bitmap&(1<<s) == 0 {
+				continue
+			}
+			if d, ok := dirtyBy[base+uint64(s)]; !ok || !d {
+				return false
+			}
+		}
+		e.dirty = true
+		return true
+	}
+	return false
+}
+
+// Invalidate implements TLB: clear the member's bit, dropping the entry
+// when it empties — neighbouring members stay cached.
+func (t *Colt) Invalidate(va addr.V, size addr.PageSize) int {
+	if size != t.size {
+		return 0
+	}
+	set := t.set(va)
+	g := t.group(va)
+	slot := int(va.PageNum(t.size) % uint64(t.window))
+	n := 0
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.group == g && e.bitmap&(1<<slot) != 0 {
+			e.bitmap &^= 1 << slot
+			if e.bitmap == 0 {
+				e.valid = false
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// Flush implements TLB.
+func (t *Colt) Flush() {
+	for _, set := range t.data {
+		for i := range set {
+			set[i].valid = false
+		}
+	}
+}
+
+// NewColtSplitL1 builds the COLT baseline of Fig 18: the Haswell L1
+// geometry with the 4KB component coalescing up to 4 small pages.
+func NewColtSplitL1() *Split {
+	return NewSplit("colt-L1",
+		NewColt("L1-4K-colt", addr.Page4K, 16, 4, 4),
+		NewSetAssoc("L1-2M", addr.Page2M, 8, 4),
+		NewSetAssoc("L1-1G", addr.Page1G, 1, 4),
+	)
+}
+
+// NewColtPlusPlusL1 builds COLT++ (Fig 18): every split component
+// coalesces runs of its own page size.
+func NewColtPlusPlusL1() *Split {
+	return NewSplit("colt++-L1",
+		NewColt("L1-4K-colt", addr.Page4K, 16, 4, 4),
+		NewColt("L1-2M-colt", addr.Page2M, 8, 4, 4),
+		NewColt("L1-1G-colt", addr.Page1G, 1, 4, 4),
+	)
+}

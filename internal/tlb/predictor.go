@@ -1,0 +1,183 @@
+package tlb
+
+import (
+	"mixtlb/internal/addr"
+	"mixtlb/internal/pagetable"
+)
+
+// SizePredictor guesses a translation's page size before lookup, the
+// enhancement of Papadopoulou et al. (HPCA'14) the paper evaluates as the
+// best multi-indexing variant (Sec 5.1). It is a PC-indexed table of
+// (size, 2-bit confidence) pairs: superpage usage correlates strongly with
+// the instruction touching the data structure.
+type SizePredictor struct {
+	size []addr.PageSize
+	conf []uint8
+	mask uint64
+
+	lookups uint64
+	correct uint64
+}
+
+// NewSizePredictor builds a predictor with the given number of entries
+// (power of two).
+func NewSizePredictor(entries int) *SizePredictor {
+	if entries <= 0 || !addr.IsPow2(uint64(entries)) {
+		panic("tlb: predictor entries must be a positive power of two")
+	}
+	return &SizePredictor{
+		size: make([]addr.PageSize, entries),
+		conf: make([]uint8, entries),
+		mask: uint64(entries - 1),
+	}
+}
+
+func (p *SizePredictor) idx(pc uint64) uint64 {
+	h := pc * 0x9e3779b97f4a7c15
+	return (h >> 32) & p.mask
+}
+
+// Predict returns the guessed page size for the instruction at pc.
+func (p *SizePredictor) Predict(pc uint64) addr.PageSize {
+	p.lookups++
+	return p.size[p.idx(pc)]
+}
+
+// Update trains the predictor with the actual size after the translation
+// resolves, using 2-bit hysteresis.
+func (p *SizePredictor) Update(pc uint64, actual addr.PageSize) {
+	i := p.idx(pc)
+	if p.size[i] == actual {
+		p.correct++
+		if p.conf[i] < 3 {
+			p.conf[i]++
+		}
+		return
+	}
+	if p.conf[i] > 0 {
+		p.conf[i]--
+		return
+	}
+	p.size[i] = actual
+}
+
+// Accuracy returns the fraction of predictions later confirmed correct.
+func (p *SizePredictor) Accuracy() float64 {
+	if p.lookups == 0 {
+		return 0
+	}
+	return float64(p.correct) / float64(p.lookups)
+}
+
+// PredictedRehash is a hash-rehash TLB fronted by a size predictor: the
+// predicted size is probed first, cutting the expected probe count when
+// prediction is accurate but adding predictor energy to every lookup and
+// extra rounds on mispredictions.
+type PredictedRehash struct {
+	inner *HashRehash
+	pred  *SizePredictor
+}
+
+// NewPredictedRehash wraps inner with predictor pred.
+func NewPredictedRehash(inner *HashRehash, pred *SizePredictor) *PredictedRehash {
+	return &PredictedRehash{inner: inner, pred: pred}
+}
+
+// Name implements TLB.
+func (t *PredictedRehash) Name() string { return t.inner.Name() + "+pred" }
+
+// Entries implements TLB.
+func (t *PredictedRehash) Entries() int { return t.inner.Entries() }
+
+// Lookup implements TLB: probe the predicted size first, then the rest.
+func (t *PredictedRehash) Lookup(req Request) Result {
+	guess := t.pred.Predict(req.PC)
+	order := make([]addr.PageSize, 0, len(t.inner.sizes))
+	order = append(order, guess)
+	for _, s := range t.inner.sizes {
+		if s != guess {
+			order = append(order, s)
+		}
+	}
+	res := t.inner.LookupOrdered(req, order)
+	res.Cost.PredictorReads = 1
+	if res.Hit {
+		t.pred.Update(req.PC, res.T.Size)
+		res.Cost.PredictorWrites = 1
+	}
+	return res
+}
+
+// Fill implements TLB and trains the predictor with the walked size.
+func (t *PredictedRehash) Fill(req Request, walk pagetable.WalkResult) Cost {
+	c := t.inner.Fill(req, walk)
+	if walk.Found {
+		t.pred.Update(req.PC, walk.Translation.Size)
+		c.PredictorWrites++
+	}
+	return c
+}
+
+// MarkDirty implements TLB.
+func (t *PredictedRehash) MarkDirty(va addr.V) bool { return t.inner.MarkDirty(va) }
+
+// Invalidate implements TLB.
+func (t *PredictedRehash) Invalidate(va addr.V, size addr.PageSize) int {
+	return t.inner.Invalidate(va, size)
+}
+
+// Flush implements TLB.
+func (t *PredictedRehash) Flush() { t.inner.Flush() }
+
+// PredictedSkew is a skew TLB fronted by a size predictor: only the
+// predicted size's ways are read in the first round, saving the lookup
+// energy that plagues plain skew designs, at the cost of a second round
+// (reading the remaining ways) on mispredictions.
+type PredictedSkew struct {
+	inner *Skew
+	pred  *SizePredictor
+}
+
+// NewPredictedSkew wraps inner with predictor pred.
+func NewPredictedSkew(inner *Skew, pred *SizePredictor) *PredictedSkew {
+	return &PredictedSkew{inner: inner, pred: pred}
+}
+
+// Name implements TLB.
+func (t *PredictedSkew) Name() string { return t.inner.Name() + "+pred" }
+
+// Entries implements TLB.
+func (t *PredictedSkew) Entries() int { return t.inner.Entries() }
+
+// Lookup implements TLB.
+func (t *PredictedSkew) Lookup(req Request) Result {
+	guess := t.pred.Predict(req.PC)
+	res := t.inner.LookupPredicted(req, guess)
+	res.Cost.PredictorReads = 1
+	if res.Hit {
+		t.pred.Update(req.PC, res.T.Size)
+		res.Cost.PredictorWrites = 1
+	}
+	return res
+}
+
+// Fill implements TLB.
+func (t *PredictedSkew) Fill(req Request, walk pagetable.WalkResult) Cost {
+	c := t.inner.Fill(req, walk)
+	if walk.Found {
+		t.pred.Update(req.PC, walk.Translation.Size)
+		c.PredictorWrites++
+	}
+	return c
+}
+
+// MarkDirty implements TLB.
+func (t *PredictedSkew) MarkDirty(va addr.V) bool { return t.inner.MarkDirty(va) }
+
+// Invalidate implements TLB.
+func (t *PredictedSkew) Invalidate(va addr.V, size addr.PageSize) int {
+	return t.inner.Invalidate(va, size)
+}
+
+// Flush implements TLB.
+func (t *PredictedSkew) Flush() { t.inner.Flush() }

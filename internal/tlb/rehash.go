@@ -1,0 +1,142 @@
+package tlb
+
+import (
+	"fmt"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/pagetable"
+)
+
+// HashRehash is the multi-indexing baseline of Sec 5.1: a single
+// set-associative array holding multiple page sizes, probed once per page
+// size until a hit ("hash" with the first size, "rehash" with the next,
+// ...). Hits therefore have variable latency and misses pay for every
+// round — the drawbacks the paper charges this design with. Intel's
+// Haswell/Skylake L2 TLBs use this scheme for 4KB+2MB only.
+type HashRehash struct {
+	name  string
+	sizes []addr.PageSize // probe order (may be reordered per lookup by a predictor)
+	sets  int
+	ways  int
+	data  [][]entrySlot
+	clock uint64
+}
+
+// NewHashRehash builds a hash-rehash TLB probing the given sizes in order.
+func NewHashRehash(name string, sets, ways int, sizes ...addr.PageSize) *HashRehash {
+	if sets <= 0 || !addr.IsPow2(uint64(sets)) || ways <= 0 {
+		panic(fmt.Sprintf("tlb: bad geometry %dx%d", sets, ways))
+	}
+	if len(sizes) == 0 {
+		panic("tlb: hash-rehash needs at least one page size")
+	}
+	t := &HashRehash{name: name, sizes: sizes, sets: sets, ways: ways}
+	t.data = make([][]entrySlot, sets)
+	for i := range t.data {
+		t.data[i] = make([]entrySlot, ways)
+	}
+	return t
+}
+
+// Name implements TLB.
+func (t *HashRehash) Name() string { return t.name }
+
+// Entries implements TLB.
+func (t *HashRehash) Entries() int { return t.sets * t.ways }
+
+// Sizes returns the page sizes this TLB caches, in default probe order.
+func (t *HashRehash) Sizes() []addr.PageSize { return t.sizes }
+
+// caches reports whether s is one of the supported sizes.
+func (t *HashRehash) caches(s addr.PageSize) bool {
+	for _, x := range t.sizes {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// probe checks one set for a translation of one specific size.
+func (t *HashRehash) probe(va addr.V, s addr.PageSize) (*entrySlot, bool) {
+	set := t.data[addr.SetIndex(va, s, t.sets)]
+	vpn := va.PageNum(s)
+	for i := range set {
+		if set[i].valid && set[i].t.Size == s && set[i].t.VA.PageNum(s) == vpn {
+			return &set[i], true
+		}
+	}
+	return nil, false
+}
+
+// Lookup implements TLB using the default probe order.
+func (t *HashRehash) Lookup(req Request) Result {
+	return t.LookupOrdered(req, t.sizes)
+}
+
+// LookupOrdered probes page sizes in the given order; a predictor
+// front-end passes its guess first. Every round costs a probe and a full
+// set read.
+func (t *HashRehash) LookupOrdered(req Request, order []addr.PageSize) Result {
+	t.clock++
+	var res Result
+	for _, s := range order {
+		if !t.caches(s) {
+			continue
+		}
+		res.Cost.Probes++
+		res.Cost.WaysRead += t.ways
+		if e, ok := t.probe(req.VA, s); ok {
+			e.stamp = t.clock
+			res.Hit = true
+			res.T = e.t
+			res.Dirty = e.dirty
+			return res
+		}
+	}
+	return res
+}
+
+// Fill implements TLB.
+func (t *HashRehash) Fill(req Request, walk pagetable.WalkResult) Cost {
+	if !walk.Found || !t.caches(walk.Translation.Size) {
+		return Cost{}
+	}
+	t.clock++
+	set := t.data[addr.SetIndex(req.VA, walk.Translation.Size, t.sets)]
+	v := victimIndex(set)
+	set[v] = entrySlot{valid: true, t: walk.Translation, dirty: walk.Translation.Dirty, stamp: t.clock}
+	return Cost{SetsFilled: 1, EntriesWritten: 1}
+}
+
+// MarkDirty implements TLB.
+func (t *HashRehash) MarkDirty(va addr.V) bool {
+	for _, s := range t.sizes {
+		if e, ok := t.probe(va, s); ok {
+			e.dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate implements TLB.
+func (t *HashRehash) Invalidate(va addr.V, size addr.PageSize) int {
+	if !t.caches(size) {
+		return 0
+	}
+	if e, ok := t.probe(va, size); ok {
+		e.valid = false
+		return 1
+	}
+	return 0
+}
+
+// Flush implements TLB.
+func (t *HashRehash) Flush() {
+	for _, set := range t.data {
+		for i := range set {
+			set[i].valid = false
+		}
+	}
+}

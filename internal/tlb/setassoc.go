@@ -1,0 +1,118 @@
+package tlb
+
+import (
+	"fmt"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/pagetable"
+)
+
+// SetAssoc is a conventional set-associative TLB for exactly one page
+// size — the building block of commercial split designs. With Sets == 1
+// it degenerates to a fully-associative TLB (used for 1GB entries on real
+// parts, Sec 6.1).
+type SetAssoc struct {
+	name  string
+	size  addr.PageSize
+	sets  int
+	ways  int
+	data  [][]entrySlot
+	clock uint64
+}
+
+// NewSetAssoc builds a TLB with the given geometry caching only pages of
+// size s. sets must be a power of two.
+func NewSetAssoc(name string, s addr.PageSize, sets, ways int) *SetAssoc {
+	if sets <= 0 || !addr.IsPow2(uint64(sets)) || ways <= 0 {
+		panic(fmt.Sprintf("tlb: bad geometry %dx%d", sets, ways))
+	}
+	t := &SetAssoc{name: name, size: s, sets: sets, ways: ways}
+	t.data = make([][]entrySlot, sets)
+	for i := range t.data {
+		t.data[i] = make([]entrySlot, ways)
+	}
+	return t
+}
+
+// Name implements TLB.
+func (t *SetAssoc) Name() string { return t.name }
+
+// Entries implements TLB.
+func (t *SetAssoc) Entries() int { return t.sets * t.ways }
+
+// PageSize returns the single page size this TLB caches.
+func (t *SetAssoc) PageSize() addr.PageSize { return t.size }
+
+func (t *SetAssoc) set(va addr.V) []entrySlot {
+	return t.data[addr.SetIndex(va, t.size, t.sets)]
+}
+
+// Lookup implements TLB.
+func (t *SetAssoc) Lookup(req Request) Result {
+	t.clock++
+	res := Result{Cost: Cost{Probes: 1, WaysRead: t.ways}}
+	set := t.set(req.VA)
+	vpn := req.VA.PageNum(t.size)
+	for i := range set {
+		if set[i].valid && set[i].t.VA.PageNum(t.size) == vpn {
+			set[i].stamp = t.clock
+			res.Hit = true
+			res.T = set[i].t
+			res.Dirty = set[i].dirty
+			return res
+		}
+	}
+	return res
+}
+
+// Fill implements TLB. Translations of other page sizes are ignored (the
+// split wrapper routes fills to the right component).
+func (t *SetAssoc) Fill(req Request, walk pagetable.WalkResult) Cost {
+	if !walk.Found || walk.Translation.Size != t.size {
+		return Cost{}
+	}
+	t.clock++
+	set := t.set(req.VA)
+	v := victimIndex(set)
+	set[v] = entrySlot{valid: true, t: walk.Translation, dirty: walk.Translation.Dirty, stamp: t.clock}
+	return Cost{SetsFilled: 1, EntriesWritten: 1}
+}
+
+// MarkDirty implements TLB.
+func (t *SetAssoc) MarkDirty(va addr.V) bool {
+	set := t.set(va)
+	vpn := va.PageNum(t.size)
+	for i := range set {
+		if set[i].valid && set[i].t.VA.PageNum(t.size) == vpn {
+			set[i].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate implements TLB.
+func (t *SetAssoc) Invalidate(va addr.V, size addr.PageSize) int {
+	if size != t.size {
+		return 0
+	}
+	set := t.set(va)
+	vpn := va.PageNum(t.size)
+	n := 0
+	for i := range set {
+		if set[i].valid && set[i].t.VA.PageNum(t.size) == vpn {
+			set[i].valid = false
+			n++
+		}
+	}
+	return n
+}
+
+// Flush implements TLB.
+func (t *SetAssoc) Flush() {
+	for _, set := range t.data {
+		for i := range set {
+			set[i].valid = false
+		}
+	}
+}

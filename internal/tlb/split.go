@@ -1,0 +1,147 @@
+package tlb
+
+import (
+	"strings"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/pagetable"
+)
+
+// Split is the commercial baseline (Sec 1): independent TLBs per page
+// size, all probed in parallel on lookup. A hit in one component
+// implicitly reveals the page size; a fill is routed by the walked
+// translation's size. The well-known pathology is mutual underutilization:
+// when the OS allocates only small pages the superpage components idle,
+// and vice versa (Fig 1).
+//
+// Components need not be single-size: Haswell's L2 combines 4KB and 2MB in
+// one hash-rehash structure next to a separate 1GB TLB (Sec 7.2), which is
+// expressed here as Split{HashRehash(4K,2M), SetAssoc(1G)}.
+type Split struct {
+	name  string
+	parts []TLB
+}
+
+// NewSplit combines the given component TLBs. Every page size must be
+// served by at least one component for fills to land somewhere.
+func NewSplit(name string, parts ...TLB) *Split {
+	if len(parts) == 0 {
+		panic("tlb: split with no components")
+	}
+	return &Split{name: name, parts: parts}
+}
+
+// NewHaswellL1 builds the paper's L1 baseline (Sec 6.1): 4-way 64-entry
+// 4KB, 4-way 32-entry 2MB, and 4-entry fully-associative 1GB TLBs.
+func NewHaswellL1() *Split {
+	return NewSplit("split-L1",
+		NewSetAssoc("L1-4K", addr.Page4K, 16, 4),
+		NewSetAssoc("L1-2M", addr.Page2M, 8, 4),
+		NewSetAssoc("L1-1G", addr.Page1G, 1, 4),
+	)
+}
+
+// NewHaswellL2 builds the paper's L2 baseline (Sec 6.1, 7.2): a 512-entry
+// hash-rehash TLB for 4KB+2MB pages and a separate 32-entry 1GB TLB.
+func NewHaswellL2() *Split {
+	return NewSplit("split-L2",
+		NewHashRehash("L2-4K2M", 128, 4, addr.Page4K, addr.Page2M),
+		NewSetAssoc("L2-1G", addr.Page1G, 8, 4),
+	)
+}
+
+// Name implements TLB.
+func (s *Split) Name() string { return s.name }
+
+// Entries implements TLB.
+func (s *Split) Entries() int {
+	n := 0
+	for _, p := range s.parts {
+		n += p.Entries()
+	}
+	return n
+}
+
+// Components returns the component TLBs (diagnostics, utilization studies).
+func (s *Split) Components() []TLB { return s.parts }
+
+// Lookup implements TLB: all components probe in parallel, so the latency
+// is the slowest component's probe count while energy sums every
+// component's reads.
+func (s *Split) Lookup(req Request) Result {
+	var out Result
+	for _, p := range s.parts {
+		r := p.Lookup(req)
+		out.Cost.WaysRead += r.Cost.WaysRead
+		out.Cost.PredictorReads += r.Cost.PredictorReads
+		if r.Cost.Probes > out.Cost.Probes {
+			out.Cost.Probes = r.Cost.Probes
+		}
+		if r.Hit && !out.Hit {
+			out.Hit = true
+			out.T = r.T
+			out.Dirty = r.Dirty
+		}
+	}
+	return out
+}
+
+// Fill implements TLB, routing by the walked translation's page size.
+// Components ignore sizes they do not cache, so offering the fill to each
+// until one accepts models the hardware mux exactly.
+func (s *Split) Fill(req Request, walk pagetable.WalkResult) Cost {
+	for _, p := range s.parts {
+		if c := p.Fill(req, walk); c.EntriesWritten > 0 || c.SetsFilled > 0 {
+			return c
+		}
+	}
+	return Cost{}
+}
+
+// Members implements BundleProvider by delegating to the first component
+// holding a coalesced entry for va.
+func (s *Split) Members(va addr.V) []pagetable.Translation {
+	for _, p := range s.parts {
+		if bp, ok := p.(BundleProvider); ok {
+			if m := bp.Members(va); len(m) > 0 {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// MarkDirty implements TLB.
+func (s *Split) MarkDirty(va addr.V) bool {
+	for _, p := range s.parts {
+		if p.MarkDirty(va) {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate implements TLB.
+func (s *Split) Invalidate(va addr.V, size addr.PageSize) int {
+	n := 0
+	for _, p := range s.parts {
+		n += p.Invalidate(va, size)
+	}
+	return n
+}
+
+// Flush implements TLB.
+func (s *Split) Flush() {
+	for _, p := range s.parts {
+		p.Flush()
+	}
+}
+
+// String summarizes the composition.
+func (s *Split) String() string {
+	names := make([]string, len(s.parts))
+	for i, p := range s.parts {
+		names[i] = p.Name()
+	}
+	return s.name + "{" + strings.Join(names, "+") + "}"
+}

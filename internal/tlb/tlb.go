@@ -1,0 +1,144 @@
+// Package tlb defines the translation-lookaside-buffer abstraction shared
+// by every design in this repository and implements the baselines the
+// paper compares MIX TLBs against (Sec 5): conventional single-size
+// set-associative TLBs, commercial-style split TLBs, hash-rehash TLBs,
+// skew-associative TLBs, page-size predictors, COLT coalescing TLBs, and
+// an unrealizable ideal TLB.
+//
+// The paper's own design, the MIX TLB, lives in internal/core and
+// implements the same interface.
+package tlb
+
+import (
+	"mixtlb/internal/addr"
+	"mixtlb/internal/pagetable"
+)
+
+// Request is one translation request presented to a TLB.
+type Request struct {
+	VA    addr.V
+	Write bool
+	// PC identifies the requesting instruction; page-size predictors
+	// (Sec 5.1) index on it.
+	PC uint64
+}
+
+// Cost tallies the micro-architectural events of a lookup or fill. The
+// energy model prices these; the latency model uses Probes.
+type Cost struct {
+	// Probes counts sequential probe rounds. A conventional lookup is 1;
+	// hash-rehash lookups take one round per page size tried.
+	Probes int
+	// WaysRead counts tag+data entry reads (energy).
+	WaysRead int
+	// SetsFilled counts sets written during fill; MIX mirroring writes
+	// many (Sec 4.5).
+	SetsFilled int
+	// EntriesWritten counts entry writes during fill.
+	EntriesWritten int
+	// PredictorReads and PredictorWrites count page-size predictor
+	// accesses.
+	PredictorReads  int
+	PredictorWrites int
+}
+
+// Add accumulates d into c.
+func (c *Cost) Add(d Cost) {
+	c.Probes += d.Probes
+	c.WaysRead += d.WaysRead
+	c.SetsFilled += d.SetsFilled
+	c.EntriesWritten += d.EntriesWritten
+	c.PredictorReads += d.PredictorReads
+	c.PredictorWrites += d.PredictorWrites
+}
+
+// Result is the outcome of a lookup.
+type Result struct {
+	Hit bool
+	// T is the matching translation (page-aligned), valid when Hit. For
+	// coalesced entries it describes the specific member page covering
+	// the request.
+	T pagetable.Translation
+	// Dirty is the TLB entry's dirty bit. When false, a store through
+	// this translation must inject a PTE dirty-bit update micro-op
+	// (Sec 4.4).
+	Dirty bool
+	Cost  Cost
+}
+
+// TLB is the interface every design implements.
+type TLB interface {
+	// Name identifies the design for reports.
+	Name() string
+	// Lookup probes for req.VA.
+	Lookup(req Request) Result
+	// Fill inserts the walk's translation after a miss. Implementations
+	// that coalesce may consume walk.Line, the PTE cache line fetched by
+	// the walker. Translations whose accessed bit is unset must not be
+	// coalesced opportunistically (x86 rule, Sec 4.4) — the walker sets
+	// the bit on the demanded translation itself.
+	Fill(req Request, walk pagetable.WalkResult) Cost
+	// MarkDirty records that a store succeeded through va's entry, where
+	// the design can do so precisely. It reports whether future stores
+	// to va may skip the PTE update micro-op.
+	MarkDirty(va addr.V) bool
+	// Invalidate removes (or trims, for coalesced designs) entries
+	// translating va at the given page size, returning how many entries
+	// were touched.
+	Invalidate(va addr.V, size addr.PageSize) int
+	// Flush empties the TLB (context switch without PCIDs).
+	Flush()
+	// Entries reports total entry capacity, used for area-equivalent
+	// comparisons.
+	Entries() int
+}
+
+// DirtyRefresher is implemented by coalescing TLBs that can refresh an
+// entry's dirty state from the PTE cache line the dirty-bit micro-op just
+// accessed: the assist that writes one member's D bit reads the whole
+// 64-byte line, so the D bits of up to 8 neighbouring members come for
+// free. TLBs without the method get MarkDirty instead.
+type DirtyRefresher interface {
+	RefreshDirty(va addr.V, line []pagetable.Translation) bool
+}
+
+// BundleProvider is implemented by coalescing TLBs that can expand the
+// entry covering va into its member translations — the information an L1
+// refill copies out of a hit L2 entry. Returns nil when va misses.
+type BundleProvider interface {
+	Members(va addr.V) []pagetable.Translation
+}
+
+// Promoter is implemented by TLBs that distinguish a hierarchy promotion
+// (an L1 refill served by an L2 hit) from a page-walk fill. A promotion
+// fills only the set the missing request probed — designs that mirror on
+// walk fills (MIX) must not re-mirror on every promotion — but may
+// coalesce from line, the member translations the L2 entry vouches for.
+// TLBs without the method get a plain Fill.
+type Promoter interface {
+	Promote(req Request, t pagetable.Translation, line []pagetable.Translation) Cost
+}
+
+// entrySlot is the bookkeeping shared by the simple designs: one valid
+// translation plus an LRU stamp.
+type entrySlot struct {
+	valid bool
+	t     pagetable.Translation
+	dirty bool
+	stamp uint64
+}
+
+// victimIndex picks the way to replace in a set: an invalid way if any,
+// else the least-recently-used.
+func victimIndex(set []entrySlot) int {
+	victim, oldest := 0, ^uint64(0)
+	for i := range set {
+		if !set[i].valid {
+			return i
+		}
+		if set[i].stamp < oldest {
+			victim, oldest = i, set[i].stamp
+		}
+	}
+	return victim
+}

@@ -1,0 +1,223 @@
+// Package trace records and replays memory-reference traces, the
+// methodology backbone of the paper's CPU studies (Sec 6.2): the authors
+// collect Pin traces of native executions and feed them to the functional
+// simulator. Here, traces are captured from the synthetic workload
+// streams (or any Stream) into a compact binary format, and replayed as
+// streams — so experiments can run from frozen trace files, be shared,
+// and be re-run bit-identically without regenerating the workload.
+//
+// Format (little-endian, after an 8-byte magic/version header):
+//
+//	each record is one reference, delta-encoded against the previous:
+//	  flags byte: bit0 = write, bit1 = PC changed, bit2 = VA delta sign
+//	  uvarint     |VA delta| in bytes
+//	  uvarint     new PC (only when bit1 set)
+//
+// Delta encoding exploits the spatial locality of real reference streams;
+// sequential workloads compress to ~2 bytes per reference.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/workload"
+)
+
+// magic identifies trace files; the low byte is the format version.
+const magic uint64 = 0x4d49585442435201 // "MIXTBCR" + version 1
+
+const (
+	flagWrite     = 1 << 0
+	flagPCChanged = 1 << 1
+	flagNegDelta  = 1 << 2
+)
+
+// ErrBadMagic indicates the reader's input is not a trace file (or is a
+// different version).
+var ErrBadMagic = errors.New("trace: bad magic or unsupported version")
+
+// Writer encodes references to an io.Writer.
+type Writer struct {
+	w      *bufio.Writer
+	prevVA addr.V
+	prevPC uint64
+	n      uint64
+	buf    [2 * binary.MaxVarintLen64]byte
+	opened bool
+}
+
+// NewWriter starts a trace on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Append encodes one reference.
+func (t *Writer) Append(ref workload.Ref) error {
+	if !t.opened {
+		var hdr [8]byte
+		binary.LittleEndian.PutUint64(hdr[:], magic)
+		if _, err := t.w.Write(hdr[:]); err != nil {
+			return err
+		}
+		t.opened = true
+	}
+	var flags byte
+	if ref.Write {
+		flags |= flagWrite
+	}
+	if ref.PC != t.prevPC {
+		flags |= flagPCChanged
+	}
+	delta := int64(ref.VA) - int64(t.prevVA)
+	if delta < 0 {
+		flags |= flagNegDelta
+		delta = -delta
+	}
+	if err := t.w.WriteByte(flags); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(t.buf[:], uint64(delta))
+	if flags&flagPCChanged != 0 {
+		n += binary.PutUvarint(t.buf[n:], ref.PC)
+	}
+	if _, err := t.w.Write(t.buf[:n]); err != nil {
+		return err
+	}
+	t.prevVA, t.prevPC = ref.VA, ref.PC
+	t.n++
+	return nil
+}
+
+// Count returns the number of references appended so far.
+func (t *Writer) Count() uint64 { return t.n }
+
+// Flush writes buffered data through to the underlying writer.
+func (t *Writer) Flush() error {
+	if !t.opened { // an empty trace still carries the header
+		var hdr [8]byte
+		binary.LittleEndian.PutUint64(hdr[:], magic)
+		if _, err := t.w.Write(hdr[:]); err != nil {
+			return err
+		}
+		t.opened = true
+	}
+	return t.w.Flush()
+}
+
+// Record captures n references from a stream.
+func Record(w io.Writer, s workload.Stream, n uint64) error {
+	tw := NewWriter(w)
+	for i := uint64(0); i < n; i++ {
+		if err := tw.Append(s.Next()); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// Reader decodes a trace.
+type Reader struct {
+	r      *bufio.Reader
+	prevVA addr.V
+	prevPC uint64
+}
+
+// NewReader validates the header and returns a decoder.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint64(hdr[:]) != magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next decodes one reference; io.EOF signals a clean end of trace.
+func (t *Reader) Next() (workload.Ref, error) {
+	flags, err := t.r.ReadByte()
+	if err != nil {
+		return workload.Ref{}, err // io.EOF passes through
+	}
+	delta, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return workload.Ref{}, unexpectedEOF(err)
+	}
+	if flags&flagNegDelta != 0 {
+		t.prevVA -= addr.V(delta)
+	} else {
+		t.prevVA += addr.V(delta)
+	}
+	if flags&flagPCChanged != 0 {
+		pc, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			return workload.Ref{}, unexpectedEOF(err)
+		}
+		t.prevPC = pc
+	}
+	return workload.Ref{VA: t.prevVA, Write: flags&flagWrite != 0, PC: t.prevPC}, nil
+}
+
+// unexpectedEOF maps a mid-record EOF to ErrUnexpectedEOF so truncated
+// traces are distinguishable from complete ones.
+func unexpectedEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Replay adapts a Reader to workload.Stream, looping back to the start of
+// the decoded records when the trace ends (simulations often need more
+// references than the trace holds). It buffers the decoded records in
+// memory on the first pass.
+type Replay struct {
+	refs []workload.Ref
+	r    *Reader
+	pos  int
+	err  error
+}
+
+// NewReplay wraps a validated Reader.
+func NewReplay(r *Reader) *Replay { return &Replay{r: r} }
+
+// Err reports a decode error encountered during streaming (a Stream has
+// no error channel; check after the run).
+func (p *Replay) Err() error { return p.err }
+
+// Len returns the number of records decoded so far.
+func (p *Replay) Len() int { return len(p.refs) }
+
+// Drained reports whether the underlying trace has been fully decoded
+// (subsequent Next calls recycle the buffered records).
+func (p *Replay) Drained() bool { return p.r == nil }
+
+// Next implements workload.Stream.
+func (p *Replay) Next() workload.Ref {
+	if p.r != nil {
+		ref, err := p.r.Next()
+		switch {
+		case err == nil:
+			p.refs = append(p.refs, ref)
+			return ref
+		case errors.Is(err, io.EOF):
+			p.r = nil // wrap around to the buffered records
+		default:
+			p.err = err
+			p.r = nil
+		}
+	}
+	if len(p.refs) == 0 {
+		return workload.Ref{}
+	}
+	ref := p.refs[p.pos]
+	p.pos = (p.pos + 1) % len(p.refs)
+	return ref
+}

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"mixtlb/internal/addr"
+	"mixtlb/internal/simrand"
+)
+
+// Exported pattern constructors. The named workloads in Catalog compose
+// these; the GPU model and the examples build their own streams from the
+// same library.
+
+// NewSequential returns a stream scanning [base, base+size) with the given
+// stride (bytes), wrapping around. write marks every reference a store.
+func NewSequential(base addr.V, size, stride uint64, write bool, pcVal uint64) Stream {
+	return newSeq(region{base, size}, stride, write, pcVal)
+}
+
+// NewUniform returns uniformly random references over the window, each a
+// store with probability writeFrac.
+func NewUniform(base addr.V, size uint64, rng *simrand.Source, writeFrac float64, pcVal uint64) Stream {
+	return newUniform(region{base, size}, rng, writeFrac, pcVal)
+}
+
+// NewZipf returns page-granular Zipf-popular references (theta in (0,1)).
+func NewZipf(base addr.V, size uint64, rng *simrand.Source, theta, writeFrac float64, pcVal uint64) Stream {
+	return newZipf(region{base, size}, rng, theta, writeFrac, pcVal)
+}
+
+// NewPointerChase returns a stream following a random single-cycle
+// permutation over the window.
+func NewPointerChase(base addr.V, size uint64, rng *simrand.Source, pcVal uint64) Stream {
+	return newChase(region{base, size}, rng, pcVal)
+}
+
+// NewHashTable returns hash-table probe traffic with Zipf-popular keys.
+func NewHashTable(base addr.V, size uint64, rng *simrand.Source, theta, writeFrac float64, pcVal uint64) Stream {
+	return newHash(region{base, size}, rng, theta, writeFrac, pcVal)
+}
+
+// NewStencil returns a 5-point 2D stencil sweep with the given row size.
+func NewStencil(base addr.V, size, rowBytes uint64, pcVal uint64) Stream {
+	return newStencil(region{base, size}, rowBytes, pcVal)
+}
+
+// Weighted pairs a stream with its mix probability.
+type Weighted struct {
+	Stream Stream
+	Weight float64
+}
+
+// NewMix interleaves streams with the given weights (which should sum to
+// 1; the final stream absorbs any remainder).
+func NewMix(rng *simrand.Source, parts ...Weighted) Stream {
+	ws := make([]weighted, len(parts))
+	for i, p := range parts {
+		ws[i] = weighted{p.Stream, p.Weight}
+	}
+	return newMix(rng, ws...)
+}
