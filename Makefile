@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check build vet test race bench chaos
+
+# The full tier-1 gate: build, vet, and the test suite under the race
+# detector. Test failures print the reproducing seed — rerun the named
+# test with that seed to replay the exact fault sequence.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Quick fault-injection sweep: every design under TLB/PTE corruption,
+# lost IPIs, and transient OOM. The unrecovered column must be zero.
+chaos:
+	$(GO) run ./cmd/mixtlb -chaos -quick

@@ -211,8 +211,8 @@ func newSuperpageEnv(b *testing.B) *superpageEnv {
 // per-translation simulator throughput and the design's miss ratio.
 func benchDesign(b *testing.B, d mmu.Design) {
 	env := newSuperpageEnv(b)
-	m := mmu.Build(d, env.as.PageTable(), env.as.PageTable(),
-		cachesim.DefaultHierarchy(), env.as.HandleFault)
+	m := tlb.Must(mmu.Build(d, env.as.PageTable(), env.as.PageTable(),
+		cachesim.DefaultHierarchy(), env.as.HandleFault))
 	stream := workload.NewZipf(env.base, env.fp, simrand.New(1), 0.9, 0.2, 0xbe)
 	for i := 0; i < 50_000; i++ { // warm
 		ref := stream.Next()
@@ -244,8 +244,8 @@ func BenchmarkAlignmentRestriction(b *testing.B) {
 			env := newSuperpageEnv(b)
 			cfg := core.L1Config()
 			cfg.NoAlignmentRestriction = !restricted
-			m := mmu.New(mmu.Config{Name: cfg.Name, L1: core.New(cfg)},
-				env.as.PageTable(), cachesim.DefaultHierarchy(), env.as.HandleFault)
+			m := tlb.Must(mmu.New(mmu.Config{Name: cfg.Name, L1: tlb.Must(core.New(cfg))},
+				env.as.PageTable(), cachesim.DefaultHierarchy(), env.as.HandleFault))
 			stream := workload.NewZipf(env.base, env.fp, simrand.New(1), 0.9, 0, 0xaa)
 			for i := 0; i < 50_000; i++ {
 				ref := stream.Next()
@@ -275,8 +275,8 @@ func BenchmarkFillStrategy(b *testing.B) {
 			env := newSuperpageEnv(b)
 			cfg := core.L1Config()
 			cfg.MirrorProbedSetOnly = probedOnly
-			m := mmu.New(mmu.Config{Name: cfg.Name, L1: core.New(cfg)},
-				env.as.PageTable(), cachesim.DefaultHierarchy(), env.as.HandleFault)
+			m := tlb.Must(mmu.New(mmu.Config{Name: cfg.Name, L1: tlb.Must(core.New(cfg))},
+				env.as.PageTable(), cachesim.DefaultHierarchy(), env.as.HandleFault))
 			stream := workload.NewZipf(env.base, env.fp, simrand.New(1), 0.9, 0, 0xab)
 			for i := 0; i < 50_000; i++ {
 				ref := stream.Next()
@@ -297,7 +297,7 @@ func BenchmarkFillStrategy(b *testing.B) {
 // BenchmarkMixLookupHit measures the simulator's raw lookup cost on a
 // resident superpage bundle.
 func BenchmarkMixLookupHit(b *testing.B) {
-	m := core.New(core.L1Config())
+	m := tlb.Must(core.New(core.L1Config()))
 	trs := make([]pagetable.Translation, 8)
 	for i := range trs {
 		trs[i] = pagetable.Translation{
@@ -317,7 +317,7 @@ func BenchmarkMixLookupHit(b *testing.B) {
 
 // BenchmarkMixFill measures the cost of a coalescing mirrored fill.
 func BenchmarkMixFill(b *testing.B) {
-	m := core.New(core.L1Config())
+	m := tlb.Must(core.New(core.L1Config()))
 	trs := make([]pagetable.Translation, 8)
 	for i := range trs {
 		trs[i] = pagetable.Translation{

@@ -2,29 +2,42 @@
 // simulator. List experiments with -list, run one with -exp fig14, or run
 // everything with -exp all. The -quick flag trades fidelity for speed
 // (useful for smoke runs); -csv emits machine-readable output.
+//
+// Every experiment runs under a crash-safe harness: panics are recovered
+// into a diagnostic carrying the reproducing seed, each experiment gets a
+// wall-clock timeout (-timeout, 0 disables), and partial tables — rows
+// finished before a failure — are still printed. The chaos experiment
+// (-exp chaos, or the -chaos shorthand) sweeps every TLB design under
+// fault injection; -fault-scale multiplies the default fault rates.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"mixtlb/internal/chaos"
 	"mixtlb/internal/experiments"
+	"mixtlb/internal/stats"
 )
 
 func main() {
 	var (
-		expName   = flag.String("exp", "", "experiment to run (see -list), or 'all'")
-		list      = flag.Bool("list", false, "list available experiments")
-		quick     = flag.Bool("quick", false, "use the small quick scale instead of the default")
-		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		memGB     = flag.Uint64("mem-gb", 0, "override system memory (GiB)")
-		footGB    = flag.Uint64("footprint-gb", 0, "override workload footprint (GiB)")
-		refs      = flag.Uint64("refs", 0, "override measured references per simulation")
-		seed      = flag.Uint64("seed", 0, "override random seed")
-		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+		expName    = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		list       = flag.Bool("list", false, "list available experiments")
+		quick      = flag.Bool("quick", false, "use the small quick scale instead of the default")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		memGB      = flag.Uint64("mem-gb", 0, "override system memory (GiB)")
+		footGB     = flag.Uint64("footprint-gb", 0, "override workload footprint (GiB)")
+		refs       = flag.Uint64("refs", 0, "override measured references per simulation")
+		seed       = flag.Uint64("seed", 0, "override random seed")
+		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+		chaosRun   = flag.Bool("chaos", false, "shorthand for -exp chaos")
+		faultScale = flag.Float64("fault-scale", 1, "multiply the default chaos fault rates")
+		timeout    = flag.Duration("timeout", 10*time.Minute, "per-experiment wall-clock timeout (0 disables)")
 	)
 	flag.Parse()
 
@@ -35,8 +48,11 @@ func main() {
 		}
 		return
 	}
+	if *chaosRun && *expName == "" {
+		*expName = "chaos"
+	}
 	if *expName == "" {
-		fmt.Fprintln(os.Stderr, "usage: mixtlb -exp <name>|all [-quick] [-csv]; see -list")
+		fmt.Fprintln(os.Stderr, "usage: mixtlb -exp <name>|all [-quick] [-csv] [-chaos]; see -list")
 		os.Exit(2)
 	}
 
@@ -60,6 +76,9 @@ func main() {
 	if *workloads != "" {
 		scale.Workloads = strings.Split(*workloads, ",")
 	}
+	if *faultScale != 1 {
+		scale.Chaos = chaos.DefaultRates().Scaled(*faultScale)
+	}
 
 	var toRun []experiments.Experiment
 	if *expName == "all" {
@@ -73,18 +92,42 @@ func main() {
 		toRun = []experiments.Experiment{e}
 	}
 
+	exitCode := 0
 	for _, e := range toRun {
 		start := time.Now()
-		tbl, err := e.Run(scale)
+		tbl, err := experiments.RunSafe(e, scale, *timeout)
 		if err != nil {
+			// Print whatever completed, then the failure with its
+			// reproducing seed.
+			if tbl != nil && len(tbl.Rows) > 0 {
+				fmt.Fprintf(os.Stderr, "[%s: partial results — %d rows completed before failure]\n", e.Name, len(tbl.Rows))
+				printTable(tbl, *csv)
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
-			os.Exit(1)
+			var pe *experiments.PanicError
+			if errors.As(err, &pe) {
+				fmt.Fprintf(os.Stderr, "reproduce: mixtlb -exp %s -seed %d\n%s\n", e.Name, pe.Seed, pe.Stack)
+			}
+			var te *experiments.TimeoutError
+			if errors.As(err, &te) {
+				fmt.Fprintf(os.Stderr, "reproduce: mixtlb -exp %s -seed %d -timeout 0\n", e.Name, te.Seed)
+			}
+			exitCode = 1
+			continue
 		}
-		if *csv {
-			fmt.Printf("# %s\n%s\n", tbl.Title, tbl.CSV())
-		} else {
-			fmt.Println(tbl.String())
-		}
+		printTable(tbl, *csv)
 		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+	os.Exit(exitCode)
+}
+
+func printTable(tbl *stats.Table, csv bool) {
+	if tbl == nil {
+		return
+	}
+	if csv {
+		fmt.Printf("# %s\n%s\n", tbl.Title, tbl.CSV())
+	} else {
+		fmt.Println(tbl.String())
 	}
 }

@@ -185,8 +185,11 @@ func run(args []string) {
 	if _, err := as.Populate(vmaBase, span); err != nil {
 		log.Fatal(err)
 	}
-	m := mmu.Build(mmu.Design(*designName), as.PageTable(), as.PageTable(),
+	m, err := mmu.Build(mmu.Design(*designName), as.PageTable(), as.PageTable(),
 		cachesim.DefaultHierarchy(), as.HandleFault)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	pos := 0
 	simulate := func(n uint64) {

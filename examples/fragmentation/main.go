@@ -46,8 +46,11 @@ func main() {
 		rep := osmm.ScanContiguity(as.PageTable())
 
 		measure := func(d mmu.Design) float64 {
-			m := mmu.Build(d, as.PageTable(), as.PageTable(),
+			m, err := mmu.Build(d, as.PageTable(), as.PageTable(),
 				cachesim.DefaultHierarchy(), as.HandleFault)
+			if err != nil {
+				log.Fatal(err)
+			}
 			stream := workload.NewZipf(base, fp, simrand.New(3), 0.9, 0.1, 0xfeed)
 			for i := 0; i < 100_000; i++ {
 				ref := stream.Next()

@@ -38,7 +38,10 @@ func main() {
 	}
 	const cores = 8
 	for _, d := range []mmu.Design{mmu.DesignSplit, mmu.DesignMix, mmu.DesignRehash, mmu.DesignSkew} {
-		sys := gpu.New(gpu.Config{Cores: cores, Design: d}, as, cachesim.DefaultHierarchy())
+		sys, err := gpu.New(gpu.Config{Cores: cores, Design: d}, as, cachesim.DefaultHierarchy())
+		if err != nil {
+			log.Fatal(err)
+		}
 		sys.AttachStreams(func(id int) workload.Stream {
 			return kernel.Build(id, cores, base, footprint, simrand.New(uint64(id)))
 		})

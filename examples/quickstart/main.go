@@ -41,8 +41,11 @@ func main() {
 
 	// The same pointer-chasing workload drives both designs.
 	run := func(design mmu.Design) mmu.Stats {
-		m := mmu.Build(design, as.PageTable(), as.PageTable(),
+		m, err := mmu.Build(design, as.PageTable(), as.PageTable(),
 			cachesim.DefaultHierarchy(), as.HandleFault)
+		if err != nil {
+			log.Fatal(err)
+		}
 		stream := workload.NewPointerChase(base, footprint, simrand.New(1), 0xc0de)
 		for i := 0; i < 200_000; i++ {
 			ref := stream.Next()

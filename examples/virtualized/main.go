@@ -48,7 +48,10 @@ func main() {
 
 	// Run a graph workload inside VM 0 under both TLB designs.
 	for _, d := range []mmu.Design{mmu.DesignSplit, mmu.DesignMix} {
-		m := mmu.Build(d, vms[0].Walker(), nil, cachesim.DefaultHierarchy(), vms[0].HandleFault)
+		m, err := mmu.Build(d, vms[0].Walker(), nil, cachesim.DefaultHierarchy(), vms[0].HandleFault)
+		if err != nil {
+			log.Fatal(err)
+		}
 		spec, err := workload.ByName("graph500")
 		if err != nil {
 			log.Fatal(err)

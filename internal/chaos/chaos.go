@@ -1,0 +1,243 @@
+// Package chaos is the deterministic fault-injection subsystem: a
+// seed-driven Injector that attacks the invariants the MIX TLB design
+// depends on (mirror coherence, duplicate elimination, shootdown
+// completeness, superpage allocation), plus a translation Oracle that
+// cross-checks every MMU result against page-table ground truth.
+//
+// Every fault decision is drawn from one simrand stream, so a run is
+// reproducible from (seed, rates) alone — a failing chaos experiment
+// prints its seed and can be replayed exactly. All Injector methods are
+// nil-receiver safe: a nil *Injector injects nothing, so production paths
+// carry no conditional plumbing.
+//
+// Fault kinds and the graceful-degradation path each one exercises:
+//
+//   - TLB entry corruption (CorruptTLBHit): a bit flip in a cached
+//     translation's frame number. Most flips are parity-detectable and the
+//     MMU invalidates the entry and re-walks (detect-invalidate-rewalk);
+//     a configurable fraction is multi-bit/silent and must be caught by
+//     the Oracle before a wrong physical address reaches the workload.
+//   - PTE-fetch corruption (CorruptWalk): the walker's PTE read returns a
+//     flipped frame number. Always silent — hardware walkers have no
+//     end-to-end parity on the composed translation — so only the Oracle
+//     stands between it and the workload.
+//   - Lost/delayed shootdown IPIs (DropIPI/DelayIPI): exercised by the
+//     smp package's bounded retry/ack protocol.
+//   - Transient allocation failure (FailAlloc): the buddy allocator
+//     spuriously fails superpage-order allocations, forcing the OS to
+//     degrade to 4KB mappings instead of failing the fault.
+package chaos
+
+import (
+	"mixtlb/internal/addr"
+	"mixtlb/internal/pagetable"
+	"mixtlb/internal/simrand"
+)
+
+// Rates configures per-event fault probabilities, all in [0, 1].
+type Rates struct {
+	// TLBCorrupt is the per-hit probability that the cached translation
+	// read out of a TLB is corrupted.
+	TLBCorrupt float64
+	// SilentFrac is the fraction of TLB corruptions that escape parity
+	// (multi-bit flips). The rest are detected on read.
+	SilentFrac float64
+	// PTECorrupt is the per-walk probability that the walked translation's
+	// frame number is corrupted in flight.
+	PTECorrupt float64
+	// IPILoss is the per-IPI probability that a shootdown interrupt is
+	// dropped and must be retried.
+	IPILoss float64
+	// IPIDelay is the per-IPI probability of a delayed (but delivered)
+	// interrupt.
+	IPIDelay float64
+	// AllocFail is the per-allocation probability that a superpage-order
+	// buddy allocation transiently fails.
+	AllocFail float64
+}
+
+// Zero reports whether every rate is zero (no faults will ever fire).
+func (r Rates) Zero() bool {
+	return r.TLBCorrupt == 0 && r.PTECorrupt == 0 &&
+		r.IPILoss == 0 && r.IPIDelay == 0 && r.AllocFail == 0
+}
+
+// DefaultRates is an aggressive mix used by the chaos experiment: frequent
+// enough that short runs exercise every fault path, survivable because
+// every path recovers.
+func DefaultRates() Rates {
+	return Rates{
+		TLBCorrupt: 2e-3,
+		SilentFrac: 0.25,
+		PTECorrupt: 1e-3,
+		IPILoss:    0.2,
+		IPIDelay:   0.1,
+		AllocFail:  0.1,
+	}
+}
+
+// Scaled returns the rates with every probability multiplied by f
+// (clamped to 1), for sweeping fault intensity.
+func (r Rates) Scaled(f float64) Rates {
+	c := func(p float64) float64 {
+		p *= f
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	r.TLBCorrupt = c(r.TLBCorrupt)
+	r.PTECorrupt = c(r.PTECorrupt)
+	r.IPILoss = c(r.IPILoss)
+	r.IPIDelay = c(r.IPIDelay)
+	r.AllocFail = c(r.AllocFail)
+	return r
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	TLBCorruptions uint64 // total TLB read corruptions injected
+	TLBDetected    uint64 // subset flagged parity-detectable
+	TLBSilent      uint64 // subset that escaped parity
+	PTECorruptions uint64 // walker results corrupted
+	IPIsDropped    uint64
+	IPIsDelayed    uint64
+	AllocFailures  uint64 // transient superpage allocation failures
+}
+
+// Outcome classifies one CorruptTLBHit decision.
+type Outcome int
+
+const (
+	// FaultNone: the read was clean.
+	FaultNone Outcome = iota
+	// FaultDetected: the entry is corrupt and parity caught it before
+	// use; the MMU must invalidate and re-walk.
+	FaultDetected
+	// FaultSilent: the translation was corrupted undetectably; the caller
+	// proceeds with a wrong physical address unless an oracle intervenes.
+	FaultSilent
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case FaultDetected:
+		return "detected"
+	case FaultSilent:
+		return "silent"
+	}
+	return "none"
+}
+
+// Injector draws fault decisions from a private deterministic stream.
+// A nil Injector is valid and injects nothing.
+type Injector struct {
+	seed  uint64
+	rates Rates
+	rng   *simrand.Source
+	stats Stats
+}
+
+// NewInjector builds an injector for the given seed and rates.
+func NewInjector(seed uint64, rates Rates) *Injector {
+	return &Injector{seed: seed, rates: rates, rng: simrand.New(seed)}
+}
+
+// Seed returns the reproducing seed.
+func (in *Injector) Seed() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// Rates returns the configured fault rates.
+func (in *Injector) Rates() Rates {
+	if in == nil {
+		return Rates{}
+	}
+	return in.rates
+}
+
+// Stats returns a snapshot of injected-fault counters.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return in.stats
+}
+
+// Enabled reports whether this injector can ever fire.
+func (in *Injector) Enabled() bool { return in != nil && !in.rates.Zero() }
+
+// flipPA flips one random frame-number bit of a translation, leaving the
+// page offset intact — the smallest corruption that still yields a wrong
+// physical address for every VA the entry covers.
+func (in *Injector) flipPA(t *pagetable.Translation) {
+	bit := uint(t.Size.Shift()) + uint(in.rng.Intn(20))
+	t.PA ^= addr.P(1) << bit
+}
+
+// CorruptTLBHit possibly corrupts a translation just read out of a TLB,
+// returning how the hardware experiences it. On FaultSilent the
+// translation's PA has been flipped in place; on FaultDetected the caller
+// must treat the entry as unusable (invalidate and re-walk) — the value is
+// left unmodified since parity stops it before use.
+func (in *Injector) CorruptTLBHit(t *pagetable.Translation) Outcome {
+	if in == nil || in.rates.TLBCorrupt <= 0 || !in.rng.Bool(in.rates.TLBCorrupt) {
+		return FaultNone
+	}
+	in.stats.TLBCorruptions++
+	if in.rng.Bool(in.rates.SilentFrac) {
+		in.stats.TLBSilent++
+		in.flipPA(t)
+		return FaultSilent
+	}
+	in.stats.TLBDetected++
+	return FaultDetected
+}
+
+// CorruptWalk possibly corrupts a successful walk's demanded translation
+// in place (the Line neighbours are left alone: only the demanded PTE's
+// composed result transits the corrupted path). Reports whether a
+// corruption was injected.
+func (in *Injector) CorruptWalk(w *pagetable.WalkResult) bool {
+	if in == nil || !w.Found || in.rates.PTECorrupt <= 0 || !in.rng.Bool(in.rates.PTECorrupt) {
+		return false
+	}
+	in.stats.PTECorruptions++
+	in.flipPA(&w.Translation)
+	return true
+}
+
+// DropIPI reports whether a shootdown IPI should be dropped (lost on the
+// interconnect, to be retried by the sender).
+func (in *Injector) DropIPI() bool {
+	if in == nil || in.rates.IPILoss <= 0 || !in.rng.Bool(in.rates.IPILoss) {
+		return false
+	}
+	in.stats.IPIsDropped++
+	return true
+}
+
+// DelayIPI reports whether a shootdown IPI is delayed before delivery.
+func (in *Injector) DelayIPI() bool {
+	if in == nil || in.rates.IPIDelay <= 0 || !in.rng.Bool(in.rates.IPIDelay) {
+		return false
+	}
+	in.stats.IPIsDelayed++
+	return true
+}
+
+// FailAlloc reports whether a buddy allocation of the given order should
+// transiently fail. Order-0 (4KB) allocations never fail: the degradation
+// contract is superpage→4KB fallback, and 4KB frames also back page-table
+// pages, whose allocation failure would not be a *graceful* degradation.
+func (in *Injector) FailAlloc(order uint) bool {
+	if in == nil || order == 0 || in.rates.AllocFail <= 0 || !in.rng.Bool(in.rates.AllocFail) {
+		return false
+	}
+	in.stats.AllocFailures++
+	return true
+}

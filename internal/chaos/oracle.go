@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"fmt"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/pagetable"
+)
+
+// Mismatch is the typed diagnostic the oracle emits when a translation
+// disagrees with page-table ground truth: which design produced it, for
+// which VA, at which claimed page size, from which level of the hierarchy.
+// It implements error so harnesses can return it directly.
+type Mismatch struct {
+	// Design names the MMU configuration that produced the translation.
+	Design string
+	// Provenance is where the wrong answer came from: "L1", "L2", or
+	// "walk".
+	Provenance string
+	// VA is the translated virtual address.
+	VA addr.V
+	// Size is the page size the hit claimed.
+	Size addr.PageSize
+	// Got is the physical address the MMU returned; Want is ground truth.
+	Got, Want addr.P
+	// Unmapped is set when the TLB hit on a VA the page table no longer
+	// maps at all (a stale entry surviving an invalidation).
+	Unmapped bool
+	// Seq is the oracle's check counter at detection time, locating the
+	// failure within a deterministic replay.
+	Seq uint64
+}
+
+// Error implements error.
+func (m *Mismatch) Error() string {
+	if m.Unmapped {
+		return fmt.Sprintf("chaos: %s %s hit on unmapped VA %#x (size %v, got PA %#x, check #%d)",
+			m.Design, m.Provenance, uint64(m.VA), m.Size, uint64(m.Got), m.Seq)
+	}
+	return fmt.Sprintf("chaos: %s %s translated VA %#x (size %v) to PA %#x, ground truth %#x (check #%d)",
+		m.Design, m.Provenance, uint64(m.VA), m.Size, uint64(m.Got), uint64(m.Want), m.Seq)
+}
+
+// maxKeptMismatches bounds the retained diagnostics; the count is always
+// exact.
+const maxKeptMismatches = 32
+
+// Oracle cross-checks translations against the authoritative page table.
+// A nil Oracle performs no checks. The oracle holds the *native* page
+// table: for virtualized MMUs (nested walks) there is no single-level
+// ground truth and the oracle is not attached.
+type Oracle struct {
+	pt       *pagetable.PageTable
+	checks   uint64
+	mismatch uint64
+	kept     []Mismatch
+}
+
+// NewOracle builds an oracle over the given page table.
+func NewOracle(pt *pagetable.PageTable) *Oracle { return &Oracle{pt: pt} }
+
+// Check verifies one translation result, returning a Mismatch when the
+// result disagrees with the page table (nil otherwise, and always nil on a
+// nil receiver).
+func (o *Oracle) Check(design, provenance string, va addr.V, size addr.PageSize, got addr.P) *Mismatch {
+	if o == nil {
+		return nil
+	}
+	o.checks++
+	tr, ok := o.pt.Lookup(va)
+	// The PA must match ground truth and the claimed page size must match
+	// the mapping: an entry with the right PA but an inflated size lies
+	// about its reach and will go wrong on a neighbouring VA.
+	if ok && tr.Translate(va) == got && tr.Size == size {
+		return nil
+	}
+	o.mismatch++
+	m := &Mismatch{
+		Design: design, Provenance: provenance, VA: va, Size: size,
+		Got: got, Unmapped: !ok, Seq: o.checks,
+	}
+	if ok {
+		m.Want = tr.Translate(va)
+	}
+	if len(o.kept) < maxKeptMismatches {
+		o.kept = append(o.kept, *m)
+	}
+	return m
+}
+
+// GroundTruth returns the page table's translation for va.
+func (o *Oracle) GroundTruth(va addr.V) (pagetable.Translation, bool) {
+	if o == nil {
+		return pagetable.Translation{}, false
+	}
+	return o.pt.Lookup(va)
+}
+
+// Checks returns the number of translations verified.
+func (o *Oracle) Checks() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.checks
+}
+
+// MismatchCount returns the number of mismatches detected (including any
+// beyond the retained diagnostics).
+func (o *Oracle) MismatchCount() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.mismatch
+}
+
+// Mismatches returns the first retained diagnostics (at most 32).
+func (o *Oracle) Mismatches() []Mismatch {
+	if o == nil {
+		return nil
+	}
+	return o.kept
+}

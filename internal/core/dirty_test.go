@@ -16,7 +16,7 @@ func dtr(vpn, ppn uint64, dirty bool) pagetable.Translation {
 }
 
 func TestDirtyGroupsSeededAtFill(t *testing.T) {
-	m := New(L1Config()) // K=16: two groups of 8
+	m := mustNew(L1Config()) // K=16: two groups of 8
 	// Group 0 (slots 0-7) all dirty; group 1 (slots 8-15) has one clean.
 	line := []pagetable.Translation{
 		dtr(32, 100, true), dtr(33, 101, true), dtr(34, 102, true), dtr(35, 103, true),
@@ -38,7 +38,7 @@ func TestDirtyGroupsSeededAtFill(t *testing.T) {
 }
 
 func TestRefreshDirtySetsGroup(t *testing.T) {
-	m := New(L1Config())
+	m := mustNew(L1Config())
 	a, b := dtr(32, 100, false), dtr(33, 101, false)
 	m.Fill(tlb.Request{VA: a.VA}, walkOf(a, b))
 	if r := look(m, a.VA); r.Dirty {
@@ -64,7 +64,7 @@ func TestRefreshDirtySetsGroup(t *testing.T) {
 }
 
 func TestRefreshDirtyPlain4K(t *testing.T) {
-	m := New(L1Config())
+	m := mustNew(L1Config())
 	p := tr(0x77, 0x88, addr.Page4K)
 	m.Fill(tlb.Request{VA: p.VA}, walkOf(p))
 	if !m.RefreshDirty(p.VA, []pagetable.Translation{p}) {
@@ -82,7 +82,7 @@ func TestRefreshDirtyPlain4K(t *testing.T) {
 func TestNoDirtyGroupsAblation(t *testing.T) {
 	cfg := L1Config()
 	cfg.NoDirtyGroups = true
-	m := New(cfg)
+	m := mustNew(cfg)
 	a, b := dtr(32, 100, true), dtr(33, 101, true)
 	m.Fill(tlb.Request{VA: a.VA}, walkOf(a, b))
 	// All-dirty fill still sets the whole-bundle bit (AND semantics).
@@ -100,7 +100,7 @@ func TestNoDirtyGroupsAblation(t *testing.T) {
 }
 
 func TestDirtyGroupsSurviveMergeConservatively(t *testing.T) {
-	m := New(L1Config())
+	m := mustNew(L1Config())
 	// Bundle with group 0 all-dirty.
 	a, b := dtr(32, 100, true), dtr(33, 101, true)
 	m.Fill(tlb.Request{VA: a.VA}, walkOf(a, b))
@@ -115,7 +115,7 @@ func TestDirtyGroupsSurviveMergeConservatively(t *testing.T) {
 		t.Error("group exemption survived merging a clean member")
 	}
 	// A clean member in the *other* group leaves group 0 exempt.
-	m2 := New(L1Config())
+	m2 := mustNew(L1Config())
 	m2.Fill(tlb.Request{VA: a.VA}, walkOf(a, b))
 	e := dtr(41, 109, false) // slot 9: group 1
 	m2.Fill(tlb.Request{VA: e.VA}, walkOf(e))
@@ -125,7 +125,7 @@ func TestDirtyGroupsSurviveMergeConservatively(t *testing.T) {
 }
 
 func TestMembersExpansion(t *testing.T) {
-	m := New(L1Config())
+	m := mustNew(L1Config())
 	line := []pagetable.Translation{
 		tr(32, 100, addr.Page2M), tr(33, 101, addr.Page2M), tr(34, 102, addr.Page2M),
 	}
@@ -151,7 +151,7 @@ func TestMembersExpansion(t *testing.T) {
 }
 
 func TestPromoteCoalescesBundle(t *testing.T) {
-	m := New(L1Config())
+	m := mustNew(L1Config())
 	line := []pagetable.Translation{
 		tr(32, 100, addr.Page2M), tr(33, 101, addr.Page2M),
 		tr(34, 102, addr.Page2M), tr(35, 103, addr.Page2M),
@@ -176,7 +176,7 @@ func TestPromoteCoalescesBundle(t *testing.T) {
 		t.Error("promotion mirrored beyond the probed set")
 	}
 	// Promote with empty line falls back to a singleton.
-	m2 := New(L1Config())
+	m2 := mustNew(L1Config())
 	if c := m2.Promote(tlb.Request{VA: line[0].VA}, line[0], nil); c.SetsFilled != 1 {
 		t.Errorf("singleton promote cost: %+v", c)
 	}

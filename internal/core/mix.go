@@ -150,6 +150,7 @@ type Stats struct {
 	MembersPerFill  uint64 // total members across bundle fills (avg = /BundlesFilled)
 	HolesRepresent  uint64 // bitmap fills whose member set had holes
 	RangeTruncation uint64 // range fills that dropped non-prefix members
+	CorruptionScrubs uint64 // entries dropped by ScrubCorrupt (ECC scrubbing)
 }
 
 // MixTLB implements tlb.TLB.
@@ -196,19 +197,19 @@ type entry struct {
 var _ tlb.TLB = (*MixTLB)(nil)
 
 // New builds a MIX TLB from cfg.
-func New(cfg Config) *MixTLB {
+func New(cfg Config) (*MixTLB, error) {
 	if cfg.Sets <= 0 || !addr.IsPow2(uint64(cfg.Sets)) || cfg.Ways <= 0 {
-		panic(fmt.Sprintf("core: bad geometry %dx%d", cfg.Sets, cfg.Ways))
+		return nil, fmt.Errorf("core: invalid %s config: bad geometry %dx%d", cfg.Name, cfg.Sets, cfg.Ways)
 	}
 	maxK := 64
 	if cfg.Encoding == Range {
 		maxK = 256
 	}
 	if cfg.Coalesce <= 0 || cfg.Coalesce > maxK || !addr.IsPow2(uint64(cfg.Coalesce)) {
-		panic(fmt.Sprintf("core: bad coalesce limit %d for %v encoding", cfg.Coalesce, cfg.Encoding))
+		return nil, fmt.Errorf("core: invalid %s config: bad coalesce limit %d for %v encoding", cfg.Name, cfg.Coalesce, cfg.Encoding)
 	}
 	if cfg.SmallCoalesce != 0 && (cfg.SmallCoalesce < 0 || cfg.SmallCoalesce > maxK || !addr.IsPow2(uint64(cfg.SmallCoalesce))) {
-		panic(fmt.Sprintf("core: bad small-page coalesce limit %d", cfg.SmallCoalesce))
+		return nil, fmt.Errorf("core: invalid %s config: bad small-page coalesce limit %d", cfg.Name, cfg.SmallCoalesce)
 	}
 	if cfg.IndexShift == 0 {
 		cfg.IndexShift = addr.Shift4K
@@ -218,7 +219,7 @@ func New(cfg Config) *MixTLB {
 	for i := range m.data {
 		m.data[i] = make([]entry, cfg.Ways)
 	}
-	return m
+	return m, nil
 }
 
 // Name implements tlb.TLB.

@@ -492,6 +492,34 @@ func (m *MixTLB) Invalidate(va addr.V, size addr.PageSize) int {
 	return n
 }
 
+// ScrubCorrupt implements tlb.Scrubber: drop the entry (and any mirrors)
+// covering va after a detected parity error. Unlike a software
+// invalidation, a scrub cannot trust the corrupted entry's contents, so
+// the full member bundle is discarded rather than a single member bit.
+func (m *MixTLB) ScrubCorrupt(va addr.V, size addr.PageSize) int {
+	n := 0
+	for _, set := range m.data {
+		for i := range set {
+			e := &set[i]
+			if !e.valid || e.size != size {
+				continue
+			}
+			match := false
+			if e.k == 0 {
+				match = size == addr.Page4K && e.vpn == va.VPN4K()
+			} else if slot, ok := m.slotOf(e, va); ok {
+				match = e.memberPresent(m.cfg.Encoding, slot)
+			}
+			if match {
+				e.valid = false
+				n++
+			}
+		}
+	}
+	m.stats.CorruptionScrubs += uint64(n)
+	return n
+}
+
 // Flush implements tlb.TLB.
 func (m *MixTLB) Flush() {
 	for _, set := range m.data {

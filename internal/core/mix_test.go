@@ -24,6 +24,16 @@ func walkOf(trs ...pagetable.Translation) pagetable.WalkResult {
 	return pagetable.WalkResult{Found: true, Translation: trs[0], Line: trs}
 }
 
+// mustNew is the test-side constructor: every config in these tests is
+// statically valid, so an error is a test bug.
+func mustNew(cfg Config) *MixTLB {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
 func look(m *MixTLB, va addr.V) tlb.Result { return m.Lookup(tlb.Request{VA: va}) }
 
 func fill(m *MixTLB, w pagetable.WalkResult) tlb.Cost {
@@ -37,7 +47,7 @@ func cfg2set(ways int) Config {
 }
 
 func TestSmallPageFillAndLookup(t *testing.T) {
-	m := New(L1Config())
+	m := mustNew(L1Config())
 	fill(m, walkOf(tr(0x1234, 0x777, addr.Page4K)))
 	r := look(m, addr.V(0x1234<<12|0x42))
 	if !r.Hit {
@@ -60,7 +70,7 @@ func TestSmallPageFillAndLookup(t *testing.T) {
 // through one coalesced mirrored entry per set; lookups probe only the set
 // named by VA bit 12.
 func TestPaperFigure34(t *testing.T) {
-	m := New(cfg2set(2))
+	m := mustNew(cfg2set(2))
 	b := tr(2, 0, addr.Page2M) // B: VA 0x400000 -> PA 0x000000
 	c := tr(3, 1, addr.Page2M) // C: VA 0x600000 -> PA 0x200000
 	cost := fill(m, walkOf(b, c))
@@ -92,7 +102,7 @@ func TestPaperFigure34(t *testing.T) {
 }
 
 func TestMirroringCoversAllSets(t *testing.T) {
-	m := New(L1Config()) // 16 sets
+	m := mustNew(L1Config()) // 16 sets
 	cost := fill(m, walkOf(tr(2, 7, addr.Page2M)))
 	if cost.SetsFilled != 16 {
 		t.Errorf("fill wrote %d sets, want 16", cost.SetsFilled)
@@ -109,7 +119,7 @@ func TestCoalescingOffsetsMirroring(t *testing.T) {
 	// 16 contiguous superpages in a 16-set TLB: after filling (8 per
 	// line, extended by later misses), the whole 32MB should be TLB
 	// resident alongside room for other entries.
-	m := New(L1Config())
+	m := mustNew(L1Config())
 	trs := make([]pagetable.Translation, 16)
 	for i := range trs {
 		trs[i] = tr(uint64(16+i), uint64(100+i), addr.Page2M)
@@ -146,7 +156,7 @@ func TestCoalescingOffsetsMirroring(t *testing.T) {
 func TestAlignmentRestriction(t *testing.T) {
 	// K=2: only runs starting at even superpage numbers coalesce. Pages
 	// 3 and 4 are contiguous but straddle the window boundary.
-	m := New(cfg2set(4))
+	m := mustNew(cfg2set(4))
 	fill(m, walkOf(tr(3, 10, addr.Page2M), tr(4, 11, addr.Page2M)))
 	st := m.Stats()
 	if st.MembersPerFill != 1 {
@@ -163,7 +173,7 @@ func TestAlignmentRestriction(t *testing.T) {
 func TestNoAlignmentRestrictionAblation(t *testing.T) {
 	cfg := cfg2set(4)
 	cfg.NoAlignmentRestriction = true
-	m := New(cfg)
+	m := mustNew(cfg)
 	fill(m, walkOf(tr(3, 10, addr.Page2M), tr(4, 11, addr.Page2M)))
 	if m.Stats().MembersPerFill != 2 {
 		t.Errorf("unaligned run not coalesced: members=%d", m.Stats().MembersPerFill)
@@ -181,7 +191,7 @@ func TestNoAlignmentRestrictionAblation(t *testing.T) {
 func TestIncrementalExtension(t *testing.T) {
 	// Sec 4.2: a bundle grows when later misses touch adjacent superpages
 	// from other cache lines.
-	m := New(L1Config()) // K=16
+	m := mustNew(L1Config()) // K=16
 	fill(m, walkOf(tr(32, 50, addr.Page2M)))
 	// Adjacent superpage demanded later, alone in its (fabricated) line.
 	fill(m, walkOf(tr(33, 51, addr.Page2M)))
@@ -201,7 +211,7 @@ func TestIncrementalExtension(t *testing.T) {
 func TestFigure8DuplicatesAndElimination(t *testing.T) {
 	cfg := cfg2set(2)
 	cfg.BlindMirrors = true // the paper's Figure 8 behaviour
-	m := New(cfg)
+	m := mustNew(cfg)
 	b, c := tr(2, 0, addr.Page2M), tr(3, 1, addr.Page2M)
 	fill(m, walkOf(b, c)) // B-C mirrored into both sets
 
@@ -231,7 +241,7 @@ func TestFigure8DuplicatesAndElimination(t *testing.T) {
 
 func TestRangeEncodingPrefixRun(t *testing.T) {
 	cfg := Config{Name: "mix-range", Sets: 4, Ways: 4, Coalesce: 8, Encoding: Range, IndexShift: addr.Shift4K}
-	m := New(cfg)
+	m := mustNew(cfg)
 	// Members 8,9,10 contiguous; 12 present but after a hole at 11.
 	m.Fill(tlb.Request{VA: tr(9, 109, addr.Page2M).VA}, walkOf(
 		tr(9, 109, addr.Page2M), tr(8, 108, addr.Page2M),
@@ -254,7 +264,7 @@ func TestRangeEncodingPrefixRun(t *testing.T) {
 }
 
 func TestBitmapRepresentsHoles(t *testing.T) {
-	m := New(Config{Name: "m", Sets: 4, Ways: 4, Coalesce: 8, Encoding: Bitmap, IndexShift: addr.Shift4K})
+	m := mustNew(Config{Name: "m", Sets: 4, Ways: 4, Coalesce: 8, Encoding: Bitmap, IndexShift: addr.Shift4K})
 	m.Fill(tlb.Request{VA: tr(9, 109, addr.Page2M).VA}, walkOf(
 		tr(9, 109, addr.Page2M), tr(12, 112, addr.Page2M),
 	))
@@ -271,7 +281,7 @@ func TestBitmapRepresentsHoles(t *testing.T) {
 
 func TestInvalidationBitmapVsRange(t *testing.T) {
 	// Bitmap (L1): invalidating one superpage keeps its neighbours.
-	mb := New(Config{Name: "m", Sets: 4, Ways: 4, Coalesce: 8, Encoding: Bitmap, IndexShift: addr.Shift4K})
+	mb := mustNew(Config{Name: "m", Sets: 4, Ways: 4, Coalesce: 8, Encoding: Bitmap, IndexShift: addr.Shift4K})
 	mb.Fill(tlb.Request{VA: tr(8, 108, addr.Page2M).VA},
 		walkOf(tr(8, 108, addr.Page2M), tr(9, 109, addr.Page2M)))
 	if n := mb.Invalidate(addr.V(8)<<21, addr.Page2M); n == 0 {
@@ -284,7 +294,7 @@ func TestInvalidationBitmapVsRange(t *testing.T) {
 		t.Error("bitmap neighbour lost on invalidation")
 	}
 	// Range (L2): the whole coalesced entry is dropped.
-	mr := New(Config{Name: "m", Sets: 4, Ways: 4, Coalesce: 8, Encoding: Range, IndexShift: addr.Shift4K})
+	mr := mustNew(Config{Name: "m", Sets: 4, Ways: 4, Coalesce: 8, Encoding: Range, IndexShift: addr.Shift4K})
 	mr.Fill(tlb.Request{VA: tr(8, 108, addr.Page2M).VA},
 		walkOf(tr(8, 108, addr.Page2M), tr(9, 109, addr.Page2M)))
 	mr.Invalidate(addr.V(8)<<21, addr.Page2M)
@@ -294,7 +304,7 @@ func TestInvalidationBitmapVsRange(t *testing.T) {
 }
 
 func TestInvalidate4K(t *testing.T) {
-	m := New(L1Config())
+	m := mustNew(L1Config())
 	fill(m, walkOf(tr(0x55, 0x66, addr.Page4K)))
 	if n := m.Invalidate(addr.V(0x55)<<12, addr.Page4K); n != 1 {
 		t.Errorf("Invalidate = %d", n)
@@ -305,7 +315,7 @@ func TestInvalidate4K(t *testing.T) {
 }
 
 func TestDirtyPolicy(t *testing.T) {
-	m := New(L1Config())
+	m := mustNew(L1Config())
 	// Coalescing a dirty and a clean superpage: bundle dirty = AND = false.
 	dirtyTr := tr(32, 1, addr.Page2M)
 	dirtyTr.Dirty = true
@@ -346,7 +356,7 @@ func TestDirtyPolicy(t *testing.T) {
 }
 
 func TestPermissionGate(t *testing.T) {
-	m := New(L1Config())
+	m := mustNew(L1Config())
 	a := tr(32, 1, addr.Page2M)
 	b := tr(33, 2, addr.Page2M)
 	b.Perm = addr.PermRead // differs
@@ -360,7 +370,7 @@ func TestPermissionGate(t *testing.T) {
 }
 
 func TestAccessedBitGate(t *testing.T) {
-	m := New(L1Config())
+	m := mustNew(L1Config())
 	a := tr(32, 1, addr.Page2M)
 	b := tr(33, 2, addr.Page2M)
 	b.Accessed = false
@@ -371,7 +381,7 @@ func TestAccessedBitGate(t *testing.T) {
 }
 
 func TestPhysicalContiguityRequired(t *testing.T) {
-	m := New(L1Config())
+	m := mustNew(L1Config())
 	a := tr(32, 1, addr.Page2M)
 	b := tr(33, 7, addr.Page2M) // virtually adjacent, physically not
 	m.Fill(tlb.Request{VA: a.VA}, walkOf(a, b))
@@ -395,7 +405,7 @@ func TestSuperpageIndexAblation(t *testing.T) {
 	// pages collide in one set.
 	cfg := L1Config()
 	cfg.IndexShift = addr.Shift2M
-	m := New(cfg)
+	m := mustNew(cfg)
 	// 7 adjacent 4KB pages (all inside one 2MB region) in a 6-way TLB:
 	// they all index the same set, so one must be evicted.
 	for i := uint64(0); i < 7; i++ {
@@ -411,7 +421,7 @@ func TestSuperpageIndexAblation(t *testing.T) {
 		t.Errorf("%d/7 adjacent pages resident; want exactly ways=6 (set conflict)", hits)
 	}
 	// Under small-page indexing the same 7 pages coexist.
-	m2 := New(L1Config())
+	m2 := mustNew(L1Config())
 	for i := uint64(0); i < 7; i++ {
 		fill(m2, walkOf(tr(i, i+100, addr.Page4K)))
 	}
@@ -429,7 +439,7 @@ func TestSuperpageIndexAblation(t *testing.T) {
 func TestMirrorProbedSetOnlyAblation(t *testing.T) {
 	cfg := L1Config()
 	cfg.MirrorProbedSetOnly = true
-	m := New(cfg)
+	m := mustNew(cfg)
 	base := addr.V(2) << 21
 	m.Fill(tlb.Request{VA: base}, walkOf(tr(2, 7, addr.Page2M)))
 	if !look(m, base).Hit {
@@ -442,7 +452,7 @@ func TestMirrorProbedSetOnlyAblation(t *testing.T) {
 }
 
 func Test1GBPages(t *testing.T) {
-	m := New(L1Config())
+	m := mustNew(L1Config())
 	g := tr(1, 3, addr.Page1G)
 	g2 := tr(2, 4, addr.Page1G) // window [0,16): slots 1,2 — wait, slot 1 and 2
 	fill(m, walkOf(g, g2))
@@ -469,7 +479,7 @@ func Test1GBPages(t *testing.T) {
 }
 
 func TestFlush(t *testing.T) {
-	m := New(L1Config())
+	m := mustNew(L1Config())
 	fill(m, walkOf(tr(2, 7, addr.Page2M)))
 	fill(m, walkOf(tr(0x123, 0x456, addr.Page4K)))
 	m.Flush()
@@ -478,7 +488,7 @@ func TestFlush(t *testing.T) {
 	}
 }
 
-func TestBadConfigPanics(t *testing.T) {
+func TestBadConfigErrors(t *testing.T) {
 	for _, cfg := range []Config{
 		{Sets: 3, Ways: 4, Coalesce: 8},
 		{Sets: 4, Ways: 0, Coalesce: 8},
@@ -486,14 +496,9 @@ func TestBadConfigPanics(t *testing.T) {
 		{Sets: 4, Ways: 4, Coalesce: 128},
 		{Sets: 4, Ways: 4, Coalesce: 5},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("New(%+v) did not panic", cfg)
-				}
-			}()
-			New(cfg)
-		}()
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) returned no error", cfg)
+		}
 	}
 }
 
@@ -508,7 +513,7 @@ func TestTranslationCorrectnessProperty(t *testing.T) {
 		if useRange {
 			enc = Range
 		}
-		m := New(Config{Name: "m", Sets: 8, Ways: 4, Coalesce: 8, Encoding: enc, IndexShift: addr.Shift4K})
+		m := mustNew(Config{Name: "m", Sets: 8, Ways: 4, Coalesce: 8, Encoding: enc, IndexShift: addr.Shift4K})
 		// Ground truth: VPN -> PPN per size class, built so superpages
 		// sometimes form contiguous runs.
 		truth := map[addr.PageSize]map[uint64]uint64{
@@ -576,7 +581,7 @@ func TestTranslationCorrectnessProperty(t *testing.T) {
 func TestLookupIsSingleProbe(t *testing.T) {
 	// The design's latency claim (Sec 4.2): lookups probe one set with
 	// pure bit selects regardless of what page sizes are resident.
-	m := New(L1Config())
+	m := mustNew(L1Config())
 	fill(m, walkOf(tr(2, 7, addr.Page2M)))
 	fill(m, walkOf(tr(0x123, 0x456, addr.Page4K)))
 	fill(m, walkOf(tr(1, 3, addr.Page1G)))
@@ -608,7 +613,7 @@ func TestConfigDefaults(t *testing.T) {
 		t.Error("encoding names")
 	}
 	// IndexShift defaults to small-page bits.
-	m := New(Config{Name: "d", Sets: 4, Ways: 2, Coalesce: 4})
+	m := mustNew(Config{Name: "d", Sets: 4, Ways: 2, Coalesce: 4})
 	if m.Config().IndexShift != addr.Shift4K {
 		t.Errorf("default IndexShift = %d", m.Config().IndexShift)
 	}
@@ -617,7 +622,7 @@ func TestConfigDefaults(t *testing.T) {
 func TestMirrorsAreNonDestructive(t *testing.T) {
 	// Sec 4.2 refinement (DESIGN.md deviation 7): a mirror write must not
 	// evict a live entry; only the probed set's fill replaces.
-	m := New(Config{Name: "m", Sets: 2, Ways: 1, Coalesce: 2, Encoding: Bitmap, IndexShift: addr.Shift4K})
+	m := mustNew(Config{Name: "m", Sets: 2, Ways: 1, Coalesce: 2, Encoding: Bitmap, IndexShift: addr.Shift4K})
 	// Two disjoint-window superpage bundles: A (window 0) and B (window 2).
 	a := tr(0, 10, addr.Page2M)
 	b := tr(4, 20, addr.Page2M)
@@ -634,7 +639,7 @@ func TestMirrorsAreNonDestructive(t *testing.T) {
 		t.Error("mirror write destroyed a live entry in a non-probed set")
 	}
 	// Under the paper-literal ablation, the mirror write does evict.
-	m2 := New(Config{Name: "m", Sets: 2, Ways: 1, Coalesce: 2, Encoding: Bitmap, IndexShift: addr.Shift4K, BlindMirrors: true})
+	m2 := mustNew(Config{Name: "m", Sets: 2, Ways: 1, Coalesce: 2, Encoding: Bitmap, IndexShift: addr.Shift4K, BlindMirrors: true})
 	m2.Fill(tlb.Request{VA: a.VA}, walkOf(a))
 	m2.Fill(tlb.Request{VA: b.VA}, walkOf(b))
 	if look(m2, a.VA+addr.V(addr.Size4K)).Hit {
@@ -645,7 +650,7 @@ func TestMirrorsAreNonDestructive(t *testing.T) {
 func TestMirrorMergeDoesNotRefreshRecency(t *testing.T) {
 	// LRU-inversion guard: merging a fill into a mirror set must not make
 	// that copy look recently used.
-	m := New(Config{Name: "m", Sets: 2, Ways: 2, Coalesce: 2, Encoding: Bitmap, IndexShift: addr.Shift4K})
+	m := mustNew(Config{Name: "m", Sets: 2, Ways: 2, Coalesce: 2, Encoding: Bitmap, IndexShift: addr.Shift4K})
 	a := tr(0, 10, addr.Page2M) // window 0
 	b := tr(4, 20, addr.Page2M) // window 2
 	c := tr(8, 30, addr.Page2M) // window 4

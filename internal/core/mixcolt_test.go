@@ -17,7 +17,7 @@ func mixColtConfig() Config {
 }
 
 func TestSmallCoalesceBundlesFourPages(t *testing.T) {
-	m := New(mixColtConfig())
+	m := mustNew(mixColtConfig())
 	// Four contiguous, window-aligned 4KB pages in one walker line.
 	line := []addr.V{}
 	trs := make([]struct{}, 0)
@@ -50,7 +50,7 @@ func TestSmallCoalesceBundlesFourPages(t *testing.T) {
 }
 
 func TestSmallCoalesceAlignmentWindow(t *testing.T) {
-	m := New(mixColtConfig())
+	m := mustNew(mixColtConfig())
 	// Pages 10,11,12,13: window boundary at 12 splits the run.
 	walk := walkOf(
 		tr(10, 100, addr.Page4K), tr(11, 101, addr.Page4K),
@@ -66,7 +66,7 @@ func TestSmallCoalesceAlignmentWindow(t *testing.T) {
 }
 
 func TestSmallCoalesceRejectsDiscontiguousPhysical(t *testing.T) {
-	m := New(mixColtConfig())
+	m := mustNew(mixColtConfig())
 	walk := walkOf(tr(8, 100, addr.Page4K), tr(9, 555, addr.Page4K))
 	m.Fill(tlb.Request{VA: walk.Translation.VA}, walk)
 	if look(m, addr.V(9)<<12).Hit {
@@ -75,7 +75,7 @@ func TestSmallCoalesceRejectsDiscontiguousPhysical(t *testing.T) {
 }
 
 func TestSmallCoalesceCoexistsWithSuperpages(t *testing.T) {
-	m := New(mixColtConfig())
+	m := mustNew(mixColtConfig())
 	m.Fill(tlb.Request{VA: addr.V(2) << 21}, walkOf(tr(2, 7, addr.Page2M)))
 	walk := walkOf(tr(0x40000, 9, addr.Page4K), tr(0x40001, 10, addr.Page4K))
 	m.Fill(tlb.Request{VA: walk.Translation.VA}, walk)
@@ -88,7 +88,7 @@ func TestSmallCoalesceCoexistsWithSuperpages(t *testing.T) {
 }
 
 func TestSmallCoalesceInvalidation(t *testing.T) {
-	m := New(mixColtConfig())
+	m := mustNew(mixColtConfig())
 	walk := walkOf(tr(8, 100, addr.Page4K), tr(9, 101, addr.Page4K))
 	m.Fill(tlb.Request{VA: walk.Translation.VA}, walk)
 	if n := m.Invalidate(addr.V(8)<<12, addr.Page4K); n == 0 {
@@ -103,13 +103,13 @@ func TestSmallCoalesceInvalidation(t *testing.T) {
 }
 
 func TestSmallCoalesceDirtyPolicy(t *testing.T) {
-	m := New(mixColtConfig())
+	m := mustNew(mixColtConfig())
 	walk := walkOf(tr(8, 100, addr.Page4K), tr(9, 101, addr.Page4K))
 	m.Fill(tlb.Request{VA: walk.Translation.VA}, walk)
 	if m.MarkDirty(addr.V(8) << 12) {
 		t.Error("multi-member 4KB bundle accepted MarkDirty")
 	}
-	m2 := New(mixColtConfig())
+	m2 := mustNew(mixColtConfig())
 	m2.Fill(tlb.Request{VA: addr.V(8) << 12}, walkOf(tr(8, 100, addr.Page4K)))
 	if !m2.MarkDirty(addr.V(8) << 12) {
 		t.Error("singleton 4KB bundle refused MarkDirty")

@@ -65,7 +65,10 @@ func AblationIndexBits(s Scale) (*stats.Table, error) {
 	}
 	for _, p := range patterns {
 		run := func(d mmu.Design) (float64, error) {
-			m, _ := env.buildMMU(d)
+			m, _, err := env.buildMMU(d)
+			if err != nil {
+				return 0, err
+			}
 			st, err := runStream(m, p.build(s.Seed), s.WarmupRefs, s.MeasureRefs)
 			if err != nil {
 				return 0, err
@@ -113,11 +116,10 @@ func ScalingStudy(s Scale) (*stats.Table, error) {
 				Sets: sets, Ways: 8, Coalesce: k, Encoding: core.Bitmap,
 			}
 			caches := cachesim.DefaultHierarchy()
-			m := mmu.New(mmu.Config{
-				Name: l2cfg.Name,
-				L1:   core.New(core.L1Config()),
-				L2:   core.New(l2cfg),
-			}, env.as.PageTable(), caches, env.as.HandleFault)
+			m, err := mixMMU(l2cfg.Name, core.L1Config(), l2cfg, env, caches)
+			if err != nil {
+				return nil, err
+			}
 			stream := spec.Build(env.base, env.fp, simrand.New(s.Seed))
 			st, err := runStream(m, stream, s.WarmupRefs, s.MeasureRefs)
 			if err != nil {
@@ -153,11 +155,20 @@ func DuplicateStudy(s Scale) (*stats.Table, error) {
 			l1cfg.BlindMirrors = blind
 			l2cfg := core.L2Config()
 			l2cfg.BlindMirrors = blind
-			l1 := core.New(l1cfg)
-			l2 := core.New(l2cfg)
+			l1, err := core.New(l1cfg)
+			if err != nil {
+				return nil, err
+			}
+			l2, err := core.New(l2cfg)
+			if err != nil {
+				return nil, err
+			}
 			caches := cachesim.DefaultHierarchy()
-			m := mmu.New(mmu.Config{Name: label, L1: l1, L2: l2},
+			m, err := mmu.New(mmu.Config{Name: label, L1: l1, L2: l2},
 				env.as.PageTable(), caches, env.as.HandleFault)
+			if err != nil {
+				return nil, err
+			}
 			stream := spec.Build(env.base, env.fp, simrand.New(s.Seed))
 			st, err := runStream(m, stream, s.WarmupRefs, s.MeasureRefs)
 			if err != nil {
@@ -192,8 +203,15 @@ func CoalesceCapStudy(s Scale, caps []int) (*stats.Table, error) {
 			cfg.Name = fmt.Sprintf("mix-L1-K%d", k)
 			cfg.Coalesce = k
 			caches := cachesim.DefaultHierarchy()
-			m := mmu.New(mmu.Config{Name: cfg.Name, L1: core.New(cfg)},
+			l1, err := core.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			m, err := mmu.New(mmu.Config{Name: cfg.Name, L1: l1},
 				env.as.PageTable(), caches, env.as.HandleFault)
+			if err != nil {
+				return nil, err
+			}
 			stream := spec.Build(env.base, env.fp, simrand.New(s.Seed))
 			st, err := runStream(m, stream, s.WarmupRefs, s.MeasureRefs)
 			if err != nil {
@@ -234,11 +252,10 @@ func EncodingStudy(s Scale) (*stats.Table, error) {
 	for _, a := range arrivals {
 		for _, l2cfg := range configs {
 			caches := cachesim.DefaultHierarchy()
-			m := mmu.New(mmu.Config{
-				Name: l2cfg.Name,
-				L1:   core.New(core.L1Config()),
-				L2:   core.New(l2cfg),
-			}, env.as.PageTable(), caches, env.as.HandleFault)
+			m, err := mixMMU(l2cfg.Name, core.L1Config(), l2cfg, env, caches)
+			if err != nil {
+				return nil, err
+			}
 			st, err := runStream(m, a.stream(), s.WarmupRefs, s.MeasureRefs)
 			if err != nil {
 				return nil, err

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/cachesim"
+	"mixtlb/internal/chaos"
+	"mixtlb/internal/mmu"
+	"mixtlb/internal/osmm"
+	"mixtlb/internal/simrand"
+	"mixtlb/internal/smp"
+	"mixtlb/internal/stats"
+	"mixtlb/internal/workload"
+)
+
+// ChaosStudy sweeps every TLB design under fault injection: TLB-entry
+// bit flips (detectable and silent), PTE-fetch corruption, lost/delayed
+// shootdown IPIs, and transient allocator OOM — all driven from one seed
+// so any failure replays exactly. Each design runs a two-core system with
+// Zipf traffic and munmap churn; the translation oracle cross-checks every
+// result, so the headline column is "unrecovered": silent wrong
+// translations that reached the workload. A healthy stack reports zero.
+// Rates come from Scale.Chaos verbatim; all-zero rates run the same sweep
+// fault-free, where every fault column must read zero.
+func ChaosStudy(s Scale) (*stats.Table, error) {
+	rates := s.Chaos
+	t := &stats.Table{
+		Title: fmt.Sprintf("Chaos: fault injection and recovery by design (seed %d)", s.Seed),
+		Columns: []string{"design", "tlb-corrupt", "parity-detected", "silent",
+			"pte-corrupt", "oracle-catches", "recovered", "unrecovered",
+			"ipi-lost", "ipi-forced", "alloc-fails"},
+	}
+	const cores = 2
+	for _, d := range mmu.AllDesigns() {
+		if d == mmu.DesignIdeal {
+			continue // no TLB array to corrupt
+		}
+		env, err := newNative(s, osmm.THS, 0.2, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		in := chaos.NewInjector(s.Seed, rates)
+		or := chaos.NewOracle(env.as.PageTable())
+		sys, err := smp.New(smp.Config{Cores: cores, Design: d}, env.as, cachesim.DefaultHierarchy())
+		if err != nil {
+			return nil, err
+		}
+		sys.SetChaos(in)
+		for _, c := range sys.Cores() {
+			c.InjectFaults(in)
+			c.AttachOracle(or)
+		}
+		env.phys.SetFaultHook(in.FailAlloc)
+		streams := make([]workload.Stream, cores)
+		for i := range streams {
+			streams[i] = workload.NewZipf(env.base, env.fp, simrand.New(s.Seed+uint64(i)), 0.9, 0.1, uint64(i))
+		}
+		if err := sys.Run(streams, s.WarmupRefs); err != nil {
+			return nil, fmt.Errorf("chaos %s warmup (seed %d): %w", d, s.Seed, err)
+		}
+		sys.ResetStats()
+		warm := in.Stats() // injector keeps running through warmup; report deltas
+		rng := simrand.New(s.Seed ^ 0xc4a05)
+		chunk := s.MeasureRefs / 10
+		for round := 0; round < 10; round++ {
+			if err := sys.Run(streams, chunk); err != nil {
+				return nil, fmt.Errorf("chaos %s round %d (seed %d): %w", d, round, s.Seed, err)
+			}
+			// Mapping churn: unmap a random 4MB region (shootdown storm
+			// under IPI loss) and let demand faults remap it — under the
+			// alloc-fail hook, sometimes splintered to 4KB pages.
+			if env.fp > 8<<20 {
+				off := addr.AlignedDown(rng.Uint64n(env.fp-(4<<20)), addr.Size2M)
+				sys.Munmap(env.base+addr.V(off), 4<<20)
+			}
+		}
+		env.phys.SetFaultHook(nil)
+		agg := sys.Aggregate()
+		cs := in.Stats()
+		ss := sys.Stats()
+		t.AddRow(string(d), cs.TLBCorruptions-warm.TLBCorruptions,
+			agg.ECC.ParityDetected, agg.ECC.SilentCorruptions, agg.PTECorruptions,
+			agg.OracleMismatches, agg.OracleRecoveries, agg.OracleUnrecovered,
+			ss.IPIsLost, ss.ForcedDeliveries, cs.AllocFailures-warm.AllocFailures)
+		s.Progress.Publish(t)
+	}
+	return t, nil
+}

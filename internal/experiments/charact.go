@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"mixtlb/internal/addr"
@@ -118,7 +119,7 @@ func figure10Point(s Scale, vms int, hogFrac float64) (float64, error) {
 		}
 		// Guests take what fits: host exhaustion mid-populate is the
 		// consolidation pressure this figure is about.
-		if _, err := vm.Populate(base, fp); err != nil && err != osmm.ErrNoMemory {
+		if _, err := vm.Populate(base, fp); err != nil && !errors.Is(err, osmm.ErrOutOfMemory) {
 			return 0, err
 		}
 		total += vm.EffectiveContiguity().SuperpageFraction()

@@ -115,7 +115,10 @@ func Figure17(s Scale) (*stats.Table, error) {
 	for _, k := range kernels {
 		run := func(d mmu.Design) (energy.Breakdown, error) {
 			caches := cachesim.DefaultHierarchy()
-			sys := gpu.New(gpu.Config{Cores: s.GPUCores, Design: d}, env.as, caches)
+			sys, err := gpu.New(gpu.Config{Cores: s.GPUCores, Design: d}, env.as, caches)
+			if err != nil {
+				return energy.Breakdown{}, err
+			}
 			cores := s.GPUCores
 			kb := k.Build
 			sys.AttachStreams(func(id int) workload.Stream {

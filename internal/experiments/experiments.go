@@ -17,6 +17,8 @@ import (
 
 	"mixtlb/internal/addr"
 	"mixtlb/internal/cachesim"
+	"mixtlb/internal/chaos"
+	"mixtlb/internal/core"
 	"mixtlb/internal/mmu"
 	"mixtlb/internal/osmm"
 	"mixtlb/internal/perfmodel"
@@ -43,6 +45,12 @@ type Scale struct {
 	Workloads []string
 	// Seed drives all randomness.
 	Seed uint64
+	// Chaos configures fault injection for the chaos experiment (zero
+	// rates disable injection entirely).
+	Chaos chaos.Rates
+	// Progress, when set (by RunSafe), receives partial tables as rows
+	// complete, so timeouts and panics still report finished work.
+	Progress *TablePublisher
 }
 
 // DefaultScale is the CLI configuration: footprints far beyond TLB reach
@@ -55,6 +63,7 @@ func DefaultScale() Scale {
 		MeasureRefs:    700_000,
 		GPUCores:       8,
 		Seed:           42,
+		Chaos:          chaos.DefaultRates(),
 	}
 }
 
@@ -68,6 +77,7 @@ func QuickScale() Scale {
 		GPUCores:       4,
 		Workloads:      []string{"mcf", "gups", "memcached"},
 		Seed:           42,
+		Chaos:          chaos.DefaultRates(),
 	}
 }
 
@@ -155,10 +165,28 @@ func newNative(s Scale, policy osmm.Policy, memhogFrac float64, seed uint64) (*n
 
 // buildMMU constructs a design's MMU over the environment with a fresh
 // cache hierarchy.
-func (e *nativeEnv) buildMMU(d mmu.Design) (*mmu.MMU, *cachesim.Hierarchy) {
+func (e *nativeEnv) buildMMU(d mmu.Design) (*mmu.MMU, *cachesim.Hierarchy, error) {
 	caches := cachesim.DefaultHierarchy()
-	m := mmu.Build(d, e.as.PageTable(), e.as.PageTable(), caches, e.as.HandleFault)
-	return m, caches
+	m, err := mmu.Build(d, e.as.PageTable(), e.as.PageTable(), caches, e.as.HandleFault)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, caches, nil
+}
+
+// mixMMU assembles a two-level MIX MMU with explicit level configs over
+// the native environment.
+func mixMMU(name string, l1cfg, l2cfg core.Config, env *nativeEnv, caches *cachesim.Hierarchy) (*mmu.MMU, error) {
+	l1, err := core.New(l1cfg)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := core.New(l2cfg)
+	if err != nil {
+		return nil, err
+	}
+	return mmu.New(mmu.Config{Name: name, L1: l1, L2: l2},
+		env.as.PageTable(), caches, env.as.HandleFault)
 }
 
 // runStream drives refs through an MMU: warmup, reset, measure.
@@ -182,11 +210,14 @@ func runStream(m *mmu.MMU, stream workload.Stream, warmup, measure uint64) (mmu.
 // measureNative runs one workload on one design in an environment,
 // returning functional stats and the runtime estimate.
 func measureNative(s Scale, env *nativeEnv, spec workload.Spec, d mmu.Design) (mmu.Stats, perfmodel.Estimate, *cachesim.Hierarchy, error) {
-	m, caches := env.buildMMU(d)
+	m, caches, err := env.buildMMU(d)
+	if err != nil {
+		return mmu.Stats{}, perfmodel.Estimate{}, nil, err
+	}
 	stream := spec.Build(env.base, env.fp, simrand.New(s.Seed))
 	st, err := runStream(m, stream, s.WarmupRefs, s.MeasureRefs)
 	if err != nil {
-		return mmu.Stats{}, perfmodel.Estimate{}, nil, fmt.Errorf("%s/%s: %w", spec.Name, d, err)
+		return mmu.Stats{}, perfmodel.Estimate{}, nil, fmt.Errorf("%s/%s (seed %d): %w", spec.Name, d, s.Seed, err)
 	}
 	est := perfmodel.Default(spec.BaseCPI, spec.RefsPerInstr).Runtime(st)
 	return st, est, caches, nil
@@ -233,11 +264,14 @@ func newVirt(s Scale, vms int, guestHogFrac float64, seed uint64) (*vmEnv, error
 func measureVirt(s Scale, env *vmEnv, spec workload.Spec, d mmu.Design) (mmu.Stats, perfmodel.Estimate, error) {
 	vm := env.vms[0]
 	caches := cachesim.DefaultHierarchy()
-	m := mmu.Build(d, vm.Walker(), nil, caches, vm.HandleFault)
+	m, err := mmu.Build(d, vm.Walker(), nil, caches, vm.HandleFault)
+	if err != nil {
+		return mmu.Stats{}, perfmodel.Estimate{}, err
+	}
 	stream := spec.Build(env.bases[0], env.fp, simrand.New(s.Seed))
 	st, err := runStream(m, stream, s.WarmupRefs, s.MeasureRefs)
 	if err != nil {
-		return mmu.Stats{}, perfmodel.Estimate{}, fmt.Errorf("%s/%s virt: %w", spec.Name, d, err)
+		return mmu.Stats{}, perfmodel.Estimate{}, fmt.Errorf("%s/%s virt (seed %d): %w", spec.Name, d, s.Seed, err)
 	}
 	est := perfmodel.Default(spec.BaseCPI, spec.RefsPerInstr).Runtime(st)
 	return st, est, nil
@@ -269,6 +303,7 @@ func All() []Experiment {
 		{"scaling", "Sec 7.2 scaling study: set counts up to 512", ScalingStudy},
 		{"duplicates", "Sec 4.3 duplicate creation and elimination study", DuplicateStudy},
 		{"invalidation", "Sec 4.4 invalidation study: shootdown refill traffic by design", InvalidationStudy},
+		{"chaos", "fault injection: TLB/PTE corruption, lost IPIs, transient OOM — detection and recovery rates", ChaosStudy},
 	}
 }
 

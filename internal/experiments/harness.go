@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"mixtlb/internal/stats"
+)
+
+// PanicError is a panic recovered from an experiment run, carrying the
+// reproducing seed so the failure can be replayed deterministically.
+type PanicError struct {
+	Experiment string
+	Seed       uint64
+	Value      interface{}
+	Stack      string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("experiment %q panicked (reproduce with seed %d): %v",
+		e.Experiment, e.Seed, e.Value)
+}
+
+// TimeoutError reports an experiment exceeding its wall-clock budget.
+type TimeoutError struct {
+	Experiment string
+	Seed       uint64
+	Timeout    time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("experiment %q exceeded %v (reproduce with seed %d)",
+		e.Experiment, e.Timeout, e.Seed)
+}
+
+// TablePublisher collects partial results from a running experiment so the
+// harness can report whatever completed when the run times out or dies.
+// All methods are safe for concurrent use and safe on a nil receiver (an
+// experiment run without a harness simply publishes into the void).
+type TablePublisher struct {
+	mu   sync.Mutex
+	snap *stats.Table
+}
+
+// Publish stores a snapshot of the table's current rows.
+func (p *TablePublisher) Publish(t *stats.Table) {
+	if p == nil || t == nil {
+		return
+	}
+	cp := &stats.Table{Title: t.Title, Columns: append([]string(nil), t.Columns...)}
+	for _, row := range t.Rows {
+		cp.Rows = append(cp.Rows, append([]string(nil), row...))
+	}
+	p.mu.Lock()
+	p.snap = cp
+	p.mu.Unlock()
+}
+
+// Snapshot returns the most recent published table, or nil.
+func (p *TablePublisher) Snapshot() *stats.Table {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snap
+}
+
+// RunSafe executes one experiment with panic recovery and a wall-clock
+// timeout. Panics become *PanicError (with the seed and stack); a timeout
+// returns *TimeoutError. In both failure cases the partial table — rows
+// the experiment published before dying — is returned alongside the
+// error, so a long sweep never loses completed work. A timeout of zero
+// disables the deadline.
+func RunSafe(e Experiment, s Scale, timeout time.Duration) (*stats.Table, error) {
+	pub := &TablePublisher{}
+	s.Progress = pub
+
+	type outcome struct {
+		tbl *stats.Table
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- outcome{err: &PanicError{
+					Experiment: e.Name, Seed: s.Seed,
+					Value: r, Stack: string(debug.Stack()),
+				}}
+			}
+		}()
+		tbl, err := e.Run(s)
+		done <- outcome{tbl: tbl, err: err}
+	}()
+
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	select {
+	case out := <-done:
+		if out.err != nil {
+			return pub.Snapshot(), out.err
+		}
+		return out.tbl, nil
+	case <-deadline:
+		// The goroutine keeps simulating in the background (the simulator
+		// has no preemption points), but its result is discarded.
+		return pub.Snapshot(), &TimeoutError{Experiment: e.Name, Seed: s.Seed, Timeout: timeout}
+	}
+}

@@ -28,15 +28,25 @@ func InvalidationStudy(s Scale) (*stats.Table, error) {
 	}
 	type point struct {
 		name  string
-		build func() (tlb.TLB, tlb.TLB)
+		build func() (tlb.TLB, tlb.TLB, error)
+	}
+	pair := func(l1 tlb.TLB, e1 error) func(tlb.TLB, error) (tlb.TLB, tlb.TLB, error) {
+		return func(l2 tlb.TLB, e2 error) (tlb.TLB, tlb.TLB, error) {
+			if e1 != nil {
+				return nil, nil, e1
+			}
+			return l1, l2, e2
+		}
 	}
 	points := []point{
-		{"split", func() (tlb.TLB, tlb.TLB) { return tlb.NewHaswellL1(), tlb.NewHaswellL2() }},
-		{"mix-bitmap", func() (tlb.TLB, tlb.TLB) {
-			return core.New(core.L1Config()), core.New(core.L2Config())
+		{"split", func() (tlb.TLB, tlb.TLB, error) {
+			return pair(tlb.NewHaswellL1())(tlb.NewHaswellL2())
 		}},
-		{"mix-range", func() (tlb.TLB, tlb.TLB) {
-			return core.New(core.L1Config()), core.New(core.L2RangeConfig())
+		{"mix-bitmap", func() (tlb.TLB, tlb.TLB, error) {
+			return pair(core.New(core.L1Config()))(core.New(core.L2Config()))
+		}},
+		{"mix-range", func() (tlb.TLB, tlb.TLB, error) {
+			return pair(core.New(core.L1Config()))(core.New(core.L2RangeConfig()))
 		}},
 	}
 	const cores = 2
@@ -54,7 +64,10 @@ func InvalidationStudy(s Scale) (*stats.Table, error) {
 		if _, err := as.Populate(base, fp); err != nil {
 			return nil, fmt.Errorf("invalidation study populate: %w", err)
 		}
-		sys := smp.NewWithTLBs(cores, as, cachesim.DefaultHierarchy(), p.build)
+		sys, err := smp.NewWithTLBs(cores, as, cachesim.DefaultHierarchy(), p.build)
+		if err != nil {
+			return nil, err
+		}
 		streams := make([]workload.Stream, cores)
 		for i := range streams {
 			streams[i] = workload.NewZipf(base, fp, simrand.New(s.Seed+uint64(i)), 0.9, 0.1, uint64(p.name[0]))

@@ -64,7 +64,10 @@ func gpuImprovement(s Scale, hogFrac float64, kernelName string) (float64, error
 		return 0, err
 	}
 	run := func(d mmu.Design) (perfmodel.Estimate, error) {
-		sys := gpu.New(gpu.Config{Cores: s.GPUCores, Design: d}, env.as, cachesim.DefaultHierarchy())
+		sys, err := gpu.New(gpu.Config{Cores: s.GPUCores, Design: d}, env.as, cachesim.DefaultHierarchy())
+		if err != nil {
+			return perfmodel.Estimate{}, err
+		}
 		cores := s.GPUCores
 		sys.AttachStreams(func(id int) workload.Stream {
 			return k.Build(id, cores, env.base, env.fp, simrand.New(s.Seed+uint64(id)))

@@ -42,14 +42,16 @@ type System struct {
 // perCoreL1 builds the paper's GPU L1 TLBs (Sec 6.3): per shader core, a
 // 128-entry 4-way set-associative 4KB TLB next to split superpage TLBs
 // (32-entry 4-way 2MB, 4-entry fully-associative 1GB).
-func perCoreL1(design mmu.Design, coreID int) tlb.TLB {
+func perCoreL1(design mmu.Design, coreID int) (tlb.TLB, error) {
 	switch design {
 	case mmu.DesignSplit:
-		return tlb.NewSplit(fmt.Sprintf("gpu-split-L1.%d", coreID),
-			tlb.NewSetAssoc("gpu-4K", addr.Page4K, 32, 4),
-			tlb.NewSetAssoc("gpu-2M", addr.Page2M, 8, 4),
-			tlb.NewSetAssoc("gpu-1G", addr.Page1G, 1, 4),
-		)
+		small, e1 := tlb.NewSetAssoc("gpu-4K", addr.Page4K, 32, 4)
+		mid, e2 := tlb.NewSetAssoc("gpu-2M", addr.Page2M, 8, 4)
+		big, e3 := tlb.NewSetAssoc("gpu-1G", addr.Page1G, 1, 4)
+		if err := firstErr(e1, e2, e3); err != nil {
+			return nil, err
+		}
+		return tlb.NewSplit(fmt.Sprintf("gpu-split-L1.%d", coreID), small, mid, big)
 	case mmu.DesignMix:
 		// Area-equivalent: 128+32+4 = 164 entries -> 32 sets x 5 ways.
 		return core.New(core.Config{
@@ -57,60 +59,94 @@ func perCoreL1(design mmu.Design, coreID int) tlb.TLB {
 			Sets: 32, Ways: 5, Coalesce: 32, Encoding: core.Bitmap,
 		})
 	case mmu.DesignRehash:
-		return tlb.NewPredictedRehash(
-			tlb.NewHashRehash(fmt.Sprintf("gpu-rehash-L1.%d", coreID), 32, 5,
-				addr.Page4K, addr.Page2M, addr.Page1G),
-			tlb.NewSizePredictor(256))
+		inner, e1 := tlb.NewHashRehash(fmt.Sprintf("gpu-rehash-L1.%d", coreID), 32, 5,
+			addr.Page4K, addr.Page2M, addr.Page1G)
+		pred, e2 := tlb.NewSizePredictor(256)
+		if err := firstErr(e1, e2); err != nil {
+			return nil, err
+		}
+		return tlb.NewPredictedRehash(inner, pred), nil
 	case mmu.DesignSkew:
-		return tlb.NewPredictedSkew(
-			tlb.NewSkewAllSizes(fmt.Sprintf("gpu-skew-L1.%d", coreID), 16, 2),
-			tlb.NewSizePredictor(256))
+		inner, e1 := tlb.NewSkewAllSizes(fmt.Sprintf("gpu-skew-L1.%d", coreID), 16, 2)
+		pred, e2 := tlb.NewSizePredictor(256)
+		if err := firstErr(e1, e2); err != nil {
+			return nil, err
+		}
+		return tlb.NewPredictedSkew(inner, pred), nil
 	default:
-		panic(fmt.Sprintf("gpu: unsupported design %q", design))
+		return nil, fmt.Errorf("gpu: unsupported design %q", design)
 	}
 }
 
 // sharedL2 builds the GPU-wide L2 TLB for a design.
-func sharedL2(design mmu.Design) tlb.TLB {
+func sharedL2(design mmu.Design) (tlb.TLB, error) {
 	switch design {
 	case mmu.DesignSplit:
-		return tlb.NewSplit("gpu-split-L2",
-			tlb.NewHashRehash("gpu-L2-4K2M", 128, 4, addr.Page4K, addr.Page2M),
-			tlb.NewSetAssoc("gpu-L2-1G", addr.Page1G, 8, 4),
-		)
+		hr, e1 := tlb.NewHashRehash("gpu-L2-4K2M", 128, 4, addr.Page4K, addr.Page2M)
+		big, e2 := tlb.NewSetAssoc("gpu-L2-1G", addr.Page1G, 8, 4)
+		if err := firstErr(e1, e2); err != nil {
+			return nil, err
+		}
+		return tlb.NewSplit("gpu-split-L2", hr, big)
 	case mmu.DesignMix:
 		return core.New(core.Config{
 			Name: "gpu-mix-L2", Sets: 64, Ways: 8, Coalesce: 64, Encoding: core.Bitmap,
 		})
 	case mmu.DesignRehash:
-		return tlb.NewPredictedRehash(
-			tlb.NewHashRehash("gpu-rehash-L2", 128, 4, addr.Page4K, addr.Page2M, addr.Page1G),
-			tlb.NewSizePredictor(256))
+		inner, e1 := tlb.NewHashRehash("gpu-rehash-L2", 128, 4, addr.Page4K, addr.Page2M, addr.Page1G)
+		pred, e2 := tlb.NewSizePredictor(256)
+		if err := firstErr(e1, e2); err != nil {
+			return nil, err
+		}
+		return tlb.NewPredictedRehash(inner, pred), nil
 	case mmu.DesignSkew:
-		return tlb.NewPredictedSkew(tlb.NewSkewAllSizes("gpu-skew-L2", 64, 2),
-			tlb.NewSizePredictor(256))
+		inner, e1 := tlb.NewSkewAllSizes("gpu-skew-L2", 64, 2)
+		pred, e2 := tlb.NewSizePredictor(256)
+		if err := firstErr(e1, e2); err != nil {
+			return nil, err
+		}
+		return tlb.NewPredictedSkew(inner, pred), nil
 	default:
-		panic(fmt.Sprintf("gpu: unsupported design %q", design))
+		return nil, fmt.Errorf("gpu: unsupported design %q", design)
 	}
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // New builds a GPU over the process address space; every core shares the
 // L2 TLB, cache hierarchy, and page table, as in gem5-gpu models.
-func New(cfg Config, as *osmm.AddressSpace, caches *cachesim.Hierarchy) *System {
+func New(cfg Config, as *osmm.AddressSpace, caches *cachesim.Hierarchy) (*System, error) {
 	if cfg.Cores <= 0 {
 		cfg.Cores = DefaultCores
 	}
 	s := &System{cfg: cfg, as: as}
-	l2 := sharedL2(cfg.Design)
+	l2, err := sharedL2(cfg.Design)
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < cfg.Cores; i++ {
-		m := mmu.New(mmu.Config{
+		l1, err := perCoreL1(cfg.Design, i)
+		if err != nil {
+			return nil, err
+		}
+		m, err := mmu.New(mmu.Config{
 			Name: fmt.Sprintf("%s.core%d", cfg.Design, i),
-			L1:   perCoreL1(cfg.Design, i),
+			L1:   l1,
 			L2:   l2,
 		}, as.PageTable(), caches, as.HandleFault)
+		if err != nil {
+			return nil, err
+		}
 		s.cores = append(s.cores, m)
 	}
-	return s
+	return s, nil
 }
 
 // AttachStreams gives each core its reference stream. The builder
@@ -161,6 +197,11 @@ func (s *System) Stats() mmu.Stats {
 		total.WalkRefs += st.WalkRefs
 		total.DirtyMicroOps += st.DirtyMicroOps
 		total.Invalidations += st.Invalidations
+		total.ECC.Add(st.ECC)
+		total.PTECorruptions += st.PTECorruptions
+		total.OracleMismatches += st.OracleMismatches
+		total.OracleRecoveries += st.OracleRecoveries
+		total.OracleUnrecovered += st.OracleUnrecovered
 		total.L1Lookup.Add(st.L1Lookup)
 		total.L2Lookup.Add(st.L2Lookup)
 		total.L1Fill.Add(st.L1Fill)

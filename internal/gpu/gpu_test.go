@@ -27,7 +27,10 @@ func newGPUEnv(t *testing.T, policy osmm.Policy, design mmu.Design, cores int) (
 	if _, err := as.Populate(base, fp); err != nil {
 		t.Fatal(err)
 	}
-	sys := New(Config{Cores: cores, Design: design}, as, cachesim.DefaultHierarchy())
+	sys, err := New(Config{Cores: cores, Design: design}, as, cachesim.DefaultHierarchy())
+	if err != nil {
+		t.Fatal(err)
+	}
 	return sys, base, fp
 }
 
@@ -155,11 +158,8 @@ func TestAllDesignsSupported(t *testing.T) {
 	}
 }
 
-func TestUnsupportedDesignPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	perCoreL1(mmu.DesignIdeal, 0)
+func TestUnsupportedDesignErrors(t *testing.T) {
+	if _, err := perCoreL1(mmu.DesignIdeal, 0); err == nil {
+		t.Fatal("no error for unsupported design")
+	}
 }

@@ -47,49 +47,59 @@ func AllDesigns() []Design {
 
 // Build constructs a two-level MMU of the given design over the page table
 // and cache hierarchy. fault handles demand paging (may be nil).
-func Build(d Design, src TranslationSource, pt *pagetable.PageTable, caches *cachesim.Hierarchy, fault FaultHandler) *MMU {
+func Build(d Design, src TranslationSource, pt *pagetable.PageTable, caches *cachesim.Hierarchy, fault FaultHandler) (*MMU, error) {
 	cfg := Config{Name: string(d)}
+	var err error
 	switch d {
 	case DesignSplit:
-		cfg.L1 = tlb.NewHaswellL1()
-		cfg.L2 = tlb.NewHaswellL2()
+		if cfg.L1, cfg.L2, err = levels(tlb.NewHaswellL1())(tlb.NewHaswellL2()); err != nil {
+			return nil, err
+		}
 	case DesignMix:
-		cfg.L1 = core.New(core.L1Config())
-		cfg.L2 = core.New(core.L2Config())
+		if cfg.L1, cfg.L2, err = levels(core.New(core.L1Config()))(core.New(core.L2Config())); err != nil {
+			return nil, err
+		}
 	case DesignMixColt:
 		l1 := core.L1Config()
 		l1.Name, l1.SmallCoalesce = "mix+colt-L1", 4
 		l2 := core.L2Config()
 		l2.Name, l2.SmallCoalesce = "mix+colt-L2", 4
-		cfg.L1 = core.New(l1)
-		cfg.L2 = core.New(l2)
+		if cfg.L1, cfg.L2, err = levels(core.New(l1))(core.New(l2)); err != nil {
+			return nil, err
+		}
 	case DesignRehash:
 		// 16 sets x 6 ways = 96 entries at L1; 128 x 4 at L2, all sizes.
-		cfg.L1 = tlb.NewPredictedRehash(
-			tlb.NewHashRehash("rehash-L1", 16, 6, addr.Page4K, addr.Page2M, addr.Page1G),
-			tlb.NewSizePredictor(512))
-		cfg.L2 = tlb.NewPredictedRehash(
-			tlb.NewHashRehash("rehash-L2", 128, 4, addr.Page4K, addr.Page2M, addr.Page1G),
-			tlb.NewSizePredictor(512))
+		if cfg.L1, err = predictedRehash("rehash-L1", 16, 6); err != nil {
+			return nil, err
+		}
+		if cfg.L2, err = predictedRehash("rehash-L2", 128, 4); err != nil {
+			return nil, err
+		}
 	case DesignSkew:
 		// Skew pays area for replacement timestamps (Sec 7.2), so its
 		// area-equivalent builds carry fewer entries: 16x6=96 -> 16 sets
 		// of 2 ways per size at L1 is already 96, minus the timestamp
 		// tax modeled as one fewer way-set at the L2 (64x6=384 vs 512).
-		cfg.L1 = tlb.NewPredictedSkew(tlb.NewSkewAllSizes("skew-L1", 16, 2), tlb.NewSizePredictor(512))
-		cfg.L2 = tlb.NewPredictedSkew(tlb.NewSkewAllSizes("skew-L2", 64, 2), tlb.NewSizePredictor(512))
+		if cfg.L1, err = predictedSkew("skew-L1", 16, 2); err != nil {
+			return nil, err
+		}
+		if cfg.L2, err = predictedSkew("skew-L2", 64, 2); err != nil {
+			return nil, err
+		}
 	case DesignColt:
-		cfg.L1 = tlb.NewColtSplitL1()
-		cfg.L2 = tlb.NewHaswellL2()
+		if cfg.L1, cfg.L2, err = levels(tlb.NewColtSplitL1())(tlb.NewHaswellL2()); err != nil {
+			return nil, err
+		}
 	case DesignColtPP:
 		// COLT++ coalesces within each *split* TLB (Sec 7.2); the L2
 		// keeps the commercial shared hash-rehash array, which cannot
 		// coalesce across its mixed-size sets.
-		cfg.L1 = tlb.NewColtPlusPlusL1()
-		cfg.L2 = tlb.NewHaswellL2()
+		if cfg.L1, cfg.L2, err = levels(tlb.NewColtPlusPlusL1())(tlb.NewHaswellL2()); err != nil {
+			return nil, err
+		}
 	case DesignIdeal:
 		if pt == nil {
-			panic("mmu: ideal design requires the native page table")
+			return nil, fmt.Errorf("mmu: ideal design requires the native page table")
 		}
 		cfg.L1 = tlb.NewIdeal(pt)
 		cfg.FreeWalks = true
@@ -98,10 +108,50 @@ func Build(d Design, src TranslationSource, pt *pagetable.PageTable, caches *cac
 		l1.Name, l1.IndexShift = "mix-superidx-L1", addr.Shift2M
 		l2 := core.L2Config()
 		l2.Name, l2.IndexShift = "mix-superidx-L2", addr.Shift2M
-		cfg.L1 = core.New(l1)
-		cfg.L2 = core.New(l2)
+		if cfg.L1, cfg.L2, err = levels(core.New(l1))(core.New(l2)); err != nil {
+			return nil, err
+		}
 	default:
-		panic(fmt.Sprintf("mmu: unknown design %q", d))
+		return nil, fmt.Errorf("mmu: unknown design %q", d)
 	}
 	return New(cfg, src, caches, fault)
+}
+
+// levels pairs two fallible TLB constructors into (L1, L2, err). The
+// curried shape lets each multi-valued constructor call be the sole
+// argument list of its application.
+func levels(l1 tlb.TLB, e1 error) func(l2 tlb.TLB, e2 error) (tlb.TLB, tlb.TLB, error) {
+	return func(l2 tlb.TLB, e2 error) (tlb.TLB, tlb.TLB, error) {
+		if e1 != nil {
+			return nil, nil, e1
+		}
+		if e2 != nil {
+			return nil, nil, e2
+		}
+		return l1, l2, nil
+	}
+}
+
+func predictedRehash(name string, sets, ways int) (tlb.TLB, error) {
+	inner, err := tlb.NewHashRehash(name, sets, ways, addr.Page4K, addr.Page2M, addr.Page1G)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := tlb.NewSizePredictor(512)
+	if err != nil {
+		return nil, err
+	}
+	return tlb.NewPredictedRehash(inner, pred), nil
+}
+
+func predictedSkew(name string, sets, waysEach int) (tlb.TLB, error) {
+	inner, err := tlb.NewSkewAllSizes(name, sets, waysEach)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := tlb.NewSizePredictor(512)
+	if err != nil {
+		return nil, err
+	}
+	return tlb.NewPredictedSkew(inner, pred), nil
 }

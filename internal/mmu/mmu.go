@@ -13,6 +13,7 @@ import (
 
 	"mixtlb/internal/addr"
 	"mixtlb/internal/cachesim"
+	"mixtlb/internal/chaos"
 	"mixtlb/internal/pagetable"
 	"mixtlb/internal/tlb"
 )
@@ -87,7 +88,22 @@ type Stats struct {
 	DirtyMicroOps uint64
 	Invalidations uint64
 	Flushes       uint64
+
+	// Fault-injection accounting (zero unless chaos/oracle attached).
+	ECC              tlb.ECCStats
+	PTECorruptions   uint64 // walker results corrupted in flight
+	OracleMismatches uint64 // translations the oracle rejected
+	OracleRecoveries uint64 // rejected translations later corrected
+	// OracleUnrecovered counts accesses that stayed wrong after every
+	// retry and the ground-truth fallback (only possible when the oracle's
+	// own page table has no mapping — i.e. never, in a healthy run).
+	OracleUnrecovered uint64
 }
+
+// maxOracleRetries bounds the scrub-and-retranslate loop when the oracle
+// rejects a result; after that the oracle's ground truth is substituted so
+// no wrong translation ever reaches the workload.
+const maxOracleRetries = 3
 
 // MMU is a simulated memory-management unit.
 type MMU struct {
@@ -95,21 +111,31 @@ type MMU struct {
 	src    TranslationSource
 	caches *cachesim.Hierarchy
 	fault  FaultHandler
+	chaos  *chaos.Injector
+	oracle *chaos.Oracle
 	stats  Stats
 }
 
 // New builds an MMU. caches may be shared with other MMUs (e.g. GPU
 // shader cores sharing an LLC); fault may be nil if every access is
 // pre-mapped.
-func New(cfg Config, src TranslationSource, caches *cachesim.Hierarchy, fault FaultHandler) *MMU {
+func New(cfg Config, src TranslationSource, caches *cachesim.Hierarchy, fault FaultHandler) (*MMU, error) {
 	if cfg.L1 == nil {
-		panic("mmu: config needs an L1 TLB")
+		return nil, fmt.Errorf("mmu %q: config needs an L1 TLB", cfg.Name)
 	}
 	if cfg.Lat == (Latencies{}) {
 		cfg.Lat = DefaultLatencies()
 	}
-	return &MMU{cfg: cfg, src: src, caches: caches, fault: fault}
+	return &MMU{cfg: cfg, src: src, caches: caches, fault: fault}, nil
 }
+
+// InjectFaults attaches a fault injector: TLB hits and walker results pass
+// through it and may come back corrupted (detectably or silently).
+func (m *MMU) InjectFaults(in *chaos.Injector) { m.chaos = in }
+
+// AttachOracle attaches a translation oracle that cross-checks every
+// non-faulting result against page-table ground truth.
+func (m *MMU) AttachOracle(o *chaos.Oracle) { m.oracle = o }
 
 // Name returns the MMU's configuration name.
 func (m *MMU) Name() string { return m.cfg.Name }
@@ -124,6 +150,7 @@ func (m *MMU) ResetStats() { m.stats = Stats{} }
 // Result reports one translated access.
 type Result struct {
 	PA      addr.P
+	Size    addr.PageSize // page size of the serving translation
 	Cycles  uint64
 	L1Hit   bool
 	L2Hit   bool
@@ -131,9 +158,66 @@ type Result struct {
 	Faulted bool // unmapped and the fault handler refused
 }
 
-// Translate services one memory access.
+// provenance names the structure that served the result, for oracle
+// diagnostics.
+func (r Result) provenance() string {
+	switch {
+	case r.L1Hit:
+		return "L1"
+	case r.L2Hit:
+		return "L2"
+	case r.Walked:
+		return "walk"
+	default:
+		return "fault"
+	}
+}
+
+// Translate services one memory access. With an oracle attached, the
+// result is cross-checked against page-table ground truth: a mismatch
+// scrubs the offending entries from both TLB levels and re-translates,
+// and after maxOracleRetries the oracle's own translation is substituted,
+// so a workload never consumes a wrong physical address.
 func (m *MMU) Translate(req tlb.Request) Result {
 	m.stats.Accesses++
+	res := m.translateOnce(req)
+	if m.oracle == nil || res.Faulted {
+		return res
+	}
+	mismatched := false
+	for try := 0; try <= maxOracleRetries; try++ {
+		mm := m.oracle.Check(m.cfg.Name, res.provenance(), req.VA, res.Size, res.PA)
+		if mm == nil {
+			if mismatched {
+				m.stats.OracleRecoveries++
+			}
+			return res
+		}
+		mismatched = true
+		m.stats.OracleMismatches++
+		m.scrubCorrupt(req.VA, res.Size)
+		if try < maxOracleRetries {
+			res = m.translateOnce(req)
+			if res.Faulted {
+				return res
+			}
+		}
+	}
+	// Retries exhausted (persistent injection): serve the oracle's ground
+	// truth rather than a corrupted translation.
+	if tr, ok := m.oracle.GroundTruth(req.VA); ok {
+		res.PA = tr.Translate(req.VA)
+		res.Size = tr.Size
+		m.stats.OracleRecoveries++
+	} else {
+		m.stats.OracleUnrecovered++
+	}
+	return res
+}
+
+// translateOnce runs one full L1 → L2 → walk translation attempt,
+// including fault injection at each layer.
+func (m *MMU) translateOnce(req tlb.Request) Result {
 	var res Result
 	res.Cycles = m.cfg.Lat.L1Hit
 
@@ -143,9 +227,23 @@ func (m *MMU) Translate(req tlb.Request) Result {
 		res.Cycles += uint64(r1.Cost.Probes-1) * m.cfg.Lat.ExtraProbe
 	}
 	if r1.Hit {
+		switch m.chaos.CorruptTLBHit(&r1.T) {
+		case chaos.FaultDetected:
+			// Parity caught the flipped bit: scrub and fall through to
+			// the L2/walk path as if the entry had never been there.
+			m.stats.ECC.ParityDetected++
+			m.stats.ECC.Rewalks++
+			m.scrubCorrupt(req.VA, r1.T.Size)
+			r1.Hit = false
+		case chaos.FaultSilent:
+			m.stats.ECC.SilentCorruptions++
+		}
+	}
+	if r1.Hit {
 		m.stats.L1Hits++
 		res.L1Hit = true
 		res.PA = r1.T.Translate(req.VA)
+		res.Size = r1.T.Size
 		m.handleDirty(req, r1.Dirty, &res)
 		m.stats.Cycles += res.Cycles
 		return res
@@ -159,9 +257,21 @@ func (m *MMU) Translate(req tlb.Request) Result {
 			res.Cycles += uint64(r2.Cost.Probes-1) * m.cfg.Lat.ExtraProbe
 		}
 		if r2.Hit {
+			switch m.chaos.CorruptTLBHit(&r2.T) {
+			case chaos.FaultDetected:
+				m.stats.ECC.ParityDetected++
+				m.stats.ECC.Rewalks++
+				m.scrubCorrupt(req.VA, r2.T.Size)
+				r2.Hit = false
+			case chaos.FaultSilent:
+				m.stats.ECC.SilentCorruptions++
+			}
+		}
+		if r2.Hit {
 			m.stats.L2Hits++
 			res.L2Hit = true
 			res.PA = r2.T.Translate(req.VA)
+			res.Size = r2.T.Size
 			// Promote into L1: hardware refills the L1 from the L2
 			// entry, carrying the entry's whole coalesced membership.
 			// Mirroring designs fill only the probed set here.
@@ -191,8 +301,12 @@ func (m *MMU) Translate(req tlb.Request) Result {
 		m.stats.Cycles += res.Cycles
 		return res
 	}
+	if m.chaos.CorruptWalk(&walk) {
+		m.stats.PTECorruptions++
+	}
 	res.Walked = true
 	res.PA = walk.Translation.Translate(req.VA)
+	res.Size = walk.Translation.Size
 	if m.cfg.L2 != nil {
 		m.stats.L2Fill.Add(m.cfg.L2.Fill(req, walk))
 	}
@@ -200,6 +314,24 @@ func (m *MMU) Translate(req tlb.Request) Result {
 	m.handleDirty(req, walk.Translation.Dirty, &res)
 	m.stats.Cycles += res.Cycles
 	return res
+}
+
+// scrubCorrupt evicts the (presumed corrupted) entries covering va from
+// both levels. TLBs exposing tlb.Scrubber drop the whole bundle; others
+// fall back to an ordinary invalidation.
+func (m *MMU) scrubCorrupt(va addr.V, size addr.PageSize) {
+	scrub := func(t tlb.TLB) {
+		if t == nil {
+			return
+		}
+		if s, ok := t.(tlb.Scrubber); ok {
+			m.stats.ECC.Scrubbed += uint64(s.ScrubCorrupt(va, size))
+			return
+		}
+		m.stats.ECC.Scrubbed += uint64(t.Invalidate(va, size))
+	}
+	scrub(m.cfg.L1)
+	scrub(m.cfg.L2)
 }
 
 // walk runs the hardware walker (and demand paging on a fault), charging

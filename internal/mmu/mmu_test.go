@@ -39,7 +39,15 @@ func (e *env) mapPage(t *testing.T, va addr.V, size addr.PageSize) addr.P {
 }
 
 func splitMMU(e *env, fault FaultHandler) *MMU {
-	return Build(DesignSplit, e.pt, e.pt, e.caches, fault)
+	return mustBuild(Build(DesignSplit, e.pt, e.pt, e.caches, fault))
+}
+
+// mustBuild unwraps constructor errors in tests, where configs are static.
+func mustBuild(m *MMU, err error) *MMU {
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 func TestTranslateHitMissWalk(t *testing.T) {
@@ -184,7 +192,7 @@ func TestInvalidateShootdown(t *testing.T) {
 func TestIdealDesignNeverWalksTwice(t *testing.T) {
 	e := newEnv(t)
 	e.mapPage(t, 0x200000, addr.Page2M)
-	m := Build(DesignIdeal, e.pt, e.pt, e.caches, nil)
+	m := mustBuild(Build(DesignIdeal, e.pt, e.pt, e.caches, nil))
 	r := m.Translate(tlb.Request{VA: 0x234567})
 	if !r.L1Hit || r.Cycles != DefaultLatencies().L1Hit {
 		t.Fatalf("ideal access: %+v", r)
@@ -203,7 +211,7 @@ func TestIdealDemandPagingIsFree(t *testing.T) {
 		}
 		return e.pt.Map(va.PageBase(addr.Page4K), pa, addr.Page4K, addr.PermRW) == nil
 	}
-	m := Build(DesignIdeal, e.pt, e.pt, e.caches, handler)
+	m := mustBuild(Build(DesignIdeal, e.pt, e.pt, e.caches, handler))
 	r := m.Translate(tlb.Request{VA: 0x5000})
 	if r.Faulted || r.PA == 0 {
 		t.Fatalf("ideal demand paging: %+v", r)
@@ -228,7 +236,7 @@ func TestAllDesignsTranslateCorrectly(t *testing.T) {
 		want[0x40000000] = pa1
 		want[0x200000+0x7ffff] = pa2 + 0x7ffff
 		want[0x1000+0xfff] = pa4 + 0xfff
-		m := Build(d, e.pt, e.pt, e.caches, nil)
+		m := mustBuild(Build(d, e.pt, e.pt, e.caches, nil))
 		for round := 0; round < 3; round++ { // cold, warm, warm
 			for _, va := range vas {
 				r := m.Translate(tlb.Request{VA: va, Write: round == 2})
@@ -245,14 +253,11 @@ func TestAllDesignsTranslateCorrectly(t *testing.T) {
 	}
 }
 
-func TestUnknownDesignPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
+func TestUnknownDesignErrors(t *testing.T) {
 	e := newEnv(t)
-	Build(Design("bogus"), e.pt, e.pt, e.caches, nil)
+	if _, err := Build(Design("bogus"), e.pt, e.pt, e.caches, nil); err == nil {
+		t.Fatal("no error for unknown design")
+	}
 }
 
 func TestStatsHelpers(t *testing.T) {
@@ -272,14 +277,11 @@ func TestStatsHelpers(t *testing.T) {
 	}
 }
 
-func TestMissingL1Panics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
+func TestMissingL1Errors(t *testing.T) {
 	e := newEnv(t)
-	New(Config{Name: "bad"}, e.pt, e.caches, nil)
+	if _, err := New(Config{Name: "bad"}, e.pt, e.caches, nil); err == nil {
+		t.Fatal("no error for missing L1")
+	}
 }
 
 func TestHashRehashProbeLatency(t *testing.T) {
@@ -288,7 +290,7 @@ func TestHashRehashProbeLatency(t *testing.T) {
 	e := newEnv(t)
 	e.mapPage(t, 0x1000, addr.Page4K)
 	e.mapPage(t, 0x40000000, addr.Page1G)
-	m := Build(DesignRehash, e.pt, e.pt, e.caches, nil)
+	m := mustBuild(Build(DesignRehash, e.pt, e.pt, e.caches, nil))
 	m.Translate(tlb.Request{VA: 0x1000, PC: 1})
 	m.Translate(tlb.Request{VA: 0x40000000, PC: 2})
 	// Warm hits; PC 2 is now trained to predict 1GB, so use a fresh PC to
@@ -320,7 +322,7 @@ func TestDirtyGroupRefreshThroughMMU(t *testing.T) {
 		}
 		e.pt.SetAccessed(va)
 	}
-	m := Build(DesignMix, e.pt, e.pt, e.caches, nil)
+	m := mustBuild(Build(DesignMix, e.pt, e.pt, e.caches, nil))
 	// Write every member once: 8 micro-ops (one per member's first store).
 	for i := 0; i < 8; i++ {
 		m.Translate(tlb.Request{VA: baseVA + addr.V(i)<<21, Write: true})
@@ -342,11 +344,11 @@ func TestDirtyGroupRefreshThroughMMU(t *testing.T) {
 func TestLatencyOverride(t *testing.T) {
 	e := newEnv(t)
 	e.mapPage(t, 0x1000, addr.Page4K)
-	m := New(Config{
+	m := mustBuild(New(Config{
 		Name: "slow",
-		L1:   tlb.NewSetAssoc("l1", addr.Page4K, 4, 2),
+		L1:   tlb.Must(tlb.NewSetAssoc("l1", addr.Page4K, 4, 2)),
 		Lat:  Latencies{L1Hit: 3, L2Hit: 0, ExtraProbe: 0, DirtyMicroOp: 50},
-	}, e.pt, e.caches, nil)
+	}, e.pt, e.caches, nil))
 	m.Translate(tlb.Request{VA: 0x1000})
 	r := m.Translate(tlb.Request{VA: 0x1000, Write: true})
 	if r.Cycles != 3+50 {

@@ -85,7 +85,7 @@ func TestWalkCacheReducesMMUMissCost(t *testing.T) {
 		if cached {
 			src = NewCachedSource(e.pt, NewWalkCache(16))
 		}
-		m := New(Config{Name: "t", L1: tlb.NewSetAssoc("l1", addr.Page4K, 2, 2)}, src, e.caches, nil)
+		m := mustBuild(New(Config{Name: "t", L1: tlb.Must(tlb.NewSetAssoc("l1", addr.Page4K, 2, 2))}, src, e.caches, nil))
 		for round := 0; round < 3; round++ {
 			for i := 0; i < 256; i++ { // thrashes the 4-entry TLB: all walks
 				m.Translate(tlb.Request{VA: addr.V(i) << 12})

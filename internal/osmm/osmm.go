@@ -54,10 +54,34 @@ var (
 	// ErrNoVirtualSpace indicates VA exhaustion (not expected at
 	// simulated scales).
 	ErrNoVirtualSpace = errors.New("osmm: out of virtual address space")
-	// ErrNoMemory indicates physical memory exhaustion during an
-	// explicit operation.
-	ErrNoMemory = errors.New("osmm: out of physical memory")
+	// ErrOutOfMemory indicates physical memory exhaustion during an
+	// explicit operation. Returned wrapped in an *OOMError carrying the
+	// operation's progress; match with errors.Is.
+	ErrOutOfMemory = errors.New("osmm: out of physical memory")
+	// ErrNoMemory is the historical name of ErrOutOfMemory.
+	ErrNoMemory = ErrOutOfMemory
+	// ErrZeroLength rejects zero-length mappings.
+	ErrZeroLength = errors.New("osmm: zero-length mmap")
 )
+
+// OOMError reports physical memory exhaustion with the failing
+// operation's progress. It unwraps to ErrOutOfMemory.
+type OOMError struct {
+	Op         string // "populate", "mmap", ...
+	VA         addr.V // address at which the operation stopped
+	Requested  uint64 // bytes the operation wanted in total
+	Mapped     uint64 // bytes successfully mapped before failing
+	FreeFrames uint64 // allocator free 4KB frames at failure time
+}
+
+// Error implements error.
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("osmm: %s out of memory at %v: mapped %d of %d bytes (%d frames free)",
+		e.Op, e.VA, e.Mapped, e.Requested, e.FreeFrames)
+}
+
+// Unwrap makes errors.Is(err, ErrOutOfMemory) true.
+func (e *OOMError) Unwrap() error { return ErrOutOfMemory }
 
 // Compactor assembles a free block of 2^order frames by migrating movable
 // pages, returning the allocated block's first frame. physmem.Memhog
@@ -208,7 +232,7 @@ func (as *AddressSpace) VMAs() []VMA { return as.vmas }
 // geometrically possible.
 func (as *AddressSpace) Mmap(length uint64) (addr.V, error) {
 	if length == 0 {
-		return 0, errors.New("osmm: zero-length mmap")
+		return 0, ErrZeroLength
 	}
 	length = addr.AlignedUp(length, addr.Size4K)
 	start := addr.V(addr.AlignedUp(uint64(as.nextVA), addr.Size1G))
@@ -326,13 +350,19 @@ func (as *AddressSpace) mapOne(va addr.V, size addr.PageSize) bool {
 func (as *AddressSpace) Populate(start addr.V, length uint64) (uint64, error) {
 	var mapped uint64
 	end := uint64(start) + length
+	oom := func(va addr.V) error {
+		return &OOMError{
+			Op: "populate", VA: va, Requested: length, Mapped: mapped,
+			FreeFrames: as.phys.FreeFrames(),
+		}
+	}
 	for va := start; uint64(va) < end; {
 		if !as.HandleFault(va, false) {
-			return mapped, ErrNoMemory
+			return mapped, oom(va)
 		}
 		tr, ok := as.pt.Lookup(va)
 		if !ok {
-			return mapped, ErrNoMemory
+			return mapped, oom(va)
 		}
 		step := tr.Size.Bytes() - va.Offset(tr.Size)
 		mapped += step

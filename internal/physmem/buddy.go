@@ -38,7 +38,16 @@ type Buddy struct {
 	height uint    // log2(leaves)
 	tree   []uint8 // 1-indexed; tree[1] is the root
 	free   uint64  // free frame count
+
+	// faultHook, when set, may veto an allocation (fault injection: a
+	// transient OOM). A vetoed allocation reports failure without
+	// touching allocator state.
+	faultHook func(order uint) bool
 }
+
+// SetFaultHook installs (or, with nil, removes) a transient-failure hook
+// consulted at the top of every allocation.
+func (b *Buddy) SetFaultHook(f func(order uint) bool) { b.faultHook = f }
 
 // NewBuddy returns an allocator managing totalBytes of physical memory.
 // totalBytes must be a positive multiple of 4KB.
@@ -127,6 +136,9 @@ func (b *Buddy) splitIfFull(n uint64, no uint) {
 // returning its first frame number. ok is false if no such block exists.
 func (b *Buddy) AllocOrder(order uint) (frame uint64, ok bool) {
 	if order > MaxOrder || order > b.height {
+		return 0, false
+	}
+	if b.faultHook != nil && b.faultHook(order) {
 		return 0, false
 	}
 	want := uint8(order + 1)

@@ -18,6 +18,7 @@ import (
 
 	"mixtlb/internal/addr"
 	"mixtlb/internal/cachesim"
+	"mixtlb/internal/chaos"
 	"mixtlb/internal/mmu"
 	"mixtlb/internal/osmm"
 	"mixtlb/internal/pagetable"
@@ -31,13 +32,25 @@ type Config struct {
 	Design mmu.Design
 }
 
+// maxIPIRetries bounds the shootdown retry protocol: after this many lost
+// IPIs to one core, delivery is forced (the NMI-class fallback real
+// kernels reach for when a shootdown acknowledgement never arrives).
+const maxIPIRetries = 3
+
 // Stats aggregates system-wide shootdown activity.
 type Stats struct {
 	// Shootdowns counts munmap-driven invalidation broadcasts (one per
 	// unmapped translation).
 	Shootdowns uint64
-	// IPIs counts per-core interrupts delivered (Shootdowns x cores).
+	// IPIs counts per-core interrupts sent (Shootdowns x cores, plus any
+	// retries under fault injection).
 	IPIs uint64
+
+	// Fault-injection accounting (zero without an injector).
+	IPIsLost         uint64 // deliveries dropped by the injector
+	IPIRetries       uint64 // re-sends after a missing acknowledgement
+	IPIsDelayed      uint64 // deliveries that arrived late (but arrived)
+	ForcedDeliveries uint64 // NMI-class fallbacks after maxIPIRetries
 }
 
 // System is a multi-core machine over one OS address space.
@@ -46,22 +59,30 @@ type System struct {
 	as     *osmm.AddressSpace
 	caches *cachesim.Hierarchy
 	cores  []*mmu.MMU
+	chaos  *chaos.Injector
 	stats  Stats
 }
 
 // New builds the system; all cores share the cache hierarchy and fault
 // into the same OS.
-func New(cfg Config, as *osmm.AddressSpace, caches *cachesim.Hierarchy) *System {
+func New(cfg Config, as *osmm.AddressSpace, caches *cachesim.Hierarchy) (*System, error) {
 	if cfg.Cores <= 0 {
 		cfg.Cores = 4
 	}
 	s := &System{cfg: cfg, as: as, caches: caches}
 	for i := 0; i < cfg.Cores; i++ {
-		m := mmu.Build(cfg.Design, as.PageTable(), as.PageTable(), caches, as.HandleFault)
+		m, err := mmu.Build(cfg.Design, as.PageTable(), as.PageTable(), caches, as.HandleFault)
+		if err != nil {
+			return nil, fmt.Errorf("smp: core %d: %w", i, err)
+		}
 		s.cores = append(s.cores, m)
 	}
-	return s
+	return s, nil
 }
+
+// SetChaos attaches a fault injector to the shootdown interconnect: IPIs
+// may be dropped (triggering the retry protocol) or delayed.
+func (s *System) SetChaos(in *chaos.Injector) { s.chaos = in }
 
 // Cores exposes the per-core MMUs.
 func (s *System) Cores() []*mmu.MMU { return s.cores }
@@ -97,15 +118,41 @@ func (s *System) ResetStats() {
 }
 
 // Munmap unmaps a range through the OS and broadcasts the TLB shootdowns
-// to every core, as an munmap syscall's IPI storm does.
+// to every core, as an munmap syscall's IPI storm does. The initiating
+// core waits for every acknowledgement before the unmap returns, so a
+// lost IPI is retried (and eventually forced) rather than leaving a core
+// with a stale translation.
 func (s *System) Munmap(start addr.V, length uint64) {
 	s.as.Munmap(start, length, func(tr pagetable.Translation) {
 		s.stats.Shootdowns++
 		for _, c := range s.cores {
-			c.Invalidate(tr.VA, tr.Size)
-			s.stats.IPIs++
+			s.deliverIPI(c, tr)
 		}
 	})
+}
+
+// deliverIPI sends one shootdown IPI to one core under fault injection: a
+// dropped delivery never acks, so the sender retries up to maxIPIRetries
+// before forcing delivery. The invalidation always completes — the
+// protocol trades extra IPIs for correctness, never correctness itself.
+func (s *System) deliverIPI(c *mmu.MMU, tr pagetable.Translation) {
+	for try := 0; ; try++ {
+		s.stats.IPIs++
+		if !s.chaos.DropIPI() {
+			if s.chaos.DelayIPI() {
+				s.stats.IPIsDelayed++
+			}
+			c.Invalidate(tr.VA, tr.Size)
+			return
+		}
+		s.stats.IPIsLost++
+		if try == maxIPIRetries {
+			s.stats.ForcedDeliveries++
+			c.Invalidate(tr.VA, tr.Size)
+			return
+		}
+		s.stats.IPIRetries++
+	}
 }
 
 // Aggregate sums all cores' MMU stats.
@@ -123,6 +170,11 @@ func (s *System) Aggregate() mmu.Stats {
 		total.WalkRefs += st.WalkRefs
 		total.DirtyMicroOps += st.DirtyMicroOps
 		total.Invalidations += st.Invalidations
+		total.ECC.Add(st.ECC)
+		total.PTECorruptions += st.PTECorruptions
+		total.OracleMismatches += st.OracleMismatches
+		total.OracleRecoveries += st.OracleRecoveries
+		total.OracleUnrecovered += st.OracleUnrecovered
 		total.L1Lookup.Add(st.L1Lookup)
 		total.L2Lookup.Add(st.L2Lookup)
 		total.L1Fill.Add(st.L1Fill)
@@ -134,16 +186,22 @@ func (s *System) Aggregate() mmu.Stats {
 // NewWithTLBs builds a system whose cores use explicitly constructed TLB
 // pairs instead of a registered design — each core gets a fresh (L1, L2)
 // from build. Used by experiments that sweep custom configurations.
-func NewWithTLBs(cores int, as *osmm.AddressSpace, caches *cachesim.Hierarchy, build func() (tlb.TLB, tlb.TLB)) *System {
+func NewWithTLBs(cores int, as *osmm.AddressSpace, caches *cachesim.Hierarchy, build func() (tlb.TLB, tlb.TLB, error)) (*System, error) {
 	if cores <= 0 {
 		cores = 4
 	}
 	s := &System{cfg: Config{Cores: cores}, as: as, caches: caches}
 	for i := 0; i < cores; i++ {
-		l1, l2 := build()
-		m := mmu.New(mmu.Config{Name: fmt.Sprintf("custom.core%d", i), L1: l1, L2: l2},
+		l1, l2, err := build()
+		if err != nil {
+			return nil, fmt.Errorf("smp: core %d: %w", i, err)
+		}
+		m, err := mmu.New(mmu.Config{Name: fmt.Sprintf("custom.core%d", i), L1: l1, L2: l2},
 			as.PageTable(), caches, as.HandleFault)
+		if err != nil {
+			return nil, fmt.Errorf("smp: core %d: %w", i, err)
+		}
 		s.cores = append(s.cores, m)
 	}
-	return s
+	return s, nil
 }

@@ -28,7 +28,11 @@ func newSMP(t *testing.T, design mmu.Design, cores int) (*System, *osmm.AddressS
 	if _, err := as.Populate(base, fp); err != nil {
 		t.Fatal(err)
 	}
-	return New(Config{Cores: cores, Design: design}, as, cachesim.DefaultHierarchy()), as, base, fp
+	sys, err := New(Config{Cores: cores, Design: design}, as, cachesim.DefaultHierarchy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, as, base, fp
 }
 
 func TestRunInterleavesCores(t *testing.T) {

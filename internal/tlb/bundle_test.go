@@ -1,6 +1,7 @@
 package tlb
 
 import (
+	"errors"
 	"testing"
 
 	"mixtlb/internal/addr"
@@ -8,7 +9,7 @@ import (
 )
 
 func TestColtMembers(t *testing.T) {
-	c := NewColt("colt", addr.Page2M, 8, 2, 4)
+	c := Must(NewColt("colt", addr.Page2M, 8, 2, 4))
 	line := []pagetable.Translation{
 		mk2M(4, 100, addr.PermRW, true),
 		mk2M(5, 101, addr.PermRW, true),
@@ -30,7 +31,7 @@ func TestColtMembers(t *testing.T) {
 }
 
 func TestColtRefreshDirty(t *testing.T) {
-	c := NewColt("colt", addr.Page2M, 8, 2, 4)
+	c := Must(NewColt("colt", addr.Page2M, 8, 2, 4))
 	a := mk2M(4, 100, addr.PermRW, true)
 	b := mk2M(5, 101, addr.PermRW, true)
 	c.Fill(Request{VA: a.VA}, walkLine(a, b))
@@ -57,10 +58,10 @@ func TestColtRefreshDirty(t *testing.T) {
 }
 
 func TestSplitMembersDelegation(t *testing.T) {
-	s := NewSplit("s",
-		NewColt("L1-2M-colt", addr.Page2M, 8, 2, 4),
-		NewSetAssoc("L1-4K", addr.Page4K, 4, 2),
-	)
+	s := Must(NewSplit("s",
+		Must(NewColt("L1-2M-colt", addr.Page2M, 8, 2, 4)),
+		Must(NewSetAssoc("L1-4K", addr.Page4K, 4, 2)),
+	))
 	line := []pagetable.Translation{
 		mk2M(4, 100, addr.PermRW, true),
 		mk2M(5, 101, addr.PermRW, true),
@@ -83,7 +84,7 @@ func TestSplitMembersDelegation(t *testing.T) {
 }
 
 func TestHashRehashSizes(t *testing.T) {
-	h := NewHashRehash("h", 8, 2, addr.Page4K, addr.Page2M)
+	h := Must(NewHashRehash("h", 8, 2, addr.Page4K, addr.Page2M))
 	sizes := h.Sizes()
 	if len(sizes) != 2 || sizes[0] != addr.Page4K || sizes[1] != addr.Page2M {
 		t.Errorf("Sizes = %v", sizes)
@@ -91,43 +92,38 @@ func TestHashRehashSizes(t *testing.T) {
 }
 
 func TestPredictorAccuracyEmpty(t *testing.T) {
-	p := NewSizePredictor(16)
+	p := Must(NewSizePredictor(16))
 	if p.Accuracy() != 0 {
 		t.Error("accuracy of untouched predictor")
 	}
 }
 
-func TestBadPredictorSizePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	NewSizePredictor(5)
-}
-
-func TestBadColtWindowPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	NewColt("bad", addr.Page4K, 4, 2, 3)
-}
-
-func TestBadSkewGeometryPanics(t *testing.T) {
-	for _, f := range []func(){
-		func() { NewSkew("bad", 3, map[addr.PageSize]int{addr.Page4K: 1}) },
-		func() { NewSkew("bad", 4, nil) },
-		func() { NewHashRehash("bad", 4, 2) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("no panic")
-				}
-			}()
-			f()
-		}()
+func TestBadConfigsReturnErrors(t *testing.T) {
+	cases := map[string]func() error{
+		"predictor-size": func() error { _, err := NewSizePredictor(5); return err },
+		"colt-window":    func() error { _, err := NewColt("bad", addr.Page4K, 4, 2, 3); return err },
+		"skew-sets":      func() error { _, err := NewSkew("bad", 3, map[addr.PageSize]int{addr.Page4K: 1}); return err },
+		"skew-zero-ways": func() error { _, err := NewSkew("bad", 4, nil); return err },
+		"rehash-sizes":   func() error { _, err := NewHashRehash("bad", 4, 2); return err },
 	}
+	for name, f := range cases {
+		err := f()
+		if err == nil {
+			t.Errorf("%s: no error", name)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %v is not a *ConfigError", name, err)
+		}
+	}
+}
+
+func TestMustPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Must did not panic on error")
+		}
+	}()
+	Must(NewSizePredictor(0))
 }

@@ -1,7 +1,6 @@
 package tlb
 
 import (
-	"fmt"
 	"math/bits"
 
 	"mixtlb/internal/addr"
@@ -41,19 +40,19 @@ type coltEntry struct {
 // NewColt builds a coalescing TLB for pages of size s. window is the
 // maximum pages per entry (a power of two, at most 32, and at most the
 // walker's 8-PTE line for single-fill coalescing to be exercised fully).
-func NewColt(name string, s addr.PageSize, sets, ways, window int) *Colt {
+func NewColt(name string, s addr.PageSize, sets, ways, window int) (*Colt, error) {
 	if sets <= 0 || !addr.IsPow2(uint64(sets)) || ways <= 0 {
-		panic(fmt.Sprintf("tlb: bad geometry %dx%d", sets, ways))
+		return nil, cfgErr(name, "bad geometry %dx%d", sets, ways)
 	}
 	if window <= 0 || window > 32 || !addr.IsPow2(uint64(window)) {
-		panic(fmt.Sprintf("tlb: bad coalescing window %d", window))
+		return nil, cfgErr(name, "bad coalescing window %d", window)
 	}
 	t := &Colt{name: name, size: s, sets: sets, ways: ways, window: window}
 	t.data = make([][]coltEntry, sets)
 	for i := range t.data {
 		t.data[i] = make([]coltEntry, ways)
 	}
-	return t
+	return t, nil
 }
 
 // Name implements TLB.
@@ -281,20 +280,18 @@ func (t *Colt) Flush() {
 
 // NewColtSplitL1 builds the COLT baseline of Fig 18: the Haswell L1
 // geometry with the 4KB component coalescing up to 4 small pages.
-func NewColtSplitL1() *Split {
-	return NewSplit("colt-L1",
-		NewColt("L1-4K-colt", addr.Page4K, 16, 4, 4),
-		NewSetAssoc("L1-2M", addr.Page2M, 8, 4),
-		NewSetAssoc("L1-1G", addr.Page1G, 1, 4),
-	)
+func NewColtSplitL1() (*Split, error) {
+	small, e1 := NewColt("L1-4K-colt", addr.Page4K, 16, 4, 4)
+	mid, e2 := NewSetAssoc("L1-2M", addr.Page2M, 8, 4)
+	big, e3 := NewSetAssoc("L1-1G", addr.Page1G, 1, 4)
+	return newSplitParts("colt-L1", []TLB{small, mid, big}, e1, e2, e3)
 }
 
 // NewColtPlusPlusL1 builds COLT++ (Fig 18): every split component
 // coalesces runs of its own page size.
-func NewColtPlusPlusL1() *Split {
-	return NewSplit("colt++-L1",
-		NewColt("L1-4K-colt", addr.Page4K, 16, 4, 4),
-		NewColt("L1-2M-colt", addr.Page2M, 8, 4, 4),
-		NewColt("L1-1G-colt", addr.Page1G, 1, 4, 4),
-	)
+func NewColtPlusPlusL1() (*Split, error) {
+	small, e1 := NewColt("L1-4K-colt", addr.Page4K, 16, 4, 4)
+	mid, e2 := NewColt("L1-2M-colt", addr.Page2M, 8, 4, 4)
+	big, e3 := NewColt("L1-1G-colt", addr.Page1G, 1, 4, 4)
+	return newSplitParts("colt++-L1", []TLB{small, mid, big}, e1, e2, e3)
 }

@@ -14,21 +14,21 @@ import (
 // a wrong translation.
 func TestInterfaceConformance(t *testing.T) {
 	builders := map[string]func() TLB{
-		"setassoc-4k": func() TLB { return NewSetAssoc("t", addr.Page4K, 8, 4) },
-		"setassoc-2m": func() TLB { return NewSetAssoc("t", addr.Page2M, 8, 4) },
-		"fullyassoc":  func() TLB { return NewSetAssoc("t", addr.Page1G, 1, 8) },
-		"split":       func() TLB { return NewHaswellL1() },
-		"haswell-l2":  func() TLB { return NewHaswellL2() },
-		"rehash":      func() TLB { return NewHashRehash("t", 16, 4, addr.Page4K, addr.Page2M, addr.Page1G) },
+		"setassoc-4k": func() TLB { return Must(NewSetAssoc("t", addr.Page4K, 8, 4)) },
+		"setassoc-2m": func() TLB { return Must(NewSetAssoc("t", addr.Page2M, 8, 4)) },
+		"fullyassoc":  func() TLB { return Must(NewSetAssoc("t", addr.Page1G, 1, 8)) },
+		"split":       func() TLB { return Must(NewHaswellL1()) },
+		"haswell-l2":  func() TLB { return Must(NewHaswellL2()) },
+		"rehash":      func() TLB { return Must(NewHashRehash("t", 16, 4, addr.Page4K, addr.Page2M, addr.Page1G)) },
 		"rehash+pred": func() TLB {
-			return NewPredictedRehash(NewHashRehash("t", 16, 4, addr.Page4K, addr.Page2M, addr.Page1G), NewSizePredictor(64))
+			return NewPredictedRehash(Must(NewHashRehash("t", 16, 4, addr.Page4K, addr.Page2M, addr.Page1G)), Must(NewSizePredictor(64)))
 		},
-		"skew":         func() TLB { return NewSkewAllSizes("t", 16, 2) },
-		"skew+pred":    func() TLB { return NewPredictedSkew(NewSkewAllSizes("t", 16, 2), NewSizePredictor(64)) },
-		"colt-4k":      func() TLB { return NewColt("t", addr.Page4K, 8, 4, 4) },
-		"colt-2m":      func() TLB { return NewColt("t", addr.Page2M, 8, 4, 4) },
-		"colt-split":   func() TLB { return NewColtSplitL1() },
-		"colt++-split": func() TLB { return NewColtPlusPlusL1() },
+		"skew":         func() TLB { return Must(NewSkewAllSizes("t", 16, 2)) },
+		"skew+pred":    func() TLB { return NewPredictedSkew(Must(NewSkewAllSizes("t", 16, 2)), Must(NewSizePredictor(64))) },
+		"colt-4k":      func() TLB { return Must(NewColt("t", addr.Page4K, 8, 4, 4)) },
+		"colt-2m":      func() TLB { return Must(NewColt("t", addr.Page2M, 8, 4, 4)) },
+		"colt-split":   func() TLB { return Must(NewColtSplitL1()) },
+		"colt++-split": func() TLB { return Must(NewColtPlusPlusL1()) },
 	}
 	cases := []struct {
 		va   addr.V
@@ -102,9 +102,9 @@ func TestInterfaceConformance(t *testing.T) {
 // and checks no design confuses them.
 func TestNoCrossSizeAliasing(t *testing.T) {
 	builders := []func() TLB{
-		func() TLB { return NewHaswellL1() },
-		func() TLB { return NewHashRehash("t", 16, 4, addr.Page4K, addr.Page2M, addr.Page1G) },
-		func() TLB { return NewSkewAllSizes("t", 16, 2) },
+		func() TLB { return Must(NewHaswellL1()) },
+		func() TLB { return Must(NewHashRehash("t", 16, 4, addr.Page4K, addr.Page2M, addr.Page1G)) },
+		func() TLB { return Must(NewSkewAllSizes("t", 16, 2)) },
 	}
 	for _, build := range builders {
 		tl := build()

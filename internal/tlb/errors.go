@@ -1,0 +1,75 @@
+package tlb
+
+import (
+	"fmt"
+
+	"mixtlb/internal/addr"
+)
+
+// ConfigError is the typed error every TLB constructor returns for invalid
+// geometry or policy parameters, replacing the former construction-time
+// panics so experiment builders can surface a bad sweep point instead of
+// crashing the harness.
+type ConfigError struct {
+	// TLB names the design being constructed.
+	TLB string
+	// Detail describes the invalid parameter.
+	Detail string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("tlb: invalid %s config: %s", e.TLB, e.Detail)
+}
+
+// cfgErr builds a ConfigError with a formatted detail.
+func cfgErr(name, format string, args ...interface{}) error {
+	return &ConfigError{TLB: name, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Must unwraps a constructor result, panicking on error. It is the bridge
+// for call sites whose configurations are compile-time constants (tests,
+// examples, hardcoded composites) where an error truly is a programming
+// bug.
+func Must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// ECCStats counts TLB-entry corruption events and the
+// detect-invalidate-rewalk responses, maintained by the MMU when a chaos
+// injector is attached.
+type ECCStats struct {
+	// ParityDetected counts corrupted entry reads caught by parity/ECC
+	// before use.
+	ParityDetected uint64
+	// SilentCorruptions counts injected corruptions that escaped parity
+	// (caught only by the translation oracle, if attached).
+	SilentCorruptions uint64
+	// Rewalks counts page walks forced by detected corruption (the entry
+	// was invalidated and the translation re-fetched).
+	Rewalks uint64
+	// Scrubbed counts entries (including mirror copies) invalidated while
+	// scrubbing corrupt state.
+	Scrubbed uint64
+}
+
+// Add accumulates d into s.
+func (s *ECCStats) Add(d ECCStats) {
+	s.ParityDetected += d.ParityDetected
+	s.SilentCorruptions += d.SilentCorruptions
+	s.Rewalks += d.Rewalks
+	s.Scrubbed += d.Scrubbed
+}
+
+// Scrubber is implemented by TLBs that distinguish a corruption scrub from
+// a normal invalidation — designs with mirrored or coalesced state that
+// want to count (and clear) every copy of a corrupt entry. TLBs without
+// the method get a plain Invalidate.
+type Scrubber interface {
+	// ScrubCorrupt removes every cached copy of the entry translating va
+	// at the given page size, returning how many entries were touched.
+	ScrubCorrupt(va addr.V, size addr.PageSize) int
+}

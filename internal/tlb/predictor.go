@@ -21,15 +21,15 @@ type SizePredictor struct {
 
 // NewSizePredictor builds a predictor with the given number of entries
 // (power of two).
-func NewSizePredictor(entries int) *SizePredictor {
+func NewSizePredictor(entries int) (*SizePredictor, error) {
 	if entries <= 0 || !addr.IsPow2(uint64(entries)) {
-		panic("tlb: predictor entries must be a positive power of two")
+		return nil, cfgErr("size-predictor", "entries must be a positive power of two, got %d", entries)
 	}
 	return &SizePredictor{
 		size: make([]addr.PageSize, entries),
 		conf: make([]uint8, entries),
 		mask: uint64(entries - 1),
-	}
+	}, nil
 }
 
 func (p *SizePredictor) idx(pc uint64) uint64 {

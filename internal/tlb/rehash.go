@@ -1,8 +1,6 @@
 package tlb
 
 import (
-	"fmt"
-
 	"mixtlb/internal/addr"
 	"mixtlb/internal/pagetable"
 )
@@ -23,19 +21,19 @@ type HashRehash struct {
 }
 
 // NewHashRehash builds a hash-rehash TLB probing the given sizes in order.
-func NewHashRehash(name string, sets, ways int, sizes ...addr.PageSize) *HashRehash {
+func NewHashRehash(name string, sets, ways int, sizes ...addr.PageSize) (*HashRehash, error) {
 	if sets <= 0 || !addr.IsPow2(uint64(sets)) || ways <= 0 {
-		panic(fmt.Sprintf("tlb: bad geometry %dx%d", sets, ways))
+		return nil, cfgErr(name, "bad geometry %dx%d", sets, ways)
 	}
 	if len(sizes) == 0 {
-		panic("tlb: hash-rehash needs at least one page size")
+		return nil, cfgErr(name, "hash-rehash needs at least one page size")
 	}
 	t := &HashRehash{name: name, sizes: sizes, sets: sets, ways: ways}
 	t.data = make([][]entrySlot, sets)
 	for i := range t.data {
 		t.data[i] = make([]entrySlot, ways)
 	}
-	return t
+	return t, nil
 }
 
 // Name implements TLB.

@@ -1,8 +1,6 @@
 package tlb
 
 import (
-	"fmt"
-
 	"mixtlb/internal/addr"
 	"mixtlb/internal/pagetable"
 )
@@ -22,16 +20,16 @@ type SetAssoc struct {
 
 // NewSetAssoc builds a TLB with the given geometry caching only pages of
 // size s. sets must be a power of two.
-func NewSetAssoc(name string, s addr.PageSize, sets, ways int) *SetAssoc {
+func NewSetAssoc(name string, s addr.PageSize, sets, ways int) (*SetAssoc, error) {
 	if sets <= 0 || !addr.IsPow2(uint64(sets)) || ways <= 0 {
-		panic(fmt.Sprintf("tlb: bad geometry %dx%d", sets, ways))
+		return nil, cfgErr(name, "bad geometry %dx%d", sets, ways)
 	}
 	t := &SetAssoc{name: name, size: s, sets: sets, ways: ways}
 	t.data = make([][]entrySlot, sets)
 	for i := range t.data {
 		t.data[i] = make([]entrySlot, ways)
 	}
-	return t
+	return t, nil
 }
 
 // Name implements TLB.

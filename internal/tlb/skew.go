@@ -1,8 +1,6 @@
 package tlb
 
 import (
-	"fmt"
-
 	"mixtlb/internal/addr"
 	"mixtlb/internal/pagetable"
 )
@@ -25,9 +23,9 @@ type Skew struct {
 // NewSkew builds a skew TLB with `sets` entries per way. waysPerSize maps
 // each supported page size to its number of ways; the paper's 3-size
 // example with 2 ways each yields a 6-way structure.
-func NewSkew(name string, sets int, waysPerSize map[addr.PageSize]int) *Skew {
+func NewSkew(name string, sets int, waysPerSize map[addr.PageSize]int) (*Skew, error) {
 	if sets <= 0 || !addr.IsPow2(uint64(sets)) {
-		panic(fmt.Sprintf("tlb: bad skew set count %d", sets))
+		return nil, cfgErr(name, "bad skew set count %d", sets)
 	}
 	t := &Skew{name: name, sets: sets}
 	for _, s := range addr.Sizes() {
@@ -36,7 +34,7 @@ func NewSkew(name string, sets int, waysPerSize map[addr.PageSize]int) *Skew {
 		}
 	}
 	if len(t.waySize) == 0 {
-		panic("tlb: skew TLB with zero ways")
+		return nil, cfgErr(name, "skew TLB with zero ways")
 	}
 	t.data = make([][]entrySlot, len(t.waySize))
 	t.hashMixers = make([]uint64, len(t.waySize))
@@ -47,12 +45,12 @@ func NewSkew(name string, sets int, waysPerSize map[addr.PageSize]int) *Skew {
 		// groups apart across ways.
 		t.hashMixers[w] = 0x9e3779b97f4a7c15*uint64(w+1) | 1
 	}
-	return t
+	return t, nil
 }
 
 // NewSkewAllSizes builds the paper's configuration: all three page sizes,
 // waysEach ways per size.
-func NewSkewAllSizes(name string, sets, waysEach int) *Skew {
+func NewSkewAllSizes(name string, sets, waysEach int) (*Skew, error) {
 	return NewSkew(name, sets, map[addr.PageSize]int{
 		addr.Page4K: waysEach, addr.Page2M: waysEach, addr.Page1G: waysEach,
 	})

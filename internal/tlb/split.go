@@ -24,30 +24,44 @@ type Split struct {
 
 // NewSplit combines the given component TLBs. Every page size must be
 // served by at least one component for fills to land somewhere.
-func NewSplit(name string, parts ...TLB) *Split {
+func NewSplit(name string, parts ...TLB) (*Split, error) {
 	if len(parts) == 0 {
-		panic("tlb: split with no components")
+		return nil, cfgErr(name, "split with no components")
 	}
-	return &Split{name: name, parts: parts}
+	for i, p := range parts {
+		if p == nil {
+			return nil, cfgErr(name, "nil component at index %d", i)
+		}
+	}
+	return &Split{name: name, parts: parts}, nil
+}
+
+// newSplitParts propagates the first component constructor error, keeping
+// the hardcoded composite builders flat.
+func newSplitParts(name string, parts []TLB, errs ...error) (*Split, error) {
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return NewSplit(name, parts...)
 }
 
 // NewHaswellL1 builds the paper's L1 baseline (Sec 6.1): 4-way 64-entry
 // 4KB, 4-way 32-entry 2MB, and 4-entry fully-associative 1GB TLBs.
-func NewHaswellL1() *Split {
-	return NewSplit("split-L1",
-		NewSetAssoc("L1-4K", addr.Page4K, 16, 4),
-		NewSetAssoc("L1-2M", addr.Page2M, 8, 4),
-		NewSetAssoc("L1-1G", addr.Page1G, 1, 4),
-	)
+func NewHaswellL1() (*Split, error) {
+	small, e1 := NewSetAssoc("L1-4K", addr.Page4K, 16, 4)
+	mid, e2 := NewSetAssoc("L1-2M", addr.Page2M, 8, 4)
+	big, e3 := NewSetAssoc("L1-1G", addr.Page1G, 1, 4)
+	return newSplitParts("split-L1", []TLB{small, mid, big}, e1, e2, e3)
 }
 
 // NewHaswellL2 builds the paper's L2 baseline (Sec 6.1, 7.2): a 512-entry
 // hash-rehash TLB for 4KB+2MB pages and a separate 32-entry 1GB TLB.
-func NewHaswellL2() *Split {
-	return NewSplit("split-L2",
-		NewHashRehash("L2-4K2M", 128, 4, addr.Page4K, addr.Page2M),
-		NewSetAssoc("L2-1G", addr.Page1G, 8, 4),
-	)
+func NewHaswellL2() (*Split, error) {
+	hr, e1 := NewHashRehash("L2-4K2M", 128, 4, addr.Page4K, addr.Page2M)
+	big, e2 := NewSetAssoc("L2-1G", addr.Page1G, 8, 4)
+	return newSplitParts("split-L2", []TLB{hr, big}, e1, e2)
 }
 
 // Name implements TLB.

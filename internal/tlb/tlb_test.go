@@ -1,6 +1,7 @@
 package tlb
 
 import (
+	"errors"
 	"testing"
 
 	"mixtlb/internal/addr"
@@ -39,7 +40,7 @@ func fillAndCheck(t *testing.T, tl TLB, va addr.V, pa addr.P, size addr.PageSize
 }
 
 func TestSetAssocBasic(t *testing.T) {
-	tl := NewSetAssoc("t", addr.Page4K, 4, 2)
+	tl := Must(NewSetAssoc("t", addr.Page4K, 4, 2))
 	if tl.Entries() != 8 {
 		t.Errorf("Entries = %d", tl.Entries())
 	}
@@ -60,7 +61,7 @@ func TestSetAssocBasic(t *testing.T) {
 }
 
 func TestSetAssocIgnoresOtherSizes(t *testing.T) {
-	tl := NewSetAssoc("t", addr.Page4K, 4, 2)
+	tl := Must(NewSetAssoc("t", addr.Page4K, 4, 2))
 	c := tl.Fill(Request{VA: 0x200000}, walkFor(0x200000, 0x400000, addr.Page2M))
 	if c.EntriesWritten != 0 {
 		t.Error("4KB TLB accepted a 2MB fill")
@@ -71,7 +72,7 @@ func TestSetAssocIgnoresOtherSizes(t *testing.T) {
 }
 
 func TestSetAssocLRUWithinSet(t *testing.T) {
-	tl := NewSetAssoc("t", addr.Page4K, 1, 2) // fully associative, 2 entries
+	tl := Must(NewSetAssoc("t", addr.Page4K, 1, 2)) // fully associative, 2 entries
 	fillAndCheck(t, tl, 0x1000, 0x1000, addr.Page4K)
 	fillAndCheck(t, tl, 0x2000, 0x2000, addr.Page4K)
 	lookup(tl, 0x1000) // refresh 0x1000; 0x2000 is now LRU
@@ -87,7 +88,7 @@ func TestSetAssocLRUWithinSet(t *testing.T) {
 func TestSetAssocConflictMisses(t *testing.T) {
 	// Pages 4 sets apart collide; with 2 ways, the third conflicting fill
 	// evicts the first.
-	tl := NewSetAssoc("t", addr.Page4K, 4, 2)
+	tl := Must(NewSetAssoc("t", addr.Page4K, 4, 2))
 	for i := 0; i < 3; i++ {
 		va := addr.V(i * 4 * addr.Size4K)
 		tl.Fill(Request{VA: va}, walkFor(va, addr.P(va), addr.Page4K))
@@ -101,7 +102,7 @@ func TestSetAssocConflictMisses(t *testing.T) {
 }
 
 func TestSetAssocInvalidateAndFlush(t *testing.T) {
-	tl := NewSetAssoc("t", addr.Page2M, 2, 2)
+	tl := Must(NewSetAssoc("t", addr.Page2M, 2, 2))
 	fillAndCheck(t, tl, 0x200000, 0xa00000, addr.Page2M)
 	if n := tl.Invalidate(0x200000, addr.Page4K); n != 0 {
 		t.Error("invalidate with wrong size removed entries")
@@ -120,7 +121,7 @@ func TestSetAssocInvalidateAndFlush(t *testing.T) {
 }
 
 func TestSetAssocDirty(t *testing.T) {
-	tl := NewSetAssoc("t", addr.Page4K, 2, 2)
+	tl := Must(NewSetAssoc("t", addr.Page4K, 2, 2))
 	tl.Fill(Request{VA: 0x1000}, walkFor(0x1000, 0x1000, addr.Page4K))
 	if r := lookup(tl, 0x1000); r.Dirty {
 		t.Error("fresh entry dirty")
@@ -137,16 +138,15 @@ func TestSetAssocDirty(t *testing.T) {
 }
 
 func TestSetAssocBadGeometry(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	NewSetAssoc("bad", addr.Page4K, 3, 4)
+	if _, err := NewSetAssoc("bad", addr.Page4K, 3, 4); err == nil {
+		t.Fatal("no error for non-power-of-two set count")
+	} else if ce := (*ConfigError)(nil); !errors.As(err, &ce) || ce.TLB != "bad" {
+		t.Fatalf("error %v is not a ConfigError for %q", err, "bad")
+	}
 }
 
 func TestSplitRoutesBySize(t *testing.T) {
-	s := NewHaswellL1()
+	s := Must(NewHaswellL1())
 	if s.Entries() != 64+32+4 {
 		t.Errorf("Entries = %d", s.Entries())
 	}
@@ -168,7 +168,7 @@ func TestSplitRoutesBySize(t *testing.T) {
 // an all-4KB working set larger than the 64-entry 4KB component thrashes
 // even though 36 superpage entries sit idle.
 func TestSplitUnderutilization(t *testing.T) {
-	s := NewHaswellL1()
+	s := Must(NewHaswellL1())
 	const pages = 80 // > 64-entry 4KB component
 	for round := 0; round < 2; round++ {
 		for i := 0; i < pages; i++ {
@@ -191,17 +191,17 @@ func TestSplitUnderutilization(t *testing.T) {
 	}
 }
 
-func TestSplitEmptyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	NewSplit("bad")
+func TestSplitEmptyErrors(t *testing.T) {
+	if _, err := NewSplit("bad"); err == nil {
+		t.Fatal("no error for a split TLB with no components")
+	}
+	if _, err := NewSplit("bad", nil); err == nil {
+		t.Fatal("no error for a nil component")
+	}
 }
 
 func TestHashRehashAllSizes(t *testing.T) {
-	h := NewHashRehash("h", 16, 4, addr.Page4K, addr.Page2M, addr.Page1G)
+	h := Must(NewHashRehash("h", 16, 4, addr.Page4K, addr.Page2M, addr.Page1G))
 	fillAndCheck(t, h, 0x1000, 0x2000, addr.Page4K)
 	fillAndCheck(t, h, 0x200000, 0x400000, addr.Page2M)
 	fillAndCheck(t, h, 0x40000000, 0xc0000000, addr.Page1G)
@@ -221,7 +221,7 @@ func TestHashRehashAllSizes(t *testing.T) {
 
 func TestHashRehashSizeSubset(t *testing.T) {
 	// Haswell-style: 4KB+2MB only; 1GB fills are refused.
-	h := NewHashRehash("h", 16, 4, addr.Page4K, addr.Page2M)
+	h := Must(NewHashRehash("h", 16, 4, addr.Page4K, addr.Page2M))
 	if c := h.Fill(Request{VA: 0x40000000}, walkFor(0x40000000, 0, addr.Page1G)); c.EntriesWritten != 0 {
 		t.Error("accepted 1GB fill")
 	}
@@ -233,7 +233,7 @@ func TestHashRehashSizeSubset(t *testing.T) {
 func TestHashRehashNoFalseHits(t *testing.T) {
 	// A 4KB entry must not satisfy a lookup that would alias at 2MB
 	// indexing (size is part of the match).
-	h := NewHashRehash("h", 2, 4, addr.Page4K, addr.Page2M)
+	h := Must(NewHashRehash("h", 2, 4, addr.Page4K, addr.Page2M))
 	h.Fill(Request{VA: 0x200000}, walkFor(0x200000, 0x1000000, addr.Page4K))
 	r := lookup(h, 0x201000) // different 4KB page, same 2MB page
 	if r.Hit {
@@ -242,8 +242,8 @@ func TestHashRehashNoFalseHits(t *testing.T) {
 }
 
 func TestPredictedRehashLearns(t *testing.T) {
-	inner := NewHashRehash("h", 16, 4, addr.Page4K, addr.Page2M, addr.Page1G)
-	pred := NewSizePredictor(256)
+	inner := Must(NewHashRehash("h", 16, 4, addr.Page4K, addr.Page2M, addr.Page1G))
+	pred := Must(NewSizePredictor(256))
 	p := NewPredictedRehash(inner, pred)
 	const pc = 0xdeadbeef
 	va := addr.V(0x40000000)
@@ -268,7 +268,7 @@ func TestPredictedRehashLearns(t *testing.T) {
 }
 
 func TestPredictorHysteresis(t *testing.T) {
-	p := NewSizePredictor(16)
+	p := Must(NewSizePredictor(16))
 	const pc = 42
 	for i := 0; i < 4; i++ {
 		p.Update(pc, addr.Page2M)
@@ -288,7 +288,7 @@ func TestPredictorHysteresis(t *testing.T) {
 }
 
 func TestSkewBasic(t *testing.T) {
-	s := NewSkewAllSizes("skew", 16, 2)
+	s := Must(NewSkewAllSizes("skew", 16, 2))
 	if s.Ways() != 6 || s.Entries() != 96 {
 		t.Errorf("ways=%d entries=%d", s.Ways(), s.Entries())
 	}
@@ -303,7 +303,7 @@ func TestSkewBasic(t *testing.T) {
 }
 
 func TestSkewPredictedLookupEnergy(t *testing.T) {
-	s := NewSkewAllSizes("skew", 16, 2)
+	s := Must(NewSkewAllSizes("skew", 16, 2))
 	fillAndCheck(t, s, 0x200000, 0x400000, addr.Page2M)
 	// Correct prediction reads only that size's 2 ways.
 	r := s.LookupPredicted(Request{VA: 0x200000}, addr.Page2M)
@@ -320,7 +320,7 @@ func TestSkewPredictedLookupEnergy(t *testing.T) {
 func TestSkewReplacementRespectsSizePartition(t *testing.T) {
 	// Fill many 4KB pages: they must never evict superpage entries (ways
 	// are partitioned by size).
-	s := NewSkewAllSizes("skew", 4, 1)
+	s := Must(NewSkewAllSizes("skew", 4, 1))
 	fillAndCheck(t, s, 0x200000, 0x600000, addr.Page2M)
 	for i := 0; i < 64; i++ {
 		va := addr.V(i * addr.Size4K)
@@ -332,7 +332,7 @@ func TestSkewReplacementRespectsSizePartition(t *testing.T) {
 }
 
 func TestSkewInvalidate(t *testing.T) {
-	s := NewSkewAllSizes("skew", 8, 2)
+	s := Must(NewSkewAllSizes("skew", 8, 2))
 	fillAndCheck(t, s, 0x200000, 0x600000, addr.Page2M)
 	if n := s.Invalidate(0x2fffff, addr.Page2M); n != 1 {
 		t.Errorf("Invalidate = %d", n)
@@ -343,7 +343,7 @@ func TestSkewInvalidate(t *testing.T) {
 }
 
 func TestPredictedSkewEndToEnd(t *testing.T) {
-	s := NewPredictedSkew(NewSkewAllSizes("skew", 16, 2), NewSizePredictor(64))
+	s := NewPredictedSkew(Must(NewSkewAllSizes("skew", 16, 2)), Must(NewSizePredictor(64)))
 	const pc = 7
 	va := addr.V(0x200000)
 	s.Fill(Request{VA: va, PC: pc}, walkFor(va, 0x800000, addr.Page2M))
@@ -361,7 +361,7 @@ func mk2M(pageNum, physPage uint64, perm addr.Perm, acc bool) pagetable.Translat
 }
 
 func TestColtCoalescesContiguousRun(t *testing.T) {
-	c := NewColt("colt", addr.Page2M, 8, 2, 4)
+	c := Must(NewColt("colt", addr.Page2M, 8, 2, 4))
 	// Pages 4,5,6,7 VA-contiguous and PA-contiguous: window-aligned run.
 	line := []pagetable.Translation{
 		mk2M(4, 100, addr.PermRW, true),
@@ -382,7 +382,7 @@ func TestColtCoalescesContiguousRun(t *testing.T) {
 }
 
 func TestColtRejectsNonContiguousPhysical(t *testing.T) {
-	c := NewColt("colt", addr.Page2M, 8, 2, 4)
+	c := Must(NewColt("colt", addr.Page2M, 8, 2, 4))
 	line := []pagetable.Translation{
 		mk2M(4, 100, addr.PermRW, true),
 		mk2M(5, 200, addr.PermRW, true), // physically discontiguous
@@ -397,7 +397,7 @@ func TestColtRejectsNonContiguousPhysical(t *testing.T) {
 }
 
 func TestColtRespectsWindowAlignment(t *testing.T) {
-	c := NewColt("colt", addr.Page2M, 8, 2, 4)
+	c := Must(NewColt("colt", addr.Page2M, 8, 2, 4))
 	// Pages 6,7,8,9 are contiguous but straddle the window boundary at 8.
 	line := []pagetable.Translation{
 		mk2M(6, 100, addr.PermRW, true),
@@ -415,7 +415,7 @@ func TestColtRespectsWindowAlignment(t *testing.T) {
 }
 
 func TestColtPermissionGate(t *testing.T) {
-	c := NewColt("colt", addr.Page2M, 8, 2, 4)
+	c := Must(NewColt("colt", addr.Page2M, 8, 2, 4))
 	line := []pagetable.Translation{
 		mk2M(4, 100, addr.PermRW, true),
 		mk2M(5, 101, addr.PermRead, true), // different permissions
@@ -435,7 +435,7 @@ func TestColtPermissionGate(t *testing.T) {
 }
 
 func TestColtMergeOnRefill(t *testing.T) {
-	c := NewColt("colt", addr.Page2M, 8, 2, 4)
+	c := Must(NewColt("colt", addr.Page2M, 8, 2, 4))
 	c.Fill(Request{VA: mk2M(4, 100, addr.PermRW, true).VA},
 		walkLine(mk2M(4, 100, addr.PermRW, true)))
 	// Later the adjacent page is demanded: merged into the same entry.
@@ -447,7 +447,7 @@ func TestColtMergeOnRefill(t *testing.T) {
 }
 
 func TestColtInvalidateMember(t *testing.T) {
-	c := NewColt("colt", addr.Page2M, 8, 2, 4)
+	c := Must(NewColt("colt", addr.Page2M, 8, 2, 4))
 	line := []pagetable.Translation{
 		mk2M(4, 100, addr.PermRW, true),
 		mk2M(5, 101, addr.PermRW, true),
@@ -470,7 +470,7 @@ func TestColtInvalidateMember(t *testing.T) {
 }
 
 func TestColtDirtyPolicy(t *testing.T) {
-	c := NewColt("colt", addr.Page2M, 8, 2, 4)
+	c := Must(NewColt("colt", addr.Page2M, 8, 2, 4))
 	// Multi-member bundle: MarkDirty must refuse (conservative policy).
 	line := []pagetable.Translation{
 		mk2M(4, 100, addr.PermRW, true),
@@ -481,7 +481,7 @@ func TestColtDirtyPolicy(t *testing.T) {
 		t.Error("multi-member bundle accepted MarkDirty")
 	}
 	// Singleton bundle: allowed.
-	c2 := NewColt("colt", addr.Page2M, 8, 2, 4)
+	c2 := Must(NewColt("colt", addr.Page2M, 8, 2, 4))
 	c2.Fill(Request{VA: line[0].VA}, walkLine(line[0]))
 	if !c2.MarkDirty(line[0].VA) {
 		t.Error("singleton bundle refused MarkDirty")
@@ -533,16 +533,16 @@ func TestAreaEquivalenceOfBaselines(t *testing.T) {
 	// The comparisons in Sec 7.2 are area-equivalent; the stock configs
 	// should be within one another's ballpark (exactly 100 L1 entries for
 	// split; skew/rehash L1 stand-ins match in the mmu configs).
-	if got := NewHaswellL1().Entries(); got != 100 {
+	if got := Must(NewHaswellL1()).Entries(); got != 100 {
 		t.Errorf("Haswell L1 entries = %d", got)
 	}
-	if got := NewHaswellL2().Entries(); got != 544 {
+	if got := Must(NewHaswellL2()).Entries(); got != 544 {
 		t.Errorf("Haswell L2 entries = %d", got)
 	}
-	if got := NewColtSplitL1().Entries(); got != 100 {
+	if got := Must(NewColtSplitL1()).Entries(); got != 100 {
 		t.Errorf("COLT L1 entries = %d", got)
 	}
-	if got := NewColtPlusPlusL1().Entries(); got != 100 {
+	if got := Must(NewColtPlusPlusL1()).Entries(); got != 100 {
 		t.Errorf("COLT++ L1 entries = %d", got)
 	}
 }

@@ -129,7 +129,10 @@ func TestNestedWithMixTLBEndToEnd(t *testing.T) {
 	_, vm := newVM(t, 2<<30, 512<<20, osmm.Config{Policy: osmm.THS})
 	start, _ := vm.GuestAS().Mmap(32 << 20)
 	caches := cachesim.DefaultHierarchy()
-	m := mmu.Build(mmu.DesignMix, vm.Walker(), nil, caches, vm.HandleFault)
+	m, err := mmu.Build(mmu.DesignMix, vm.Walker(), nil, caches, vm.HandleFault)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Touch every 4KB region; every translation must match the manual
 	// composition.
 	for off := uint64(0); off < 32<<20; off += addr.Size4K {

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Tier-1 gate: build, vet, race-enabled tests. Mirrors `make check` for
+# environments without make. Any failing chaos/differential test prints
+# the reproducing seed in its failure message — replay with
+#   go test -run <TestName> ./internal/...
+# after plugging that seed into the test, or
+#   go run ./cmd/mixtlb -exp chaos -seed <seed>
+# for experiment-level failures.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+echo "== go vet ./..."
+go vet ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "== OK"
