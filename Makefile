@@ -1,6 +1,7 @@
 GO ?= go
+JOBS ?= 0
 
-.PHONY: check build vet test race bench chaos
+.PHONY: check build vet test race bench bench-experiments fuzz golden chaos
 
 # The full tier-1 gate: build, vet, and the test suite under the race
 # detector. Test failures print the reproducing seed — rerun the named
@@ -19,8 +20,29 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench:
+bench: bench-experiments
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Wall-clock timings for the parallel experiment engine: runs the perf
+# group at quick scale and writes per-cell and per-experiment timings to
+# BENCH_experiments.json. Override the pool size with JOBS=N (0 =
+# GOMAXPROCS); re-run at JOBS=1 vs JOBS=8 to measure the speedup —
+# the tables themselves are byte-identical either way.
+bench-experiments:
+	$(GO) run ./cmd/mixtlb -exp perf -quick -jobs $(JOBS) \
+		-bench-out BENCH_experiments.json > /dev/null
+
+# Short mutation pass over each fuzz target (seed corpora also run as
+# plain test cases in `make test`).
+fuzz:
+	$(GO) test ./internal/trace/ -fuzz 'FuzzRoundTrip' -fuzztime 10s -run ^$$
+	$(GO) test ./internal/trace/ -fuzz 'FuzzReader' -fuzztime 10s -run ^$$
+	$(GO) test ./internal/addr/ -fuzz 'FuzzAddrArithmetic' -fuzztime 10s -run ^$$
+
+# Regenerate the golden experiment tables after an intentional change in
+# simulator behavior (records at -jobs=1; the test verifies at -jobs=8).
+golden:
+	$(GO) test ./internal/experiments/ -run TestGoldenTables -update-golden
 
 # Quick fault-injection sweep: every design under TLB/PTE corruption,
 # lost IPIs, and transient OOM. The unrecovered column must be zero.

@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
@@ -39,7 +40,7 @@ func runExperiment(b *testing.B, name string) *stats.Table {
 	}
 	var tbl *stats.Table
 	for i := 0; i < b.N; i++ {
-		tbl, err = e.Run(experiments.QuickScale())
+		tbl, err = e.Run(context.Background(), experiments.QuickScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -158,7 +159,7 @@ func BenchmarkCoalesceCap(b *testing.B) {
 	var tbl *stats.Table
 	var err error
 	for i := 0; i < b.N; i++ {
-		tbl, err = experiments.CoalesceCapStudy(experiments.QuickScale(), []int{1, 4, 16})
+		tbl, err = experiments.CoalesceCapStudy(context.Background(), experiments.QuickScale(), []int{1, 4, 16})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,7 +174,7 @@ func BenchmarkBundleEncoding(b *testing.B) {
 	var tbl *stats.Table
 	var err error
 	for i := 0; i < b.N; i++ {
-		tbl, err = experiments.EncodingStudy(experiments.QuickScale())
+		tbl, err = experiments.EncodingStudy(context.Background(), experiments.QuickScale())
 		if err != nil {
 			b.Fatal(err)
 		}

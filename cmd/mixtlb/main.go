@@ -1,7 +1,17 @@
 // Command mixtlb regenerates the paper's tables and figures from the
-// simulator. List experiments with -list, run one with -exp fig14, or run
-// everything with -exp all. The -quick flag trades fidelity for speed
-// (useful for smoke runs); -csv emits machine-readable output.
+// simulator. List experiments with -list, run one with -exp fig14, a
+// group with -exp perf, or everything with -exp all. The -quick flag
+// trades fidelity for speed (useful for smoke runs); -csv emits
+// machine-readable output.
+//
+// Experiments decompose into independent grid cells (one design x
+// workload x environment simulation each) that run on a bounded worker
+// pool: -jobs sets the pool size (default GOMAXPROCS), and results are
+// byte-identical at any setting because each cell's randomness derives
+// from its identity, not its schedule. -cell restricts a run to matching
+// cells — the knob failure lines name for single-cell reproduction.
+// -bench-out writes per-cell and per-experiment wall-clock timings as
+// JSON (BENCH_experiments.json) so -jobs speedups are measurable.
 //
 // Every experiment runs under a crash-safe harness: panics are recovered
 // into a diagnostic carrying the reproducing seed, each experiment gets a
@@ -12,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,10 +35,23 @@ import (
 	"mixtlb/internal/stats"
 )
 
+// groups are named experiment bundles matching the paper's sections.
+var groups = map[string][]string{
+	"perf":      {"fig1", "fig14", "fig15l", "fig15r"},
+	"charact":   {"fig9", "fig10", "fig11", "fig12", "fig13"},
+	"energy":    {"fig16", "fig17", "fig18"},
+	"ablations": {"ablation-index", "scaling", "duplicates"},
+}
+
+// groupOrder keeps -list output stable.
+var groupOrder = []string{"perf", "charact", "energy", "ablations"}
+
 func main() {
+	var expName string
+	flag.StringVar(&expName, "exp", "", "experiment or group to run (see -list), or 'all'")
+	flag.StringVar(&expName, "experiment", "", "alias for -exp")
 	var (
-		expName    = flag.String("exp", "", "experiment to run (see -list), or 'all'")
-		list       = flag.Bool("list", false, "list available experiments")
+		list       = flag.Bool("list", false, "list available experiments and groups")
 		quick      = flag.Bool("quick", false, "use the small quick scale instead of the default")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		memGB      = flag.Uint64("mem-gb", 0, "override system memory (GiB)")
@@ -38,6 +62,9 @@ func main() {
 		chaosRun   = flag.Bool("chaos", false, "shorthand for -exp chaos")
 		faultScale = flag.Float64("fault-scale", 1, "multiply the default chaos fault rates")
 		timeout    = flag.Duration("timeout", 10*time.Minute, "per-experiment wall-clock timeout (0 disables)")
+		jobs       = flag.Int("jobs", 0, "worker-pool size for experiment cells (0 = GOMAXPROCS)")
+		cell       = flag.String("cell", "", "run only grid cells whose name contains this substring")
+		benchOut   = flag.String("bench-out", "", "write per-cell wall-clock timings to this JSON file")
 	)
 	flag.Parse()
 
@@ -46,13 +73,17 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-15s %s\n", e.Name, e.Desc)
 		}
+		fmt.Println("groups:")
+		for _, g := range groupOrder {
+			fmt.Printf("  %-15s %s\n", g, strings.Join(groups[g], " "))
+		}
 		return
 	}
-	if *chaosRun && *expName == "" {
-		*expName = "chaos"
+	if *chaosRun && expName == "" {
+		expName = "chaos"
 	}
-	if *expName == "" {
-		fmt.Fprintln(os.Stderr, "usage: mixtlb -exp <name>|all [-quick] [-csv] [-chaos]; see -list")
+	if expName == "" {
+		fmt.Fprintln(os.Stderr, "usage: mixtlb -exp <name>|<group>|all [-jobs N] [-quick] [-csv] [-chaos]; see -list")
 		os.Exit(2)
 	}
 
@@ -79,12 +110,24 @@ func main() {
 	if *faultScale != 1 {
 		scale.Chaos = chaos.DefaultRates().Scaled(*faultScale)
 	}
+	scale.Jobs = *jobs
+	scale.Cell = *cell
 
 	var toRun []experiments.Experiment
-	if *expName == "all" {
+	switch {
+	case expName == "all":
 		toRun = experiments.All()
-	} else {
-		e, err := experiments.ByName(*expName)
+	case groups[expName] != nil:
+		for _, name := range groups[expName] {
+			e, err := experiments.ByName(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			toRun = append(toRun, e)
+		}
+	default:
+		e, err := experiments.ByName(expName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -92,10 +135,15 @@ func main() {
 		toRun = []experiments.Experiment{e}
 	}
 
+	bench := experiments.NewBenchLog(*jobs)
+	scale.Bench = bench
+	ctx := context.Background()
+
 	exitCode := 0
 	for _, e := range toRun {
 		start := time.Now()
-		tbl, err := experiments.RunSafe(e, scale, *timeout)
+		tbl, err := experiments.RunSafe(ctx, e, scale, *timeout)
+		bench.RecordExperiment(e.Name, time.Since(start).Seconds(), err)
 		if err != nil {
 			// Print whatever completed, then the failure with its
 			// reproducing seed.
@@ -104,9 +152,14 @@ func main() {
 				printTable(tbl, *csv)
 			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+			var ce *experiments.CellError
+			if errors.As(err, &ce) {
+				fmt.Fprintf(os.Stderr, "reproduce: mixtlb -exp %s -cell %q -seed %d -jobs 1\n",
+					e.Name, ce.Cell, scale.Seed)
+			}
 			var pe *experiments.PanicError
 			if errors.As(err, &pe) {
-				fmt.Fprintf(os.Stderr, "reproduce: mixtlb -exp %s -seed %d\n%s\n", e.Name, pe.Seed, pe.Stack)
+				fmt.Fprint(os.Stderr, pe.Stack)
 			}
 			var te *experiments.TimeoutError
 			if errors.As(err, &te) {
@@ -117,6 +170,16 @@ func main() {
 		}
 		printTable(tbl, *csv)
 		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+	if *benchOut != "" {
+		data, err := bench.JSON()
+		if err == nil {
+			err = os.WriteFile(*benchOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *benchOut, err)
+			exitCode = 1
+		}
 	}
 	os.Exit(exitCode)
 }

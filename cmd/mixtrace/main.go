@@ -147,26 +147,21 @@ func run(args []string) {
 	// reproduce the traced process's memory layout before replay starts
 	// (a real process allocated its heap before Pin traced it; faulting
 	// it in trace order would randomize the OS's physical placement).
-	var refsBuf []workload.Ref
+	refsBuf, err := trace.ReadAll(r)
+	if err != nil {
+		log.Fatalf("decoding trace: %v", err) // *DecodeError names the record
+	}
+	if len(refsBuf) == 0 {
+		log.Fatal("empty trace")
+	}
 	var lo, hi addr.V
-	for {
-		ref, err := r.Next()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			log.Fatalf("decoding trace: %v", err)
-		}
-		if len(refsBuf) == 0 || ref.VA < lo {
+	for i, ref := range refsBuf {
+		if i == 0 || ref.VA < lo {
 			lo = ref.VA
 		}
 		if ref.VA > hi {
 			hi = ref.VA
 		}
-		refsBuf = append(refsBuf, ref)
-	}
-	if len(refsBuf) == 0 {
-		log.Fatal("empty trace")
 	}
 
 	phys := physmem.NewBuddy(*memGB << 30)

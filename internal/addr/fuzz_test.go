@@ -1,0 +1,78 @@
+package addr
+
+import "testing"
+
+// FuzzAddrArithmetic checks the identities every layer of the simulator
+// leans on: page base/offset decomposition is lossless, set indices and
+// mirror IDs stay in bounds, and alignment rounding brackets its input.
+func FuzzAddrArithmetic(f *testing.F) {
+	f.Add(uint64(0), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(0x1000), uint8(1), uint8(4), uint8(12))
+	f.Add(uint64(0x7fffffffffff), uint8(2), uint8(7), uint8(30)) // top of the 48-bit VA space
+	f.Add(^uint64(0), uint8(2), uint8(9), uint8(21))
+	f.Fuzz(func(t *testing.T, raw uint64, sizeSel, setsLog, alignLog uint8) {
+		va := V(raw)
+		pa := P(raw)
+		s := PageSize(sizeSel % uint8(NumPageSizes))
+		if !s.Valid() {
+			t.Fatalf("constructed invalid size from %d", sizeSel)
+		}
+
+		// Base/offset decomposition is exact and idempotent.
+		if got := uint64(va.PageBase(s)) + va.Offset(s); got != raw {
+			t.Errorf("V PageBase+Offset = %#x, want %#x (size %v)", got, raw, s)
+		}
+		if va.PageBase(s).Offset(s) != 0 {
+			t.Errorf("PageBase(%v) not %v-aligned", va, s)
+		}
+		if va.Offset(s) >= s.Bytes() {
+			t.Errorf("Offset(%v) = %#x out of page", s, va.Offset(s))
+		}
+		if got := uint64(pa.PageBase(s)) + pa.Offset(s); got != raw {
+			t.Errorf("P PageBase+Offset = %#x, want %#x (size %v)", got, raw, s)
+		}
+		if va.VPN4K() != va.PageNum(Page4K) {
+			t.Errorf("VPN4K = %#x, PageNum(4K) = %#x", va.VPN4K(), va.PageNum(Page4K))
+		}
+		if pa.PFN4K() != pa.PageNum(Page4K) {
+			t.Errorf("PFN4K = %#x, PageNum(4K) = %#x", pa.PFN4K(), pa.PageNum(Page4K))
+		}
+
+		// Set indexing: always within [0, sets) for any power-of-two count.
+		sets := 1 << (setsLog % 11) // 1..1024 sets
+		if idx := SetIndex(va, s, sets); idx < 0 || idx >= sets {
+			t.Errorf("SetIndex(%v, %v, %d) = %d out of range", va, s, sets, idx)
+		}
+		if sets >= 2 && SetIndex(va, Page4K, sets) != int(va.VPN4K())%sets {
+			t.Errorf("SetIndex(4K) disagrees with VPN4K mod sets")
+		}
+
+		// Mirror IDs: for superpages with at most Frames() sets, the ID of
+		// any constituent 4KB region is within the per-set region count.
+		if s != Page4K && uint64(sets) <= s.Frames() {
+			if id, lim := MirrorID(va, s, sets), s.Frames()/uint64(sets); id >= lim {
+				t.Errorf("MirrorID(%v, %v, %d) = %d, want < %d", va, s, sets, id, lim)
+			}
+		}
+
+		// Alignment rounding: down ≤ v, up ≥ v (absent overflow), both
+		// multiples of align, and each within one align of v.
+		align := uint64(1) << (alignLog % 31)
+		d := AlignedDown(raw, align)
+		if d > raw || d%align != 0 || raw-d >= align {
+			t.Errorf("AlignedDown(%#x, %#x) = %#x", raw, align, d)
+		}
+		if raw <= ^uint64(0)-align {
+			u := AlignedUp(raw, align)
+			if u < raw || u%align != 0 || u-raw >= align {
+				t.Errorf("AlignedUp(%#x, %#x) = %#x", raw, align, u)
+			}
+			if (d == raw) != (u == raw) {
+				t.Errorf("aligned fixed-point disagree: down %#x up %#x for %#x", d, u, raw)
+			}
+		}
+		if !IsPow2(align) || Log2(align) != uint(alignLog%31) {
+			t.Errorf("Log2/IsPow2 broken for %#x", align)
+		}
+	})
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/pagetable"
+	"mixtlb/internal/simrand"
+)
+
+// This file property-tests the MIX invariants that every other layer
+// assumes, over randomized allocation patterns:
+//
+//   - Coverage exactness: a bundle never claims a superpage that was not
+//     filled — lookups inside a bundle's window hit only on present
+//     members, and a hit's physical address is always the member base
+//     plus the 4KB-region offset.
+//   - Mirroring: after a superpage fill into an empty TLB, every member
+//     hits through every set (any 4KB region of the superpage can be the
+//     probe index).
+//   - Lossless decomposition: invalidating one member of a bitmap bundle
+//     removes exactly that member; the survivors keep translating
+//     exactly. Range bundles may drop whole entries (the encoding cannot
+//     represent holes) but must never translate the invalidated page.
+
+// propConfigs are the design points the properties must hold for.
+func propConfigs() []Config {
+	return []Config{L1Config(), L2Config(), L2RangeConfig()}
+}
+
+// propPPN maps a superpage number to its physical frame number, keeping
+// VA-contiguous runs PA-contiguous (so they coalesce) while giving the
+// two sizes disjoint frame spaces.
+func propPPN(svn uint64, size addr.PageSize) uint64 {
+	if size == addr.Page1G {
+		return svn + (1 << 10)
+	}
+	return svn + (1 << 18)
+}
+
+// propRun is one contiguous, same-permission allocation: runLen
+// superpages of one size starting at page number start.
+type propRun struct {
+	size   addr.PageSize
+	start  uint64
+	runLen int
+	dix    int // index of the demanded member within the run
+}
+
+// randomRun draws a run of up to 8 superpages (one PTE cache line).
+// 2MB runs live in the lower half of the VA space and 1GB runs in the
+// upper half so the two sizes never alias.
+func randomRun(rng *simrand.Source) propRun {
+	size := addr.Page2M
+	if rng.Bool(0.5) {
+		size = addr.Page1G
+	}
+	half := uint64(1) << (addr.VABits - 1 - size.Shift())
+	start := rng.Uint64n(half - 8)
+	if size == addr.Page1G {
+		start += half
+	}
+	runLen := 1 + int(rng.Uint64n(8))
+	return propRun{size: size, start: start, runLen: runLen, dix: int(rng.Uint64n(uint64(runLen)))}
+}
+
+// walk builds the page-table walk for the run's demanded member, with the
+// whole run on the PTE cache line.
+func (r propRun) walk() pagetable.WalkResult {
+	trs := make([]pagetable.Translation, 0, r.runLen)
+	trs = append(trs, tr(r.start+uint64(r.dix), propPPN(r.start+uint64(r.dix), r.size), r.size))
+	for i := 0; i < r.runLen; i++ {
+		if i != r.dix {
+			trs = append(trs, tr(r.start+uint64(i), propPPN(r.start+uint64(i), r.size), r.size))
+		}
+	}
+	return walkOf(trs...)
+}
+
+// bundled returns the run's page numbers that share the demanded
+// member's coalescing window — exactly the set Fill must make resident.
+func (r propRun) bundled(cfg Config) []uint64 {
+	k := uint64(cfg.Coalesce)
+	dw := (r.start + uint64(r.dix)) / k
+	var svns []uint64
+	for i := 0; i < r.runLen; i++ {
+		if svn := r.start + uint64(i); svn/k == dw {
+			svns = append(svns, svn)
+		}
+	}
+	return svns
+}
+
+// checkExact asserts that va hits and translates to the propPPN mapping.
+func checkExact(t *testing.T, m *MixTLB, va addr.V, size addr.PageSize, what string) {
+	t.Helper()
+	r := look(m, va)
+	if !r.Hit {
+		t.Fatalf("%s: %v missed", what, va)
+	}
+	if r.T.Size != size {
+		t.Fatalf("%s: %v hit with size %v, want %v", what, va, r.T.Size, size)
+	}
+	want := addr.P(propPPN(va.PageNum(size), size)<<size.Shift()) + addr.P(va.Offset(size))
+	if got := r.T.Translate(va); got != want {
+		t.Fatalf("%s: %v -> %v, want %v", what, va, got, want)
+	}
+}
+
+// memberVA picks the g-th 4KB region of superpage svn, with a random
+// sub-page offset.
+func memberVA(svn uint64, size addr.PageSize, g uint64, rng *simrand.Source) addr.V {
+	return addr.V(svn<<size.Shift() + g<<addr.Shift4K + rng.Uint64n(addr.Size4K))
+}
+
+func TestPropertyFillCoverageAndMirroring(t *testing.T) {
+	for _, cfg := range propConfigs() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			for trial := 0; trial < 150; trial++ {
+				rng := simrand.New(uint64(trial)*2654435761 + 1)
+				run := randomRun(rng)
+				m := mustNew(cfg)
+				fill(m, run.walk())
+				svns := run.bundled(cfg)
+
+				// Mirroring: the demanded member must hit no matter which
+				// set its probe VA indexes — walk one 4KB granule per set.
+				dsvn := run.start + uint64(run.dix)
+				for si := 0; si < cfg.Sets && uint64(si) < run.size.Frames(); si++ {
+					va := memberVA(dsvn, run.size, uint64(si), rng)
+					checkExact(t, m, va, run.size, fmt.Sprintf("trial %d set %d", trial, si))
+				}
+				// Every bundled member translates exactly (sampled regions).
+				for _, svn := range svns {
+					for s := 0; s < 4; s++ {
+						va := memberVA(svn, run.size, rng.Uint64n(run.size.Frames()), rng)
+						checkExact(t, m, va, run.size, fmt.Sprintf("trial %d member %#x", trial, svn))
+					}
+				}
+				// Coverage exactness: window slots outside the run, and the
+				// superpages flanking the run, must miss — the empty TLB has
+				// never seen them, so a hit means the bundle overclaims.
+				k := uint64(cfg.Coalesce)
+				wbase := dsvn / k * k
+				for probe := 0; probe < 16; probe++ {
+					svn := wbase + rng.Uint64n(k)
+					if svn >= run.start && svn < run.start+uint64(run.runLen) {
+						continue
+					}
+					va := memberVA(svn, run.size, rng.Uint64n(run.size.Frames()), rng)
+					if r := look(m, va); r.Hit {
+						t.Fatalf("trial %d: unfilled window slot %#x hit (%v)", trial, svn, va)
+					}
+				}
+				for _, svn := range []uint64{run.start - 1, run.start + uint64(run.runLen)} {
+					va := memberVA(svn, run.size, rng.Uint64n(run.size.Frames()), rng)
+					if r := look(m, va); r.Hit {
+						t.Fatalf("trial %d: flanking superpage %#x hit", trial, svn)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPropertyInvalidationDecomposesLosslessly(t *testing.T) {
+	for _, cfg := range propConfigs() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			for trial := 0; trial < 150; trial++ {
+				rng := simrand.New(uint64(trial)*0x9e3779b9 + 7)
+				run := randomRun(rng)
+				m := mustNew(cfg)
+				fill(m, run.walk())
+				svns := run.bundled(cfg)
+				victim := svns[rng.Uint64n(uint64(len(svns)))]
+
+				m.Invalidate(addr.V(victim<<run.size.Shift()), run.size)
+
+				// The invalidated member misses through every set: mirrors
+				// must not retain it anywhere.
+				for si := 0; si < cfg.Sets && uint64(si) < run.size.Frames(); si++ {
+					va := memberVA(victim, run.size, uint64(si), rng)
+					if r := look(m, va); r.Hit {
+						t.Fatalf("trial %d: invalidated %#x still hits via set %d", trial, victim, si)
+					}
+				}
+				for _, svn := range svns {
+					if svn == victim {
+						continue
+					}
+					for s := 0; s < 4; s++ {
+						va := memberVA(svn, run.size, rng.Uint64n(run.size.Frames()), rng)
+						if cfg.Encoding == Bitmap {
+							// Lossless: the bitmap clears one presence bit and
+							// every other member keeps translating exactly.
+							checkExact(t, m, va, run.size,
+								fmt.Sprintf("trial %d survivor %#x", trial, svn))
+						} else if r := look(m, va); r.Hit {
+							// Range bundles may legally drop survivors (the
+							// encoding has no holes) but a hit must stay exact.
+							checkExact(t, m, va, run.size,
+								fmt.Sprintf("trial %d range survivor %#x", trial, svn))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPropertyRandomWorkloadExactness drives each config through a long
+// random mix of fills, invalidations, and lookups, checking that no hit —
+// ever — returns a wrong translation, even as bundles merge, mirror,
+// dedup, and evict each other.
+func TestPropertyRandomWorkloadExactness(t *testing.T) {
+	for _, cfg := range propConfigs() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			rng := simrand.New(0xfeed ^ uint64(cfg.Sets))
+			m := mustNew(cfg)
+			invalid := map[uint64]bool{} // size-tagged invalidated page numbers
+			key := func(svn uint64, size addr.PageSize) uint64 { return svn<<2 | uint64(size) }
+			var runs []propRun
+			for op := 0; op < 2000; op++ {
+				switch {
+				case len(runs) == 0 || rng.Bool(0.3):
+					run := randomRun(rng)
+					fill(m, run.walk())
+					runs = append(runs, run)
+					for _, svn := range run.bundled(cfg) {
+						delete(invalid, key(svn, run.size))
+					}
+					if len(runs) > 64 {
+						runs = runs[1:]
+					}
+				case rng.Bool(0.15):
+					run := runs[rng.Uint64n(uint64(len(runs)))]
+					svn := run.start + rng.Uint64n(uint64(run.runLen))
+					m.Invalidate(addr.V(svn<<run.size.Shift()), run.size)
+					invalid[key(svn, run.size)] = true
+				default:
+					run := runs[rng.Uint64n(uint64(len(runs)))]
+					svn := run.start + rng.Uint64n(uint64(run.runLen))
+					va := memberVA(svn, run.size, rng.Uint64n(run.size.Frames()), rng)
+					r := look(m, va)
+					if !r.Hit {
+						continue // misses are always legal
+					}
+					if invalid[key(svn, run.size)] {
+						t.Fatalf("op %d: invalidated page %#x (%v) hit", op, svn, run.size)
+					}
+					if r.T.Size != run.size {
+						t.Fatalf("op %d: %v hit with size %v, want %v", op, va, r.T.Size, run.size)
+					}
+					want := addr.P(propPPN(svn, run.size)<<run.size.Shift()) + addr.P(va.Offset(run.size))
+					if got := r.T.Translate(va); got != want {
+						t.Fatalf("op %d: %v -> %v, want %v", op, va, got, want)
+					}
+				}
+			}
+		})
+	}
+}

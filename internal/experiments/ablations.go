@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mixtlb/internal/addr"
@@ -14,28 +15,21 @@ import (
 	"mixtlb/internal/workload"
 )
 
-// AblationIndexBits regenerates the Sec 3 design argument: indexing the
-// MIX TLB with superpage index bits (so superpages map uniquely and need
-// no mirrors) makes spatially-adjacent small pages conflict, raising TLB
-// misses by 4-8x on average compared to small-page index bits.
-func AblationIndexBits(s Scale) (*stats.Table, error) {
-	t := &stats.Table{
-		Title:   "Sec 3 ablation: small-page vs superpage index bits (4KB pages)",
-		Columns: []string{"pattern", "miss-ratio-smallidx", "miss-ratio-superidx", "factor"},
-	}
-	// The pathology is about small pages with spatial locality: under
-	// superpage index bits, groups of 512 adjacent 4KB pages collide in
-	// one set. Dedicated hot-region patterns expose it directly — real
-	// programs' heaps behave like the mixed case.
-	env, err := newNative(s, osmm.BasePages, 0, s.Seed)
-	if err != nil {
-		return nil, err
-	}
-	patterns := []struct {
-		name  string
-		build func(seed uint64) workload.Stream
-	}{
-		{"hot-1MB-region", func(seed uint64) workload.Stream {
+// ablationPattern builds one hot-region access pattern over a prepared
+// environment; the patterns expose the superpage-index-bits pathology.
+type ablationPattern struct {
+	name  string
+	build func(env *nativeEnv, seed uint64) workload.Stream
+}
+
+// ablationPatterns returns the Sec 3 ablation's access patterns. The
+// pathology is about small pages with spatial locality: under superpage
+// index bits, groups of 512 adjacent 4KB pages collide in one set.
+// Dedicated hot-region patterns expose it directly — real programs'
+// heaps behave like the mixed case.
+func ablationPatterns() []ablationPattern {
+	return []ablationPattern{
+		{"hot-1MB-region", func(env *nativeEnv, seed uint64) workload.Stream {
 			// Mostly uniform traffic over a 1MB hot region — 256 adjacent
 			// 4KB pages that fit the small-page-indexed TLB comfortably
 			// but collapse into a single set under superpage indexing —
@@ -47,14 +41,14 @@ func AblationIndexBits(s Scale) (*stats.Table, error) {
 				workload.Weighted{Stream: workload.NewSequential(env.base+addr.V(16<<20), env.fp-(16<<20), 4096, false, 19), Weight: 0.1},
 			)
 		}},
-		{"hot+stream", func(seed uint64) workload.Stream {
+		{"hot+stream", func(env *nativeEnv, seed uint64) workload.Stream {
 			rng := simrand.New(seed)
 			return workload.NewMix(rng.Split(),
 				workload.Weighted{Stream: workload.NewUniform(env.base, 1<<20, rng.Split(), 0.1, 12), Weight: 0.7},
 				workload.Weighted{Stream: workload.NewSequential(env.base+addr.V(8<<20), env.fp-(8<<20), 4096, false, 13), Weight: 0.3},
 			)
 		}},
-		{"two-hot-regions", func(seed uint64) workload.Stream {
+		{"two-hot-regions", func(env *nativeEnv, seed uint64) workload.Stream {
 			rng := simrand.New(seed)
 			return workload.NewMix(rng.Split(),
 				workload.Weighted{Stream: workload.NewUniform(env.base, 512<<10, rng.Split(), 0.2, 14), Weight: 0.45},
@@ -63,205 +57,275 @@ func AblationIndexBits(s Scale) (*stats.Table, error) {
 			)
 		}},
 	}
-	for _, p := range patterns {
-		run := func(d mmu.Design) (float64, error) {
-			m, _, err := env.buildMMU(d)
-			if err != nil {
-				return 0, err
-			}
-			st, err := runStream(m, p.build(s.Seed), s.WarmupRefs, s.MeasureRefs)
-			if err != nil {
-				return 0, err
-			}
-			return st.MissRatio(), nil
-		}
-		small, err := run(mmu.DesignMix)
-		if err != nil {
-			return nil, err
-		}
-		super, err := run(mmu.DesignMixSuperIndex)
-		if err != nil {
-			return nil, err
-		}
-		factor := 0.0
-		if small > 0 {
-			factor = super / small
-		}
-		t.AddRow(p.name, small, super, factor)
+}
+
+// AblationIndexBits regenerates the Sec 3 design argument: indexing the
+// MIX TLB with superpage index bits (so superpages map uniquely and need
+// no mirrors) makes spatially-adjacent small pages conflict, raising TLB
+// misses by 4-8x on average compared to small-page index bits. One cell
+// per access pattern.
+func AblationIndexBits(ctx context.Context, s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Sec 3 ablation: small-page vs superpage index bits (4KB pages)",
+		Columns: []string{"pattern", "miss-ratio-smallidx", "miss-ratio-superidx", "factor"},
 	}
-	return t, nil
+	var cells []Cell
+	for _, p := range ablationPatterns() {
+		p := p
+		cells = append(cells, Cell{
+			Name: p.name,
+			Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+				env, err := newNative(cs, osmm.BasePages, 0, cs.Seed)
+				if err != nil {
+					return nil, err
+				}
+				run := func(d mmu.Design) (float64, error) {
+					m, _, err := env.buildMMU(d)
+					if err != nil {
+						return 0, err
+					}
+					st, err := runStream(ctx, m, p.build(env, cs.Seed), cs.WarmupRefs, cs.MeasureRefs)
+					if err != nil {
+						return 0, err
+					}
+					return st.MissRatio(), nil
+				}
+				small, err := run(mmu.DesignMix)
+				if err != nil {
+					return nil, err
+				}
+				super, err := run(mmu.DesignMixSuperIndex)
+				if err != nil {
+					return nil, err
+				}
+				factor := 0.0
+				if small > 0 {
+					factor = super / small
+				}
+				return []Row{{p.name, small, super, factor}}, nil
+			},
+		})
+	}
+	results, err := RunGrid(ctx, s, "ablation-index", t, cells)
+	AppendRows(t, results)
+	return t, err
 }
 
 // ScalingStudy regenerates the Sec 7.2 scaling discussion: MIX TLBs with
 // growing set counts (up to the hypothetical 512-set design) need more
 // contiguity to offset mirrors; the paper reports 512-set TLBs stay
 // within 13% of ideal. Reported per set count: overhead vs ideal.
-func ScalingStudy(s Scale) (*stats.Table, error) {
+// One cell per (workload, set count).
+func ScalingStudy(ctx context.Context, s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Sec 7.2 scaling: L2 MIX set count vs overhead against ideal",
 		Columns: []string{"workload", "l2-sets", "overhead-vs-ideal-%"},
 	}
-	env, err := newNative(s, osmm.THS, 0.2, s.Seed)
-	if err != nil {
-		return nil, err
-	}
+	var cells []Cell
 	for _, spec := range s.workloads() {
 		for _, sets := range []int{64, 128, 512} {
-			k := sets
-			if k > 64 {
-				k = 64 // bitmap cap; larger windows than 64 use ranges
-			}
-			l2cfg := core.Config{
-				Name: fmt.Sprintf("mix-L2-%dsets", sets),
-				Sets: sets, Ways: 8, Coalesce: k, Encoding: core.Bitmap,
-			}
-			caches := cachesim.DefaultHierarchy()
-			m, err := mixMMU(l2cfg.Name, core.L1Config(), l2cfg, env, caches)
-			if err != nil {
-				return nil, err
-			}
-			stream := spec.Build(env.base, env.fp, simrand.New(s.Seed))
-			st, err := runStream(m, stream, s.WarmupRefs, s.MeasureRefs)
-			if err != nil {
-				return nil, err
-			}
-			est := perfmodel.Default(spec.BaseCPI, spec.RefsPerInstr).Runtime(st)
-			t.AddRow(spec.Name, sets, est.OverheadVsIdealPercent())
+			wl, sets := spec.Name, sets
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("%s/%dsets", wl, sets),
+				Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+					spec, err := workload.ByName(wl)
+					if err != nil {
+						return nil, err
+					}
+					env, err := newNative(cs, osmm.THS, 0.2, cs.Seed)
+					if err != nil {
+						return nil, err
+					}
+					k := sets
+					if k > 64 {
+						k = 64 // bitmap cap; larger windows than 64 use ranges
+					}
+					l2cfg := core.Config{
+						Name: fmt.Sprintf("mix-L2-%dsets", sets),
+						Sets: sets, Ways: 8, Coalesce: k, Encoding: core.Bitmap,
+					}
+					caches := cachesim.DefaultHierarchy()
+					m, err := mixMMU(l2cfg.Name, core.L1Config(), l2cfg, env, caches)
+					if err != nil {
+						return nil, err
+					}
+					stream := spec.Build(env.base, env.fp, simrand.New(cs.Seed))
+					st, err := runStream(ctx, m, stream, cs.WarmupRefs, cs.MeasureRefs)
+					if err != nil {
+						return nil, err
+					}
+					est := perfmodel.Default(spec.BaseCPI, spec.RefsPerInstr).Runtime(st)
+					return []Row{{wl, sets, est.OverheadVsIdealPercent()}}, nil
+				},
+			})
 		}
 	}
-	return t, nil
+	results, err := RunGrid(ctx, s, "scaling", t, cells)
+	AppendRows(t, results)
+	return t, err
 }
 
 // DuplicateStudy quantifies the Sec 4.3 duplicate dynamics under the
 // paper's blind-mirroring policy versus the default write-time merge:
 // duplicates created, duplicates lazily eliminated, and the resulting
-// miss ratios, on a superpage-heavy run.
-func DuplicateStudy(s Scale) (*stats.Table, error) {
+// miss ratios, on a superpage-heavy run. One cell per (policy, workload).
+func DuplicateStudy(ctx context.Context, s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Sec 4.3 duplicates: blind mirroring vs merge-on-fill",
 		Columns: []string{"policy", "workload", "miss-ratio", "dups-eliminated", "mirror-writes"},
 	}
-	env, err := newNative(s, osmm.THS, 0, s.Seed)
-	if err != nil {
-		return nil, err
-	}
+	var cells []Cell
 	for _, blind := range []bool{false, true} {
 		label := "merge-on-fill"
 		if blind {
 			label = "blind-mirrors"
 		}
 		for _, spec := range s.workloads() {
-			l1cfg := core.L1Config()
-			l1cfg.BlindMirrors = blind
-			l2cfg := core.L2Config()
-			l2cfg.BlindMirrors = blind
-			l1, err := core.New(l1cfg)
-			if err != nil {
-				return nil, err
-			}
-			l2, err := core.New(l2cfg)
-			if err != nil {
-				return nil, err
-			}
-			caches := cachesim.DefaultHierarchy()
-			m, err := mmu.New(mmu.Config{Name: label, L1: l1, L2: l2},
-				env.as.PageTable(), caches, env.as.HandleFault)
-			if err != nil {
-				return nil, err
-			}
-			stream := spec.Build(env.base, env.fp, simrand.New(s.Seed))
-			st, err := runStream(m, stream, s.WarmupRefs, s.MeasureRefs)
-			if err != nil {
-				return nil, err
-			}
-			dups := l1.Stats().DupsEliminated + l2.Stats().DupsEliminated
-			mirrors := l1.Stats().MirrorWrites + l2.Stats().MirrorWrites
-			t.AddRow(label, spec.Name, st.MissRatio(), dups, mirrors)
+			blind, label, wl := blind, label, spec.Name
+			cells = append(cells, Cell{
+				Name: label + "/" + wl,
+				Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+					spec, err := workload.ByName(wl)
+					if err != nil {
+						return nil, err
+					}
+					env, err := newNative(cs, osmm.THS, 0, cs.Seed)
+					if err != nil {
+						return nil, err
+					}
+					l1cfg := core.L1Config()
+					l1cfg.BlindMirrors = blind
+					l2cfg := core.L2Config()
+					l2cfg.BlindMirrors = blind
+					l1, err := core.New(l1cfg)
+					if err != nil {
+						return nil, err
+					}
+					l2, err := core.New(l2cfg)
+					if err != nil {
+						return nil, err
+					}
+					caches := cachesim.DefaultHierarchy()
+					m, err := mmu.New(mmu.Config{Name: label, L1: l1, L2: l2},
+						env.as.PageTable(), caches, env.as.HandleFault)
+					if err != nil {
+						return nil, err
+					}
+					stream := spec.Build(env.base, env.fp, simrand.New(cs.Seed))
+					st, err := runStream(ctx, m, stream, cs.WarmupRefs, cs.MeasureRefs)
+					if err != nil {
+						return nil, err
+					}
+					dups := l1.Stats().DupsEliminated + l2.Stats().DupsEliminated
+					mirrors := l1.Stats().MirrorWrites + l2.Stats().MirrorWrites
+					return []Row{{label, wl, st.MissRatio(), dups, mirrors}}, nil
+				},
+			})
 		}
 	}
-	return t, nil
+	results, err := RunGrid(ctx, s, "duplicates", t, cells)
+	AppendRows(t, results)
+	return t, err
 }
 
 // CoalesceCapStudy sweeps the bundle capacity K on the L1 (DESIGN.md's
 // BenchmarkCoalesceCap): K below the set count cannot offset mirroring;
-// K at the set count achieves parity.
-func CoalesceCapStudy(s Scale, caps []int) (*stats.Table, error) {
+// K at the set count achieves parity. One cell per (workload, K).
+func CoalesceCapStudy(ctx context.Context, s Scale, caps []int) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Ablation: L1 coalescing cap K vs miss ratio (THS superpages)",
 		Columns: []string{"workload", "K", "miss-ratio"},
 	}
-	env, err := newNative(s, osmm.THS, 0, s.Seed)
-	if err != nil {
-		return nil, err
-	}
 	if len(caps) == 0 {
 		caps = []int{1, 2, 4, 8, 16}
 	}
+	var cells []Cell
 	for _, spec := range s.workloads() {
 		for _, k := range caps {
-			cfg := core.L1Config()
-			cfg.Name = fmt.Sprintf("mix-L1-K%d", k)
-			cfg.Coalesce = k
-			caches := cachesim.DefaultHierarchy()
-			l1, err := core.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			m, err := mmu.New(mmu.Config{Name: cfg.Name, L1: l1},
-				env.as.PageTable(), caches, env.as.HandleFault)
-			if err != nil {
-				return nil, err
-			}
-			stream := spec.Build(env.base, env.fp, simrand.New(s.Seed))
-			st, err := runStream(m, stream, s.WarmupRefs, s.MeasureRefs)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(spec.Name, k, st.MissRatio())
+			wl, k := spec.Name, k
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("%s/K%d", wl, k),
+				Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+					spec, err := workload.ByName(wl)
+					if err != nil {
+						return nil, err
+					}
+					env, err := newNative(cs, osmm.THS, 0, cs.Seed)
+					if err != nil {
+						return nil, err
+					}
+					cfg := core.L1Config()
+					cfg.Name = fmt.Sprintf("mix-L1-K%d", k)
+					cfg.Coalesce = k
+					caches := cachesim.DefaultHierarchy()
+					l1, err := core.New(cfg)
+					if err != nil {
+						return nil, err
+					}
+					m, err := mmu.New(mmu.Config{Name: cfg.Name, L1: l1},
+						env.as.PageTable(), caches, env.as.HandleFault)
+					if err != nil {
+						return nil, err
+					}
+					stream := spec.Build(env.base, env.fp, simrand.New(cs.Seed))
+					st, err := runStream(ctx, m, stream, cs.WarmupRefs, cs.MeasureRefs)
+					if err != nil {
+						return nil, err
+					}
+					return []Row{{wl, k, st.MissRatio()}}, nil
+				},
+			})
 		}
 	}
-	return t, nil
+	results, err := RunGrid(ctx, s, "coalesce-cap", t, cells)
+	AppendRows(t, results)
+	return t, err
 }
 
 // EncodingStudy compares bitmap and range bundle encodings at the L2
 // (DESIGN.md's BenchmarkBundleEncoding) under two miss-arrival orders:
 // address-ordered (sequential scan) and popularity-ordered (Zipf), the
-// regime where ranges fragment.
-func EncodingStudy(s Scale) (*stats.Table, error) {
+// regime where ranges fragment. One cell per (arrival, encoding).
+func EncodingStudy(ctx context.Context, s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Ablation: L2 bundle encoding under ordered vs popularity miss arrival",
 		Columns: []string{"arrival", "encoding", "miss-ratio"},
 	}
-	env, err := newNative(s, osmm.THS, 0, s.Seed)
-	if err != nil {
-		return nil, err
-	}
+	arrivals := []string{"sequential", "popularity"}
 	configs := []core.Config{core.L2Config(), core.L2RangeConfig()}
-	type arrival struct {
-		name   string
-		stream func() workload.Stream
-	}
-	arrivals := []arrival{
-		{"sequential", func() workload.Stream {
-			return workload.NewSequential(env.base, env.fp, 4096, false, 1)
-		}},
-		{"popularity", func() workload.Stream {
-			return workload.NewZipf(env.base, env.fp, simrand.New(s.Seed), 0.99, 0, 2)
-		}},
-	}
+	var cells []Cell
 	for _, a := range arrivals {
 		for _, l2cfg := range configs {
-			caches := cachesim.DefaultHierarchy()
-			m, err := mixMMU(l2cfg.Name, core.L1Config(), l2cfg, env, caches)
-			if err != nil {
-				return nil, err
-			}
-			st, err := runStream(m, a.stream(), s.WarmupRefs, s.MeasureRefs)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(a.name, l2cfg.Encoding.String(), st.MissRatio())
+			a, l2cfg := a, l2cfg
+			cells = append(cells, Cell{
+				Name: a + "/" + l2cfg.Encoding.String(),
+				Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+					env, err := newNative(cs, osmm.THS, 0, cs.Seed)
+					if err != nil {
+						return nil, err
+					}
+					var stream workload.Stream
+					switch a {
+					case "sequential":
+						stream = workload.NewSequential(env.base, env.fp, 4096, false, 1)
+					default:
+						stream = workload.NewZipf(env.base, env.fp, simrand.New(cs.Seed), 0.99, 0, 2)
+					}
+					caches := cachesim.DefaultHierarchy()
+					m, err := mixMMU(l2cfg.Name, core.L1Config(), l2cfg, env, caches)
+					if err != nil {
+						return nil, err
+					}
+					st, err := runStream(ctx, m, stream, cs.WarmupRefs, cs.MeasureRefs)
+					if err != nil {
+						return nil, err
+					}
+					return []Row{{a, l2cfg.Encoding.String(), st.MissRatio()}}, nil
+				},
+			})
 		}
 	}
-	return t, nil
+	results, err := RunGrid(ctx, s, "encoding", t, cells)
+	AppendRows(t, results)
+	return t, err
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mixtlb/internal/addr"
@@ -22,9 +23,10 @@ import (
 // result, so the headline column is "unrecovered": silent wrong
 // translations that reached the workload. A healthy stack reports zero.
 // Rates come from Scale.Chaos verbatim; all-zero rates run the same sweep
-// fault-free, where every fault column must read zero.
-func ChaosStudy(s Scale) (*stats.Table, error) {
-	rates := s.Chaos
+// fault-free, where every fault column must read zero. One cell per
+// design; a cell's fault schedule derives from its split seed, so a
+// failure line's -cell and base seed replay that design's faults exactly.
+func ChaosStudy(ctx context.Context, s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title: fmt.Sprintf("Chaos: fault injection and recovery by design (seed %d)", s.Seed),
 		Columns: []string{"design", "tlb-corrupt", "parity-detected", "silent",
@@ -32,58 +34,70 @@ func ChaosStudy(s Scale) (*stats.Table, error) {
 			"ipi-lost", "ipi-forced", "alloc-fails"},
 	}
 	const cores = 2
+	var cells []Cell
 	for _, d := range mmu.AllDesigns() {
 		if d == mmu.DesignIdeal {
 			continue // no TLB array to corrupt
 		}
-		env, err := newNative(s, osmm.THS, 0.2, s.Seed)
-		if err != nil {
-			return nil, err
-		}
-		in := chaos.NewInjector(s.Seed, rates)
-		or := chaos.NewOracle(env.as.PageTable())
-		sys, err := smp.New(smp.Config{Cores: cores, Design: d}, env.as, cachesim.DefaultHierarchy())
-		if err != nil {
-			return nil, err
-		}
-		sys.SetChaos(in)
-		for _, c := range sys.Cores() {
-			c.InjectFaults(in)
-			c.AttachOracle(or)
-		}
-		env.phys.SetFaultHook(in.FailAlloc)
-		streams := make([]workload.Stream, cores)
-		for i := range streams {
-			streams[i] = workload.NewZipf(env.base, env.fp, simrand.New(s.Seed+uint64(i)), 0.9, 0.1, uint64(i))
-		}
-		if err := sys.Run(streams, s.WarmupRefs); err != nil {
-			return nil, fmt.Errorf("chaos %s warmup (seed %d): %w", d, s.Seed, err)
-		}
-		sys.ResetStats()
-		warm := in.Stats() // injector keeps running through warmup; report deltas
-		rng := simrand.New(s.Seed ^ 0xc4a05)
-		chunk := s.MeasureRefs / 10
-		for round := 0; round < 10; round++ {
-			if err := sys.Run(streams, chunk); err != nil {
-				return nil, fmt.Errorf("chaos %s round %d (seed %d): %w", d, round, s.Seed, err)
-			}
-			// Mapping churn: unmap a random 4MB region (shootdown storm
-			// under IPI loss) and let demand faults remap it — under the
-			// alloc-fail hook, sometimes splintered to 4KB pages.
-			if env.fp > 8<<20 {
-				off := addr.AlignedDown(rng.Uint64n(env.fp-(4<<20)), addr.Size2M)
-				sys.Munmap(env.base+addr.V(off), 4<<20)
-			}
-		}
-		env.phys.SetFaultHook(nil)
-		agg := sys.Aggregate()
-		cs := in.Stats()
-		ss := sys.Stats()
-		t.AddRow(string(d), cs.TLBCorruptions-warm.TLBCorruptions,
-			agg.ECC.ParityDetected, agg.ECC.SilentCorruptions, agg.PTECorruptions,
-			agg.OracleMismatches, agg.OracleRecoveries, agg.OracleUnrecovered,
-			ss.IPIsLost, ss.ForcedDeliveries, cs.AllocFailures-warm.AllocFailures)
-		s.Progress.Publish(t)
+		d := d
+		cells = append(cells, Cell{
+			Name: string(d),
+			Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+				rates := cs.Chaos
+				env, err := newNative(cs, osmm.THS, 0.2, cs.Seed)
+				if err != nil {
+					return nil, err
+				}
+				in := chaos.NewInjector(cs.Seed, rates)
+				or := chaos.NewOracle(env.as.PageTable())
+				sys, err := smp.New(smp.Config{Cores: cores, Design: d}, env.as, cachesim.DefaultHierarchy())
+				if err != nil {
+					return nil, err
+				}
+				sys.SetChaos(in)
+				for _, c := range sys.Cores() {
+					c.InjectFaults(in)
+					c.AttachOracle(or)
+				}
+				env.phys.SetFaultHook(in.FailAlloc)
+				streams := make([]workload.Stream, cores)
+				for i := range streams {
+					streams[i] = workload.NewZipf(env.base, env.fp, simrand.New(cs.Seed+uint64(i)), 0.9, 0.1, uint64(i))
+				}
+				if err := sys.Run(streams, cs.WarmupRefs); err != nil {
+					return nil, fmt.Errorf("chaos %s warmup (seed %d): %w", d, cs.Seed, err)
+				}
+				sys.ResetStats()
+				warm := in.Stats() // injector keeps running through warmup; report deltas
+				rng := simrand.New(cs.Seed ^ 0xc4a05)
+				chunk := cs.MeasureRefs / 10
+				for round := 0; round < 10; round++ {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					if err := sys.Run(streams, chunk); err != nil {
+						return nil, fmt.Errorf("chaos %s round %d (seed %d): %w", d, round, cs.Seed, err)
+					}
+					// Mapping churn: unmap a random 4MB region (shootdown storm
+					// under IPI loss) and let demand faults remap it — under the
+					// alloc-fail hook, sometimes splintered to 4KB pages.
+					if env.fp > 8<<20 {
+						off := addr.AlignedDown(rng.Uint64n(env.fp-(4<<20)), addr.Size2M)
+						sys.Munmap(env.base+addr.V(off), 4<<20)
+					}
+				}
+				env.phys.SetFaultHook(nil)
+				agg := sys.Aggregate()
+				is := in.Stats()
+				ss := sys.Stats()
+				return []Row{{string(d), is.TLBCorruptions - warm.TLBCorruptions,
+					agg.ECC.ParityDetected, agg.ECC.SilentCorruptions, agg.PTECorruptions,
+					agg.OracleMismatches, agg.OracleRecoveries, agg.OracleUnrecovered,
+					ss.IPIsLost, ss.ForcedDeliveries, is.AllocFailures - warm.AllocFailures}}, nil
+			},
+		})
 	}
-	return t, nil
+	results, err := RunGrid(ctx, s, "chaos", t, cells)
+	AppendRows(t, results)
+	return t, err
 }

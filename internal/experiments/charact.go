@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -15,8 +16,10 @@ import (
 // fraction of the memory footprint backed by superpages as memhog
 // fragments an increasing share of physical memory, for native CPU
 // (Spec/PARSEC-sized and big-memory-sized footprints) and GPU-sized
-// footprints, all under THS (Sec 7.1, Fig 9).
-func Figure9(s Scale) (*stats.Table, error) {
+// footprints, all under THS (Sec 7.1, Fig 9). Cells run per
+// (memhog, footprint class); each table row reassembles one memhog
+// level's three classes.
+func Figure9(ctx context.Context, s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Figure 9: fraction of footprint backed by superpages vs memhog",
 		Columns: []string{"memhog%", "cpu-spec+parsec", "cpu-big-memory", "gpu"},
@@ -33,19 +36,46 @@ func Figure9(s Scale) (*stats.Table, error) {
 		{"cpu-bigmem", s.MemoryBytes},
 		{"gpu", s.MemoryBytes * 3 / 10},
 	}
-	for _, hogPct := range []int{0, 20, 40, 60, 80} {
-		row := []interface{}{hogPct}
-		for i, cl := range classes {
-			sub := s
-			sub.FootprintBytes = cl.fp
-			env, err := newNative(sub, osmm.THS, float64(hogPct)/100, s.Seed+uint64(i))
-			if err != nil {
-				return nil, fmt.Errorf("fig9 memhog=%d%%: %w", hogPct, err)
-			}
-			rep := osmm.ScanContiguity(env.as.PageTable())
-			row = append(row, rep.SuperpageFraction())
+	hogs := []int{0, 20, 40, 60, 80}
+	var cells []Cell
+	for _, hogPct := range hogs {
+		for _, cl := range classes {
+			hogPct, cl := hogPct, cl
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("hog%d/%s", hogPct, cl.name),
+				Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+					sub := cs
+					sub.FootprintBytes = cl.fp
+					env, err := newNative(sub, osmm.THS, float64(hogPct)/100, cs.Seed)
+					if err != nil {
+						return nil, fmt.Errorf("fig9 memhog=%d%%: %w", hogPct, err)
+					}
+					rep := osmm.ScanContiguity(env.as.PageTable())
+					// Partial-progress rows carry the cell identity; the final
+					// assembly below reads the fraction back out of column 2.
+					return []Row{{hogPct, cl.name, rep.SuperpageFraction()}}, nil
+				},
+			})
 		}
-		t.AddRow(row...)
+	}
+	results, err := RunGrid(ctx, s, "fig9", t, cells)
+	if err != nil {
+		return t, err
+	}
+	for hi, hogPct := range hogs {
+		row := Row{hogPct}
+		complete := true
+		for ci := range classes {
+			cell := results[hi*len(classes)+ci]
+			if cell == nil { // filtered out by -cell
+				complete = false
+				break
+			}
+			row = append(row, cell[0][2])
+		}
+		if complete {
+			t.AddRow(row...)
+		}
 	}
 	return t, nil
 }
@@ -60,21 +90,30 @@ func Figure9(s Scale) (*stats.Table, error) {
 // demand approaches host memory, with in-VM memhog under the same
 // pressure model as the native runs — so splintering and guest fallbacks
 // emerge at high consolidation x fragmentation.
-func Figure10(s Scale) (*stats.Table, error) {
+func Figure10(ctx context.Context, s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Figure 10: effective superpage fraction vs VM consolidation x memhog",
 		Columns: []string{"vms", "memhog%", "superpage-fraction"},
 	}
+	var cells []Cell
 	for _, vms := range []int{1, 2, 4, 8} {
 		for _, hogPct := range []int{0, 20, 40, 60} {
-			frac, err := figure10Point(s, vms, float64(hogPct)/100)
-			if err != nil {
-				return nil, fmt.Errorf("fig10 vms=%d memhog=%d%%: %w", vms, hogPct, err)
-			}
-			t.AddRow(vms, hogPct, frac)
+			vms, hogPct := vms, hogPct
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("%dvm/hog%d", vms, hogPct),
+				Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+					frac, err := figure10Point(cs, vms, float64(hogPct)/100)
+					if err != nil {
+						return nil, fmt.Errorf("fig10 vms=%d memhog=%d%%: %w", vms, hogPct, err)
+					}
+					return []Row{{vms, hogPct, frac}}, nil
+				},
+			})
 		}
 	}
-	return t, nil
+	results, err := RunGrid(ctx, s, "fig10", t, cells)
+	AppendRows(t, results)
+	return t, err
 }
 
 // figure10Point builds one consolidated-host configuration and returns
@@ -129,87 +168,128 @@ func figure10Point(s Scale, vms int, hogFrac float64) (float64, error) {
 
 // Figure11 regenerates the contiguity characterization: the paper's
 // average-contiguity metric for 2MB pages (THS) and 1GB pages
-// (libhugetlbfs pools) as memhog varies. Several seeds stand in for the
-// per-workload instances on the paper's x-axis (Fig 11).
-func Figure11(s Scale) (*stats.Table, error) {
+// (libhugetlbfs pools) as memhog varies. Several instances stand in for
+// the per-workload instances on the paper's x-axis (Fig 11); each
+// (instance, memhog) pair is one cell, with its seed — and therefore its
+// allocation pattern — derived from the cell identity.
+func Figure11(ctx context.Context, s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Figure 11: average superpage contiguity vs memhog",
 		Columns: []string{"instance", "memhog%", "avg-contig-2MB", "avg-contig-1GB"},
 	}
 	const instances = 4
+	var cells []Cell
 	for inst := 0; inst < instances; inst++ {
 		for _, hogPct := range []int{20, 40, 60} {
-			frac := float64(hogPct) / 100
-			sub := s
-			sub.FootprintBytes = s.MemoryBytes
-			env2, err := newNative(sub, osmm.THS, frac, s.Seed+uint64(100*inst))
-			if err != nil {
-				return nil, fmt.Errorf("fig11 inst=%d: %w", inst, err)
-			}
-			c2 := osmm.ScanContiguity(env2.as.PageTable()).AverageContiguity(addr.Page2M)
-			env1, err := newNative(sub, osmm.Hugetlbfs1G, frac, s.Seed+uint64(100*inst))
-			if err != nil {
-				return nil, fmt.Errorf("fig11 1GB inst=%d: %w", inst, err)
-			}
-			c1 := osmm.ScanContiguity(env1.as.PageTable()).AverageContiguity(addr.Page1G)
-			t.AddRow(inst, hogPct, c2, c1)
+			inst, hogPct := inst, hogPct
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("inst%d/hog%d", inst, hogPct),
+				Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+					frac := float64(hogPct) / 100
+					sub := cs
+					sub.FootprintBytes = cs.MemoryBytes
+					env2, err := newNative(sub, osmm.THS, frac, cs.Seed)
+					if err != nil {
+						return nil, fmt.Errorf("fig11 inst=%d: %w", inst, err)
+					}
+					c2 := osmm.ScanContiguity(env2.as.PageTable()).AverageContiguity(addr.Page2M)
+					env1, err := newNative(sub, osmm.Hugetlbfs1G, frac, cs.Seed)
+					if err != nil {
+						return nil, fmt.Errorf("fig11 1GB inst=%d: %w", inst, err)
+					}
+					c1 := osmm.ScanContiguity(env1.as.PageTable()).AverageContiguity(addr.Page1G)
+					return []Row{{inst, hogPct, c2, c1}}, nil
+				},
+			})
 		}
 	}
-	return t, nil
+	results, err := RunGrid(ctx, s, "fig11", t, cells)
+	AppendRows(t, results)
+	return t, err
 }
 
 // Figure12 regenerates the native-CPU contiguity CDFs: the fraction of
 // 2MB translations residing in runs of length <= x, as memhog varies
-// (Fig 12).
-func Figure12(s Scale) (*stats.Table, error) {
+// (Fig 12). One cell per memhog level; a cell emits its whole CDF.
+func Figure12(ctx context.Context, s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Figure 12: 2MB contiguity CDF, native CPU",
 		Columns: []string{"memhog%", "run-length", "cum-fraction"},
 	}
+	var cells []Cell
 	for _, hogPct := range []int{20, 40, 60} {
-		sub := s
-		sub.FootprintBytes = s.MemoryBytes
-		env, err := newNative(sub, osmm.THS, float64(hogPct)/100, s.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig12 memhog=%d%%: %w", hogPct, err)
-		}
-		rep := osmm.ScanContiguity(env.as.PageTable())
-		for _, p := range rep.CDF(addr.Page2M) {
-			t.AddRow(hogPct, p.Value, p.Frac)
-		}
+		hogPct := hogPct
+		cells = append(cells, Cell{
+			Name: fmt.Sprintf("hog%d", hogPct),
+			Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+				sub := cs
+				sub.FootprintBytes = cs.MemoryBytes
+				env, err := newNative(sub, osmm.THS, float64(hogPct)/100, cs.Seed)
+				if err != nil {
+					return nil, fmt.Errorf("fig12 memhog=%d%%: %w", hogPct, err)
+				}
+				rep := osmm.ScanContiguity(env.as.PageTable())
+				var rows []Row
+				for _, p := range rep.CDF(addr.Page2M) {
+					rows = append(rows, Row{hogPct, p.Value, p.Frac})
+				}
+				return rows, nil
+			},
+		})
 	}
-	return t, nil
+	results, err := RunGrid(ctx, s, "fig12", t, cells)
+	AppendRows(t, results)
+	return t, err
 }
 
 // Figure13 regenerates the virtualized and GPU contiguity CDFs (Fig 13):
 // effective-translation contiguity inside a consolidated VM, and native
-// contiguity at GPU footprints.
-func Figure13(s Scale) (*stats.Table, error) {
+// contiguity at GPU footprints. One cell per (system, memhog) curve.
+func Figure13(ctx context.Context, s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Figure 13: 2MB contiguity CDF, virtualized CPU and GPU",
 		Columns: []string{"system", "memhog%", "run-length", "cum-fraction"},
 	}
+	var cells []Cell
 	for _, hogPct := range []int{20, 40} {
-		env, err := newVirt(s, 2, float64(hogPct)/100, s.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig13 virt: %w", err)
-		}
-		rep := env.vms[0].EffectiveContiguity()
-		for _, p := range rep.CDF(addr.Page2M) {
-			t.AddRow("virt-2vm", hogPct, p.Value, p.Frac)
-		}
+		hogPct := hogPct
+		cells = append(cells, Cell{
+			Name: fmt.Sprintf("virt-2vm/hog%d", hogPct),
+			Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+				env, err := newVirt(cs, 2, float64(hogPct)/100, cs.Seed)
+				if err != nil {
+					return nil, fmt.Errorf("fig13 virt: %w", err)
+				}
+				rep := env.vms[0].EffectiveContiguity()
+				var rows []Row
+				for _, p := range rep.CDF(addr.Page2M) {
+					rows = append(rows, Row{"virt-2vm", hogPct, p.Value, p.Frac})
+				}
+				return rows, nil
+			},
+		})
 	}
 	for _, hogPct := range []int{20, 40} {
-		sub := s
-		sub.FootprintBytes = s.FootprintBytes * 3 / 10
-		env, err := newNative(sub, osmm.THS, float64(hogPct)/100, s.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig13 gpu: %w", err)
-		}
-		rep := osmm.ScanContiguity(env.as.PageTable())
-		for _, p := range rep.CDF(addr.Page2M) {
-			t.AddRow("gpu", hogPct, p.Value, p.Frac)
-		}
+		hogPct := hogPct
+		cells = append(cells, Cell{
+			Name: fmt.Sprintf("gpu/hog%d", hogPct),
+			Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+				sub := cs
+				sub.FootprintBytes = cs.FootprintBytes * 3 / 10
+				env, err := newNative(sub, osmm.THS, float64(hogPct)/100, cs.Seed)
+				if err != nil {
+					return nil, fmt.Errorf("fig13 gpu: %w", err)
+				}
+				rep := osmm.ScanContiguity(env.as.PageTable())
+				var rows []Row
+				for _, p := range rep.CDF(addr.Page2M) {
+					rows = append(rows, Row{"gpu", hogPct, p.Value, p.Frac})
+				}
+				return rows, nil
+			},
+		})
 	}
-	return t, nil
+	results, err := RunGrid(ctx, s, "fig13", t, cells)
+	AppendRows(t, results)
+	return t, err
 }

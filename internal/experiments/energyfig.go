@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mixtlb/internal/cachesim"
@@ -28,196 +29,301 @@ func designEnergyConfig(d mmu.Design) energy.Config {
 	}
 }
 
+// figure16Designs are the multi-indexing competitors MIX is compared to.
+var figure16Designs = []mmu.Design{mmu.DesignSkew, mmu.DesignRehash, mmu.DesignMix}
+
 // Figure16 regenerates the performance-energy scatter (Fig 16): for each
 // workload and multi-indexing design (skew-associative + predictor,
 // hash-rehash + predictor) and for MIX, the % performance improvement and
-// % address-translation energy saved, both relative to split TLBs.
-func Figure16(s Scale) (*stats.Table, error) {
+// % address-translation energy saved, both relative to split TLBs. One
+// cell per (system, workload); the split baseline and the three designs
+// run inside the cell so every point shares one environment.
+func Figure16(ctx context.Context, s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Figure 16: performance vs energy, relative to split",
 		Columns: []string{"design", "system", "workload", "perf-improvement-%", "energy-savings-%"},
 	}
-	model := energy.Default()
-	env, err := newNative(s, osmm.THS, 0.2, s.Seed)
-	if err != nil {
-		return nil, err
-	}
-	type result struct {
-		est perfmodel.Estimate
-		e   float64
-	}
-	measure := func(spec workload.Spec, d mmu.Design) (result, error) {
-		st, est, caches, err := measureNative(s, env, spec, d)
-		if err != nil {
-			return result{}, err
-		}
-		return result{est, model.TotalWithRuntime(st, caches, designEnergyConfig(d), est.TotalCycles)}, nil
-	}
+	var cells []Cell
 	for _, spec := range s.workloads() {
-		base, err := measure(spec, mmu.DesignSplit)
-		if err != nil {
-			return nil, err
-		}
-		for _, d := range []mmu.Design{mmu.DesignSkew, mmu.DesignRehash, mmu.DesignMix} {
-			r, err := measure(spec, d)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(string(d), "native", spec.Name,
-				perfmodel.ImprovementPercent(base.est, r.est),
-				energy.SavingsPercent(base.e, r.e))
-		}
+		wl := spec.Name
+		cells = append(cells, Cell{
+			Name: "native/" + wl,
+			Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+				spec, err := workload.ByName(wl)
+				if err != nil {
+					return nil, err
+				}
+				model := energy.Default()
+				env, err := newNative(cs, osmm.THS, 0.2, cs.Seed)
+				if err != nil {
+					return nil, err
+				}
+				type result struct {
+					est perfmodel.Estimate
+					e   float64
+				}
+				measure := func(d mmu.Design) (result, error) {
+					st, est, caches, err := measureNative(ctx, cs, env, spec, d)
+					if err != nil {
+						return result{}, err
+					}
+					return result{est, model.TotalWithRuntime(st, caches, designEnergyConfig(d), est.TotalCycles)}, nil
+				}
+				base, err := measure(mmu.DesignSplit)
+				if err != nil {
+					return nil, err
+				}
+				var rows []Row
+				for _, d := range figure16Designs {
+					r, err := measure(d)
+					if err != nil {
+						return nil, err
+					}
+					rows = append(rows, Row{string(d), "native", wl,
+						perfmodel.ImprovementPercent(base.est, r.est),
+						energy.SavingsPercent(base.e, r.e)})
+				}
+				return rows, nil
+			},
+		})
 	}
 	// Virtualized points.
-	venv, err := newVirt(s, 2, 0.2, s.Seed)
-	if err != nil {
-		return nil, err
-	}
 	for _, spec := range s.workloads() {
-		baseSt, baseEst, err := measureVirt(s, venv, spec, mmu.DesignSplit)
-		if err != nil {
-			return nil, err
-		}
-		baseE := model.TotalWithRuntime(baseSt, nil, designEnergyConfig(mmu.DesignSplit), baseEst.TotalCycles)
-		for _, d := range []mmu.Design{mmu.DesignSkew, mmu.DesignRehash, mmu.DesignMix} {
-			st, est, err := measureVirt(s, venv, spec, d)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(string(d), "virtual", spec.Name,
-				perfmodel.ImprovementPercent(baseEst, est),
-				energy.SavingsPercent(baseE, model.TotalWithRuntime(st, nil, designEnergyConfig(d), est.TotalCycles)))
-		}
+		wl := spec.Name
+		cells = append(cells, Cell{
+			Name: "virt/" + wl,
+			Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+				spec, err := workload.ByName(wl)
+				if err != nil {
+					return nil, err
+				}
+				model := energy.Default()
+				venv, err := newVirt(cs, 2, 0.2, cs.Seed)
+				if err != nil {
+					return nil, err
+				}
+				baseSt, baseEst, err := measureVirt(ctx, cs, venv, spec, mmu.DesignSplit)
+				if err != nil {
+					return nil, err
+				}
+				baseE := model.TotalWithRuntime(baseSt, nil, designEnergyConfig(mmu.DesignSplit), baseEst.TotalCycles)
+				var rows []Row
+				for _, d := range figure16Designs {
+					st, est, err := measureVirt(ctx, cs, venv, spec, d)
+					if err != nil {
+						return nil, err
+					}
+					rows = append(rows, Row{string(d), "virtual", wl,
+						perfmodel.ImprovementPercent(baseEst, est),
+						energy.SavingsPercent(baseE, model.TotalWithRuntime(st, nil, designEnergyConfig(d), est.TotalCycles))})
+				}
+				return rows, nil
+			},
+		})
 	}
-	return t, nil
+	results, err := RunGrid(ctx, s, "fig16", t, cells)
+	AppendRows(t, results)
+	return t, err
 }
 
 // Figure17 regenerates the dynamic-energy breakdown (Fig 17): the share
 // of address-translation dynamic energy spent on lookups, page-table
 // walks, fills, and other operations, for GPU TLB designs, normalized to
-// the split design's total.
-func Figure17(s Scale) (*stats.Table, error) {
+// the split design's total. One cell per kernel — normalization needs the
+// split total, so a kernel's four design runs stay together.
+func Figure17(ctx context.Context, s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Figure 17: dynamic energy breakdown (GPU), normalized to split total",
 		Columns: []string{"design", "kernel", "lookup", "walk", "fill", "other", "total"},
-	}
-	model := energy.Default()
-	sub := s
-	sub.FootprintBytes = s.FootprintBytes * 3 / 10
-	env, err := newNative(sub, osmm.THS, 0.2, s.Seed)
-	if err != nil {
-		return nil, err
 	}
 	kernels := gpu.Kernels()
 	if len(kernels) > 3 {
 		kernels = kernels[:3]
 	}
+	var cells []Cell
 	for _, k := range kernels {
-		run := func(d mmu.Design) (energy.Breakdown, error) {
-			caches := cachesim.DefaultHierarchy()
-			sys, err := gpu.New(gpu.Config{Cores: s.GPUCores, Design: d}, env.as, caches)
-			if err != nil {
-				return energy.Breakdown{}, err
-			}
-			cores := s.GPUCores
-			kb := k.Build
-			sys.AttachStreams(func(id int) workload.Stream {
-				return kb(id, cores, env.base, env.fp, simrand.New(s.Seed+uint64(id)))
-			})
-			if err := sys.Run(s.WarmupRefs); err != nil {
-				return energy.Breakdown{}, err
-			}
-			sys.ResetStats()
-			cachesMeasured := cachesim.DefaultHierarchy()
-			_ = cachesMeasured
-			if err := sys.Run(s.MeasureRefs); err != nil {
-				return energy.Breakdown{}, err
-			}
-			cfg := designEnergyConfig(d)
-			cfg.L1Entries *= s.GPUCores // per-core L1s all burn energy
-			return model.Dynamic(sys.Stats(), caches, cfg), nil
-		}
-		baseB, err := run(mmu.DesignSplit)
-		if err != nil {
-			return nil, fmt.Errorf("fig17 %s split: %w", k.Name, err)
-		}
-		norm := baseB.Total()
-		if norm == 0 {
-			norm = 1
-		}
-		for _, d := range []mmu.Design{mmu.DesignSplit, mmu.DesignRehash, mmu.DesignSkew, mmu.DesignMix} {
-			b, err := run(d)
-			if err != nil {
-				return nil, fmt.Errorf("fig17 %s %s: %w", k.Name, d, err)
-			}
-			t.AddRow(string(d), k.Name, b.Lookup/norm, b.Walk/norm, b.Fill/norm, b.Other/norm, b.Total()/norm)
-		}
+		kn := k.Name
+		cells = append(cells, Cell{
+			Name: kn,
+			Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+				k, err := gpu.KernelByName(kn)
+				if err != nil {
+					return nil, err
+				}
+				model := energy.Default()
+				sub := cs
+				sub.FootprintBytes = cs.FootprintBytes * 3 / 10
+				env, err := newNative(sub, osmm.THS, 0.2, cs.Seed)
+				if err != nil {
+					return nil, err
+				}
+				run := func(d mmu.Design) (energy.Breakdown, error) {
+					if err := ctx.Err(); err != nil {
+						return energy.Breakdown{}, err
+					}
+					caches := cachesim.DefaultHierarchy()
+					sys, err := gpu.New(gpu.Config{Cores: cs.GPUCores, Design: d}, env.as, caches)
+					if err != nil {
+						return energy.Breakdown{}, err
+					}
+					cores := cs.GPUCores
+					kb := k.Build
+					sys.AttachStreams(func(id int) workload.Stream {
+						return kb(id, cores, env.base, env.fp, simrand.New(cs.Seed+uint64(id)))
+					})
+					if err := sys.Run(cs.WarmupRefs); err != nil {
+						return energy.Breakdown{}, err
+					}
+					sys.ResetStats()
+					if err := sys.Run(cs.MeasureRefs); err != nil {
+						return energy.Breakdown{}, err
+					}
+					cfg := designEnergyConfig(d)
+					cfg.L1Entries *= cs.GPUCores // per-core L1s all burn energy
+					return model.Dynamic(sys.Stats(), caches, cfg), nil
+				}
+				baseB, err := run(mmu.DesignSplit)
+				if err != nil {
+					return nil, fmt.Errorf("fig17 %s split: %w", kn, err)
+				}
+				norm := baseB.Total()
+				if norm == 0 {
+					norm = 1
+				}
+				var rows []Row
+				for _, d := range []mmu.Design{mmu.DesignSplit, mmu.DesignRehash, mmu.DesignSkew, mmu.DesignMix} {
+					b, err := run(d)
+					if err != nil {
+						return nil, fmt.Errorf("fig17 %s %s: %w", kn, d, err)
+					}
+					rows = append(rows, Row{string(d), kn, b.Lookup / norm, b.Walk / norm, b.Fill / norm, b.Other / norm, b.Total() / norm})
+				}
+				return rows, nil
+			},
+		})
 	}
-	return t, nil
+	results, err := RunGrid(ctx, s, "fig17", t, cells)
+	AppendRows(t, results)
+	return t, err
 }
+
+// figure18Designs are the coalescing variants compared against split.
+var figure18Designs = []mmu.Design{mmu.DesignColt, mmu.DesignColtPP, mmu.DesignMix, mmu.DesignMixColt}
 
 // Figure18 regenerates the COLT comparison (Fig 18): average improvement
 // over split for COLT (coalescing 4KB pages only), COLT++ (all split
 // components coalescing), MIX, and MIX+COLT, for native and virtualized
-// systems under two fragmentation levels.
-func Figure18(s Scale) (*stats.Table, error) {
+// systems under two fragmentation levels. Cells run per
+// (system, memhog, workload), each returning the four designs'
+// improvements; the cross-workload average is post-processing.
+func Figure18(ctx context.Context, s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Figure 18: COLT variants and MIX vs split (average improvement %)",
 		Columns: []string{"system", "memhog%", "colt", "colt++", "mix", "mix+colt"},
 	}
-	designs := []mmu.Design{mmu.DesignColt, mmu.DesignColtPP, mmu.DesignMix, mmu.DesignMixColt}
+	// groups collects the cell index range to average into one table row.
+	type group struct {
+		system     string
+		hogPct     int
+		start, end int
+	}
+	var (
+		cells  []Cell
+		groups []group
+	)
 	for _, hogPct := range []int{20, 60} {
-		env, err := newNative(s, osmm.THS, float64(hogPct)/100, s.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig18 memhog=%d%%: %w", hogPct, err)
-		}
-		avgs := make([]float64, len(designs))
-		n := 0
+		g := group{system: "native", hogPct: hogPct, start: len(cells)}
 		for _, spec := range s.workloads() {
-			_, baseEst, _, err := measureNative(s, env, spec, mmu.DesignSplit)
-			if err != nil {
-				return nil, err
+			hogPct, wl := hogPct, spec.Name
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("native/hog%d/%s", hogPct, wl),
+				Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+					spec, err := workload.ByName(wl)
+					if err != nil {
+						return nil, err
+					}
+					env, err := newNative(cs, osmm.THS, float64(hogPct)/100, cs.Seed)
+					if err != nil {
+						return nil, fmt.Errorf("fig18 memhog=%d%%: %w", hogPct, err)
+					}
+					_, baseEst, _, err := measureNative(ctx, cs, env, spec, mmu.DesignSplit)
+					if err != nil {
+						return nil, err
+					}
+					row := Row{"native", hogPct}
+					for _, d := range figure18Designs {
+						_, est, _, err := measureNative(ctx, cs, env, spec, d)
+						if err != nil {
+							return nil, err
+						}
+						row = append(row, perfmodel.ImprovementPercent(baseEst, est))
+					}
+					return []Row{row}, nil
+				},
+			})
+		}
+		g.end = len(cells)
+		groups = append(groups, g)
+	}
+	// Virtualized: one consolidation point.
+	{
+		g := group{system: "virtual-2vm", hogPct: 20, start: len(cells)}
+		for _, spec := range s.workloads() {
+			wl := spec.Name
+			cells = append(cells, Cell{
+				Name: "virt-2vm/" + wl,
+				Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+					spec, err := workload.ByName(wl)
+					if err != nil {
+						return nil, err
+					}
+					venv, err := newVirt(cs, 2, 0.2, cs.Seed)
+					if err != nil {
+						return nil, err
+					}
+					_, baseEst, err := measureVirt(ctx, cs, venv, spec, mmu.DesignSplit)
+					if err != nil {
+						return nil, err
+					}
+					row := Row{"virtual-2vm", 20}
+					for _, d := range figure18Designs {
+						_, est, err := measureVirt(ctx, cs, venv, spec, d)
+						if err != nil {
+							return nil, err
+						}
+						row = append(row, perfmodel.ImprovementPercent(baseEst, est))
+					}
+					return []Row{row}, nil
+				},
+			})
+		}
+		g.end = len(cells)
+		groups = append(groups, g)
+	}
+	results, err := RunGrid(ctx, s, "fig18", t, cells)
+	if err != nil {
+		return t, err
+	}
+	for _, g := range groups {
+		avgs := make([]float64, len(figure18Designs))
+		n := 0
+		for _, cell := range results[g.start:g.end] {
+			if cell == nil { // filtered out by -cell
+				continue
 			}
-			for i, d := range designs {
-				_, est, _, err := measureNative(s, env, spec, d)
-				if err != nil {
-					return nil, err
-				}
-				avgs[i] += perfmodel.ImprovementPercent(baseEst, est)
+			for i := range figure18Designs {
+				avgs[i] += cell[0][2+i].(float64)
 			}
 			n++
 		}
-		row := []interface{}{"native", hogPct}
+		if n == 0 {
+			continue
+		}
+		row := Row{g.system, g.hogPct}
 		for _, a := range avgs {
 			row = append(row, a/float64(n))
 		}
 		t.AddRow(row...)
 	}
-	// Virtualized: one consolidation point.
-	venv, err := newVirt(s, 2, 0.2, s.Seed)
-	if err != nil {
-		return nil, err
-	}
-	avgs := make([]float64, len(designs))
-	n := 0
-	for _, spec := range s.workloads() {
-		_, baseEst, err := measureVirt(s, venv, spec, mmu.DesignSplit)
-		if err != nil {
-			return nil, err
-		}
-		for i, d := range designs {
-			_, est, err := measureVirt(s, venv, spec, d)
-			if err != nil {
-				return nil, err
-			}
-			avgs[i] += perfmodel.ImprovementPercent(baseEst, est)
-		}
-		n++
-	}
-	row := []interface{}{"virtual-2vm", 20}
-	for _, a := range avgs {
-		row = append(row, a/float64(n))
-	}
-	t.AddRow(row...)
 	return t, nil
 }

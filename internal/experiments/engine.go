@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mixtlb/internal/simrand"
+	"mixtlb/internal/stats"
+)
+
+// This file is the parallel experiment engine. Every experiment decomposes
+// its design x workload x environment grid into independent Cells — one
+// simulation each, the repo's analogue of the paper's per-workload Pin
+// traces — and RunGrid executes them on a bounded worker pool. Three
+// properties make the parallelism invisible in the results:
+//
+//   - Seed splitting: each cell simulates under the deterministic seed
+//     simrand.SplitSeed(Scale.Seed, experiment, cellName), a pure function
+//     of the cell's identity. No cell observes scheduling order.
+//   - Canonical merge: each cell's rows land in the cell's declaration
+//     slot; the final table is the in-order concatenation, so tables are
+//     byte-identical at any -jobs count.
+//   - Per-cell harness semantics: a panic inside one cell becomes a
+//     *CellError carrying the cell name and derived seed (wrapping a
+//     *PanicError with the stack), and the rows of every completed cell
+//     are still published to Scale.Progress — RunSafe's partial-table
+//     guarantee now holds at cell, not experiment, granularity.
+
+// Row is one unformatted table row produced by a cell; values are
+// formatted by stats.Table.AddRow during the canonical merge.
+type Row []interface{}
+
+// Cell is one independent unit of an experiment's grid: one design x
+// workload x environment simulation. Run must build all of its own state
+// (environments, MMUs, streams) from the Scale it receives — its Seed is
+// the cell's split seed — and must not touch anything shared.
+type Cell struct {
+	// Name identifies the cell within its experiment ("native/2MB/mcf").
+	// It is hashed into the cell's seed, so renaming a cell changes its
+	// random sequence.
+	Name string
+	Run  func(ctx context.Context, s Scale) ([]Row, error)
+}
+
+// CellError reports a failure inside one grid cell, carrying the cell's
+// identity and derived seed so the failure line names exactly what to
+// re-run.
+type CellError struct {
+	Experiment string
+	Cell       string
+	Seed       uint64 // the cell's derived seed (SplitSeed of the base)
+	Err        error
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("experiment %q cell %q failed (cell seed %d; reproduce with -exp %s -cell %q): %v",
+		e.Experiment, e.Cell, e.Seed, e.Experiment, e.Cell, e.Err)
+}
+
+// Unwrap exposes the cause (a *PanicError for recovered panics).
+func (e *CellError) Unwrap() error { return e.Err }
+
+// CellSeed derives a cell's seed from the experiment's base seed and the
+// cell's identity.
+func CellSeed(base uint64, experiment, cell string) uint64 {
+	return simrand.SplitSeed(base, experiment, cell)
+}
+
+// RunGrid executes an experiment's cells on a bounded worker pool and
+// returns each cell's rows in canonical (declaration) order. The pool size
+// is Scale.Jobs (0 = GOMAXPROCS); idle workers steal the next unclaimed
+// cell from a shared counter. Scale.Cell filters the grid to matching
+// cells (substring match) for single-cell reproduction. The first real
+// cell failure cancels the remaining cells and is returned (smallest cell
+// index wins, so the reported error does not depend on scheduling);
+// completed cells keep publishing to Scale.Progress throughout.
+func RunGrid(ctx context.Context, s Scale, experiment string, t *stats.Table, cells []Cell) ([][]Row, error) {
+	// work holds the original indices of the cells to run. Results stay
+	// aligned to the full declared grid even under -cell filtering, so
+	// experiments that post-process by position (Figure 9's per-row
+	// reassembly, Figure 15's sort groups) index correctly; filtered-out
+	// cells simply leave nil slots.
+	work := make([]int, 0, len(cells))
+	if s.Cell != "" {
+		names := make([]string, 0, len(cells))
+		for i, c := range cells {
+			names = append(names, c.Name)
+			if strings.Contains(c.Name, s.Cell) {
+				work = append(work, i)
+			}
+		}
+		if len(work) == 0 {
+			return nil, fmt.Errorf("experiments: no cell of %q matches %q (cells: %s)",
+				experiment, s.Cell, strings.Join(names, ", "))
+		}
+	} else {
+		for i := range cells {
+			work = append(work, i)
+		}
+	}
+	jobs := s.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(work) {
+		jobs = len(work)
+	}
+
+	gridCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu      sync.Mutex
+		results = make([][]Row, len(cells))
+		errs    = make([]error, len(cells))
+		done    = make([]bool, len(cells))
+		next    int64 = -1
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				wi := int(atomic.AddInt64(&next, 1))
+				if wi >= len(work) {
+					return
+				}
+				i := work[wi]
+				if err := gridCtx.Err(); err != nil {
+					mu.Lock()
+					errs[i] = err
+					mu.Unlock()
+					continue // drain remaining indices without running them
+				}
+				c := cells[i]
+				cs := s
+				cs.Seed = CellSeed(s.Seed, experiment, c.Name)
+				cs.Progress, cs.Bench = nil, nil
+				cs.Jobs, cs.Cell = 1, ""
+				start := time.Now()
+				rows, err := runCell(gridCtx, experiment, c, cs)
+				s.Bench.RecordCell(CellTime{
+					Experiment: experiment, Cell: c.Name,
+					Seed: cs.Seed, Seconds: time.Since(start).Seconds(),
+				})
+				mu.Lock()
+				results[i], errs[i] = rows, err
+				if err != nil {
+					cancel() // fail fast at cell granularity
+				} else {
+					done[i] = true
+					// Publish the completed cells' rows in canonical order,
+					// inside the lock so snapshots stay monotone.
+					snap := &stats.Table{Title: t.Title, Columns: t.Columns}
+					for j := range results {
+						if done[j] {
+							for _, r := range results[j] {
+								snap.AddRow(r...)
+							}
+						}
+					}
+					s.Progress.Publish(snap)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Prefer the lowest-indexed real failure over cancellation fallout from
+	// cells the failure itself skipped.
+	var firstCancel error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var ce *CellError
+		if asCellError(err, &ce) {
+			return results, err
+		}
+		if firstCancel == nil {
+			firstCancel = err
+		}
+	}
+	if firstCancel != nil {
+		return results, firstCancel
+	}
+	return results, nil
+}
+
+// asCellError reports whether err is a *CellError (avoiding an errors.As
+// import cycle on the hot path is not a concern; this keeps the intent
+// explicit).
+func asCellError(err error, target **CellError) bool {
+	for err != nil {
+		if ce, ok := err.(*CellError); ok {
+			*target = ce
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// runCell executes one cell with panic recovery, wrapping any failure in a
+// *CellError that names the cell and its derived seed.
+func runCell(ctx context.Context, experiment string, c Cell, cs Scale) (rows []Row, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &CellError{
+				Experiment: experiment, Cell: c.Name, Seed: cs.Seed,
+				Err: &PanicError{
+					Experiment: experiment + "/" + c.Name, Seed: cs.Seed,
+					Value: r, Stack: string(debug.Stack()),
+				},
+			}
+		}
+	}()
+	rows, err = c.Run(ctx, cs)
+	if err != nil {
+		err = &CellError{Experiment: experiment, Cell: c.Name, Seed: cs.Seed, Err: err}
+	}
+	return rows, err
+}
+
+// AppendRows adds every cell's rows to t in canonical order.
+func AppendRows(t *stats.Table, results [][]Row) {
+	for _, rows := range results {
+		for _, r := range rows {
+			t.AddRow(r...)
+		}
+	}
+}
+
+// Flatten concatenates per-cell rows in canonical order.
+func Flatten(results [][]Row) []Row {
+	var out []Row
+	for _, rows := range results {
+		out = append(out, rows...)
+	}
+	return out
+}
+
+// CellTime is one cell's wall-clock measurement.
+type CellTime struct {
+	Experiment string  `json:"experiment"`
+	Cell       string  `json:"cell"`
+	Seed       uint64  `json:"seed"`
+	Seconds    float64 `json:"seconds"`
+}
+
+// ExperimentTime is one experiment's end-to-end wall clock.
+type ExperimentTime struct {
+	Experiment string  `json:"experiment"`
+	Seconds    float64 `json:"seconds"`
+	Cells      int     `json:"cells"`
+	Err        string  `json:"error,omitempty"`
+}
+
+// BenchLog accumulates per-cell and per-experiment wall-clock timings;
+// the CLI serializes it to BENCH_experiments.json so speedups across
+// -jobs settings are measurable. All methods are nil-safe and safe for
+// concurrent use.
+type BenchLog struct {
+	mu    sync.Mutex
+	jobs  int
+	cells []CellTime
+	exps  []ExperimentTime
+}
+
+// NewBenchLog returns a log annotated with the worker-pool size in use.
+func NewBenchLog(jobs int) *BenchLog {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &BenchLog{jobs: jobs}
+}
+
+// RecordCell appends one cell timing.
+func (b *BenchLog) RecordCell(ct CellTime) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.cells = append(b.cells, ct)
+	b.mu.Unlock()
+}
+
+// RecordExperiment appends one experiment-level timing, counting the cells
+// recorded for it so far.
+func (b *BenchLog) RecordExperiment(name string, seconds float64, err error) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, c := range b.cells {
+		if c.Experiment == name {
+			n++
+		}
+	}
+	et := ExperimentTime{Experiment: name, Seconds: seconds, Cells: n}
+	if err != nil {
+		et.Err = err.Error()
+	}
+	b.exps = append(b.exps, et)
+}
+
+// benchReport is the serialized shape of BENCH_experiments.json.
+type benchReport struct {
+	Jobs             int              `json:"jobs"`
+	GOMAXPROCS       int              `json:"gomaxprocs"`
+	NumCPU           int              `json:"num_cpu"`
+	TotalWallSeconds float64          `json:"total_wall_seconds"`
+	Experiments      []ExperimentTime `json:"experiments"`
+	Cells            []CellTime       `json:"cells"`
+}
+
+// JSON renders the log. Cell order follows completion order (a timing
+// artifact, deliberately not canonicalized — it shows the schedule).
+func (b *BenchLog) JSON() ([]byte, error) {
+	if b == nil {
+		return []byte("{}"), nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var total float64
+	for _, e := range b.exps {
+		total += e.Seconds
+	}
+	rep := benchReport{
+		Jobs:             b.jobs,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		NumCPU:           runtime.NumCPU(),
+		TotalWallSeconds: total,
+		Experiments:      b.exps,
+		Cells:            b.cells,
+	}
+	return json.MarshalIndent(rep, "", "  ")
+}

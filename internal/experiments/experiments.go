@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mixtlb/internal/addr"
@@ -51,6 +52,14 @@ type Scale struct {
 	// Progress, when set (by RunSafe), receives partial tables as rows
 	// complete, so timeouts and panics still report finished work.
 	Progress *TablePublisher
+	// Jobs bounds the worker pool each experiment's cell grid runs on
+	// (0 = GOMAXPROCS). Results are byte-identical at any value.
+	Jobs int
+	// Cell, when non-empty, restricts the run to grid cells whose name
+	// contains it — the reproduce-one-cell knob from failure lines.
+	Cell string
+	// Bench, when set, receives per-cell wall-clock timings.
+	Bench *BenchLog
 }
 
 // DefaultScale is the CLI configuration: footprints far beyond TLB reach
@@ -189,9 +198,22 @@ func mixMMU(name string, l1cfg, l2cfg core.Config, env *nativeEnv, caches *cache
 		env.as.PageTable(), caches, env.as.HandleFault)
 }
 
-// runStream drives refs through an MMU: warmup, reset, measure.
-func runStream(m *mmu.MMU, stream workload.Stream, warmup, measure uint64) (mmu.Stats, error) {
+// ctxCheckStride is how many refs a stream loop simulates between
+// cancellation checks: frequent enough that cancel latency stays in the
+// low milliseconds, rare enough to be free.
+const ctxCheckStride = 8192
+
+// runStream drives refs through an MMU: warmup, reset, measure. The
+// context is a cancellation checkpoint — a canceled grid stops mid-stream
+// rather than finishing a multi-second simulation whose result will be
+// discarded.
+func runStream(ctx context.Context, m *mmu.MMU, stream workload.Stream, warmup, measure uint64) (mmu.Stats, error) {
 	for i := uint64(0); i < warmup; i++ {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return mmu.Stats{}, err
+			}
+		}
 		ref := stream.Next()
 		if r := m.Translate(tlb.Request{VA: ref.VA, Write: ref.Write, PC: ref.PC}); r.Faulted {
 			return mmu.Stats{}, fmt.Errorf("fault at %v during warmup", ref.VA)
@@ -199,6 +221,11 @@ func runStream(m *mmu.MMU, stream workload.Stream, warmup, measure uint64) (mmu.
 	}
 	m.ResetStats()
 	for i := uint64(0); i < measure; i++ {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return mmu.Stats{}, err
+			}
+		}
 		ref := stream.Next()
 		if r := m.Translate(tlb.Request{VA: ref.VA, Write: ref.Write, PC: ref.PC}); r.Faulted {
 			return mmu.Stats{}, fmt.Errorf("fault at %v", ref.VA)
@@ -209,13 +236,13 @@ func runStream(m *mmu.MMU, stream workload.Stream, warmup, measure uint64) (mmu.
 
 // measureNative runs one workload on one design in an environment,
 // returning functional stats and the runtime estimate.
-func measureNative(s Scale, env *nativeEnv, spec workload.Spec, d mmu.Design) (mmu.Stats, perfmodel.Estimate, *cachesim.Hierarchy, error) {
+func measureNative(ctx context.Context, s Scale, env *nativeEnv, spec workload.Spec, d mmu.Design) (mmu.Stats, perfmodel.Estimate, *cachesim.Hierarchy, error) {
 	m, caches, err := env.buildMMU(d)
 	if err != nil {
 		return mmu.Stats{}, perfmodel.Estimate{}, nil, err
 	}
 	stream := spec.Build(env.base, env.fp, simrand.New(s.Seed))
-	st, err := runStream(m, stream, s.WarmupRefs, s.MeasureRefs)
+	st, err := runStream(ctx, m, stream, s.WarmupRefs, s.MeasureRefs)
 	if err != nil {
 		return mmu.Stats{}, perfmodel.Estimate{}, nil, fmt.Errorf("%s/%s (seed %d): %w", spec.Name, d, s.Seed, err)
 	}
@@ -261,7 +288,7 @@ func newVirt(s Scale, vms int, guestHogFrac float64, seed uint64) (*vmEnv, error
 }
 
 // measureVirt runs a workload inside VM 0 of the environment on a design.
-func measureVirt(s Scale, env *vmEnv, spec workload.Spec, d mmu.Design) (mmu.Stats, perfmodel.Estimate, error) {
+func measureVirt(ctx context.Context, s Scale, env *vmEnv, spec workload.Spec, d mmu.Design) (mmu.Stats, perfmodel.Estimate, error) {
 	vm := env.vms[0]
 	caches := cachesim.DefaultHierarchy()
 	m, err := mmu.Build(d, vm.Walker(), nil, caches, vm.HandleFault)
@@ -269,7 +296,7 @@ func measureVirt(s Scale, env *vmEnv, spec workload.Spec, d mmu.Design) (mmu.Sta
 		return mmu.Stats{}, perfmodel.Estimate{}, err
 	}
 	stream := spec.Build(env.bases[0], env.fp, simrand.New(s.Seed))
-	st, err := runStream(m, stream, s.WarmupRefs, s.MeasureRefs)
+	st, err := runStream(ctx, m, stream, s.WarmupRefs, s.MeasureRefs)
 	if err != nil {
 		return mmu.Stats{}, perfmodel.Estimate{}, fmt.Errorf("%s/%s virt (seed %d): %w", spec.Name, d, s.Seed, err)
 	}
@@ -281,7 +308,7 @@ func measureVirt(s Scale, env *vmEnv, spec workload.Spec, d mmu.Design) (mmu.Sta
 type Experiment struct {
 	Name string
 	Desc string
-	Run  func(Scale) (*stats.Table, error)
+	Run  func(context.Context, Scale) (*stats.Table, error)
 }
 
 // All lists every experiment in paper order.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"testing"
 )
@@ -39,7 +40,7 @@ func TestRegistry(t *testing.T) {
 
 func TestFigure1Shape(t *testing.T) {
 	t.Parallel()
-	tbl, err := Figure1(q())
+	tbl, err := Figure1(context.Background(), q())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestFigure1Shape(t *testing.T) {
 
 func TestFigure9Shape(t *testing.T) {
 	t.Parallel()
-	tbl, err := Figure9(q())
+	tbl, err := Figure9(context.Background(), q())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestFigure9Shape(t *testing.T) {
 
 func TestFigure10Shape(t *testing.T) {
 	t.Parallel()
-	tbl, err := Figure10(q())
+	tbl, err := Figure10(context.Background(), q())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestFigure10Shape(t *testing.T) {
 
 func TestFigure11Shape(t *testing.T) {
 	t.Parallel()
-	tbl, err := Figure11(q())
+	tbl, err := Figure11(context.Background(), q())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestFigure11Shape(t *testing.T) {
 
 func TestFigure12Shape(t *testing.T) {
 	t.Parallel()
-	tbl, err := Figure12(q())
+	tbl, err := Figure12(context.Background(), q())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestFigure12Shape(t *testing.T) {
 
 func TestFigure13Shape(t *testing.T) {
 	t.Parallel()
-	tbl, err := Figure13(q())
+	tbl, err := Figure13(context.Background(), q())
 	if err != nil {
 		t.Fatal(err)
 	}

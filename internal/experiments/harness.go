@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 	"sync"
@@ -73,10 +74,15 @@ func (p *TablePublisher) Snapshot() *stats.Table {
 // returns *TimeoutError. In both failure cases the partial table — rows
 // the experiment published before dying — is returned alongside the
 // error, so a long sweep never loses completed work. A timeout of zero
-// disables the deadline.
-func RunSafe(e Experiment, s Scale, timeout time.Duration) (*stats.Table, error) {
+// disables the deadline. On timeout or ctx cancellation the experiment's
+// context is canceled, so its workers stop at their next stream
+// checkpoint instead of simulating on into the void.
+func RunSafe(ctx context.Context, e Experiment, s Scale, timeout time.Duration) (*stats.Table, error) {
 	pub := &TablePublisher{}
 	s.Progress = pub
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	type outcome struct {
 		tbl *stats.Table
@@ -92,7 +98,7 @@ func RunSafe(e Experiment, s Scale, timeout time.Duration) (*stats.Table, error)
 				}}
 			}
 		}()
-		tbl, err := e.Run(s)
+		tbl, err := e.Run(runCtx, s)
 		done <- outcome{tbl: tbl, err: err}
 	}()
 
@@ -109,8 +115,9 @@ func RunSafe(e Experiment, s Scale, timeout time.Duration) (*stats.Table, error)
 		}
 		return out.tbl, nil
 	case <-deadline:
-		// The goroutine keeps simulating in the background (the simulator
-		// has no preemption points), but its result is discarded.
+		cancel() // workers exit at their next checkpoint
 		return pub.Snapshot(), &TimeoutError{Experiment: e.Name, Seed: s.Seed, Timeout: timeout}
+	case <-ctx.Done():
+		return pub.Snapshot(), ctx.Err()
 	}
 }

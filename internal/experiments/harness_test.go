@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"strconv"
 	"strings"
@@ -23,7 +24,7 @@ func chaosTestScale() Scale {
 func TestRunSafeRecoversPanic(t *testing.T) {
 	e := Experiment{
 		Name: "boom",
-		Run: func(s Scale) (*stats.Table, error) {
+		Run: func(ctx context.Context, s Scale) (*stats.Table, error) {
 			tbl := &stats.Table{Title: "partial", Columns: []string{"a"}}
 			tbl.AddRow("row1")
 			s.Progress.Publish(tbl)
@@ -32,7 +33,7 @@ func TestRunSafeRecoversPanic(t *testing.T) {
 	}
 	s := chaosTestScale()
 	s.Seed = 1234
-	partial, err := RunSafe(e, s, time.Minute)
+	partial, err := RunSafe(context.Background(), e, s, time.Minute)
 	var pe *PanicError
 	if !errors.As(err, &pe) {
 		t.Fatalf("err = %v, want *PanicError", err)
@@ -56,7 +57,7 @@ func TestRunSafeTimeout(t *testing.T) {
 	defer close(block)
 	e := Experiment{
 		Name: "slow",
-		Run: func(s Scale) (*stats.Table, error) {
+		Run: func(ctx context.Context, s Scale) (*stats.Table, error) {
 			tbl := &stats.Table{Columns: []string{"a"}}
 			tbl.AddRow("done-before-deadline")
 			s.Progress.Publish(tbl)
@@ -64,7 +65,7 @@ func TestRunSafeTimeout(t *testing.T) {
 			return tbl, nil
 		},
 	}
-	partial, err := RunSafe(e, chaosTestScale(), 50*time.Millisecond)
+	partial, err := RunSafe(context.Background(), e, chaosTestScale(), 50*time.Millisecond)
 	var te *TimeoutError
 	if !errors.As(err, &te) {
 		t.Fatalf("err = %v, want *TimeoutError", err)
@@ -77,13 +78,13 @@ func TestRunSafeTimeout(t *testing.T) {
 func TestRunSafePassesThroughSuccess(t *testing.T) {
 	e := Experiment{
 		Name: "ok",
-		Run: func(s Scale) (*stats.Table, error) {
+		Run: func(ctx context.Context, s Scale) (*stats.Table, error) {
 			tbl := &stats.Table{Columns: []string{"a"}}
 			tbl.AddRow("v")
 			return tbl, nil
 		},
 	}
-	tbl, err := RunSafe(e, chaosTestScale(), 0) // zero timeout = no deadline
+	tbl, err := RunSafe(context.Background(), e, chaosTestScale(), 0) // zero timeout = no deadline
 	if err != nil || tbl == nil || len(tbl.Rows) != 1 {
 		t.Fatalf("tbl=%+v err=%v", tbl, err)
 	}
@@ -119,7 +120,7 @@ func column(t *testing.T, tbl *stats.Table, row []string, name string) uint64 {
 func TestChaosStudyZeroRates(t *testing.T) {
 	s := chaosTestScale()
 	s.Chaos = chaos.Rates{}
-	tbl, err := ChaosStudy(s)
+	tbl, err := ChaosStudy(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestChaosStudyZeroRates(t *testing.T) {
 func TestChaosStudyRecoversEverything(t *testing.T) {
 	s := chaosTestScale()
 	s.Chaos = chaos.DefaultRates()
-	tbl, err := ChaosStudy(s)
+	tbl, err := ChaosStudy(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mixtlb/internal/addr"
@@ -21,7 +22,8 @@ import (
 // Bitmap-encoded bundles lose only the invalidated member; range-encoded
 // bundles drop the whole coalesced entry; split TLBs lose a single entry.
 // Reported: walks per shootdown (post-invalidation refill traffic).
-func InvalidationStudy(s Scale) (*stats.Table, error) {
+// One cell per design point.
+func InvalidationStudy(ctx context.Context, s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Sec 4.4 invalidations: post-shootdown refill traffic by design",
 		Columns: []string{"design", "walks-per-1k-refs", "shootdowns", "invalidations"},
@@ -50,48 +52,60 @@ func InvalidationStudy(s Scale) (*stats.Table, error) {
 		}},
 	}
 	const cores = 2
+	var cells []Cell
 	for _, p := range points {
-		phys := physmem.NewBuddy(s.MemoryBytes)
-		as, err := osmm.New(phys, osmm.Config{Policy: osmm.THS})
-		if err != nil {
-			return nil, err
-		}
-		fp := s.FootprintBytes / 2
-		base, err := as.Mmap(fp)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := as.Populate(base, fp); err != nil {
-			return nil, fmt.Errorf("invalidation study populate: %w", err)
-		}
-		sys, err := smp.NewWithTLBs(cores, as, cachesim.DefaultHierarchy(), p.build)
-		if err != nil {
-			return nil, err
-		}
-		streams := make([]workload.Stream, cores)
-		for i := range streams {
-			streams[i] = workload.NewZipf(base, fp, simrand.New(s.Seed+uint64(i)), 0.9, 0.1, uint64(p.name[0]))
-		}
-		if err := sys.Run(streams, s.WarmupRefs); err != nil {
-			return nil, err
-		}
-		sys.ResetStats()
-		rng := simrand.New(s.Seed ^ 0xdead)
-		var total uint64
-		chunk := s.MeasureRefs / 10
-		for round := 0; round < 10; round++ {
-			if err := sys.Run(streams, chunk); err != nil {
-				return nil, err
-			}
-			total += chunk
-			// Unmap and immediately fault back a random 4MB region,
-			// modeling mapping churn (e.g. an allocator's MADV_FREE).
-			off := addr.AlignedDown(rng.Uint64n(fp-(4<<20)), addr.Size2M)
-			sys.Munmap(base+addr.V(off), 4<<20)
-		}
-		agg := sys.Aggregate()
-		t.AddRow(p.name, 1000*float64(agg.Walks)/float64(total),
-			sys.Stats().Shootdowns, agg.Invalidations)
+		p := p
+		cells = append(cells, Cell{
+			Name: p.name,
+			Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+				phys := physmem.NewBuddy(cs.MemoryBytes)
+				as, err := osmm.New(phys, osmm.Config{Policy: osmm.THS})
+				if err != nil {
+					return nil, err
+				}
+				fp := cs.FootprintBytes / 2
+				base, err := as.Mmap(fp)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := as.Populate(base, fp); err != nil {
+					return nil, fmt.Errorf("invalidation study populate: %w", err)
+				}
+				sys, err := smp.NewWithTLBs(cores, as, cachesim.DefaultHierarchy(), p.build)
+				if err != nil {
+					return nil, err
+				}
+				streams := make([]workload.Stream, cores)
+				for i := range streams {
+					streams[i] = workload.NewZipf(base, fp, simrand.New(cs.Seed+uint64(i)), 0.9, 0.1, uint64(p.name[0]))
+				}
+				if err := sys.Run(streams, cs.WarmupRefs); err != nil {
+					return nil, err
+				}
+				sys.ResetStats()
+				rng := simrand.New(cs.Seed ^ 0xdead)
+				var total uint64
+				chunk := cs.MeasureRefs / 10
+				for round := 0; round < 10; round++ {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					if err := sys.Run(streams, chunk); err != nil {
+						return nil, err
+					}
+					total += chunk
+					// Unmap and immediately fault back a random 4MB region,
+					// modeling mapping churn (e.g. an allocator's MADV_FREE).
+					off := addr.AlignedDown(rng.Uint64n(fp-(4<<20)), addr.Size2M)
+					sys.Munmap(base+addr.V(off), 4<<20)
+				}
+				agg := sys.Aggregate()
+				return []Row{{p.name, 1000 * float64(agg.Walks) / float64(total),
+					sys.Stats().Shootdowns, agg.Invalidations}}, nil
+			},
+		})
 	}
-	return t, nil
+	results, err := RunGrid(ctx, s, "invalidation", t, cells)
+	AppendRows(t, results)
+	return t, err
 }

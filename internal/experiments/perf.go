@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -24,37 +25,48 @@ var figure1Policies = []osmm.Policy{osmm.BasePages, osmm.Hugetlbfs2M, osmm.Huget
 // Figure1 regenerates the motivation figure: the percentage of runtime
 // devoted to address translation on a commercial split-TLB hierarchy
 // versus a hypothetical ideal TLB, across page-size policies (Fig 1).
-func Figure1(s Scale) (*stats.Table, error) {
+// One grid cell per workload x policy; the paired split/ideal runs stay
+// inside one cell so both measure the same environment.
+func Figure1(ctx context.Context, s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Figure 1: % runtime in address translation, split vs ideal",
 		Columns: []string{"workload", "policy", "split-%runtime", "ideal-%runtime"},
 	}
+	var cells []Cell
 	for _, name := range figure1Workloads {
-		spec, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
 		for _, policy := range figure1Policies {
-			env, err := newNative(s, policy, 0, s.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("fig1 %s/%v: %w", name, policy, err)
-			}
-			_, splitEst, _, err := measureNative(s, env, spec, mmu.DesignSplit)
-			if err != nil {
-				return nil, err
-			}
-			_, idealEst, _, err := measureNative(s, env, spec, mmu.DesignIdeal)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(name, policy.String(), splitEst.PctTranslation(), idealEst.PctTranslation())
+			name, policy := name, policy
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("%s/%s", name, policy),
+				Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+					spec, err := workload.ByName(name)
+					if err != nil {
+						return nil, err
+					}
+					env, err := newNative(cs, policy, 0, cs.Seed)
+					if err != nil {
+						return nil, fmt.Errorf("fig1 %s/%v: %w", name, policy, err)
+					}
+					_, splitEst, _, err := measureNative(ctx, cs, env, spec, mmu.DesignSplit)
+					if err != nil {
+						return nil, err
+					}
+					_, idealEst, _, err := measureNative(ctx, cs, env, spec, mmu.DesignIdeal)
+					if err != nil {
+						return nil, err
+					}
+					return []Row{{name, policy.String(), splitEst.PctTranslation(), idealEst.PctTranslation()}}, nil
+				},
+			})
 		}
 	}
-	return t, nil
+	results, err := RunGrid(ctx, s, "fig1", t, cells)
+	AppendRows(t, results)
+	return t, err
 }
 
 // gpuImprovement measures MIX's improvement over split for one kernel.
-func gpuImprovement(s Scale, hogFrac float64, kernelName string) (float64, error) {
+func gpuImprovement(ctx context.Context, s Scale, hogFrac float64, kernelName string) (float64, error) {
 	env, err := newNative(s, osmm.THS, hogFrac, s.Seed)
 	if err != nil {
 		return 0, err
@@ -64,6 +76,9 @@ func gpuImprovement(s Scale, hogFrac float64, kernelName string) (float64, error
 		return 0, err
 	}
 	run := func(d mmu.Design) (perfmodel.Estimate, error) {
+		if err := ctx.Err(); err != nil {
+			return perfmodel.Estimate{}, err
+		}
 		sys, err := gpu.New(gpu.Config{Cores: s.GPUCores, Design: d}, env.as, cachesim.DefaultHierarchy())
 		if err != nil {
 			return perfmodel.Estimate{}, err
@@ -95,15 +110,38 @@ func gpuImprovement(s Scale, hogFrac float64, kernelName string) (float64, error
 	return perfmodel.ImprovementPercent(splitEst, mixEst), nil
 }
 
+// mixVsSplitNative measures MIX's improvement over split for one workload
+// in a freshly built native environment — the body shared by the Figure 14
+// and 15 cells.
+func mixVsSplitNative(ctx context.Context, cs Scale, policy osmm.Policy, hogFrac float64, wl string) (float64, error) {
+	spec, err := workload.ByName(wl)
+	if err != nil {
+		return 0, err
+	}
+	env, err := newNative(cs, policy, hogFrac, cs.Seed)
+	if err != nil {
+		return 0, err
+	}
+	_, splitEst, _, err := measureNative(ctx, cs, env, spec, mmu.DesignSplit)
+	if err != nil {
+		return 0, err
+	}
+	_, mixEst, _, err := measureNative(ctx, cs, env, spec, mmu.DesignMix)
+	if err != nil {
+		return 0, err
+	}
+	return perfmodel.ImprovementPercent(splitEst, mixEst), nil
+}
+
 // Figure14 regenerates the headline comparison: % performance improvement
 // of area-equivalent MIX TLBs over Haswell-style split TLBs across native
-// page-size policies, virtualized systems, and GPUs (Fig 14).
-func Figure14(s Scale) (*stats.Table, error) {
+// page-size policies, virtualized systems, and GPUs (Fig 14). One cell
+// per (config, workload) pair and per GPU kernel.
+func Figure14(ctx context.Context, s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Figure 14: % performance improvement, MIX vs split",
 		Columns: []string{"system", "config", "workload", "improvement-%"},
 	}
-	// Native configs.
 	nativeConfigs := []struct {
 		label  string
 		policy osmm.Policy
@@ -113,99 +151,146 @@ func Figure14(s Scale) (*stats.Table, error) {
 		{"1GB", osmm.Hugetlbfs1G},
 		{"THS", osmm.THS},
 	}
+	var cells []Cell
 	for _, cfg := range nativeConfigs {
-		env, err := newNative(s, cfg.policy, 0, s.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig14 %s: %w", cfg.label, err)
-		}
 		for _, spec := range s.workloads() {
-			_, splitEst, _, err := measureNative(s, env, spec, mmu.DesignSplit)
-			if err != nil {
-				return nil, err
-			}
-			_, mixEst, _, err := measureNative(s, env, spec, mmu.DesignMix)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow("native", cfg.label, spec.Name, perfmodel.ImprovementPercent(splitEst, mixEst))
+			cfg, wl := cfg, spec.Name
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("native/%s/%s", cfg.label, wl),
+				Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+					imp, err := mixVsSplitNative(ctx, cs, cfg.policy, 0, wl)
+					if err != nil {
+						return nil, fmt.Errorf("fig14 %s: %w", cfg.label, err)
+					}
+					return []Row{{"native", cfg.label, wl, imp}}, nil
+				},
+			})
 		}
 	}
 	// Virtualized configs: 1 VM and a consolidated 4-VM host.
 	for _, vms := range []int{1, 4} {
-		env, err := newVirt(s, vms, 0.2, s.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig14 virt %dVM: %w", vms, err)
-		}
 		for _, spec := range s.workloads() {
-			_, splitEst, err := measureVirt(s, env, spec, mmu.DesignSplit)
-			if err != nil {
-				return nil, err
-			}
-			_, mixEst, err := measureVirt(s, env, spec, mmu.DesignMix)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow("virtual", fmt.Sprintf("%dVM", vms), spec.Name,
-				perfmodel.ImprovementPercent(splitEst, mixEst))
+			vms, wl := vms, spec.Name
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("virt/%dVM/%s", vms, wl),
+				Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+					spec, err := workload.ByName(wl)
+					if err != nil {
+						return nil, err
+					}
+					env, err := newVirt(cs, vms, 0.2, cs.Seed)
+					if err != nil {
+						return nil, fmt.Errorf("fig14 virt %dVM: %w", vms, err)
+					}
+					_, splitEst, err := measureVirt(ctx, cs, env, spec, mmu.DesignSplit)
+					if err != nil {
+						return nil, err
+					}
+					_, mixEst, err := measureVirt(ctx, cs, env, spec, mmu.DesignMix)
+					if err != nil {
+						return nil, err
+					}
+					return []Row{{"virtual", fmt.Sprintf("%dVM", vms), wl,
+						perfmodel.ImprovementPercent(splitEst, mixEst)}}, nil
+				},
+			})
 		}
 	}
 	// GPU kernels.
 	for _, k := range gpu.Kernels() {
-		imp, err := gpuImprovement(s, 0, k.Name)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("gpu", "THS", k.Name, imp)
+		kn := k.Name
+		cells = append(cells, Cell{
+			Name: "gpu/" + kn,
+			Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+				imp, err := gpuImprovement(ctx, cs, 0, kn)
+				if err != nil {
+					return nil, err
+				}
+				return []Row{{"gpu", "THS", kn, imp}}, nil
+			},
+		})
 	}
-	return t, nil
+	results, err := RunGrid(ctx, s, "fig14", t, cells)
+	AppendRows(t, results)
+	return t, err
+}
+
+// sortRowsByImprovement orders rows ascending by the float in column c,
+// tie-broken by the workload name so the order never depends on
+// scheduling. Used for the paper's sorted Fig 15 curves.
+func sortRowsByImprovement(rows []Row, c int, nameCol int) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i][c].(float64), rows[j][c].(float64)
+		if a != b {
+			return a < b
+		}
+		return fmt.Sprint(rows[i][nameCol]) < fmt.Sprint(rows[j][nameCol])
+	})
 }
 
 // Figure15Left regenerates the fragmentation sensitivity study: MIX's
 // improvement over split as memhog fragments 20% and 80% of CPU memory
 // (20% and 60% for GPUs), workloads sorted ascending as in the paper.
-func Figure15Left(s Scale) (*stats.Table, error) {
+// Cells run per (system, memhog, workload); the sort is post-processing
+// over the completed grid, so partial-progress tables are unsorted but
+// the final table is canonical.
+func Figure15Left(ctx context.Context, s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Figure 15 (left): MIX improvement vs split under fragmentation",
 		Columns: []string{"system", "memhog%", "workload", "improvement-%"},
 	}
-	type entry struct {
-		name string
-		imp  float64
-	}
+	// groups records [start, end) cell ranges that sort independently.
+	type group struct{ start, end int }
+	var (
+		cells  []Cell
+		groups []group
+	)
 	for _, hogPct := range []int{20, 80} {
-		env, err := newNative(s, osmm.THS, float64(hogPct)/100, s.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig15l memhog=%d%%: %w", hogPct, err)
-		}
-		var rows []entry
+		g := group{start: len(cells)}
 		for _, spec := range s.workloads() {
-			_, splitEst, _, err := measureNative(s, env, spec, mmu.DesignSplit)
-			if err != nil {
-				return nil, err
-			}
-			_, mixEst, _, err := measureNative(s, env, spec, mmu.DesignMix)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, entry{spec.Name, perfmodel.ImprovementPercent(splitEst, mixEst)})
+			hogPct, wl := hogPct, spec.Name
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("cpu/hog%d/%s", hogPct, wl),
+				Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+					imp, err := mixVsSplitNative(ctx, cs, osmm.THS, float64(hogPct)/100, wl)
+					if err != nil {
+						return nil, fmt.Errorf("fig15l memhog=%d%%: %w", hogPct, err)
+					}
+					return []Row{{"cpu", hogPct, wl, imp}}, nil
+				},
+			})
 		}
-		sort.Slice(rows, func(i, j int) bool { return rows[i].imp < rows[j].imp })
-		for _, r := range rows {
-			t.AddRow("cpu", hogPct, r.name, r.imp)
-		}
+		g.end = len(cells)
+		groups = append(groups, g)
 	}
 	for _, hogPct := range []int{20, 60} {
-		var rows []entry
+		g := group{start: len(cells)}
 		for _, k := range gpu.Kernels() {
-			imp, err := gpuImprovement(s, float64(hogPct)/100, k.Name)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, entry{k.Name, imp})
+			hogPct, kn := hogPct, k.Name
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("gpu/hog%d/%s", hogPct, kn),
+				Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+					imp, err := gpuImprovement(ctx, cs, float64(hogPct)/100, kn)
+					if err != nil {
+						return nil, err
+					}
+					return []Row{{"gpu", hogPct, kn, imp}}, nil
+				},
+			})
 		}
-		sort.Slice(rows, func(i, j int) bool { return rows[i].imp < rows[j].imp })
+		g.end = len(cells)
+		groups = append(groups, g)
+	}
+	results, err := RunGrid(ctx, s, "fig15l", t, cells)
+	if err != nil {
+		AppendRows(t, results)
+		return t, err
+	}
+	for _, g := range groups {
+		rows := Flatten(results[g.start:g.end])
+		sortRowsByImprovement(rows, 3, 2)
 		for _, r := range rows {
-			t.AddRow("gpu", hogPct, r.name, r.imp)
+			t.AddRow(r...)
 		}
 	}
 	return t, nil
@@ -214,31 +299,54 @@ func Figure15Left(s Scale) (*stats.Table, error) {
 // Figure15Right regenerates the ideal-TLB comparison: the runtime
 // overhead each design pays relative to a TLB that never misses, for
 // split and MIX, sorted ascending (the paper's curves; Fig 15 right).
-func Figure15Right(s Scale) (*stats.Table, error) {
+// One cell per (design, workload); sorting within each design group is
+// post-processing.
+func Figure15Right(ctx context.Context, s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Figure 15 (right): % overhead vs ideal TLB",
 		Columns: []string{"design", "workload", "overhead-%"},
 	}
-	env, err := newNative(s, osmm.THS, 0.2, s.Seed)
-	if err != nil {
-		return nil, err
-	}
+	type group struct{ start, end int }
+	var (
+		cells  []Cell
+		groups []group
+	)
 	for _, d := range []mmu.Design{mmu.DesignSplit, mmu.DesignMix} {
-		type entry struct {
-			name string
-			ov   float64
-		}
-		var rows []entry
+		g := group{start: len(cells)}
 		for _, spec := range s.workloads() {
-			_, est, _, err := measureNative(s, env, spec, d)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, entry{spec.Name, est.OverheadVsIdealPercent()})
+			d, wl := d, spec.Name
+			cells = append(cells, Cell{
+				Name: fmt.Sprintf("%s/%s", d, wl),
+				Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+					spec, err := workload.ByName(wl)
+					if err != nil {
+						return nil, err
+					}
+					env, err := newNative(cs, osmm.THS, 0.2, cs.Seed)
+					if err != nil {
+						return nil, err
+					}
+					_, est, _, err := measureNative(ctx, cs, env, spec, d)
+					if err != nil {
+						return nil, err
+					}
+					return []Row{{string(d), wl, est.OverheadVsIdealPercent()}}, nil
+				},
+			})
 		}
-		sort.Slice(rows, func(i, j int) bool { return rows[i].ov < rows[j].ov })
+		g.end = len(cells)
+		groups = append(groups, g)
+	}
+	results, err := RunGrid(ctx, s, "fig15r", t, cells)
+	if err != nil {
+		AppendRows(t, results)
+		return t, err
+	}
+	for _, g := range groups {
+		rows := Flatten(results[g.start:g.end])
+		sortRowsByImprovement(rows, 2, 1)
 		for _, r := range rows {
-			t.AddRow(string(d), r.name, r.ov)
+			t.AddRow(r...)
 		}
 	}
 	return t, nil

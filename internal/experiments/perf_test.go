@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"mixtlb/internal/stats"
@@ -24,7 +25,7 @@ func avgCol(t *testing.T, tbl *stats.Table, filter func(row []string) bool, col 
 
 func TestFigure14Shape(t *testing.T) {
 	t.Parallel()
-	tbl, err := Figure14(q())
+	tbl, err := Figure14(context.Background(), q())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestFigure14Shape(t *testing.T) {
 
 func TestFigure15LeftShape(t *testing.T) {
 	t.Parallel()
-	tbl, err := Figure15Left(q())
+	tbl, err := Figure15Left(context.Background(), q())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestFigure15LeftShape(t *testing.T) {
 
 func TestFigure15RightShape(t *testing.T) {
 	t.Parallel()
-	tbl, err := Figure15Right(q())
+	tbl, err := Figure15Right(context.Background(), q())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestFigure15RightShape(t *testing.T) {
 
 func TestFigure16Shape(t *testing.T) {
 	t.Parallel()
-	tbl, err := Figure16(q())
+	tbl, err := Figure16(context.Background(), q())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestFigure16Shape(t *testing.T) {
 
 func TestFigure17Shape(t *testing.T) {
 	t.Parallel()
-	tbl, err := Figure17(q())
+	tbl, err := Figure17(context.Background(), q())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestFigure17Shape(t *testing.T) {
 
 func TestFigure18Shape(t *testing.T) {
 	t.Parallel()
-	tbl, err := Figure18(q())
+	tbl, err := Figure18(context.Background(), q())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestFigure18Shape(t *testing.T) {
 
 func TestAblationIndexBits(t *testing.T) {
 	t.Parallel()
-	tbl, err := AblationIndexBits(q())
+	tbl, err := AblationIndexBits(context.Background(), q())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestAblationIndexBits(t *testing.T) {
 
 func TestScalingStudy(t *testing.T) {
 	t.Parallel()
-	tbl, err := ScalingStudy(q())
+	tbl, err := ScalingStudy(context.Background(), q())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestScalingStudy(t *testing.T) {
 
 func TestDuplicateStudy(t *testing.T) {
 	t.Parallel()
-	tbl, err := DuplicateStudy(q())
+	tbl, err := DuplicateStudy(context.Background(), q())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestDuplicateStudy(t *testing.T) {
 
 func TestCoalesceCapStudy(t *testing.T) {
 	t.Parallel()
-	tbl, err := CoalesceCapStudy(q(), []int{1, 16})
+	tbl, err := CoalesceCapStudy(context.Background(), q(), []int{1, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestCoalesceCapStudy(t *testing.T) {
 
 func TestEncodingStudy(t *testing.T) {
 	t.Parallel()
-	tbl, err := EncodingStudy(q())
+	tbl, err := EncodingStudy(context.Background(), q())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestEncodingStudy(t *testing.T) {
 
 func TestInvalidationStudy(t *testing.T) {
 	t.Parallel()
-	tbl, err := InvalidationStudy(q())
+	tbl, err := InvalidationStudy(context.Background(), q())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the test binary was built with -race.
+// Normal builds run the full golden suite; race builds (where each
+// simulation is roughly 10x slower) run a reduced subset.
+const raceEnabled = false

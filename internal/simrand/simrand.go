@@ -109,6 +109,35 @@ func (s *Source) Split() *Source {
 	return New(s.Uint64() ^ 0xa5a5a5a5a5a5a5a5)
 }
 
+// SplitSeed derives an independent child seed from a base seed and a path
+// of labels: FNV-1a over the labels (with a separator between them, so
+// ("ab","c") and ("a","bc") differ), pushed through the splitmix64
+// finalizer for avalanche, then XORed into the base. The derivation is a
+// pure function of its inputs, which is what lets the parallel experiment
+// engine hand every grid cell its own seed and still produce bit-identical
+// results at any worker count or execution order.
+func SplitSeed(seed uint64, labels ...string) uint64 {
+	const (
+		offset64 uint64 = 14695981039346656037
+		prime64  uint64 = 1099511628211
+	)
+	h := offset64
+	for _, l := range labels {
+		for i := 0; i < len(l); i++ {
+			h ^= uint64(l[i])
+			h *= prime64
+		}
+		h ^= 0x1f // out-of-band label separator
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return seed ^ h
+}
+
 // Zipf samples from a Zipf distribution over [0, n) with exponent theta,
 // using the rejection-inversion method of Gries et al. as popularized by
 // the YCSB generator. Skewed key popularity is the defining property of

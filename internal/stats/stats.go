@@ -164,7 +164,12 @@ func (h *Histogram) CDFAt(x uint64) float64 {
 func (h *Histogram) AverageContiguity() float64 {
 	var weighted float64
 	var translations uint64
-	for l, runs := range h.counts {
+	// Accumulate in sorted-value order: float addition is not associative,
+	// so map-iteration order would make the last bits of the result vary
+	// run to run — enough to break the bit-for-bit table determinism the
+	// parallel experiment engine guarantees.
+	for _, l := range h.sortedValues() {
+		runs := h.counts[l]
 		weighted += float64(l) * float64(l) * float64(runs)
 		translations += l * runs
 	}

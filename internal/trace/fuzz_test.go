@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/workload"
+)
+
+// refsFromBytes interprets fuzz input as a reference sequence: 17-byte
+// groups of (VA, PC, flags). This drives the encoder with adversarial
+// deltas — including the 2^63-and-above magnitudes the unsigned delta
+// computation exists for — rather than adversarial bytes.
+func refsFromBytes(data []byte) []workload.Ref {
+	const rec = 17
+	refs := make([]workload.Ref, 0, len(data)/rec)
+	for i := 0; i+rec <= len(data) && len(refs) < 4096; i += rec {
+		refs = append(refs, workload.Ref{
+			VA:    addr.V(binary.LittleEndian.Uint64(data[i:])),
+			PC:    binary.LittleEndian.Uint64(data[i+8:]),
+			Write: data[i+16]&1 != 0,
+		})
+	}
+	return refs
+}
+
+// FuzzRoundTrip checks that any reference sequence survives
+// encode-decode exactly, and that re-encoding the decoded sequence is
+// byte-identical (the format is canonical).
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	seed := make([]byte, 3*17)
+	binary.LittleEndian.PutUint64(seed[0:], 0x1000)
+	binary.LittleEndian.PutUint64(seed[8:], 7)
+	binary.LittleEndian.PutUint64(seed[17:], 1<<63) // huge delta from 0x1000
+	binary.LittleEndian.PutUint64(seed[25:], 7)
+	binary.LittleEndian.PutUint64(seed[34:], ^uint64(0))
+	binary.LittleEndian.PutUint64(seed[42:], 9)
+	seed[16], seed[33], seed[50] = 0, 1, 1
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		refs := refsFromBytes(data)
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range refs {
+			if err := w.Append(r); err != nil {
+				t.Fatalf("Append(%+v): %v", r, err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		encoded := append([]byte(nil), buf.Bytes()...)
+
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatalf("NewReader on own output: %v", err)
+		}
+		got, err := ReadAll(r)
+		if err != nil {
+			t.Fatalf("ReadAll on own output: %v", err)
+		}
+		if len(got) != len(refs) {
+			t.Fatalf("decoded %d refs, wrote %d", len(got), len(refs))
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				t.Fatalf("ref %d = %+v, want %+v", i, got[i], refs[i])
+			}
+		}
+
+		var buf2 bytes.Buffer
+		w2 := NewWriter(&buf2)
+		for _, r := range got {
+			if err := w2.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w2.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encoded, buf2.Bytes()) {
+			t.Fatalf("re-encoding decoded refs is not byte-identical:\n%x\nvs\n%x", encoded, buf2.Bytes())
+		}
+	})
+}
+
+// FuzzReader feeds arbitrary bytes to the decoder: it must never panic,
+// and every failure must be a typed error — ErrBadMagic from NewReader,
+// or io.EOF / *DecodeError from Next.
+func FuzzReader(f *testing.F) {
+	var valid bytes.Buffer
+	w := NewWriter(&valid)
+	w.Append(workload.Ref{VA: 0x1000, PC: 7})
+	w.Append(workload.Ref{VA: 0x1040, Write: true, PC: 7})
+	w.Append(workload.Ref{VA: 0xfff, PC: 9})
+	w.Flush()
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()-1]) // truncated mid-record
+	f.Add([]byte("notatracefile!!!"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("NewReader: untyped error %v", err)
+			}
+			return
+		}
+		var n uint64
+		for i := 0; i < 1<<16; i++ {
+			_, err := r.Next()
+			if err == nil {
+				n++
+				continue
+			}
+			if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				return // clean end of trace
+			}
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("Next: untyped error %v", err)
+			}
+			if de.Record != n {
+				t.Fatalf("DecodeError.Record = %d, decoded %d records", de.Record, n)
+			}
+			return
+		}
+	})
+}

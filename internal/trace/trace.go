@@ -41,6 +41,22 @@ const (
 // different version).
 var ErrBadMagic = errors.New("trace: bad magic or unsupported version")
 
+// DecodeError reports a malformed or truncated record, carrying the index
+// of the record that failed to decode (records before it are valid).
+// It wraps the underlying cause: io.ErrUnexpectedEOF for truncation, or
+// the reader's I/O error.
+type DecodeError struct {
+	Record uint64 // zero-based index of the failed record
+	Err    error
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("trace: decoding record %d: %v", e.Record, e.Err)
+}
+
+// Unwrap exposes the cause so errors.Is(err, io.ErrUnexpectedEOF) works.
+func (e *DecodeError) Unwrap() error { return e.Err }
+
 // Writer encodes references to an io.Writer.
 type Writer struct {
 	w      *bufio.Writer
@@ -73,15 +89,20 @@ func (t *Writer) Append(ref workload.Ref) error {
 	if ref.PC != t.prevPC {
 		flags |= flagPCChanged
 	}
-	delta := int64(ref.VA) - int64(t.prevVA)
-	if delta < 0 {
+	// Compute |delta| in uint64 space so deltas of 2^63 and above (e.g. a
+	// kernel-half address after a user-half one) are handled explicitly
+	// rather than through signed-overflow wraparound.
+	var delta uint64
+	if ref.VA >= t.prevVA {
+		delta = uint64(ref.VA - t.prevVA)
+	} else {
 		flags |= flagNegDelta
-		delta = -delta
+		delta = uint64(t.prevVA - ref.VA)
 	}
 	if err := t.w.WriteByte(flags); err != nil {
 		return err
 	}
-	n := binary.PutUvarint(t.buf[:], uint64(delta))
+	n := binary.PutUvarint(t.buf[:], delta)
 	if flags&flagPCChanged != 0 {
 		n += binary.PutUvarint(t.buf[n:], ref.PC)
 	}
@@ -125,6 +146,7 @@ type Reader struct {
 	r      *bufio.Reader
 	prevVA addr.V
 	prevPC uint64
+	n      uint64 // records decoded so far
 }
 
 // NewReader validates the header and returns a decoder.
@@ -140,15 +162,20 @@ func NewReader(r io.Reader) (*Reader, error) {
 	return &Reader{r: br}, nil
 }
 
-// Next decodes one reference; io.EOF signals a clean end of trace.
+// Next decodes one reference. A clean end of trace returns io.EOF
+// unwrapped; every other failure — truncation mid-record, I/O errors —
+// returns a *DecodeError carrying the index of the record that failed.
 func (t *Reader) Next() (workload.Ref, error) {
 	flags, err := t.r.ReadByte()
 	if err != nil {
-		return workload.Ref{}, err // io.EOF passes through
+		if errors.Is(err, io.EOF) {
+			return workload.Ref{}, io.EOF // clean end of trace
+		}
+		return workload.Ref{}, &DecodeError{Record: t.n, Err: err}
 	}
 	delta, err := binary.ReadUvarint(t.r)
 	if err != nil {
-		return workload.Ref{}, unexpectedEOF(err)
+		return workload.Ref{}, &DecodeError{Record: t.n, Err: unexpectedEOF(err)}
 	}
 	if flags&flagNegDelta != 0 {
 		t.prevVA -= addr.V(delta)
@@ -158,11 +185,32 @@ func (t *Reader) Next() (workload.Ref, error) {
 	if flags&flagPCChanged != 0 {
 		pc, err := binary.ReadUvarint(t.r)
 		if err != nil {
-			return workload.Ref{}, unexpectedEOF(err)
+			return workload.Ref{}, &DecodeError{Record: t.n, Err: unexpectedEOF(err)}
 		}
 		t.prevPC = pc
 	}
+	t.n++
 	return workload.Ref{VA: t.prevVA, Write: flags&flagWrite != 0, PC: t.prevPC}, nil
+}
+
+// Count returns the number of records decoded so far.
+func (t *Reader) Count() uint64 { return t.n }
+
+// ReadAll decodes the remaining records, failing on a malformed or
+// truncated trace (the partial slice is still returned alongside the
+// *DecodeError, which names the failed record).
+func ReadAll(r *Reader) ([]workload.Ref, error) {
+	var refs []workload.Ref
+	for {
+		ref, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return refs, nil
+		}
+		if err != nil {
+			return refs, err
+		}
+		refs = append(refs, ref)
+	}
 }
 
 // unexpectedEOF maps a mid-record EOF to ErrUnexpectedEOF so truncated
@@ -188,8 +236,12 @@ type Replay struct {
 // NewReplay wraps a validated Reader.
 func NewReplay(r *Reader) *Replay { return &Replay{r: r} }
 
-// Err reports a decode error encountered during streaming (a Stream has
-// no error channel; check after the run).
+// Err reports the *DecodeError encountered during streaming, if any.
+// workload.Stream has no error channel, so a decode failure mid-run cannot
+// stop the simulation — Next falls back to recycling the records decoded
+// before the failure — but the error is never swallowed: every harness
+// that replays a trace must check Err after the run and treat a non-nil
+// result as a failed experiment, not a short trace.
 func (p *Replay) Err() error { return p.err }
 
 // Len returns the number of records decoded so far.

@@ -199,3 +199,137 @@ func TestReplayEmpty(t *testing.T) {
 		t.Errorf("empty replay returned %+v", ref)
 	}
 }
+
+func TestRoundTripHugeDelta(t *testing.T) {
+	// Boundary coverage: VA deltas of 2^63 and above exercise the unsigned
+	// magnitude computation in Append (the old signed form relied on
+	// overflow wraparound here).
+	refs := []workload.Ref{
+		{VA: 0, PC: 1},
+		{VA: 1 << 63, PC: 1},            // +2^63 exactly
+		{VA: 0xffffffffffffffff, PC: 1}, // near the top
+		{VA: 1, PC: 1},                  // -(2^64 - 2)
+		{VA: 0x8000000000000001, PC: 1}, // +2^63 again
+	}
+	got := roundTrip(t, refs)
+	if len(got) != len(refs) {
+		t.Fatalf("decoded %d refs", len(got))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Errorf("ref %d = %+v, want %+v", i, got[i], refs[i])
+		}
+	}
+}
+
+func TestDecodeErrorNamesRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append(workload.Ref{VA: 0x1000, PC: 1})
+	w.Append(workload.Ref{VA: 0x2000, PC: 2})
+	w.Append(workload.Ref{VA: 0x123456789abc, PC: 3})
+	w.Flush()
+	full := buf.Bytes()
+	// Cut inside the third record: drop the last byte of the stream.
+	r, err := NewReader(bytes.NewReader(full[:len(full)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	_, err = r.Next()
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DecodeError", err)
+	}
+	if de.Record != 2 {
+		t.Errorf("DecodeError.Record = %d, want 2", de.Record)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("cause = %v, want io.ErrUnexpectedEOF", de.Err)
+	}
+	if r.Count() != 2 {
+		t.Errorf("Count = %d, want 2", r.Count())
+	}
+}
+
+func TestReadAllTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 5; i++ {
+		w.Append(workload.Ref{VA: addr.V(0x1000 * (i + 1)), PC: uint64(i)})
+	}
+	w.Flush()
+	full := buf.Bytes()
+
+	r, err := NewReader(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := ReadAll(r)
+	if err != nil || len(refs) != 5 {
+		t.Fatalf("ReadAll full = %d refs, %v", len(refs), err)
+	}
+
+	r, err = NewReader(bytes.NewReader(full[:len(full)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err = ReadAll(r)
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("ReadAll truncated err = %v, want *DecodeError", err)
+	}
+	if len(refs) != 4 {
+		t.Errorf("ReadAll kept %d valid records before the failure, want 4", len(refs))
+	}
+}
+
+func TestReplaySurfacesTruncation(t *testing.T) {
+	// A truncated trace must not masquerade as a short-but-clean one: the
+	// replay keeps streaming the valid prefix (Stream has no error
+	// channel), but Err reports the typed decode failure.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 4; i++ {
+		w.Append(workload.Ref{VA: addr.V(0x1000 * (i + 1)), PC: 7})
+	}
+	w.Flush()
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewReplay(r)
+	for i := 0; i < 8; i++ { // stream past the failure point, with wrap
+		p.Next()
+	}
+	var de *DecodeError
+	if !errors.As(p.Err(), &de) {
+		t.Fatalf("Replay.Err = %v, want *DecodeError", p.Err())
+	}
+	if de.Record != 3 {
+		t.Errorf("failed record = %d, want 3", de.Record)
+	}
+	if p.Len() != 3 {
+		t.Errorf("buffered %d valid records, want 3", p.Len())
+	}
+	if !p.Drained() {
+		t.Error("Drained should report true after the reader is abandoned")
+	}
+	// A clean trace reports no error after wrap-around.
+	r2, err := NewReader(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := NewReplay(r2)
+	for i := 0; i < 10; i++ {
+		p2.Next()
+	}
+	if p2.Err() != nil {
+		t.Errorf("clean trace Err = %v", p2.Err())
+	}
+}

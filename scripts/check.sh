@@ -1,11 +1,14 @@
 #!/bin/sh
-# Tier-1 gate: build, vet, race-enabled tests. Mirrors `make check` for
-# environments without make. Any failing chaos/differential test prints
-# the reproducing seed in its failure message — replay with
+# Tier-1 gate: build, vet, race-enabled tests, fuzz-corpus smoke, and a
+# parallel-determinism check. Mirrors `make check` for environments
+# without make. Any failing chaos/differential test prints the
+# reproducing seed in its failure message — replay with
 #   go test -run <TestName> ./internal/...
 # after plugging that seed into the test, or
 #   go run ./cmd/mixtlb -exp chaos -seed <seed>
-# for experiment-level failures.
+# for experiment-level failures. A failing experiment cell prints a
+# `reproduce: mixtlb -exp <name> -cell "<cell>" ...` line — run exactly
+# that to replay the one simulation that failed.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,4 +18,27 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
+
+# Fuzz smoke: run each fuzz target briefly beyond its seed corpus. The
+# corpora under testdata/fuzz/ already ran as regular test cases above;
+# this adds a short mutation pass to catch fresh encode/decode breakage.
+echo "== go test -fuzz (10s per target)"
+go test ./internal/trace/ -fuzz 'FuzzRoundTrip' -fuzztime 10s -run '^$'
+go test ./internal/trace/ -fuzz 'FuzzReader' -fuzztime 10s -run '^$'
+go test ./internal/addr/ -fuzz 'FuzzAddrArithmetic' -fuzztime 10s -run '^$'
+
+# Parallel determinism: the same experiment at -jobs 1 and -jobs 4 must
+# produce byte-identical tables (cell seeds derive from cell identity,
+# never from scheduling).
+echo "== mixtlb -jobs determinism"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/mixtlb" ./cmd/mixtlb
+"$tmpdir/mixtlb" -exp fig12 -quick -csv -jobs 1 > "$tmpdir/jobs1.csv"
+"$tmpdir/mixtlb" -exp fig12 -quick -csv -jobs 4 > "$tmpdir/jobs4.csv"
+if ! cmp -s "$tmpdir/jobs1.csv" "$tmpdir/jobs4.csv"; then
+    echo "FAIL: -jobs 4 output differs from -jobs 1" >&2
+    diff "$tmpdir/jobs1.csv" "$tmpdir/jobs4.csv" >&2 || true
+    exit 1
+fi
 echo "== OK"
