@@ -1,7 +1,7 @@
 GO ?= go
 JOBS ?= 0
 
-.PHONY: check build vet test race bench bench-experiments fuzz golden chaos
+.PHONY: check build vet test race bench bench-experiments benchdiff fuzz golden chaos
 
 # The full tier-1 gate: build, vet, and the test suite under the race
 # detector. Test failures print the reproducing seed — rerun the named
@@ -31,6 +31,14 @@ bench: bench-experiments
 bench-experiments:
 	$(GO) run ./cmd/mixtlb -exp perf -quick -jobs $(JOBS) \
 		-bench-out BENCH_experiments.json > /dev/null
+
+# Compare the committed timing baseline against a fresh `make bench` run
+# and fail on any >15% per-cell wall-time regression. Override the inputs
+# with OLD=/path/a.json NEW=/path/b.json.
+OLD ?= BENCH_experiments.json
+NEW ?= BENCH_experiments.json
+benchdiff:
+	./scripts/benchdiff.sh $(OLD) $(NEW)
 
 # Short mutation pass over each fuzz target (seed corpora also run as
 # plain test cases in `make test`).

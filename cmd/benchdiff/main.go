@@ -1,0 +1,149 @@
+// Command benchdiff compares two BENCH_experiments.json timing files (as
+// written by mixtlb -bench-out), joining cells by (experiment, cell) and
+// reporting the per-cell speedup of NEW relative to OLD plus the geometric
+// mean across all joined cells. It exits nonzero when any joined cell
+// regressed by more than -max-regression percent, so CI can gate on
+// simulator performance the same way golden tables gate on statistics.
+//
+// Usage: benchdiff [-max-regression PCT] OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+type cellTime struct {
+	Experiment string  `json:"experiment"`
+	Cell       string  `json:"cell"`
+	Seed       uint64  `json:"seed"`
+	Seconds    float64 `json:"seconds"`
+}
+
+type expTime struct {
+	Experiment string  `json:"experiment"`
+	Seconds    float64 `json:"seconds"`
+	Cells      int     `json:"cells"`
+	Err        string  `json:"error,omitempty"`
+}
+
+type report struct {
+	Jobs        int        `json:"jobs"`
+	Total       float64    `json:"total_wall_seconds"`
+	Experiments []expTime  `json:"experiments"`
+	Cells       []cellTime `json:"cells"`
+}
+
+type cellKey struct {
+	experiment, cell string
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	maxRegression := flag.Float64("max-regression", 15,
+		"fail when any joined cell's wall time grows by more than this percentage")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regression PCT] OLD.json NEW.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		return 2
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	oldCells := index(oldRep.Cells)
+	newCells := index(newRep.Cells)
+
+	keys := make([]cellKey, 0, len(oldCells))
+	for k := range oldCells {
+		if _, ok := newCells[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].experiment != keys[j].experiment {
+			return keys[i].experiment < keys[j].experiment
+		}
+		return keys[i].cell < keys[j].cell
+	})
+	if len(keys) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no cells in common between the two files")
+		return 2
+	}
+
+	fmt.Printf("%-12s %-40s %10s %10s %9s\n", "experiment", "cell", "old(s)", "new(s)", "speedup")
+	logSum, counted, regressions := 0.0, 0, 0
+	limit := 1 + *maxRegression/100
+	for _, k := range keys {
+		o, n := oldCells[k], newCells[k]
+		mark := ""
+		if o > 0 && n > 0 {
+			speedup := o / n
+			logSum += math.Log(speedup)
+			counted++
+			if n > o*limit {
+				regressions++
+				mark = "  REGRESSION"
+			}
+			fmt.Printf("%-12s %-40s %10.3f %10.3f %8.2fx%s\n", k.experiment, k.cell, o, n, speedup, mark)
+		} else {
+			fmt.Printf("%-12s %-40s %10.3f %10.3f %9s\n", k.experiment, k.cell, o, n, "n/a")
+		}
+	}
+	if only := len(oldCells) - len(keys); only > 0 {
+		fmt.Printf("(%d cells only in %s)\n", only, flag.Arg(0))
+	}
+	if only := len(newCells) - len(keys); only > 0 {
+		fmt.Printf("(%d cells only in %s)\n", only, flag.Arg(1))
+	}
+
+	fmt.Printf("total wall: %.2fs (jobs %d) -> %.2fs (jobs %d)\n",
+		oldRep.Total, oldRep.Jobs, newRep.Total, newRep.Jobs)
+	if counted > 0 {
+		fmt.Printf("geomean speedup over %d cells: %.2fx\n", counted, math.Exp(logSum/float64(counted)))
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d cell(s) regressed by more than %.0f%%\n",
+			regressions, *maxRegression)
+		return 1
+	}
+	return 0
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchdiff: %v", err)
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchdiff: parsing %s: %v", path, err)
+	}
+	return &r, nil
+}
+
+// index sums cell seconds per (experiment, cell) — a cell name appearing
+// twice (reruns within one file) accumulates rather than overwrites.
+func index(cells []cellTime) map[cellKey]float64 {
+	m := make(map[cellKey]float64, len(cells))
+	for _, c := range cells {
+		m[cellKey{c.Experiment, c.Cell}] += c.Seconds
+	}
+	return m
+}

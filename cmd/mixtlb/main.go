@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -65,8 +67,18 @@ func main() {
 		jobs       = flag.Int("jobs", 0, "worker-pool size for experiment cells (0 = GOMAXPROCS)")
 		cell       = flag.String("cell", "", "run only grid cells whose name contains this substring")
 		benchOut   = flag.String("bench-out", "", "write per-cell wall-clock timings to this JSON file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file at exit")
+		memProfile = flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
 	)
 	flag.Parse()
+
+	// Profiles must be finalized before the explicit os.Exit below, which
+	// skips deferred calls; stopProfiles is invoked on every exit path.
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println("experiments:")
@@ -77,6 +89,7 @@ func main() {
 		for _, g := range groupOrder {
 			fmt.Printf("  %-15s %s\n", g, strings.Join(groups[g], " "))
 		}
+		stopProfiles()
 		return
 	}
 	if *chaosRun && expName == "" {
@@ -84,6 +97,7 @@ func main() {
 	}
 	if expName == "" {
 		fmt.Fprintln(os.Stderr, "usage: mixtlb -exp <name>|<group>|all [-jobs N] [-quick] [-csv] [-chaos]; see -list")
+		stopProfiles()
 		os.Exit(2)
 	}
 
@@ -122,6 +136,7 @@ func main() {
 			e, err := experiments.ByName(name)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
+				stopProfiles()
 				os.Exit(2)
 			}
 			toRun = append(toRun, e)
@@ -130,6 +145,7 @@ func main() {
 		e, err := experiments.ByName(expName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			stopProfiles()
 			os.Exit(2)
 		}
 		toRun = []experiments.Experiment{e}
@@ -181,7 +197,51 @@ func main() {
 			exitCode = 1
 		}
 	}
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if exitCode == 0 {
+			exitCode = 1
+		}
+	}
 	os.Exit(exitCode)
+}
+
+// startProfiles begins CPU profiling and arranges heap profiling according
+// to the -cpuprofile/-memprofile flags. The returned stop function is
+// idempotent-enough for this command's linear exit paths: it stops the CPU
+// profile and writes the heap profile, and must run before os.Exit.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("creating %s: %v", cpuPath, err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("starting CPU profile: %v", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("writing %s: %v", cpuPath, err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("creating %s: %v", memPath, err)
+			}
+			defer f.Close()
+			runtime.GC() // flush recent frees so the heap profile reflects live data
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("writing %s: %v", memPath, err)
+			}
+		}
+		return nil
+	}, nil
 }
 
 func printTable(tbl *stats.Table, csv bool) {

@@ -155,10 +155,15 @@ type Stats struct {
 
 // MixTLB implements tlb.TLB.
 type MixTLB struct {
-	cfg   Config
-	data  [][]entry
-	clock uint64
-	stats Stats
+	cfg     Config
+	setMask uint64 // Sets-1
+	data    [][]entry
+	clock   uint64
+	stats   Stats
+
+	allSets []int                   // 0..Sets-1, the full-mirror target list
+	targets []int                   // scratch reused by mirrorTargets
+	members []pagetable.Translation // scratch reused by Members
 }
 
 // entry is one MIX TLB way. A 2-bit size field distinguishes 4KB entries
@@ -214,11 +219,21 @@ func New(cfg Config) (*MixTLB, error) {
 	if cfg.IndexShift == 0 {
 		cfg.IndexShift = addr.Shift4K
 	}
-	m := &MixTLB{cfg: cfg}
+	m := &MixTLB{cfg: cfg, setMask: uint64(cfg.Sets - 1)}
 	m.data = make([][]entry, cfg.Sets)
 	for i := range m.data {
 		m.data[i] = make([]entry, cfg.Ways)
 	}
+	m.allSets = make([]int, cfg.Sets)
+	for i := range m.allSets {
+		m.allSets[i] = i
+	}
+	m.targets = make([]int, 0, cfg.Sets)
+	maxMembers := cfg.Coalesce
+	if cfg.SmallCoalesce > maxMembers {
+		maxMembers = cfg.SmallCoalesce
+	}
+	m.members = make([]pagetable.Translation, 0, maxMembers)
 	return m, nil
 }
 
@@ -237,13 +252,15 @@ func (m *MixTLB) Stats() Stats { return m.stats }
 // setIndex computes the single set a request probes: VA bits
 // [IndexShift, IndexShift+log2(Sets)).
 func (m *MixTLB) setIndex(va addr.V) int {
-	return int((uint64(va) >> m.cfg.IndexShift) & uint64(m.cfg.Sets-1))
+	return int((uint64(va) >> m.cfg.IndexShift) & m.setMask)
 }
 
 // windowOf returns the bundle tag and member slot for a page number in a
-// window of capacity k.
+// window of capacity k. k is always a power of two (enforced by New), so
+// the divide/modulo reduce to shift/mask on this hot path.
 func windowOf(svn, k uint64) (window uint64, slot int) {
-	return svn / k, int(svn % k)
+	shift := uint(bits.TrailingZeros64(k))
+	return svn >> shift, int(svn & (k - 1))
 }
 
 // coalesceLimit returns the bundle capacity for a page size.
@@ -368,10 +385,27 @@ func (m *MixTLB) Lookup(req tlb.Request) tlb.Result {
 	return res
 }
 
+// LookupReplayConsistent implements tlb.ReplayConsistent: re-probing the
+// same VA with no intervening fill only re-stamps the entry it already
+// stamped, and dedupSet is idempotent once a set's duplicates are merged.
+func (m *MixTLB) LookupReplayConsistent() bool { return true }
+
 // dedupSet merges duplicate bundle copies within one set. Compatible
 // duplicates (same size/window/base/permissions) union their members; an
 // incompatible duplicate (stale mapping) loses to the newer copy.
 func (m *MixTLB) dedupSet(set []entry) {
+	// Duplicates need at least two valid bundles; the common probe (sets
+	// full of 4KB entries, or a single mirrored bundle) skips the O(ways²)
+	// pair scan entirely.
+	bundles := 0
+	for i := range set {
+		if set[i].valid && set[i].k != 0 {
+			bundles++
+		}
+	}
+	if bundles < 2 {
+		return
+	}
 	for i := range set {
 		if !set[i].valid || set[i].k == 0 {
 			continue

@@ -106,7 +106,8 @@ func (m *MixTLB) Promote(req tlb.Request, t pagetable.Translation, line []pageta
 		line = []pagetable.Translation{t}
 	}
 	bundle := m.buildBundle(t, line)
-	return m.fillBundle(req.VA, bundle, []int{m.setIndex(req.VA)})
+	m.targets = append(m.targets[:0], m.setIndex(req.VA))
+	return m.fillBundle(req.VA, bundle, m.targets)
 }
 
 // Members implements tlb.BundleProvider: expand the entry covering va
@@ -120,10 +121,12 @@ func (m *MixTLB) Members(va addr.V) []pagetable.Translation {
 		}
 		if e.k == 0 {
 			if e.size == addr.Page4K && e.vpn == va.VPN4K() {
-				return []pagetable.Translation{{
+				out := append(m.members[:0], pagetable.Translation{
 					VA: va.PageBase(addr.Page4K), PA: e.pa, Size: addr.Page4K,
 					Perm: e.perm, Accessed: true, Dirty: e.dirty,
-				}}
+				})
+				m.members = out[:0]
+				return out
 			}
 			continue
 		}
@@ -131,12 +134,15 @@ func (m *MixTLB) Members(va addr.V) []pagetable.Translation {
 		if !ok || !e.memberPresent(m.cfg.Encoding, slot) {
 			continue
 		}
-		out := make([]pagetable.Translation, 0, e.memberCount(m.cfg.Encoding))
+		// Reuse the scratch slice: the promotion path consumes the members
+		// before the next Lookup/Fill on this TLB.
+		out := m.members[:0]
 		for s := 0; s < int(e.k); s++ {
 			if e.memberPresent(m.cfg.Encoding, s) {
 				out = append(out, m.memberTranslation(e, s))
 			}
 		}
+		m.members = out[:0]
 		return out
 	}
 	return nil
@@ -316,7 +322,7 @@ func (m *MixTLB) runAnchor(tr pagetable.Translation, line []pagetable.Translatio
 // MirrorProbedSetOnly.
 func (m *MixTLB) mirrorTargets(probeVA addr.V, b *entry) []int {
 	if m.cfg.MirrorProbedSetOnly {
-		return []int{m.setIndex(probeVA)}
+		return append(m.targets[:0], m.setIndex(probeVA))
 	}
 	shift := b.size.Shift()
 	var baseSVN uint64
@@ -333,22 +339,16 @@ func (m *MixTLB) mirrorTargets(probeVA addr.V, b *entry) []int {
 		granules = 1
 	}
 	if granules >= uint64(m.cfg.Sets) {
-		all := make([]int, m.cfg.Sets)
-		for i := range all {
-			all[i] = i
-		}
-		return all
+		return m.allSets
 	}
-	first := int((baseVA >> m.cfg.IndexShift) & uint64(m.cfg.Sets-1))
-	out := make([]int, 0, granules)
-	seen := make(map[int]bool, granules)
+	// granules < Sets, so the consecutive indices below are distinct
+	// modulo Sets — no dedup needed.
+	first := int((baseVA >> m.cfg.IndexShift) & m.setMask)
+	out := m.targets[:0]
 	for g := uint64(0); g < granules; g++ {
-		si := (first + int(g)) & (m.cfg.Sets - 1)
-		if !seen[si] {
-			seen[si] = true
-			out = append(out, si)
-		}
+		out = append(out, (first+int(g))&int(m.setMask))
 	}
+	m.targets = out
 	return out
 }
 
@@ -392,20 +392,25 @@ func (m *MixTLB) RefreshDirty(va addr.V, line []pagetable.Translation) bool {
 			}
 			return false
 		}
-		dirtyBy := make(map[uint64]bool, len(line))
-		for _, n := range line {
-			if n.Size == e.size {
-				dirtyBy[n.VA.PageNum(n.Size)] = n.Dirty
-			}
-		}
 		base := m.baseSVN(e)
 		g := slot / 8
+		sizeShift := e.size.Shift()
 		all := true
 		for s := 8 * g; s < 8*g+8 && s < int(e.k); s++ {
 			if !e.memberPresent(m.cfg.Encoding, s) {
 				continue
 			}
-			if d, ok := dirtyBy[base+uint64(s)]; !ok || !d {
+			// Scan the (≤8-entry) line for this member's PTE directly; a
+			// per-call map would allocate on the store hot path.
+			want := base + uint64(s)
+			dirty, found := false, false
+			for _, n := range line {
+				if n.Size == e.size && uint64(n.VA)>>sizeShift == want {
+					dirty, found = n.Dirty, true
+					break
+				}
+			}
+			if !found || !dirty {
 				all = false
 				break
 			}

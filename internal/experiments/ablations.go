@@ -36,21 +36,21 @@ func ablationPatterns() []ablationPattern {
 			// plus a light streaming component providing the compulsory
 			// misses real workloads always carry.
 			rng := simrand.New(seed)
-			return workload.NewMix(rng.Split(),
+			return workload.MustMix(rng.Split(),
 				workload.Weighted{Stream: workload.NewUniform(env.base, 1<<20, rng.Split(), 0.2, 11), Weight: 0.9},
 				workload.Weighted{Stream: workload.NewSequential(env.base+addr.V(16<<20), env.fp-(16<<20), 4096, false, 19), Weight: 0.1},
 			)
 		}},
 		{"hot+stream", func(env *nativeEnv, seed uint64) workload.Stream {
 			rng := simrand.New(seed)
-			return workload.NewMix(rng.Split(),
+			return workload.MustMix(rng.Split(),
 				workload.Weighted{Stream: workload.NewUniform(env.base, 1<<20, rng.Split(), 0.1, 12), Weight: 0.7},
 				workload.Weighted{Stream: workload.NewSequential(env.base+addr.V(8<<20), env.fp-(8<<20), 4096, false, 13), Weight: 0.3},
 			)
 		}},
 		{"two-hot-regions", func(env *nativeEnv, seed uint64) workload.Stream {
 			rng := simrand.New(seed)
-			return workload.NewMix(rng.Split(),
+			return workload.MustMix(rng.Split(),
 				workload.Weighted{Stream: workload.NewUniform(env.base, 512<<10, rng.Split(), 0.2, 14), Weight: 0.45},
 				workload.Weighted{Stream: workload.NewUniform(env.base+addr.V(64<<20), 512<<10, rng.Split(), 0.2, 15), Weight: 0.45},
 				workload.Weighted{Stream: workload.NewSequential(env.base+addr.V(128<<20), env.fp-(128<<20), 4096, false, 20), Weight: 0.1},

@@ -242,7 +242,7 @@ func Kernels() []KernelSpec {
 			// graph; cores share the structure.
 			Name: "bfs",
 			Build: func(id, n int, base addr.V, fp uint64, rng *simrand.Source) workload.Stream {
-				return workload.NewMix(rng.Split(),
+				return workload.MustMix(rng.Split(),
 					workload.Weighted{Stream: workload.NewZipf(base, fp/2, rng.Split(), 0.99, 0.05, kpc("bfs", id)), Weight: 0.6},
 					workload.Weighted{Stream: workload.NewSequential(base+addr.V(fp/2), fp/2, 64, false, kpc("bfs-edges", id)), Weight: 0.4},
 				)
@@ -254,7 +254,7 @@ func Kernels() []KernelSpec {
 			Name: "backprop",
 			Build: func(id, n int, base addr.V, fp uint64, rng *simrand.Source) workload.Stream {
 				b, sz := tile(id, n, base, fp)
-				return workload.NewMix(rng.Split(),
+				return workload.MustMix(rng.Split(),
 					workload.Weighted{Stream: workload.NewSequential(b, sz/2, 32, false, kpc("backprop-r", id)), Weight: 0.55},
 					workload.Weighted{Stream: workload.NewSequential(b+addr.V(sz/2), sz/2, 32, true, kpc("backprop-w", id)), Weight: 0.45},
 				)
@@ -266,7 +266,7 @@ func Kernels() []KernelSpec {
 			Build: func(id, n int, base addr.V, fp uint64, rng *simrand.Source) workload.Stream {
 				b, sz := tile(id, n, base, fp-fp/16)
 				centroids := base + addr.V(fp-fp/16)
-				return workload.NewMix(rng.Split(),
+				return workload.MustMix(rng.Split(),
 					workload.Weighted{Stream: workload.NewSequential(b, sz, 64, false, kpc("kmeans", id)), Weight: 0.7},
 					workload.Weighted{Stream: workload.NewUniform(centroids, fp/16, rng.Split(), 0.3, kpc("kmeans-c", id)), Weight: 0.3},
 				)
@@ -278,7 +278,7 @@ func Kernels() []KernelSpec {
 			Name: "gaussian",
 			Build: func(id, n int, base addr.V, fp uint64, rng *simrand.Source) workload.Stream {
 				b, sz := tile(id, n, base, fp)
-				return workload.NewMix(rng.Split(),
+				return workload.MustMix(rng.Split(),
 					workload.Weighted{Stream: workload.NewSequential(b, sz, 4096, false, kpc("gaussian-r", id)), Weight: 0.7},
 					workload.Weighted{Stream: workload.NewSequential(b, sz, 8192, true, kpc("gaussian-w", id)), Weight: 0.3},
 				)
@@ -299,7 +299,7 @@ func Kernels() []KernelSpec {
 			Build: func(id, n int, base addr.V, fp uint64, rng *simrand.Source) workload.Stream {
 				b, sz := tile(id, n, base, fp-fp/8)
 				coeff := base + addr.V(fp-fp/8)
-				return workload.NewMix(rng.Split(),
+				return workload.MustMix(rng.Split(),
 					workload.Weighted{Stream: workload.NewStencil(b, sz, 512<<10, kpc("srad", id)), Weight: 0.8},
 					workload.Weighted{Stream: workload.NewSequential(coeff, fp/8, 64, false, kpc("srad-c", id)), Weight: 0.2},
 				)
@@ -311,7 +311,7 @@ func Kernels() []KernelSpec {
 			Name: "lud",
 			Build: func(id, n int, base addr.V, fp uint64, rng *simrand.Source) workload.Stream {
 				b, sz := tile(id, n, base, fp)
-				return workload.NewMix(rng.Split(),
+				return workload.MustMix(rng.Split(),
 					workload.Weighted{Stream: workload.NewSequential(b, sz, 16, true, kpc("lud-blk", id)), Weight: 0.6},
 					workload.Weighted{Stream: workload.NewSequential(b, sz, 16<<10, false, kpc("lud-piv", id)), Weight: 0.4},
 				)
@@ -324,7 +324,7 @@ func Kernels() []KernelSpec {
 			Build: func(id, n int, base addr.V, fp uint64, rng *simrand.Source) workload.Stream {
 				b, sz := tile(id, n, base, fp)
 				row := uint64(64 << 10)
-				return workload.NewMix(rng.Split(),
+				return workload.MustMix(rng.Split(),
 					workload.Weighted{Stream: workload.NewSequential(b, sz, row+8, true, kpc("nw-d", id)), Weight: 0.5},
 					workload.Weighted{Stream: workload.NewSequential(b+addr.V(row), sz-row, row+8, false, kpc("nw-u", id)), Weight: 0.5},
 				)

@@ -114,6 +114,40 @@ type MMU struct {
 	chaos  *chaos.Injector
 	oracle *chaos.Oracle
 	stats  Stats
+
+	// pt is src when it is the native page table; it enables the fused
+	// walk paths (WalkInto buffer reuse, single-traversal SetDirtyLine).
+	pt *pagetable.PageTable
+	// walkBuf is the reusable walk result for native sources, keeping
+	// steady-state misses allocation-free. Nothing retains a walk past the
+	// Translate call that produced it, so one buffer per MMU suffices.
+	walkBuf pagetable.WalkResult
+	// promoLine is the single-translation line used when an L2 hit without
+	// bundle members promotes into the L1.
+	promoLine [1]pagetable.Translation
+	// lineBuf is the reusable PTE cache line for fused dirty-bit assists.
+	lineBuf []pagetable.Translation
+
+	// replayOK records whether the L1 design's lookups are
+	// replay-consistent (tlb.ReplayConsistent); memoOK additionally
+	// requires no chaos injector or oracle. memo caches the last pure L1
+	// hit so consecutive accesses to the same 4KB page replay its exact
+	// Result and Cost without re-probing.
+	replayOK bool
+	memoOK   bool
+	memo     memoEntry
+}
+
+// memoEntry captures one pure L1 hit (no fault, no dirty-bit transition)
+// for replay on consecutive same-page accesses.
+type memoEntry struct {
+	valid  bool
+	vpn4k  uint64 // 4KB virtual page number of the hit
+	dirty  bool   // entry dirty bit (write replays require it set)
+	size   addr.PageSize
+	paBase addr.P // PA of the serving 4KB frame
+	cycles uint64
+	cost   tlb.Cost
 }
 
 // New builds an MMU. caches may be shared with other MMUs (e.g. GPU
@@ -126,16 +160,42 @@ func New(cfg Config, src TranslationSource, caches *cachesim.Hierarchy, fault Fa
 	if cfg.Lat == (Latencies{}) {
 		cfg.Lat = DefaultLatencies()
 	}
-	return &MMU{cfg: cfg, src: src, caches: caches, fault: fault}, nil
+	m := &MMU{cfg: cfg, src: src, caches: caches, fault: fault}
+	m.pt, _ = src.(*pagetable.PageTable)
+	if rc, ok := cfg.L1.(tlb.ReplayConsistent); ok && rc.LookupReplayConsistent() {
+		m.replayOK = true
+	}
+	m.memoOK = m.replayOK
+	return m, nil
+}
+
+// refreshMemoOK recomputes the memo gate after chaos/oracle attachment:
+// injected corruption and oracle retries make replayed results unsafe.
+func (m *MMU) refreshMemoOK() {
+	m.memo = memoEntry{}
+	m.memoOK = m.replayOK && m.chaos == nil && m.oracle == nil
+}
+
+// DisableMemo turns the same-page replay memo off permanently (used by
+// differential tests that compare memoized against memo-free runs).
+func (m *MMU) DisableMemo() {
+	m.replayOK = false
+	m.refreshMemoOK()
 }
 
 // InjectFaults attaches a fault injector: TLB hits and walker results pass
 // through it and may come back corrupted (detectably or silently).
-func (m *MMU) InjectFaults(in *chaos.Injector) { m.chaos = in }
+func (m *MMU) InjectFaults(in *chaos.Injector) {
+	m.chaos = in
+	m.refreshMemoOK()
+}
 
 // AttachOracle attaches a translation oracle that cross-checks every
 // non-faulting result against page-table ground truth.
-func (m *MMU) AttachOracle(o *chaos.Oracle) { m.oracle = o }
+func (m *MMU) AttachOracle(o *chaos.Oracle) {
+	m.oracle = o
+	m.refreshMemoOK()
+}
 
 // Name returns the MMU's configuration name.
 func (m *MMU) Name() string { return m.cfg.Name }
@@ -179,6 +239,9 @@ func (r Result) provenance() string {
 // and after maxOracleRetries the oracle's own translation is substituted,
 // so a workload never consumes a wrong physical address.
 func (m *MMU) Translate(req tlb.Request) Result {
+	if res, ok := m.replayMemo(req); ok {
+		return res
+	}
 	m.stats.Accesses++
 	res := m.translateOnce(req)
 	if m.oracle == nil || res.Faulted {
@@ -215,6 +278,52 @@ func (m *MMU) Translate(req tlb.Request) Result {
 	return res
 }
 
+// replayMemo serves a consecutive access to the last memoized 4KB page
+// without re-probing the L1, replaying the exact Result, Cost, and cycle
+// charge of the pure L1 hit that set the memo. Any non-matching access
+// clears the memo: it only ever covers an unbroken same-page run, during
+// which no TLB or page-table state changes (the L1 is replay-consistent
+// by the memoOK gate, and writes replay only through already-dirty
+// entries, so no dirty transition is skipped).
+func (m *MMU) replayMemo(req tlb.Request) (Result, bool) {
+	if !m.memo.valid {
+		return Result{}, false
+	}
+	if uint64(req.VA)>>addr.Shift4K != m.memo.vpn4k || (req.Write && !m.memo.dirty) {
+		m.memo.valid = false
+		return Result{}, false
+	}
+	m.stats.Accesses++
+	m.stats.L1Hits++
+	m.stats.L1Lookup.Add(m.memo.cost)
+	m.stats.Cycles += m.memo.cycles
+	return Result{
+		PA:     m.memo.paBase + addr.P(uint64(req.VA)&((1<<addr.Shift4K)-1)),
+		Size:   m.memo.size,
+		Cycles: m.memo.cycles,
+		L1Hit:  true,
+	}, true
+}
+
+// TranslateBatch translates reqs[i] into out[i], amortizing per-call
+// overhead across the batch. It stops after writing the first faulted
+// result and returns the number of results produced (len(reqs) when none
+// faulted). out must be at least as long as reqs.
+func (m *MMU) TranslateBatch(reqs []tlb.Request, out []Result) int {
+	out = out[:len(reqs)]
+	for i := range reqs {
+		r, ok := m.replayMemo(reqs[i])
+		if !ok {
+			r = m.Translate(reqs[i])
+		}
+		out[i] = r
+		if r.Faulted {
+			return i + 1
+		}
+	}
+	return len(reqs)
+}
+
 // translateOnce runs one full L1 → L2 → walk translation attempt,
 // including fault injection at each layer.
 func (m *MMU) translateOnce(req tlb.Request) Result {
@@ -244,8 +353,21 @@ func (m *MMU) translateOnce(req tlb.Request) Result {
 		res.L1Hit = true
 		res.PA = r1.T.Translate(req.VA)
 		res.Size = r1.T.Size
-		m.handleDirty(req, r1.Dirty, &res)
+		m.handleDirty(req, r1.Dirty, &res, nil)
 		m.stats.Cycles += res.Cycles
+		if m.memoOK && (!req.Write || r1.Dirty) {
+			// A pure hit (no dirty transition): memoize it so consecutive
+			// same-page accesses replay without re-probing.
+			m.memo = memoEntry{
+				valid:  true,
+				vpn4k:  uint64(req.VA) >> addr.Shift4K,
+				dirty:  r1.Dirty,
+				size:   res.Size,
+				paBase: res.PA &^ ((1 << addr.Shift4K) - 1),
+				cycles: res.Cycles,
+				cost:   r1.Cost,
+			}
+		}
 		return res
 	}
 
@@ -275,7 +397,8 @@ func (m *MMU) translateOnce(req tlb.Request) Result {
 			// Promote into L1: hardware refills the L1 from the L2
 			// entry, carrying the entry's whole coalesced membership.
 			// Mirroring designs fill only the probed set here.
-			line := []pagetable.Translation{r2.T}
+			m.promoLine[0] = r2.T
+			line := m.promoLine[:]
 			if bp, ok := m.cfg.L2.(tlb.BundleProvider); ok {
 				if members := bp.Members(req.VA); len(members) > 0 {
 					line = members
@@ -288,7 +411,7 @@ func (m *MMU) translateOnce(req tlb.Request) Result {
 					Found: true, Translation: r2.T, Line: line,
 				}))
 			}
-			m.handleDirty(req, r2.Dirty, &res)
+			m.handleDirty(req, r2.Dirty, &res, nil)
 			m.stats.Cycles += res.Cycles
 			return res
 		}
@@ -301,17 +424,17 @@ func (m *MMU) translateOnce(req tlb.Request) Result {
 		m.stats.Cycles += res.Cycles
 		return res
 	}
-	if m.chaos.CorruptWalk(&walk) {
+	if m.chaos.CorruptWalk(walk) {
 		m.stats.PTECorruptions++
 	}
 	res.Walked = true
 	res.PA = walk.Translation.Translate(req.VA)
 	res.Size = walk.Translation.Size
 	if m.cfg.L2 != nil {
-		m.stats.L2Fill.Add(m.cfg.L2.Fill(req, walk))
+		m.stats.L2Fill.Add(m.cfg.L2.Fill(req, *walk))
 	}
-	m.stats.L1Fill.Add(m.cfg.L1.Fill(req, walk))
-	m.handleDirty(req, walk.Translation.Dirty, &res)
+	m.stats.L1Fill.Add(m.cfg.L1.Fill(req, *walk))
+	m.handleDirty(req, walk.Translation.Dirty, &res, walk)
 	m.stats.Cycles += res.Cycles
 	return res
 }
@@ -335,15 +458,26 @@ func (m *MMU) scrubCorrupt(va addr.V, size addr.PageSize) {
 }
 
 // walk runs the hardware walker (and demand paging on a fault), charging
-// each PTE reference through the cache hierarchy.
-func (m *MMU) walk(req tlb.Request, res *Result) pagetable.WalkResult {
+// each PTE reference through the cache hierarchy. The returned result
+// points at the MMU's reusable buffer for native sources; it is consumed
+// within the enclosing Translate call and never retained.
+func (m *MMU) walk(req tlb.Request, res *Result) *pagetable.WalkResult {
 	m.stats.Walks++
-	walk := m.src.Walk(req.VA)
+	walk := &m.walkBuf
+	if m.pt != nil {
+		m.pt.WalkInto(req.VA, walk)
+	} else {
+		*walk = m.src.Walk(req.VA)
+	}
 	if !walk.Found && m.fault != nil && m.fault(req.VA, req.Write) {
 		// Demand paging succeeded; the re-walk models the hardware retry
 		// after the OS returns. (OS fault-handling time itself is not
 		// part of the address-translation cost the paper measures.)
-		walk = m.src.Walk(req.VA)
+		if m.pt != nil {
+			m.pt.WalkInto(req.VA, walk)
+		} else {
+			*walk = m.src.Walk(req.VA)
+		}
 	}
 	if !m.cfg.FreeWalks {
 		for _, pa := range walk.Accesses {
@@ -360,17 +494,39 @@ func (m *MMU) walk(req tlb.Request, res *Result) pagetable.WalkResult {
 // entry whose dirty bit is clear injects a micro-op that updates the PTE's
 // dirty bit, then lets the TLBs set their entry bits where their policy
 // permits (always for 4KB entries; only singleton bundles for MIX/COLT).
-func (m *MMU) handleDirty(req tlb.Request, entryDirty bool, res *Result) {
+//
+// walk, when non-nil, is the just-completed miss walk for req.VA: its leaf
+// handle lets the assist set the D bit without re-traversing, and its Line
+// already holds the PTE cache line (only the demanded entry's Dirty bit
+// needs patching). Chaos injection can corrupt walk results, so fusion is
+// bypassed whenever an injector is attached.
+func (m *MMU) handleDirty(req tlb.Request, entryDirty bool, res *Result, walk *pagetable.WalkResult) {
 	if !req.Write || entryDirty {
 		return
 	}
 	m.stats.DirtyMicroOps++
 	res.Cycles += m.cfg.Lat.DirtyMicroOp
-	m.src.SetDirty(req.VA)
 	// The assist read the PTE's cache line to write the D bit; coalescing
 	// TLBs use the neighbouring D bits to refresh bundle dirty state
 	// (free: the access already happened and is priced above).
-	line := m.src.Walk(req.VA).Line
+	var line []pagetable.Translation
+	switch {
+	case walk != nil && walk.Leaf.Valid() && m.pt != nil && m.chaos == nil:
+		// Fused: the miss walk already located the leaf entry.
+		walk.Leaf.SetDirty()
+		for i := range walk.Line {
+			if walk.Line[i].VA == walk.Translation.VA {
+				walk.Line[i].Dirty = true
+			}
+		}
+		line = walk.Line
+	case m.pt != nil:
+		m.lineBuf = m.pt.SetDirtyLine(req.VA, m.lineBuf)
+		line = m.lineBuf
+	default:
+		m.src.SetDirty(req.VA)
+		line = m.src.Walk(req.VA).Line
+	}
 	refresh := func(t tlb.TLB) {
 		if r, ok := t.(tlb.DirtyRefresher); ok {
 			r.RefreshDirty(req.VA, line)
@@ -387,6 +543,7 @@ func (m *MMU) handleDirty(req tlb.Request, entryDirty bool, res *Result) {
 // Invalidate performs a TLB shootdown for one page in both levels.
 func (m *MMU) Invalidate(va addr.V, size addr.PageSize) {
 	m.stats.Invalidations++
+	m.memo = memoEntry{}
 	m.cfg.L1.Invalidate(va, size)
 	if m.cfg.L2 != nil {
 		m.cfg.L2.Invalidate(va, size)
@@ -396,6 +553,7 @@ func (m *MMU) Invalidate(va addr.V, size addr.PageSize) {
 // Flush empties both TLB levels.
 func (m *MMU) Flush() {
 	m.stats.Flushes++
+	m.memo = memoEntry{}
 	m.cfg.L1.Flush()
 	if m.cfg.L2 != nil {
 		m.cfg.L2.Flush()

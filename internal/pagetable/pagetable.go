@@ -315,6 +315,19 @@ func (pt *PageTable) leafEntry(va addr.V) *entry {
 	return nil
 }
 
+// LeafRef is an opaque handle to the leaf PTE a Walk resolved. It lets the
+// MMU update the entry's A/D bits after a walk without re-traversing the
+// radix from the root (the fused store path). A zero LeafRef is invalid;
+// sources that synthesize WalkResults (nested walkers) leave it zero.
+type LeafRef struct{ e *entry }
+
+// Valid reports whether the handle refers to a leaf PTE.
+func (l LeafRef) Valid() bool { return l.e != nil }
+
+// SetDirty sets the accessed and dirty bits of the referenced leaf,
+// equivalent to PageTable.SetDirty on the walked VA.
+func (l LeafRef) SetDirty() { l.e.acc, l.e.dirty = true, true }
+
 // WalkResult is the outcome of a hardware page-table walk.
 type WalkResult struct {
 	// Found is false when the VA is unmapped (page fault).
@@ -330,6 +343,10 @@ type WalkResult struct {
 	// ascending VA order. This is the window coalescing logic scans
 	// "for free" on a miss (Sec 3, step 2). Empty when !Found.
 	Line []Translation
+	// Leaf is a handle to the resolved leaf PTE, set only by native
+	// PageTable walks, valid when Found. It lets the dirty-bit assist
+	// update the entry without a second root-to-leaf traversal.
+	Leaf LeafRef
 }
 
 // Walk performs a hardware page-table walk for va: traverses the radix
@@ -338,32 +355,69 @@ type WalkResult struct {
 // with its accessed bit set, Sec 4.4), and decodes the final cache line.
 func (pt *PageTable) Walk(va addr.V) WalkResult {
 	var res WalkResult
+	pt.WalkInto(va, &res)
+	return res
+}
+
+// WalkInto is Walk writing into a caller-owned result, reusing the
+// capacity of res.Accesses and res.Line across calls. The MMU's inner
+// loop uses it to keep steady-state walks allocation-free.
+func (pt *PageTable) WalkInto(va addr.V, res *WalkResult) {
+	res.Found = false
+	res.Translation = Translation{}
+	res.Accesses = res.Accesses[:0]
+	res.Line = res.Line[:0]
+	res.Leaf = LeafRef{}
 	t := pt.root
 	for level := Levels; level >= 1; level-- {
 		i := index(va, level)
 		res.Accesses = append(res.Accesses, t.base+addr.P(i*8))
 		e := &t.entries[i]
 		if !e.present {
-			return res
+			return
 		}
 		if e.leaf || level == 1 {
 			e.acc = true
 			res.Found = true
 			res.Translation = decode(e, va, level)
-			res.Line = lineTranslations(t, i, va, level)
-			return res
+			res.Line = appendLineTranslations(res.Line, t, i, va, level)
+			res.Leaf = LeafRef{e}
+			return
 		}
 		t = t.children[i]
 	}
-	return res
 }
 
-// lineTranslations decodes the present, same-level leaves in the 8-entry
-// cache line containing index i of table t.
-func lineTranslations(t *table, i int, va addr.V, level int) []Translation {
+// SetDirtyLine sets the A/D bits of the leaf covering va and returns the
+// decoded translations sharing its cache line — the fused equivalent of
+// SetDirty followed by Walk(va).Line, in a single traversal and with no
+// walker-access recording. The line is appended into buf[:0] so a caller
+// looping over dirty transitions can reuse one buffer. It returns nil
+// when va is unmapped.
+func (pt *PageTable) SetDirtyLine(va addr.V, buf []Translation) []Translation {
+	t := pt.root
+	for level := Levels; level >= 1; level-- {
+		i := index(va, level)
+		e := &t.entries[i]
+		if !e.present {
+			return nil
+		}
+		if e.leaf || level == 1 {
+			e.acc = true
+			e.dirty = true
+			return appendLineTranslations(buf[:0], t, i, va, level)
+		}
+		t = t.children[i]
+	}
+	return nil
+}
+
+// appendLineTranslations decodes the present, same-level leaves in the
+// 8-entry cache line containing index i of table t, appending into a
+// caller-owned slice.
+func appendLineTranslations(out []Translation, t *table, i int, va addr.V, level int) []Translation {
 	size := sizeAtLevel(level)
 	lineStart := i &^ (addr.PTEsPerCacheLine - 1)
-	out := make([]Translation, 0, addr.PTEsPerCacheLine)
 	for j := lineStart; j < lineStart+addr.PTEsPerCacheLine; j++ {
 		e := &t.entries[j]
 		if !e.present || (!e.leaf && level != 1) {

@@ -7,7 +7,10 @@
 // sharing global state.
 package simrand
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Source is a deterministic pseudo-random source (xoshiro256**).
 // The zero value is not valid; use New.
@@ -150,6 +153,23 @@ type Zipf struct {
 	eta, zeta2thetas float64
 }
 
+// zipfKey identifies one set of precomputed Zipf constants. The constants
+// are a pure function of (n, theta) — no randomness — so sharing them
+// across samplers cannot perturb any sequence.
+type zipfKey struct {
+	n     uint64
+	theta float64
+}
+
+type zipfConsts struct {
+	alpha, zetan, eta, zeta2thetas float64
+}
+
+// zipfCache memoizes the O(n) zeta summation per (n, theta). Workloads
+// rebuild identical samplers for every grid cell, and at the exactLimit cap
+// each construction costs about a million math.Pow calls.
+var zipfCache sync.Map // zipfKey -> zipfConsts
+
 // NewZipf returns a Zipf sampler over [0, n). theta must be in (0, 1);
 // typical workload skew uses 0.99.
 func NewZipf(src *Source, n uint64, theta float64) *Zipf {
@@ -160,10 +180,17 @@ func NewZipf(src *Source, n uint64, theta float64) *Zipf {
 		panic("simrand: NewZipf theta must be in (0,1)")
 	}
 	z := &Zipf{src: src, n: n, theta: theta}
+	key := zipfKey{n: n, theta: theta}
+	if c, ok := zipfCache.Load(key); ok {
+		k := c.(zipfConsts)
+		z.alpha, z.zetan, z.eta, z.zeta2thetas = k.alpha, k.zetan, k.eta, k.zeta2thetas
+		return z
+	}
 	z.zetan = zeta(n, theta)
 	z.zeta2thetas = zeta(2, theta)
 	z.alpha = 1 / (1 - theta)
 	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2thetas/z.zetan)
+	zipfCache.Store(key, zipfConsts{alpha: z.alpha, zetan: z.zetan, eta: z.eta, zeta2thetas: z.zeta2thetas})
 	return z
 }
 

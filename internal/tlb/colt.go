@@ -23,8 +23,15 @@ type Colt struct {
 	sets   int
 	ways   int
 	window int
-	data   [][]coltEntry
-	clock  uint64
+	// Precomputed masks and shifts keep the probe loop free of per-call
+	// size dispatch and integer division.
+	shift      uint   // size.Shift()
+	groupShift uint   // shift + log2(window)
+	winMask    uint64 // window-1
+	setsMask   uint64 // sets-1
+	data       [][]coltEntry
+	clock      uint64
+	members    []pagetable.Translation // scratch reused by Members
 }
 
 type coltEntry struct {
@@ -47,7 +54,14 @@ func NewColt(name string, s addr.PageSize, sets, ways, window int) (*Colt, error
 	if window <= 0 || window > 32 || !addr.IsPow2(uint64(window)) {
 		return nil, cfgErr(name, "bad coalescing window %d", window)
 	}
-	t := &Colt{name: name, size: s, sets: sets, ways: ways, window: window}
+	t := &Colt{
+		name: name, size: s, sets: sets, ways: ways, window: window,
+		shift:      s.Shift(),
+		groupShift: s.Shift() + addr.Log2(uint64(window)),
+		winMask:    uint64(window - 1),
+		setsMask:   uint64(sets - 1),
+		members:    make([]pagetable.Translation, 0, window),
+	}
 	t.data = make([][]coltEntry, sets)
 	for i := range t.data {
 		t.data[i] = make([]coltEntry, ways)
@@ -66,18 +80,24 @@ func (t *Colt) PageSize() addr.PageSize { return t.size }
 
 // group maps a VA to its coalescing-window number; the set index uses the
 // group so every member of a window lands in (and hits in) one set.
-func (t *Colt) group(va addr.V) uint64 { return va.PageNum(t.size) / uint64(t.window) }
+func (t *Colt) group(va addr.V) uint64 { return uint64(va) >> t.groupShift }
+
+// slot maps a VA to its member position within its window.
+func (t *Colt) slot(va addr.V) int { return int((uint64(va) >> t.shift) & t.winMask) }
 
 func (t *Colt) set(va addr.V) []coltEntry {
-	return t.data[t.group(va)&uint64(t.sets-1)]
+	return t.data[t.group(va)&t.setsMask]
 }
+
+// LookupReplayConsistent implements ReplayConsistent.
+func (t *Colt) LookupReplayConsistent() bool { return true }
 
 // member translation for slot i of entry e.
 func (t *Colt) member(e *coltEntry, i int) pagetable.Translation {
 	vpn := e.group*uint64(t.window) + uint64(i)
 	return pagetable.Translation{
-		VA:       addr.V(vpn << t.size.Shift()),
-		PA:       e.basePA + addr.P(uint64(i)<<t.size.Shift()),
+		VA:       addr.V(vpn << t.shift),
+		PA:       e.basePA + addr.P(uint64(i)<<t.shift),
 		Size:     t.size,
 		Perm:     e.perm,
 		Accessed: true,
@@ -91,7 +111,7 @@ func (t *Colt) Lookup(req Request) Result {
 	res := Result{Cost: Cost{Probes: 1, WaysRead: t.ways}}
 	set := t.set(req.VA)
 	g := t.group(req.VA)
-	slot := int(req.VA.PageNum(t.size) % uint64(t.window))
+	slot := t.slot(req.VA)
 	for i := range set {
 		e := &set[i]
 		if e.valid && e.group == g && e.bitmap&(1<<slot) != 0 {
@@ -116,22 +136,21 @@ func (t *Colt) Fill(req Request, walk pagetable.WalkResult) Cost {
 	}
 	t.clock++
 	tr := walk.Translation
-	g := tr.VA.PageNum(t.size) / uint64(t.window)
-	slot := int(tr.VA.PageNum(t.size) % uint64(t.window))
+	g := t.group(tr.VA)
+	slot := t.slot(tr.VA)
 	// The window base PA implied by the demanded translation.
-	basePA := tr.PA - addr.P(uint64(slot)<<t.size.Shift())
+	basePA := tr.PA - addr.P(uint64(slot)<<t.shift)
 	bitmap := uint32(1) << slot
 	dirtyAll := tr.Dirty
 	for _, n := range walk.Line {
 		if n.Size != t.size || n.VA == tr.VA || !n.Accessed || n.Perm != tr.Perm {
 			continue
 		}
-		np := n.VA.PageNum(t.size)
-		if np/uint64(t.window) != g {
+		if t.group(n.VA) != g {
 			continue // outside the aligned window
 		}
-		i := int(np % uint64(t.window))
-		if n.PA != basePA+addr.P(uint64(i)<<t.size.Shift()) {
+		i := t.slot(n.VA)
+		if n.PA != basePA+addr.P(uint64(i)<<t.shift) {
 			continue // not physically contiguous with the run
 		}
 		bitmap |= 1 << i
@@ -176,7 +195,7 @@ func victimIndex2(set []coltEntry) int {
 func (t *Colt) MarkDirty(va addr.V) bool {
 	set := t.set(va)
 	g := t.group(va)
-	slot := int(va.PageNum(t.size) % uint64(t.window))
+	slot := t.slot(va)
 	for i := range set {
 		e := &set[i]
 		if e.valid && e.group == g && e.bitmap&(1<<slot) != 0 {
@@ -195,18 +214,21 @@ func (t *Colt) MarkDirty(va addr.V) bool {
 func (t *Colt) Members(va addr.V) []pagetable.Translation {
 	set := t.set(va)
 	g := t.group(va)
-	slot := int(va.PageNum(t.size) % uint64(t.window))
+	slot := t.slot(va)
 	for i := range set {
 		e := &set[i]
 		if !e.valid || e.group != g || e.bitmap&(1<<slot) == 0 {
 			continue
 		}
-		out := make([]pagetable.Translation, 0, t.window)
+		// Reuse the scratch slice: callers consume the members before the
+		// next Lookup/Fill on this TLB, so one buffer suffices.
+		out := t.members[:0]
 		for s := 0; s < t.window; s++ {
 			if e.bitmap&(1<<s) != 0 {
 				out = append(out, t.member(e, s))
 			}
 		}
+		t.members = out[:0]
 		return out
 	}
 	return nil
@@ -219,24 +241,28 @@ func (t *Colt) Members(va addr.V) []pagetable.Translation {
 func (t *Colt) RefreshDirty(va addr.V, line []pagetable.Translation) bool {
 	set := t.set(va)
 	g := t.group(va)
-	slot := int(va.PageNum(t.size) % uint64(t.window))
+	slot := t.slot(va)
 	for i := range set {
 		e := &set[i]
 		if !e.valid || e.group != g || e.bitmap&(1<<slot) == 0 {
 			continue
-		}
-		dirtyBy := make(map[uint64]bool, len(line))
-		for _, n := range line {
-			if n.Size == t.size {
-				dirtyBy[n.VA.PageNum(n.Size)] = n.Dirty
-			}
 		}
 		base := g * uint64(t.window)
 		for s := 0; s < t.window; s++ {
 			if e.bitmap&(1<<s) == 0 {
 				continue
 			}
-			if d, ok := dirtyBy[base+uint64(s)]; !ok || !d {
+			// Scan the line for this member's PTE directly (the line is at
+			// most 8 entries; no map needed on this hot path).
+			want := base + uint64(s)
+			dirty, found := false, false
+			for _, n := range line {
+				if n.Size == t.size && uint64(n.VA)>>t.shift == want {
+					dirty, found = n.Dirty, true
+					break
+				}
+			}
+			if !found || !dirty {
 				return false
 			}
 		}
@@ -254,7 +280,7 @@ func (t *Colt) Invalidate(va addr.V, size addr.PageSize) int {
 	}
 	set := t.set(va)
 	g := t.group(va)
-	slot := int(va.PageNum(t.size) % uint64(t.window))
+	slot := t.slot(va)
 	n := 0
 	for i := range set {
 		e := &set[i]

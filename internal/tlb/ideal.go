@@ -23,6 +23,11 @@ func (t *Ideal) Name() string { return "ideal" }
 // 0 to opt out of area comparisons.
 func (t *Ideal) Entries() int { return 0 }
 
+// LookupReplayConsistent implements ReplayConsistent: a lookup is a pure
+// page-table read, and mapped leaves only change through MMU-visible
+// operations (walks, invalidations) between accesses.
+func (t *Ideal) LookupReplayConsistent() bool { return true }
+
 // Lookup implements TLB: every mapped VA hits. Unmapped VAs still miss so
 // demand paging proceeds normally.
 func (t *Ideal) Lookup(req Request) Result {

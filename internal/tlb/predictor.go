@@ -76,11 +76,25 @@ func (p *SizePredictor) Accuracy() float64 {
 type PredictedRehash struct {
 	inner *HashRehash
 	pred  *SizePredictor
+	// orders[g] is the probe order with guess g first, precomputed so
+	// every lookup reuses it instead of rebuilding a slice.
+	orders [addr.NumPageSizes][]addr.PageSize
 }
 
 // NewPredictedRehash wraps inner with predictor pred.
 func NewPredictedRehash(inner *HashRehash, pred *SizePredictor) *PredictedRehash {
-	return &PredictedRehash{inner: inner, pred: pred}
+	t := &PredictedRehash{inner: inner, pred: pred}
+	for _, g := range addr.Sizes() {
+		order := make([]addr.PageSize, 0, len(inner.sizes)+1)
+		order = append(order, g)
+		for _, s := range inner.sizes {
+			if s != g {
+				order = append(order, s)
+			}
+		}
+		t.orders[g] = order
+	}
+	return t
 }
 
 // Name implements TLB.
@@ -92,14 +106,7 @@ func (t *PredictedRehash) Entries() int { return t.inner.Entries() }
 // Lookup implements TLB: probe the predicted size first, then the rest.
 func (t *PredictedRehash) Lookup(req Request) Result {
 	guess := t.pred.Predict(req.PC)
-	order := make([]addr.PageSize, 0, len(t.inner.sizes))
-	order = append(order, guess)
-	for _, s := range t.inner.sizes {
-		if s != guess {
-			order = append(order, s)
-		}
-	}
-	res := t.inner.LookupOrdered(req, order)
+	res := t.inner.LookupOrdered(req, t.orders[guess])
 	res.Cost.PredictorReads = 1
 	if res.Hit {
 		t.pred.Update(req.PC, res.T.Size)

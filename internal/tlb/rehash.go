@@ -12,12 +12,15 @@ import (
 // round — the drawbacks the paper charges this design with. Intel's
 // Haswell/Skylake L2 TLBs use this scheme for 4KB+2MB only.
 type HashRehash struct {
-	name  string
-	sizes []addr.PageSize // probe order (may be reordered per lookup by a predictor)
-	sets  int
-	ways  int
-	data  [][]entrySlot
-	clock uint64
+	name   string
+	sizes  []addr.PageSize // probe order (may be reordered per lookup by a predictor)
+	sets   int
+	ways   int
+	mask   uint64                   // sets-1
+	shifts [addr.NumPageSizes]uint  // page-number shift per size
+	cached [addr.NumPageSizes]bool  // size supported?
+	data   [][]entrySlot
+	clock  uint64
 }
 
 // NewHashRehash builds a hash-rehash TLB probing the given sizes in order.
@@ -28,7 +31,18 @@ func NewHashRehash(name string, sets, ways int, sizes ...addr.PageSize) (*HashRe
 	if len(sizes) == 0 {
 		return nil, cfgErr(name, "hash-rehash needs at least one page size")
 	}
-	t := &HashRehash{name: name, sizes: sizes, sets: sets, ways: ways}
+	for _, s := range sizes {
+		if !s.Valid() {
+			return nil, cfgErr(name, "invalid page size %d", s)
+		}
+	}
+	t := &HashRehash{name: name, sizes: sizes, sets: sets, ways: ways, mask: uint64(sets - 1)}
+	for _, s := range addr.Sizes() {
+		t.shifts[s] = s.Shift()
+	}
+	for _, s := range sizes {
+		t.cached[s] = true
+	}
 	t.data = make([][]entrySlot, sets)
 	for i := range t.data {
 		t.data[i] = make([]entrySlot, ways)
@@ -47,20 +61,19 @@ func (t *HashRehash) Sizes() []addr.PageSize { return t.sizes }
 
 // caches reports whether s is one of the supported sizes.
 func (t *HashRehash) caches(s addr.PageSize) bool {
-	for _, x := range t.sizes {
-		if x == s {
-			return true
-		}
-	}
-	return false
+	return s.Valid() && t.cached[s]
 }
+
+// LookupReplayConsistent implements ReplayConsistent.
+func (t *HashRehash) LookupReplayConsistent() bool { return true }
 
 // probe checks one set for a translation of one specific size.
 func (t *HashRehash) probe(va addr.V, s addr.PageSize) (*entrySlot, bool) {
-	set := t.data[addr.SetIndex(va, s, t.sets)]
-	vpn := va.PageNum(s)
+	shift := t.shifts[s]
+	vpn := uint64(va) >> shift
+	set := t.data[vpn&t.mask]
 	for i := range set {
-		if set[i].valid && set[i].t.Size == s && set[i].t.VA.PageNum(s) == vpn {
+		if set[i].valid && set[i].t.Size == s && uint64(set[i].t.VA)>>shift == vpn {
 			return &set[i], true
 		}
 	}
@@ -101,7 +114,7 @@ func (t *HashRehash) Fill(req Request, walk pagetable.WalkResult) Cost {
 		return Cost{}
 	}
 	t.clock++
-	set := t.data[addr.SetIndex(req.VA, walk.Translation.Size, t.sets)]
+	set := t.data[(uint64(req.VA)>>t.shifts[walk.Translation.Size])&t.mask]
 	v := victimIndex(set)
 	set[v] = entrySlot{valid: true, t: walk.Translation, dirty: walk.Translation.Dirty, stamp: t.clock}
 	return Cost{SetsFilled: 1, EntriesWritten: 1}

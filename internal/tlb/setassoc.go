@@ -10,11 +10,15 @@ import (
 // it degenerates to a fully-associative TLB (used for 1GB entries on real
 // parts, Sec 6.1).
 type SetAssoc struct {
-	name  string
-	size  addr.PageSize
-	sets  int
-	ways  int
-	data  [][]entrySlot
+	name string
+	size addr.PageSize
+	sets int
+	ways int
+	// shift and mask precompute the page-number extraction and set
+	// masking so the probe loop does no per-call size dispatch.
+	shift uint
+	mask  uint64
+	data  []entrySlot // sets*ways, flattened row-major by set
 	clock uint64
 }
 
@@ -24,11 +28,15 @@ func NewSetAssoc(name string, s addr.PageSize, sets, ways int) (*SetAssoc, error
 	if sets <= 0 || !addr.IsPow2(uint64(sets)) || ways <= 0 {
 		return nil, cfgErr(name, "bad geometry %dx%d", sets, ways)
 	}
-	t := &SetAssoc{name: name, size: s, sets: sets, ways: ways}
-	t.data = make([][]entrySlot, sets)
-	for i := range t.data {
-		t.data[i] = make([]entrySlot, ways)
+	t := &SetAssoc{
+		name:  name,
+		size:  s,
+		sets:  sets,
+		ways:  ways,
+		shift: s.Shift(),
+		mask:  uint64(sets - 1),
 	}
+	t.data = make([]entrySlot, sets*ways)
 	return t, nil
 }
 
@@ -41,8 +49,12 @@ func (t *SetAssoc) Entries() int { return t.sets * t.ways }
 // PageSize returns the single page size this TLB caches.
 func (t *SetAssoc) PageSize() addr.PageSize { return t.size }
 
+// LookupReplayConsistent implements ReplayConsistent.
+func (t *SetAssoc) LookupReplayConsistent() bool { return true }
+
 func (t *SetAssoc) set(va addr.V) []entrySlot {
-	return t.data[addr.SetIndex(va, t.size, t.sets)]
+	si := int((uint64(va) >> t.shift) & t.mask)
+	return t.data[si*t.ways : (si+1)*t.ways : (si+1)*t.ways]
 }
 
 // Lookup implements TLB.
@@ -50,9 +62,9 @@ func (t *SetAssoc) Lookup(req Request) Result {
 	t.clock++
 	res := Result{Cost: Cost{Probes: 1, WaysRead: t.ways}}
 	set := t.set(req.VA)
-	vpn := req.VA.PageNum(t.size)
+	vpn := uint64(req.VA) >> t.shift
 	for i := range set {
-		if set[i].valid && set[i].t.VA.PageNum(t.size) == vpn {
+		if set[i].valid && uint64(set[i].t.VA)>>t.shift == vpn {
 			set[i].stamp = t.clock
 			res.Hit = true
 			res.T = set[i].t
@@ -79,9 +91,9 @@ func (t *SetAssoc) Fill(req Request, walk pagetable.WalkResult) Cost {
 // MarkDirty implements TLB.
 func (t *SetAssoc) MarkDirty(va addr.V) bool {
 	set := t.set(va)
-	vpn := va.PageNum(t.size)
+	vpn := uint64(va) >> t.shift
 	for i := range set {
-		if set[i].valid && set[i].t.VA.PageNum(t.size) == vpn {
+		if set[i].valid && uint64(set[i].t.VA)>>t.shift == vpn {
 			set[i].dirty = true
 			return true
 		}
@@ -95,10 +107,10 @@ func (t *SetAssoc) Invalidate(va addr.V, size addr.PageSize) int {
 		return 0
 	}
 	set := t.set(va)
-	vpn := va.PageNum(t.size)
+	vpn := uint64(va) >> t.shift
 	n := 0
 	for i := range set {
-		if set[i].valid && set[i].t.VA.PageNum(t.size) == vpn {
+		if set[i].valid && uint64(set[i].t.VA)>>t.shift == vpn {
 			set[i].valid = false
 			n++
 		}
@@ -108,9 +120,7 @@ func (t *SetAssoc) Invalidate(va addr.V, size addr.PageSize) int {
 
 // Flush implements TLB.
 func (t *SetAssoc) Flush() {
-	for _, set := range t.data {
-		for i := range set {
-			set[i].valid = false
-		}
+	for i := range t.data {
+		t.data[i].valid = false
 	}
 }

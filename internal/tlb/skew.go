@@ -18,6 +18,11 @@ type Skew struct {
 	data       [][]entrySlot   // [way][set]
 	clock      uint64
 	hashMixers []uint64
+	// Way lists are fixed at construction; precomputing them keeps the
+	// per-lookup probe loops allocation-free.
+	all        []int                    // every way, ascending
+	waysBySize [addr.NumPageSizes][]int // ways caching each size, ascending
+	restBySize [addr.NumPageSizes][]int // ways NOT caching each size, ascending
 }
 
 // NewSkew builds a skew TLB with `sets` entries per way. waysPerSize maps
@@ -44,6 +49,18 @@ func NewSkew(name string, sets int, waysPerSize map[addr.PageSize]int) (*Skew, e
 		// multiplicative hash — the skewing property that moves conflict
 		// groups apart across ways.
 		t.hashMixers[w] = 0x9e3779b97f4a7c15*uint64(w+1) | 1
+	}
+	for w := range t.waySize {
+		t.all = append(t.all, w)
+	}
+	for _, s := range addr.Sizes() {
+		for w, ws := range t.waySize {
+			if ws == s {
+				t.waysBySize[s] = append(t.waysBySize[s], w)
+			} else {
+				t.restBySize[s] = append(t.restBySize[s], w)
+			}
+		}
 	}
 	return t, nil
 }
@@ -86,31 +103,17 @@ func (t *Skew) lookupWays(req Request, ways []int) (Result, bool) {
 	return Result{}, false
 }
 
-func (t *Skew) allWays() []int {
-	ws := make([]int, len(t.waySize))
-	for i := range ws {
-		ws[i] = i
-	}
-	return ws
-}
-
 // waysForSize lists the way indices that cache size s.
-func (t *Skew) waysForSize(s addr.PageSize) []int {
-	var ws []int
-	for w, ws2 := range t.waySize {
-		if ws2 == s {
-			ws = append(ws, w)
-		}
-	}
-	return ws
-}
+func (t *Skew) waysForSize(s addr.PageSize) []int { return t.waysBySize[s] }
+
+// LookupReplayConsistent implements ReplayConsistent.
+func (t *Skew) LookupReplayConsistent() bool { return true }
 
 // Lookup implements TLB: one probe round reading every way.
 func (t *Skew) Lookup(req Request) Result {
 	t.clock++
-	res, hit := t.lookupWays(req, t.allWays())
+	res, _ := t.lookupWays(req, t.all)
 	res.Cost = Cost{Probes: 1, WaysRead: len(t.waySize)}
-	_ = hit
 	return res
 }
 
@@ -125,12 +128,7 @@ func (t *Skew) LookupPredicted(req Request, predicted addr.PageSize) Result {
 	if hit {
 		return res
 	}
-	var rest []int
-	for w := range t.waySize {
-		if t.waySize[w] != predicted {
-			rest = append(rest, w)
-		}
-	}
+	rest := t.restBySize[predicted]
 	res2, _ := t.lookupWays(req, rest)
 	res2.Cost = res.Cost
 	res2.Cost.Probes++

@@ -79,6 +79,18 @@ func (s *Split) Entries() int {
 // Components returns the component TLBs (diagnostics, utilization studies).
 func (s *Split) Components() []TLB { return s.parts }
 
+// LookupReplayConsistent implements ReplayConsistent: a split lookup is
+// replay-consistent iff every component's is.
+func (s *Split) LookupReplayConsistent() bool {
+	for _, p := range s.parts {
+		rc, ok := p.(ReplayConsistent)
+		if !ok || !rc.LookupReplayConsistent() {
+			return false
+		}
+	}
+	return true
+}
+
 // Lookup implements TLB: all components probe in parallel, so the latency
 // is the slowest component's probe count while energy sums every
 // component's reads.

@@ -119,6 +119,18 @@ type Promoter interface {
 	Promote(req Request, t pagetable.Translation, line []pagetable.Translation) Cost
 }
 
+// ReplayConsistent is implemented by TLBs whose Lookup is idempotent for
+// an immediately-repeated request: probing the same VA again with no
+// intervening fill, invalidation, or dirty transition returns the same
+// Result at the same Cost and perturbs no state that other operations
+// observe (re-stamping the globally-youngest LRU entry is allowed — it
+// preserves relative stamp order). The MMU's last-VPN memo only engages
+// when the L1 reports true here; page-size predictors must not implement
+// it (their confidence counters advance on every lookup).
+type ReplayConsistent interface {
+	LookupReplayConsistent() bool
+}
+
 // entrySlot is the bookkeeping shared by the simple designs: one valid
 // translation plus an LRU stamp.
 type entrySlot struct {

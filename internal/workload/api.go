@@ -1,6 +1,9 @@
 package workload
 
 import (
+	"fmt"
+	"math"
+
 	"mixtlb/internal/addr"
 	"mixtlb/internal/simrand"
 )
@@ -48,12 +51,61 @@ type Weighted struct {
 	Weight float64
 }
 
-// NewMix interleaves streams with the given weights (which should sum to
-// 1; the final stream absorbs any remainder).
-func NewMix(rng *simrand.Source, parts ...Weighted) Stream {
-	ws := make([]weighted, len(parts))
-	for i, p := range parts {
-		ws[i] = weighted{p.Stream, p.Weight}
+// MixWeightError reports an invalid mix specification passed to NewMix.
+type MixWeightError struct {
+	Index  int     // offending component, or -1 when the aggregate is at fault
+	Weight float64 // the offending weight, or the aggregate sum
+	Reason string
+}
+
+func (e *MixWeightError) Error() string {
+	if e.Index >= 0 {
+		return fmt.Sprintf("workload: mix weight %v at index %d %s", e.Weight, e.Index, e.Reason)
 	}
-	return newMix(rng, ws...)
+	return fmt.Sprintf("workload: mix weights %s (sum %v)", e.Reason, e.Weight)
+}
+
+// NewMix interleaves streams with the given weights. Every weight must be
+// finite and non-negative and at least one must be positive, else a
+// *MixWeightError is returned. Weights summing above 1 are rescaled to sum
+// to 1; weights summing to at most 1 are used as-is, with the final stream
+// absorbing the remainder.
+func NewMix(rng *simrand.Source, parts ...Weighted) (Stream, error) {
+	ws := make([]weighted, len(parts))
+	sum := 0.0
+	for i, p := range parts {
+		w := p.Weight
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, &MixWeightError{Index: i, Weight: w, Reason: "is not a finite non-negative value"}
+		}
+		if p.Stream == nil {
+			return nil, &MixWeightError{Index: i, Weight: w, Reason: "has a nil stream"}
+		}
+		ws[i] = weighted{p.Stream, w}
+		sum += w
+	}
+	if sum == 0 {
+		return nil, &MixWeightError{Index: -1, Weight: sum, Reason: "must include at least one positive weight"}
+	}
+	if sum > 1 {
+		// Oversubscribed weights are rescaled so mixStream's cumulative
+		// comparison covers [0,1). Weights already summing to at most 1
+		// are deliberately left untouched: rescaling them would perturb
+		// the floating-point cumulative thresholds (and hence the chosen
+		// component for some draws) even when they nominally sum to 1.
+		for i := range ws {
+			ws[i].w /= sum
+		}
+	}
+	return newMix(rng, ws...), nil
+}
+
+// MustMix is NewMix for statically-known weight tables; it panics on an
+// invalid spec, in the manner of regexp.MustCompile.
+func MustMix(rng *simrand.Source, parts ...Weighted) Stream {
+	s, err := NewMix(rng, parts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }

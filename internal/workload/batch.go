@@ -1,0 +1,81 @@
+package workload
+
+// BatchStream is a Stream that can deliver references in bulk into a
+// caller-provided buffer. NextBatch(buf) must produce exactly the sequence
+// len(buf) consecutive Next calls would — same values, same RNG
+// consumption — so batched and scalar drivers are interchangeable. The
+// payoff is dispatch cost: the driver pays one interface call per buffer
+// instead of one per reference, and inside the concrete method the
+// generator's own Next calls devirtualize and inline.
+type BatchStream interface {
+	Stream
+	// NextBatch fills buf with the next len(buf) references and returns
+	// the number written (always len(buf): streams are infinite).
+	NextBatch(buf []Ref) int
+}
+
+// FillBatch fills buf from s, using NextBatch when the stream supports it
+// and falling back to per-reference Next calls otherwise. It returns the
+// number of references written (always len(buf)).
+func FillBatch(s Stream, buf []Ref) int {
+	if b, ok := s.(BatchStream); ok {
+		return b.NextBatch(buf)
+	}
+	for i := range buf {
+		buf[i] = s.Next()
+	}
+	return len(buf)
+}
+
+// The pattern library implements NextBatch as a plain loop over the
+// concrete Next: identical output by construction, with the interface
+// dispatch hoisted out of the per-reference path.
+
+func (s *seqStream) NextBatch(buf []Ref) int {
+	for i := range buf {
+		buf[i] = s.Next()
+	}
+	return len(buf)
+}
+
+func (s *uniformStream) NextBatch(buf []Ref) int {
+	for i := range buf {
+		buf[i] = s.Next()
+	}
+	return len(buf)
+}
+
+func (s *zipfStream) NextBatch(buf []Ref) int {
+	for i := range buf {
+		buf[i] = s.Next()
+	}
+	return len(buf)
+}
+
+func (s *chaseStream) NextBatch(buf []Ref) int {
+	for i := range buf {
+		buf[i] = s.Next()
+	}
+	return len(buf)
+}
+
+func (s *hashStream) NextBatch(buf []Ref) int {
+	for i := range buf {
+		buf[i] = s.Next()
+	}
+	return len(buf)
+}
+
+func (s *stencilStream) NextBatch(buf []Ref) int {
+	for i := range buf {
+		buf[i] = s.Next()
+	}
+	return len(buf)
+}
+
+func (m *mixStream) NextBatch(buf []Ref) int {
+	for i := range buf {
+		buf[i] = m.Next()
+	}
+	return len(buf)
+}

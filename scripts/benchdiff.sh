@@ -1,0 +1,19 @@
+#!/bin/sh
+# Compare two BENCH_experiments.json timing files (written by
+# `mixtlb -bench-out` / `make bench`) cell by cell and fail on any >15%
+# per-cell wall-time regression. Usage:
+#   scripts/benchdiff.sh OLD.json NEW.json [-max-regression PCT]
+# Typical flow:
+#   git show HEAD:BENCH_experiments.json > /tmp/old.json
+#   make bench
+#   scripts/benchdiff.sh /tmp/old.json BENCH_experiments.json
+set -eu
+cd "$(dirname "$0")/.."
+if [ "$#" -lt 2 ]; then
+    echo "usage: scripts/benchdiff.sh OLD.json NEW.json [-max-regression PCT]" >&2
+    exit 2
+fi
+old=$1
+new=$2
+shift 2
+exec go run ./cmd/benchdiff "$@" "$old" "$new"

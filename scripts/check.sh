@@ -41,4 +41,10 @@ if ! cmp -s "$tmpdir/jobs1.csv" "$tmpdir/jobs4.csv"; then
     diff "$tmpdir/jobs1.csv" "$tmpdir/jobs4.csv" >&2 || true
     exit 1
 fi
+
+# benchdiff smoke: a timing file diffed against itself must join every
+# cell, report 1.00x, and exit 0.
+echo "== benchdiff identity"
+"$tmpdir/mixtlb" -exp fig15r -quick -jobs 1 -bench-out "$tmpdir/bench.json" > /dev/null
+./scripts/benchdiff.sh "$tmpdir/bench.json" "$tmpdir/bench.json" > /dev/null
 echo "== OK"
