@@ -31,11 +31,17 @@ type expTime struct {
 	Err        string  `json:"error,omitempty"`
 }
 
+type telemetrySummary struct {
+	EventsTotal   uint64 `json:"events_total"`
+	EventsDropped uint64 `json:"events_dropped"`
+}
+
 type report struct {
-	Jobs        int        `json:"jobs"`
-	Total       float64    `json:"total_wall_seconds"`
-	Experiments []expTime  `json:"experiments"`
-	Cells       []cellTime `json:"cells"`
+	Jobs        int               `json:"jobs"`
+	Total       float64           `json:"total_wall_seconds"`
+	Experiments []expTime         `json:"experiments"`
+	Cells       []cellTime        `json:"cells"`
+	Telemetry   *telemetrySummary `json:"telemetry,omitempty"`
 }
 
 type cellKey struct {
@@ -115,6 +121,8 @@ func run() int {
 
 	fmt.Printf("total wall: %.2fs (jobs %d) -> %.2fs (jobs %d)\n",
 		oldRep.Total, oldRep.Jobs, newRep.Total, newRep.Jobs)
+	printTelemetry(flag.Arg(0), oldRep)
+	printTelemetry(flag.Arg(1), newRep)
 	if counted > 0 {
 		fmt.Printf("geomean speedup over %d cells: %.2fx\n", counted, math.Exp(logSum/float64(counted)))
 	}
@@ -124,6 +132,16 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// printTelemetry reports a file's telemetry event totals when the run was
+// instrumented; files from uninstrumented runs stay silent.
+func printTelemetry(path string, r *report) {
+	if r.Telemetry == nil {
+		return
+	}
+	fmt.Printf("telemetry %s: %d events, %d dropped\n",
+		path, r.Telemetry.EventsTotal, r.Telemetry.EventsDropped)
 }
 
 func load(path string) (*report, error) {

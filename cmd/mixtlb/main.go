@@ -19,6 +19,15 @@
 // finished before a failure — are still printed. The chaos experiment
 // (-exp chaos, or the -chaos shorthand) sweeps every TLB design under
 // fault injection; -fault-scale multiplies the default fault rates.
+//
+// Telemetry is off by default and costs nothing when off. Any of
+// -metrics-out (Prometheus text dump), -trace-events (Chrome trace_event
+// JSON for chrome://tracing or Perfetto), -events-out (JSONL event
+// stream), or -pprof-addr (HTTP listener with /metrics, /trace,
+// /debug/vars, /debug/pprof/) switches it on; -progress prints live
+// done/total/ETA lines to stderr as cells finish. Telemetry never feeds
+// back into the simulation: result tables are byte-identical with it on
+// or off.
 package main
 
 import (
@@ -35,6 +44,7 @@ import (
 	"mixtlb/internal/chaos"
 	"mixtlb/internal/experiments"
 	"mixtlb/internal/stats"
+	"mixtlb/internal/telemetry"
 )
 
 // groups are named experiment bundles matching the paper's sections.
@@ -69,6 +79,11 @@ func main() {
 		benchOut   = flag.String("bench-out", "", "write per-cell wall-clock timings to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file at exit")
 		memProfile = flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
+		metricsOut = flag.String("metrics-out", "", "write a Prometheus text metrics dump to this file at exit")
+		traceOut   = flag.String("trace-events", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
+		eventsOut  = flag.String("events-out", "", "write the raw telemetry event stream as JSONL to this file")
+		pprofAddr  = flag.String("pprof-addr", "", "serve /metrics, /trace, /debug/vars and /debug/pprof/ on this address (e.g. localhost:6060)")
+		progress   = flag.Bool("progress", false, "print live per-cell progress (done/total, ETA) to stderr")
 	)
 	flag.Parse()
 
@@ -127,6 +142,49 @@ func main() {
 	scale.Jobs = *jobs
 	scale.Cell = *cell
 
+	// Reject workload typos up front; without this check a bad -workloads
+	// value runs every experiment over an empty set and prints empty tables.
+	if err := scale.ValidateWorkloads(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		stopProfiles()
+		os.Exit(2)
+	}
+
+	// Telemetry root. All exporter flags share one registry/tracer so a
+	// single run can emit every format; when no flag asks for it,
+	// scale.Telemetry stays nil and the simulator takes its zero-cost path.
+	var (
+		reg    *telemetry.Registry
+		tracer *telemetry.Tracer
+	)
+	stopServe := func() {}
+	if *metricsOut != "" || *traceOut != "" || *eventsOut != "" || *pprofAddr != "" {
+		reg = telemetry.NewRegistry()
+		tracer = telemetry.NewTracer(0)
+		scale.Telemetry = telemetry.NewCollector(reg, tracer)
+	}
+	if *pprofAddr != "" {
+		bound, shutdown, err := telemetry.Serve(*pprofAddr, reg, tracer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			stopProfiles()
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "[telemetry: serving http://%s/metrics /trace /debug/vars /debug/pprof/]\n", bound)
+		stopServe = shutdown
+	}
+	if *progress {
+		scale.ProgressFn = func(ev experiments.ProgressEvent) {
+			status := "ok"
+			if ev.Failed {
+				status = "FAIL"
+			}
+			fmt.Fprintf(os.Stderr, "[%s] %d/%d %s (%s) elapsed %v eta %v\n",
+				ev.Experiment, ev.Done, ev.Total, ev.Cell, status,
+				ev.Elapsed.Round(time.Millisecond), ev.ETA.Round(time.Millisecond))
+		}
+	}
+
 	var toRun []experiments.Experiment
 	switch {
 	case expName == "all":
@@ -145,6 +203,7 @@ func main() {
 		e, err := experiments.ByName(expName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(os.Stderr, "groups: %s, all\n", strings.Join(groupOrder, ", "))
 			stopProfiles()
 			os.Exit(2)
 		}
@@ -187,6 +246,15 @@ func main() {
 		printTable(tbl, *csv)
 		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
+	stopServe()
+	if err := writeTelemetry(reg, tracer, *metricsOut, *traceOut, *eventsOut); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exitCode = 1
+	}
+	if tracer != nil {
+		total, dropped := tracer.Counts()
+		bench.SetTelemetry(experiments.TelemetrySummary{EventsTotal: total, EventsDropped: dropped})
+	}
 	if *benchOut != "" {
 		data, err := bench.JSON()
 		if err == nil {
@@ -204,6 +272,35 @@ func main() {
 		}
 	}
 	os.Exit(exitCode)
+}
+
+// writeTelemetry dumps whichever exporter files were requested. A nil
+// registry/tracer (telemetry disabled) writes nothing.
+func writeTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer, metricsPath, tracePath, eventsPath string) error {
+	write := func(path string, emit func(f *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("creating %s: %v", path, err)
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %v", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("writing %s: %v", path, err)
+		}
+		return nil
+	}
+	if err := write(metricsPath, func(f *os.File) error { return reg.WritePrometheus(f) }); err != nil {
+		return err
+	}
+	if err := write(tracePath, func(f *os.File) error { return tracer.WriteChromeTrace(f) }); err != nil {
+		return err
+	}
+	return write(eventsPath, func(f *os.File) error { return tracer.WriteJSONL(f) })
 }
 
 // startProfiles begins CPU profiling and arranges heap profiling according

@@ -1,0 +1,138 @@
+// Command telemetrycheck validates telemetry exporter output written by
+// mixtlb, so check.sh can assert the dumps are machine-readable rather
+// than merely nonempty:
+//
+//	telemetrycheck -metrics METRICS.prom [-require family1,family2]
+//	telemetrycheck -trace TRACE.json
+//	telemetrycheck -events EVENTS.jsonl
+//
+// Any combination of flags may be given; each named file must parse in
+// its format (Prometheus text exposition, Chrome trace_event JSON, JSONL
+// event stream). -require lists metric families that must appear in the
+// Prometheus dump, catching instrumentation that silently stopped
+// exporting. Exits 0 when everything validates, 1 otherwise.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mixtlb/internal/telemetry"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		metricsPath = flag.String("metrics", "", "Prometheus text dump to validate")
+		tracePath   = flag.String("trace", "", "Chrome trace_event JSON file to validate")
+		eventsPath  = flag.String("events", "", "JSONL event stream to validate")
+		require     = flag.String("require", "", "comma-separated metric families that must appear in -metrics")
+	)
+	flag.Parse()
+	if *metricsPath == "" && *tracePath == "" && *eventsPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: telemetrycheck [-metrics FILE [-require fam,...]] [-trace FILE] [-events FILE]")
+		return 2
+	}
+
+	ok := true
+	if *metricsPath != "" {
+		ok = checkMetrics(*metricsPath, *require) && ok
+	}
+	if *tracePath != "" {
+		ok = checkTrace(*tracePath) && ok
+	}
+	if *eventsPath != "" {
+		ok = checkEvents(*eventsPath) && ok
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+func checkMetrics(path, require string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "telemetrycheck: %v\n", err)
+		return false
+	}
+	samples, err := telemetry.ParsePrometheus(bytes.NewReader(data))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "telemetrycheck: %s: %v\n", path, err)
+		return false
+	}
+	if samples == 0 {
+		fmt.Fprintf(os.Stderr, "telemetrycheck: %s: no samples\n", path)
+		return false
+	}
+	ok := true
+	for _, fam := range strings.Split(require, ",") {
+		fam = strings.TrimSpace(fam)
+		if fam == "" {
+			continue
+		}
+		// A family appears either as a bare name or with a label block;
+		// match at line start so substrings of other families don't count.
+		if !hasFamily(data, fam) {
+			fmt.Fprintf(os.Stderr, "telemetrycheck: %s: missing required metric family %q\n", path, fam)
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Printf("telemetrycheck: %s: %d samples ok\n", path, samples)
+	}
+	return ok
+}
+
+// hasFamily reports whether any sample line starts with the family name
+// followed by '{', ' ', or a histogram suffix.
+func hasFamily(data []byte, fam string) bool {
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if name == fam || name == fam+"_bucket" || name == fam+"_sum" || name == fam+"_count" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkTrace(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "telemetrycheck: %v\n", err)
+		return false
+	}
+	events, err := telemetry.ValidateChromeTrace(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "telemetrycheck: %s: %v\n", path, err)
+		return false
+	}
+	fmt.Printf("telemetrycheck: %s: %d trace events ok\n", path, events)
+	return true
+}
+
+func checkEvents(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "telemetrycheck: %v\n", err)
+		return false
+	}
+	defer f.Close()
+	lines, err := telemetry.ValidateJSONL(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "telemetrycheck: %s: %v\n", path, err)
+		return false
+	}
+	fmt.Printf("telemetrycheck: %s: %d JSONL lines ok\n", path, lines)
+	return true
+}

@@ -32,6 +32,7 @@ import (
 	"mixtlb/internal/addr"
 	"mixtlb/internal/pagetable"
 	"mixtlb/internal/simrand"
+	"mixtlb/internal/telemetry"
 )
 
 // Rates configures per-event fault probabilities, all in [0, 1].
@@ -137,6 +138,10 @@ type Injector struct {
 	rates Rates
 	rng   *simrand.Source
 	stats Stats
+
+	// tel is the telemetry collector, nil unless AttachTelemetry enabled
+	// it; read only by FlushTelemetry.
+	tel *telemetry.Collector
 }
 
 // NewInjector builds an injector for the given seed and rates.

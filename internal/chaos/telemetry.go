@@ -1,0 +1,30 @@
+package chaos
+
+import "mixtlb/internal/telemetry"
+
+// AttachTelemetry implements telemetry.Instrumentable. The injector has
+// no hot path of its own (its callers are already on miss/fault paths),
+// so it exports snapshot-style from its Stats at flush time.
+func (in *Injector) AttachTelemetry(c *telemetry.Collector) {
+	if in == nil {
+		return
+	}
+	in.tel = c
+}
+
+// FlushTelemetry exports the injected-fault counters. Call once after
+// measurement.
+func (in *Injector) FlushTelemetry() {
+	if in == nil || in.tel == nil {
+		return
+	}
+	c := in.tel
+	s := in.stats
+	c.Counter("chaos_injected_total", "kind", "tlb_corruption").Add(s.TLBCorruptions)
+	c.Counter("chaos_injected_total", "kind", "tlb_detected").Add(s.TLBDetected)
+	c.Counter("chaos_injected_total", "kind", "tlb_silent").Add(s.TLBSilent)
+	c.Counter("chaos_injected_total", "kind", "pte_corruption").Add(s.PTECorruptions)
+	c.Counter("chaos_injected_total", "kind", "ipi_dropped").Add(s.IPIsDropped)
+	c.Counter("chaos_injected_total", "kind", "ipi_delayed").Add(s.IPIsDelayed)
+	c.Counter("chaos_injected_total", "kind", "alloc_failure").Add(s.AllocFailures)
+}

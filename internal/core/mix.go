@@ -142,14 +142,14 @@ func L2RangeConfig() Config {
 
 // Stats exposes MIX-specific event counters for experiments and tests.
 type Stats struct {
-	MirrorWrites    uint64 // entry writes beyond the first set on a fill
-	CoalesceMerges  uint64 // fills absorbed into an existing bundle
-	DupsEliminated  uint64 // duplicate copies merged away during probes
-	BundlesFilled   uint64 // new bundle entries created
-	SmallFills      uint64 // 4KB fills
-	MembersPerFill  uint64 // total members across bundle fills (avg = /BundlesFilled)
-	HolesRepresent  uint64 // bitmap fills whose member set had holes
-	RangeTruncation uint64 // range fills that dropped non-prefix members
+	MirrorWrites     uint64 // entry writes beyond the first set on a fill
+	CoalesceMerges   uint64 // fills absorbed into an existing bundle
+	DupsEliminated   uint64 // duplicate copies merged away during probes
+	BundlesFilled    uint64 // new bundle entries created
+	SmallFills       uint64 // 4KB fills
+	MembersPerFill   uint64 // total members across bundle fills (avg = /BundlesFilled)
+	HolesRepresent   uint64 // bitmap fills whose member set had holes
+	RangeTruncation  uint64 // range fills that dropped non-prefix members
 	CorruptionScrubs uint64 // entries dropped by ScrubCorrupt (ECC scrubbing)
 }
 
@@ -164,6 +164,10 @@ type MixTLB struct {
 	allSets []int                   // 0..Sets-1, the full-mirror target list
 	targets []int                   // scratch reused by mirrorTargets
 	members []pagetable.Translation // scratch reused by Members
+
+	// tel is the telemetry hook block, nil unless AttachTelemetry enabled
+	// it; every use is a single nil-check branch.
+	tel *mixTel
 }
 
 // entry is one MIX TLB way. A 2-bit size field distinguishes 4KB entries

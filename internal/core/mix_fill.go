@@ -40,6 +40,9 @@ func (m *MixTLB) Fill(req tlb.Request, walk pagetable.WalkResult) tlb.Cost {
 	cost := m.fillBundle(req.VA, bundle, targets)
 	m.stats.BundlesFilled++
 	m.stats.MembersPerFill += uint64(bundle.memberCount(m.cfg.Encoding))
+	if m.tel != nil {
+		m.tel.bundleMembers.Observe(uint64(bundle.memberCount(m.cfg.Encoding)))
+	}
 	return cost
 }
 

@@ -60,6 +60,10 @@ func ChaosStudy(ctx context.Context, s Scale) (*stats.Table, error) {
 					c.AttachOracle(or)
 				}
 				env.phys.SetFaultHook(in.FailAlloc)
+				if cs.Telemetry != nil {
+					sys.AttachTelemetry(cs.Telemetry)
+					in.AttachTelemetry(cs.Telemetry)
+				}
 				streams := make([]workload.Stream, cores)
 				for i := range streams {
 					streams[i] = workload.NewZipf(env.base, env.fp, simrand.New(cs.Seed+uint64(i)), 0.9, 0.1, uint64(i))
@@ -87,6 +91,11 @@ func ChaosStudy(ctx context.Context, s Scale) (*stats.Table, error) {
 					}
 				}
 				env.phys.SetFaultHook(nil)
+				if cs.Telemetry != nil {
+					sys.FlushTelemetry()
+					in.FlushTelemetry()
+					env.flushTelemetry()
+				}
 				agg := sys.Aggregate()
 				is := in.Stats()
 				ss := sys.Stats()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 
 	"mixtlb/internal/simrand"
 	"mixtlb/internal/stats"
+	"mixtlb/internal/telemetry"
 )
 
 // This file is the parallel experiment engine. Every experiment decomposes
@@ -73,6 +75,23 @@ func CellSeed(base uint64, experiment, cell string) uint64 {
 	return simrand.SplitSeed(base, experiment, cell)
 }
 
+// ProgressEvent is one live engine progress update, emitted after each
+// cell finishes. It carries wall-clock and scheduling detail (worker,
+// ETA) and therefore never feeds the metrics registry — only the
+// Scale.ProgressFn callback and the trace stream.
+type ProgressEvent struct {
+	Experiment string
+	Cell       string
+	Worker     int // pool worker that ran the cell
+	Done       int // cells finished so far (including failed)
+	Total      int // cells selected to run
+	Failed     bool
+	Elapsed    time.Duration
+	// ETA extrapolates the remaining wall time from the mean cell time so
+	// far; zero until the first cell completes.
+	ETA time.Duration
+}
+
 // RunGrid executes an experiment's cells on a bounded worker pool and
 // returns each cell's rows in canonical (declaration) order. The pool size
 // is Scale.Jobs (0 = GOMAXPROCS); idle workers steal the next unclaimed
@@ -116,21 +135,28 @@ func RunGrid(ctx context.Context, s Scale, experiment string, t *stats.Table, ce
 	gridCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	gridStart := time.Now()
 	var (
-		mu      sync.Mutex
-		results = make([][]Row, len(cells))
-		errs    = make([]error, len(cells))
-		done    = make([]bool, len(cells))
-		next    int64 = -1
-		wg      sync.WaitGroup
+		mu        sync.Mutex
+		results   = make([][]Row, len(cells))
+		errs      = make([]error, len(cells))
+		done      = make([]bool, len(cells))
+		completed int   // cells finished (success or failure), for progress
+		next      int64 = -1
+		wg        sync.WaitGroup
 	)
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			ran := 0 // cells this worker claimed (stealing visibility)
 			for {
 				wi := int(atomic.AddInt64(&next, 1))
 				if wi >= len(work) {
+					if s.Telemetry != nil && ran > 0 {
+						s.Telemetry.WithTID(worker).Instant("engine", "worker_done", 0,
+							"exp", experiment, "cells_run", strconv.Itoa(ran))
+					}
 					return
 				}
 				i := work[wi]
@@ -140,19 +166,38 @@ func RunGrid(ctx context.Context, s Scale, experiment string, t *stats.Table, ce
 					mu.Unlock()
 					continue // drain remaining indices without running them
 				}
+				ran++
 				c := cells[i]
 				cs := s
 				cs.Seed = CellSeed(s.Seed, experiment, c.Name)
 				cs.Progress, cs.Bench = nil, nil
 				cs.Jobs, cs.Cell = 1, ""
+				cs.ProgressFn = nil
+				// Scope the cell's telemetry: metrics gain deterministic
+				// exp/cell labels (so dumps merge identically at any -jobs
+				// value); the trace tid records which worker ran it.
+				cs.Telemetry = s.Telemetry.With("exp", experiment, "cell", c.Name).WithTID(worker)
+				var span telemetry.Span
+				if cs.Telemetry != nil {
+					span = cs.Telemetry.Span("cell", experiment+"/"+c.Name)
+				}
 				start := time.Now()
 				rows, err := runCell(gridCtx, experiment, c, cs)
+				elapsed := time.Since(start)
+				if cs.Telemetry != nil {
+					outcome := "ok"
+					if err != nil {
+						outcome = "error"
+					}
+					span.End("outcome", outcome)
+				}
 				s.Bench.RecordCell(CellTime{
 					Experiment: experiment, Cell: c.Name,
-					Seed: cs.Seed, Seconds: time.Since(start).Seconds(),
+					Seed: cs.Seed, Seconds: elapsed.Seconds(),
 				})
 				mu.Lock()
 				results[i], errs[i] = rows, err
+				completed++
 				if err != nil {
 					cancel() // fail fast at cell granularity
 				} else {
@@ -169,11 +214,39 @@ func RunGrid(ctx context.Context, s Scale, experiment string, t *stats.Table, ce
 					}
 					s.Progress.Publish(snap)
 				}
+				if s.ProgressFn != nil {
+					gridElapsed := time.Since(gridStart)
+					var eta time.Duration
+					if completed > 0 && completed < len(work) {
+						eta = gridElapsed / time.Duration(completed) * time.Duration(len(work)-completed)
+					}
+					s.ProgressFn(ProgressEvent{
+						Experiment: experiment, Cell: c.Name, Worker: worker,
+						Done: completed, Total: len(work), Failed: err != nil,
+						Elapsed: gridElapsed, ETA: eta,
+					})
+				}
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	if s.Telemetry != nil {
+		ec := s.Telemetry.With("exp", experiment)
+		ok, failed := 0, 0
+		for _, i := range work {
+			switch {
+			case done[i]:
+				ok++
+			case errs[i] != nil:
+				failed++
+			}
+		}
+		ec.Counter("engine_cells_completed_total").Add(uint64(ok))
+		if failed > 0 {
+			ec.Counter("engine_cells_failed_total").Add(uint64(failed))
+		}
+	}
 
 	// Prefer the lowest-indexed real failure over cancellation fallout from
 	// cells the failure itself skipped.
@@ -278,6 +351,25 @@ type BenchLog struct {
 	jobs  int
 	cells []CellTime
 	exps  []ExperimentTime
+	tel   *TelemetrySummary
+}
+
+// TelemetrySummary is the one-line overhead record benchdiff prints: how
+// many trace events the run produced and how many the bounded buffer had
+// to drop.
+type TelemetrySummary struct {
+	EventsTotal   uint64 `json:"events_total"`
+	EventsDropped uint64 `json:"events_dropped"`
+}
+
+// SetTelemetry attaches the run's event totals to the report.
+func (b *BenchLog) SetTelemetry(ts TelemetrySummary) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tel = &ts
+	b.mu.Unlock()
 }
 
 // NewBenchLog returns a log annotated with the worker-pool size in use.
@@ -321,12 +413,13 @@ func (b *BenchLog) RecordExperiment(name string, seconds float64, err error) {
 
 // benchReport is the serialized shape of BENCH_experiments.json.
 type benchReport struct {
-	Jobs             int              `json:"jobs"`
-	GOMAXPROCS       int              `json:"gomaxprocs"`
-	NumCPU           int              `json:"num_cpu"`
-	TotalWallSeconds float64          `json:"total_wall_seconds"`
-	Experiments      []ExperimentTime `json:"experiments"`
-	Cells            []CellTime       `json:"cells"`
+	Jobs             int               `json:"jobs"`
+	GOMAXPROCS       int               `json:"gomaxprocs"`
+	NumCPU           int               `json:"num_cpu"`
+	TotalWallSeconds float64           `json:"total_wall_seconds"`
+	Telemetry        *TelemetrySummary `json:"telemetry,omitempty"`
+	Experiments      []ExperimentTime  `json:"experiments"`
+	Cells            []CellTime        `json:"cells"`
 }
 
 // JSON renders the log. Cell order follows completion order (a timing
@@ -346,6 +439,7 @@ func (b *BenchLog) JSON() ([]byte, error) {
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		NumCPU:           runtime.NumCPU(),
 		TotalWallSeconds: total,
+		Telemetry:        b.tel,
 		Experiments:      b.exps,
 		Cells:            b.cells,
 	}

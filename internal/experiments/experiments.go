@@ -15,6 +15,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"mixtlb/internal/addr"
 	"mixtlb/internal/cachesim"
@@ -26,6 +27,7 @@ import (
 	"mixtlb/internal/physmem"
 	"mixtlb/internal/simrand"
 	"mixtlb/internal/stats"
+	"mixtlb/internal/telemetry"
 	"mixtlb/internal/tlb"
 	"mixtlb/internal/virt"
 	"mixtlb/internal/workload"
@@ -60,6 +62,16 @@ type Scale struct {
 	Cell string
 	// Bench, when set, receives per-cell wall-clock timings.
 	Bench *BenchLog
+	// Telemetry, when set, is the run's observability sink: the engine
+	// scopes it per cell (exp/cell labels, worker trace tid) and the
+	// simulation layers export metrics and spans into it. Nil (the
+	// default) disables all instrumentation at zero cost. Simulation
+	// results never depend on it.
+	Telemetry *telemetry.Collector
+	// ProgressFn, when set, receives live engine progress (cells
+	// done/total, ETA) as cells complete. Calls are serialized. Like
+	// Telemetry, it observes the run without influencing it.
+	ProgressFn func(ProgressEvent)
 }
 
 // DefaultScale is the CLI configuration: footprints far beyond TLB reach
@@ -115,6 +127,21 @@ type nativeEnv struct {
 	as   *osmm.AddressSpace
 	base addr.V
 	fp   uint64 // footprint actually mapped (capped under memory pressure)
+
+	// telFlushed makes flushTelemetry idempotent: an environment is often
+	// measured under several designs, but its OS/buddy/contiguity snapshot
+	// must export exactly once.
+	telFlushed bool
+}
+
+// flushTelemetry exports the environment's OS-layer snapshot (allocation
+// counters, buddy fragmentation, contiguity histograms) at most once.
+func (e *nativeEnv) flushTelemetry() {
+	if e.telFlushed {
+		return
+	}
+	e.telFlushed = true
+	e.as.FlushTelemetry()
 }
 
 // newNative builds an environment: memhog fragments first (background
@@ -157,6 +184,11 @@ func newNative(s Scale, policy osmm.Policy, memhogFrac float64, seed uint64) (*n
 	as, err := osmm.New(phys, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if s.Telemetry != nil {
+		// Attach before Populate so demand-fault map counts are captured.
+		as.AttachTelemetry(s.Telemetry)
+		as.PageTable().AttachTelemetry(s.Telemetry)
 	}
 	base, err := as.Mmap(fp)
 	if err != nil {
@@ -263,10 +295,17 @@ func measureNative(ctx context.Context, s Scale, env *nativeEnv, spec workload.S
 	if err != nil {
 		return mmu.Stats{}, perfmodel.Estimate{}, nil, err
 	}
+	if s.Telemetry != nil {
+		m.AttachTelemetry(s.Telemetry.With("workload", spec.Name))
+	}
 	stream := spec.Build(env.base, env.fp, simrand.New(s.Seed))
 	st, err := runStream(ctx, m, stream, s.WarmupRefs, s.MeasureRefs)
 	if err != nil {
 		return mmu.Stats{}, perfmodel.Estimate{}, nil, fmt.Errorf("%s/%s (seed %d): %w", spec.Name, d, s.Seed, err)
+	}
+	if s.Telemetry != nil {
+		m.FlushTelemetry()
+		env.flushTelemetry()
 	}
 	est := perfmodel.Default(spec.BaseCPI, spec.RefsPerInstr).Runtime(st)
 	return st, est, caches, nil
@@ -317,10 +356,16 @@ func measureVirt(ctx context.Context, s Scale, env *vmEnv, spec workload.Spec, d
 	if err != nil {
 		return mmu.Stats{}, perfmodel.Estimate{}, err
 	}
+	if s.Telemetry != nil {
+		m.AttachTelemetry(s.Telemetry.With("workload", spec.Name, "env", "virt"))
+	}
 	stream := spec.Build(env.bases[0], env.fp, simrand.New(s.Seed))
 	st, err := runStream(ctx, m, stream, s.WarmupRefs, s.MeasureRefs)
 	if err != nil {
 		return mmu.Stats{}, perfmodel.Estimate{}, fmt.Errorf("%s/%s virt (seed %d): %w", spec.Name, d, s.Seed, err)
+	}
+	if s.Telemetry != nil {
+		m.FlushTelemetry()
 	}
 	est := perfmodel.Default(spec.BaseCPI, spec.RefsPerInstr).Runtime(st)
 	return st, est, nil
@@ -356,12 +401,73 @@ func All() []Experiment {
 	}
 }
 
-// ByName finds an experiment.
+// Names lists every experiment name in paper order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, e := range all {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// UnknownExperimentError reports a requested experiment that does not
+// exist, carrying the valid names so callers (the CLI) can print them
+// instead of silently running nothing.
+type UnknownExperimentError struct {
+	Name  string
+	Valid []string
+}
+
+func (e *UnknownExperimentError) Error() string {
+	return fmt.Sprintf("experiments: unknown experiment %q (valid: %s)",
+		e.Name, strings.Join(e.Valid, ", "))
+}
+
+// UnknownWorkloadError reports a requested workload missing from the
+// catalog. Before this check, a typo in -workloads made every experiment
+// iterate over an empty workload set and print empty tables.
+type UnknownWorkloadError struct {
+	Name  string
+	Valid []string
+}
+
+func (e *UnknownWorkloadError) Error() string {
+	return fmt.Sprintf("experiments: unknown workload %q (valid: %s)",
+		e.Name, strings.Join(e.Valid, ", "))
+}
+
+// ValidateWorkloads checks that every name in Scale.Workloads resolves in
+// the workload catalog, returning an *UnknownWorkloadError for the first
+// one that does not.
+func (s Scale) ValidateWorkloads() error {
+	all := workload.Catalog()
+	for _, name := range s.Workloads {
+		found := false
+		for _, spec := range all {
+			if spec.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			valid := make([]string, len(all))
+			for i, spec := range all {
+				valid[i] = spec.Name
+			}
+			return &UnknownWorkloadError{Name: name, Valid: valid}
+		}
+	}
+	return nil
+}
+
+// ByName finds an experiment, returning *UnknownExperimentError with the
+// valid names when it does not exist.
 func ByName(name string) (Experiment, error) {
 	for _, e := range All() {
 		if e.Name == name {
 			return e, nil
 		}
 	}
-	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", name)
+	return Experiment{}, &UnknownExperimentError{Name: name, Valid: Names()}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mixtlb/internal/stats"
+	"mixtlb/internal/telemetry"
 )
 
 // PanicError is a panic recovered from an experiment run, carrying the
@@ -98,7 +99,18 @@ func RunSafe(ctx context.Context, e Experiment, s Scale, timeout time.Duration) 
 				}}
 			}
 		}()
+		var span telemetry.Span
+		if s.Telemetry != nil {
+			span = s.Telemetry.Span("experiment", e.Name)
+		}
 		tbl, err := e.Run(runCtx, s)
+		if s.Telemetry != nil {
+			outcome := "ok"
+			if err != nil {
+				outcome = "error"
+			}
+			span.End("outcome", outcome)
+		}
 		done <- outcome{tbl: tbl, err: err}
 	}()
 

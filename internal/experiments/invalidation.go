@@ -75,6 +75,9 @@ func InvalidationStudy(ctx context.Context, s Scale) (*stats.Table, error) {
 				if err != nil {
 					return nil, err
 				}
+				if cs.Telemetry != nil {
+					sys.AttachTelemetry(cs.Telemetry)
+				}
 				streams := make([]workload.Stream, cores)
 				for i := range streams {
 					streams[i] = workload.NewZipf(base, fp, simrand.New(cs.Seed+uint64(i)), 0.9, 0.1, uint64(p.name[0]))
@@ -98,6 +101,9 @@ func InvalidationStudy(ctx context.Context, s Scale) (*stats.Table, error) {
 					// modeling mapping churn (e.g. an allocator's MADV_FREE).
 					off := addr.AlignedDown(rng.Uint64n(fp-(4<<20)), addr.Size2M)
 					sys.Munmap(base+addr.V(off), 4<<20)
+				}
+				if cs.Telemetry != nil {
+					sys.FlushTelemetry()
 				}
 				agg := sys.Aggregate()
 				return []Row{{p.name, 1000 * float64(agg.Walks) / float64(total),

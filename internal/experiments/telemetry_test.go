@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"mixtlb/internal/telemetry"
+)
+
+// runFig15rTelemetry runs fig15r at quick scale with the given pool size
+// and a fresh registry/tracer, returning the result table CSV and the
+// Prometheus metric dump.
+func runFig15rTelemetry(t *testing.T, jobs int) (csv, metrics string) {
+	t.Helper()
+	s := QuickScale()
+	s.Jobs = jobs
+	reg := telemetry.NewRegistry()
+	s.Telemetry = telemetry.NewCollector(reg, telemetry.NewTracer(0))
+	e, err := ByName("fig15r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl.CSV(), reg.PrometheusString()
+}
+
+// TestTelemetryJobsDeterminism is the registry's core contract: a metric
+// dump is a pure function of (experiment, scale, seed), so jobs=1 and
+// jobs=8 runs must produce byte-identical dumps. Wall-clock and schedule
+// data (spans, worker ids, ETA) live only in the tracer, never here.
+func TestTelemetryJobsDeterminism(t *testing.T) {
+	t.Parallel()
+	csv1, m1 := runFig15rTelemetry(t, 1)
+	csv8, m8 := runFig15rTelemetry(t, 8)
+	if csv1 != csv8 {
+		t.Errorf("tables differ between jobs=1 and jobs=8:\n%s\n---\n%s", csv1, csv8)
+	}
+	if m1 != m8 {
+		t.Errorf("metric dumps differ between jobs=1 and jobs=8:\n%s\n---\n%s", m1, m8)
+	}
+	if !strings.Contains(m1, "mmu_walk_depth") || !strings.Contains(m1, "tlb_set_occupancy") {
+		t.Errorf("dump missing expected families:\n%s", m1)
+	}
+}
+
+// TestTelemetryOnOffIdenticalTables is the non-interference contract:
+// simulation statistics never read telemetry state, so an instrumented run
+// and a bare run produce byte-identical result tables.
+func TestTelemetryOnOffIdenticalTables(t *testing.T) {
+	t.Parallel()
+	exp, err := ByName("fig15r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := QuickScale()
+	s.Jobs = 4
+	bare, err := exp.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onCSV, _ := runFig15rTelemetry(t, 4)
+	if bare.CSV() != onCSV {
+		t.Errorf("tables differ with telemetry on vs off:\n%s\n---\n%s", bare.CSV(), onCSV)
+	}
+}
+
+// TestProgressEventsCoverAllCells checks the live-progress callback fires
+// once per cell with monotone done counts ending at done == total.
+func TestProgressEventsCoverAllCells(t *testing.T) {
+	t.Parallel()
+	s := QuickScale()
+	s.Jobs = 4
+	var mu sync.Mutex
+	var events []ProgressEvent
+	s.ProgressFn = func(ev ProgressEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+	exp, err := ByName("fig15r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exp.Run(context.Background(), s); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	total := events[0].Total
+	if len(events) != total {
+		t.Errorf("%d progress events for %d cells", len(events), total)
+	}
+	for i, ev := range events {
+		if ev.Done != i+1 {
+			t.Errorf("event %d: Done = %d, want %d", i, ev.Done, i+1)
+		}
+		if ev.Total != total || ev.Experiment != "fig15r" || ev.Cell == "" {
+			t.Errorf("event %d malformed: %+v", i, ev)
+		}
+		if ev.Failed {
+			t.Errorf("event %d unexpectedly failed: %+v", i, ev)
+		}
+	}
+	last := events[len(events)-1]
+	if last.Done != last.Total || last.ETA != 0 {
+		t.Errorf("final event should read done=total, eta=0: %+v", last)
+	}
+}
+
+// TestUnknownNameErrors checks the typed validation errors carry the valid
+// name lists the CLI prints.
+func TestUnknownNameErrors(t *testing.T) {
+	t.Parallel()
+	_, err := ByName("not-an-experiment")
+	var ue *UnknownExperimentError
+	if !errors.As(err, &ue) {
+		t.Fatalf("ByName error = %T, want *UnknownExperimentError", err)
+	}
+	if ue.Name != "not-an-experiment" || len(ue.Valid) != len(All()) {
+		t.Errorf("error fields: %+v", ue)
+	}
+	if !strings.Contains(ue.Error(), "fig14") {
+		t.Errorf("message should list valid names: %v", ue)
+	}
+
+	s := QuickScale()
+	s.Workloads = []string{"gups", "not-a-workload"}
+	werr := s.ValidateWorkloads()
+	var uw *UnknownWorkloadError
+	if !errors.As(werr, &uw) {
+		t.Fatalf("ValidateWorkloads error = %T, want *UnknownWorkloadError", werr)
+	}
+	if uw.Name != "not-a-workload" || len(uw.Valid) == 0 {
+		t.Errorf("error fields: %+v", uw)
+	}
+	s.Workloads = []string{"gups"}
+	if err := s.ValidateWorkloads(); err != nil {
+		t.Errorf("valid workload rejected: %v", err)
+	}
+}

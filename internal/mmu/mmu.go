@@ -136,6 +136,10 @@ type MMU struct {
 	replayOK bool
 	memoOK   bool
 	memo     memoEntry
+
+	// tel is the telemetry hook block, nil unless AttachTelemetry enabled
+	// it; every use is a single nil-check branch.
+	tel *mmuTel
 }
 
 // memoEntry captures one pure L1 hit (no fault, no dirty-bit transition)
@@ -297,6 +301,9 @@ func (m *MMU) replayMemo(req tlb.Request) (Result, bool) {
 	m.stats.L1Hits++
 	m.stats.L1Lookup.Add(m.memo.cost)
 	m.stats.Cycles += m.memo.cycles
+	if m.tel != nil {
+		m.tel.memoHits.Inc()
+	}
 	return Result{
 		PA:     m.memo.paBase + addr.P(uint64(req.VA)&((1<<addr.Shift4K)-1)),
 		Size:   m.memo.size,
@@ -466,8 +473,14 @@ func (m *MMU) walk(req tlb.Request, res *Result) *pagetable.WalkResult {
 	walk := &m.walkBuf
 	if m.pt != nil {
 		m.pt.WalkInto(req.VA, walk)
+		if m.tel != nil {
+			m.tel.walkFused.Inc()
+		}
 	} else {
 		*walk = m.src.Walk(req.VA)
+		if m.tel != nil {
+			m.tel.walkScalar.Inc()
+		}
 	}
 	if !walk.Found && m.fault != nil && m.fault(req.VA, req.Write) {
 		// Demand paging succeeded; the re-walk models the hardware retry
@@ -480,11 +493,16 @@ func (m *MMU) walk(req tlb.Request, res *Result) *pagetable.WalkResult {
 		}
 	}
 	if !m.cfg.FreeWalks {
+		start := res.Cycles
 		for _, pa := range walk.Accesses {
 			m.stats.WalkRefs++
 			c := m.caches.Access(pa)
 			res.Cycles += c.Cycles
 			m.stats.WalkCycles += c.Cycles
+		}
+		if m.tel != nil {
+			m.tel.walkDepth.Observe(uint64(len(walk.Accesses)))
+			m.tel.walkCycles.Observe(res.Cycles - start)
 		}
 	}
 	return walk
@@ -520,12 +538,21 @@ func (m *MMU) handleDirty(req tlb.Request, entryDirty bool, res *Result, walk *p
 			}
 		}
 		line = walk.Line
+		if m.tel != nil {
+			m.tel.dirtyFused.Inc()
+		}
 	case m.pt != nil:
 		m.lineBuf = m.pt.SetDirtyLine(req.VA, m.lineBuf)
 		line = m.lineBuf
+		if m.tel != nil {
+			m.tel.dirtyScalar.Inc()
+		}
 	default:
 		m.src.SetDirty(req.VA)
 		line = m.src.Walk(req.VA).Line
+		if m.tel != nil {
+			m.tel.dirtyGeneric.Inc()
+		}
 	}
 	refresh := func(t tlb.TLB) {
 		if r, ok := t.(tlb.DirtyRefresher); ok {

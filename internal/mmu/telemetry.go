@@ -1,0 +1,115 @@
+package mmu
+
+import (
+	"mixtlb/internal/telemetry"
+	"mixtlb/internal/tlb"
+)
+
+// mmuTel holds the MMU's pre-resolved telemetry handles. Resolving them
+// once at attach time keeps the hot path down to a single nil check per
+// site; a nil *mmuTel is the (default) disabled state.
+type mmuTel struct {
+	col          *telemetry.Collector
+	memoHits     *telemetry.Counter
+	walkFused    *telemetry.Counter
+	walkScalar   *telemetry.Counter
+	walkDepth    *telemetry.Histogram
+	walkCycles   *telemetry.Histogram
+	dirtyFused   *telemetry.Counter
+	dirtyScalar  *telemetry.Counter
+	dirtyGeneric *telemetry.Counter
+}
+
+// walkDepthBounds covers native 4-level walks through nested (2D)
+// virtualized walks (up to 24 PTE references).
+var walkDepthBounds = []uint64{1, 2, 3, 4, 6, 8, 12, 16, 24}
+
+// walkCycleBounds spans an all-L1D walk through a DRAM-bound one.
+var walkCycleBounds = []uint64{4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// occupancyBounds buckets per-set valid-entry counts.
+var occupancyBounds = []uint64{0, 1, 2, 4, 8, 16, 32}
+
+// AttachTelemetry enables (or, with nil, disables) telemetry for this MMU
+// and forwards the collector to any TLB level that is itself
+// instrumentable. Metrics carry an mmu label so multi-core systems keep
+// per-MMU series.
+func (m *MMU) AttachTelemetry(c *telemetry.Collector) {
+	forward := func(t tlb.TLB) {
+		if i, ok := t.(telemetry.Instrumentable); ok {
+			i.AttachTelemetry(c)
+		}
+	}
+	forward(m.cfg.L1)
+	forward(m.cfg.L2)
+	if c == nil {
+		m.tel = nil
+		return
+	}
+	mc := c.With("mmu", m.cfg.Name)
+	m.tel = &mmuTel{
+		col:          mc,
+		memoHits:     mc.Counter("mmu_memo_hits_total"),
+		walkFused:    mc.Counter("mmu_walks_total", "path", "fused"),
+		walkScalar:   mc.Counter("mmu_walks_total", "path", "scalar"),
+		walkDepth:    mc.Histogram("mmu_walk_depth", walkDepthBounds),
+		walkCycles:   mc.Histogram("mmu_walk_cycles", walkCycleBounds),
+		dirtyFused:   mc.Counter("mmu_dirty_assists_total", "path", "fused"),
+		dirtyScalar:  mc.Counter("mmu_dirty_assists_total", "path", "scalar"),
+		dirtyGeneric: mc.Counter("mmu_dirty_assists_total", "path", "generic"),
+	}
+}
+
+// FlushTelemetry exports the MMU's accumulated Stats counters and a
+// per-set occupancy snapshot of both TLB levels into the registry. Call
+// it once, after measurement; it reads Stats but never writes simulator
+// state, so results are identical with telemetry on or off.
+func (m *MMU) FlushTelemetry() {
+	if m.tel == nil {
+		return
+	}
+	mc := m.tel.col
+	s := m.stats
+	mc.Counter("mmu_accesses_total").Add(s.Accesses)
+	mc.Counter("mmu_hits_total", "level", "L1").Add(s.L1Hits)
+	mc.Counter("mmu_hits_total", "level", "L2").Add(s.L2Hits)
+	mc.Counter("mmu_walks_charged_total").Add(s.Walks)
+	mc.Counter("mmu_faults_total").Add(s.Faults)
+	mc.Counter("mmu_cycles_total").Add(s.Cycles)
+	mc.Counter("mmu_walk_cycles_total").Add(s.WalkCycles)
+	mc.Counter("mmu_walk_refs_total").Add(s.WalkRefs)
+	mc.Counter("mmu_dirty_micro_ops_total").Add(s.DirtyMicroOps)
+	mc.Counter("mmu_invalidations_total").Add(s.Invalidations)
+	mc.Counter("mmu_flushes_total").Add(s.Flushes)
+	mc.Counter("mmu_probe_rounds_total", "level", "L1").Add(uint64(s.L1Lookup.Probes))
+	mc.Counter("mmu_probe_rounds_total", "level", "L2").Add(uint64(s.L2Lookup.Probes))
+	mc.Counter("mmu_fill_entries_total", "level", "L1").Add(uint64(s.L1Fill.EntriesWritten))
+	mc.Counter("mmu_fill_entries_total", "level", "L2").Add(uint64(s.L2Fill.EntriesWritten))
+	if s.ECC.ParityDetected+s.ECC.SilentCorruptions+s.ECC.Scrubbed > 0 {
+		mc.Counter("mmu_ecc_events_total", "kind", "parity_detected").Add(s.ECC.ParityDetected)
+		mc.Counter("mmu_ecc_events_total", "kind", "silent").Add(s.ECC.SilentCorruptions)
+		mc.Counter("mmu_ecc_events_total", "kind", "scrubbed").Add(s.ECC.Scrubbed)
+	}
+	snapshotOccupancy(mc, "L1", m.cfg.L1)
+	snapshotOccupancy(mc, "L2", m.cfg.L2)
+	forward := func(t tlb.TLB) {
+		if f, ok := t.(interface{ FlushTelemetry() }); ok {
+			f.FlushTelemetry()
+		}
+	}
+	forward(m.cfg.L1)
+	forward(m.cfg.L2)
+}
+
+// snapshotOccupancy records each set's valid-entry count for TLBs that
+// can report it.
+func snapshotOccupancy(mc *telemetry.Collector, level string, t tlb.TLB) {
+	or, ok := t.(tlb.OccupancyReporter)
+	if !ok {
+		return
+	}
+	h := mc.Histogram("tlb_set_occupancy", occupancyBounds, "level", level)
+	for _, n := range or.OccupancyBySet() {
+		h.Observe(uint64(n))
+	}
+}

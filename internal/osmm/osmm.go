@@ -14,6 +14,7 @@ import (
 	"mixtlb/internal/pagetable"
 	"mixtlb/internal/physmem"
 	"mixtlb/internal/stats"
+	"mixtlb/internal/telemetry"
 )
 
 // Policy selects the OS page-size strategy (Sec 7.1).
@@ -155,6 +156,10 @@ type AddressSpace struct {
 	superAttempts uint64
 	deferUntil    uint64
 	deferShift    uint
+
+	// tel is the telemetry collector, nil unless AttachTelemetry enabled
+	// it; read only by FlushTelemetry.
+	tel *telemetry.Collector
 }
 
 // vaBase is where Mmap places the first area; 1GB-aligned so any page size

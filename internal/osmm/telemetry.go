@@ -1,0 +1,66 @@
+package osmm
+
+import (
+	"strconv"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/physmem"
+	"mixtlb/internal/telemetry"
+)
+
+// tel is the address space's telemetry collector (nil when disabled, the
+// default). The OS layer has no per-reference hot path, so it exports
+// everything snapshot-style at flush time instead of instrumenting
+// individual fault sites.
+
+// AttachTelemetry implements telemetry.Instrumentable.
+func (as *AddressSpace) AttachTelemetry(c *telemetry.Collector) {
+	as.tel = c
+}
+
+// contiguityBounds buckets translation-run lengths (in pages of the run's
+// size) up to a 1GB region of 4KB pages.
+var contiguityBounds = []uint64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 4096, 262144}
+
+// FlushTelemetry exports OS allocation counters, buddy-allocator
+// fragmentation gauges, and the page-table contiguity histograms that
+// back Figures 9-13. Call once after measurement; it only reads state.
+func (as *AddressSpace) FlushTelemetry() {
+	if as.tel == nil {
+		return
+	}
+	c := as.tel
+	s := as.stats
+	c.Counter("osmm_faults_total").Add(s.Faults)
+	c.Counter("osmm_super_fallbacks_total").Add(s.SuperFallback)
+	c.Counter("osmm_pool_reserved_total").Add(s.PoolReserved)
+	c.Counter("osmm_pool_misses_total").Add(s.PoolMisses)
+	c.Counter("osmm_promotions_total").Add(s.Promotions)
+	for _, size := range addr.Sizes() {
+		c.Gauge("osmm_mapped_bytes", "size", size.String()).Set(int64(s.Bytes[size]))
+	}
+
+	c.Gauge("buddy_free_frames").Set(int64(as.phys.FreeFrames()))
+	c.Gauge("buddy_total_frames").Set(int64(as.phys.TotalFrames()))
+	if order, ok := as.phys.LargestFreeOrder(); ok {
+		c.Gauge("buddy_largest_free_order").Set(int64(order))
+	} else {
+		c.Gauge("buddy_largest_free_order").Set(-1)
+	}
+	for order := uint(0); order <= physmem.MaxOrder; order++ {
+		n := as.phys.FreeBlocksOfOrder(order)
+		if n > 0 {
+			c.Gauge("buddy_free_blocks", "order", strconv.Itoa(int(order))).Set(int64(n))
+		}
+	}
+
+	rep := ScanContiguity(as.pt)
+	for _, size := range addr.Sizes() {
+		h, ok := rep.Runs[size]
+		if !ok || h.Count() == 0 {
+			continue
+		}
+		th := c.Histogram("osmm_contiguity_run_pages", contiguityBounds, "size", size.String())
+		h.Each(func(v, n uint64) { th.ObserveN(v, n) })
+	}
+}

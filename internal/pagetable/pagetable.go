@@ -98,6 +98,10 @@ type PageTable struct {
 	alloc FrameAllocator
 	root  *table
 	count [addr.NumPageSizes]uint64 // live translations per size
+
+	// tel is the telemetry hook block, nil unless AttachTelemetry enabled
+	// it; every use is a single nil-check branch.
+	tel *ptTel
 }
 
 // levelShift returns the VA shift of the index for a level (4..1).
@@ -191,6 +195,9 @@ func (pt *PageTable) Map(va addr.V, pa addr.P, size addr.PageSize, perm addr.Per
 	}
 	t.live++
 	pt.count[size]++
+	if pt.tel != nil {
+		pt.tel.maps[size].Inc()
+	}
 	return nil
 }
 
@@ -213,6 +220,9 @@ func (pt *PageTable) Unmap(va addr.V) (Translation, error) {
 			pt.count[size]--
 			// Intermediate tables are retained (as real OSes usually do
 			// between mappings); freeing them lazily keeps Unmap O(levels).
+			if pt.tel != nil {
+				pt.tel.unmaps.Inc()
+			}
 			return tr, nil
 		}
 		t = t.children[i]
@@ -405,6 +415,9 @@ func (pt *PageTable) SetDirtyLine(va addr.V, buf []Translation) []Translation {
 		if e.leaf || level == 1 {
 			e.acc = true
 			e.dirty = true
+			if pt.tel != nil {
+				pt.tel.dirtyLines.Inc()
+			}
 			return appendLineTranslations(buf[:0], t, i, va, level)
 		}
 		t = t.children[i]

@@ -1,0 +1,32 @@
+package pagetable
+
+import (
+	"mixtlb/internal/addr"
+	"mixtlb/internal/telemetry"
+)
+
+// ptTel holds the page table's pre-resolved telemetry handles (nil when
+// disabled, the default). Walks are deliberately not counted here — the
+// MMU owns walk accounting (depth, cycles, fused vs. scalar) and WalkInto
+// is too hot to touch twice.
+type ptTel struct {
+	maps       [addr.NumPageSizes]*telemetry.Counter
+	unmaps     *telemetry.Counter
+	dirtyLines *telemetry.Counter
+}
+
+// AttachTelemetry implements telemetry.Instrumentable.
+func (pt *PageTable) AttachTelemetry(c *telemetry.Collector) {
+	if c == nil {
+		pt.tel = nil
+		return
+	}
+	t := &ptTel{
+		unmaps:     c.Counter("pagetable_unmaps_total"),
+		dirtyLines: c.Counter("pagetable_dirty_line_ops_total"),
+	}
+	for _, s := range addr.Sizes() {
+		t.maps[s] = c.Counter("pagetable_maps_total", "size", s.String())
+	}
+	pt.tel = t
+}

@@ -61,6 +61,10 @@ type System struct {
 	cores  []*mmu.MMU
 	chaos  *chaos.Injector
 	stats  Stats
+
+	// tel is the telemetry hook block, nil unless AttachTelemetry enabled
+	// it.
+	tel *smpTel
 }
 
 // New builds the system; all cores share the cache hierarchy and fault
@@ -125,8 +129,12 @@ func (s *System) ResetStats() {
 func (s *System) Munmap(start addr.V, length uint64) {
 	s.as.Munmap(start, length, func(tr pagetable.Translation) {
 		s.stats.Shootdowns++
+		before := s.stats.IPIs
 		for _, c := range s.cores {
 			s.deliverIPI(c, tr)
+		}
+		if s.tel != nil {
+			s.tel.fanout.Observe(s.stats.IPIs - before)
 		}
 	})
 }

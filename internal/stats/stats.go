@@ -66,6 +66,14 @@ func (h *Histogram) ObserveN(v, n uint64) {
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.total }
 
+// Each calls fn for every distinct observed value in ascending order with
+// its occurrence count (exporters re-bucket exact counts this way).
+func (h *Histogram) Each(fn func(v, n uint64)) {
+	for _, v := range h.sortedValues() {
+		fn(v, h.counts[v])
+	}
+}
+
 // CountOf returns the number of observations equal to v.
 func (h *Histogram) CountOf(v uint64) uint64 { return h.counts[v] }
 
@@ -89,10 +97,14 @@ func (h *Histogram) Max() uint64 {
 }
 
 // Quantile returns the smallest observed value v such that at least
-// fraction q of the observations are <= v. q must be in [0, 1].
+// fraction q of the observations are <= v. q is clamped to [0, 1] and an
+// empty histogram reports 0, so exporter and summary call sites never
+// have to pre-validate.
 func (h *Histogram) Quantile(q float64) uint64 {
-	if q < 0 || q > 1 {
-		panic("stats: quantile out of range")
+	if q < 0 || math.IsNaN(q) {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	if h.total == 0 {
 		return 0
@@ -212,20 +224,46 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-// GeoMean returns the geometric mean of xs (0 when empty). Values must be
-// positive; speedup aggregation across workloads conventionally uses this.
+// GeoMean returns the geometric mean of the positive values in xs (0 when
+// none are positive). Speedup aggregation across workloads conventionally
+// uses this; non-positive entries — a zeroed cell from a failed run, say —
+// are skipped rather than poisoning the whole aggregate, since log(x) is
+// undefined for them.
 func GeoMean(xs []float64) float64 {
+	var s float64
+	n := 0
+	for _, x := range xs {
+		if x <= 0 || math.IsNaN(x) {
+			continue
+		}
+		s += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+// Percentile returns the value at fraction q of the sorted sample set
+// using nearest-rank on a copy of xs. q is clamped to [0, 1]; an empty
+// slice reports 0 and a single sample reports that sample for every q.
+func Percentile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	var s float64
-	for _, x := range xs {
-		if x <= 0 {
-			panic("stats: GeoMean of non-positive value")
-		}
-		s += math.Log(x)
+	if q < 0 || math.IsNaN(q) {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
-	return math.Exp(s / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
 }
 
 // Table is a simple printable result table used by the experiment harness.

@@ -73,13 +73,35 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
-func TestQuantileOutOfRangePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	NewHistogram().Quantile(1.5)
+func TestQuantileEdgeCases(t *testing.T) {
+	single := NewHistogram()
+	single.Observe(7)
+	hundred := NewHistogram()
+	for i := uint64(1); i <= 100; i++ {
+		hundred.Observe(i)
+	}
+	cases := []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want uint64
+	}{
+		{"empty any q", NewHistogram(), 0.5, 0},
+		{"empty q over 1", NewHistogram(), 2, 0},
+		{"single p0", single, 0, 7},
+		{"single p50", single, 0.5, 7},
+		{"single p100", single, 1, 7},
+		{"clamp above 1", hundred, 1.5, 100},
+		{"clamp below 0", hundred, -0.5, 1},
+		{"clamp NaN", hundred, math.NaN(), 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.h.Quantile(c.q); got != c.want {
+				t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+			}
+		})
+	}
 }
 
 func TestCDFMonotone(t *testing.T) {
@@ -171,13 +193,58 @@ func TestMeanAndGeoMean(t *testing.T) {
 	}
 }
 
-func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	GeoMean([]float64{1, 0})
+func TestGeoMeanSkipsNonPositive(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"zero skipped", []float64{1, 0, 4}, 2},
+		{"negative skipped", []float64{-3, 1, 4}, 2},
+		{"NaN skipped", []float64{math.NaN(), 1, 4}, 2},
+		{"all non-positive", []float64{0, -1}, 0},
+		{"single", []float64{9}, 9},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := GeoMean(c.xs); math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("GeoMean(%v) = %v, want %v", c.xs, got, c.want)
+			}
+		})
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single p0", []float64{3}, 0, 3},
+		{"single p100", []float64{3}, 1, 3},
+		{"median of odd", []float64{3, 1, 2}, 0.5, 2},
+		{"p100 unsorted input", []float64{5, 9, 1}, 1, 9},
+		{"clamp above 1", []float64{1, 2}, 7, 2},
+		{"clamp below 0", []float64{1, 2}, -7, 1},
+		{"clamp NaN", []float64{1, 2}, math.NaN(), 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Percentile(c.xs, c.q); got != c.want {
+				t.Errorf("Percentile(%v, %v) = %v, want %v", c.xs, c.q, got, c.want)
+			}
+		})
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
 }
 
 func TestTableRendering(t *testing.T) {

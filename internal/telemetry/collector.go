@@ -1,0 +1,120 @@
+package telemetry
+
+// Collector scopes a Registry and a Tracer with a fixed label set (e.g.
+// exp="fig12", cell="mix/4way") and a trace thread id. Simulation layers
+// take a *Collector at attach time, resolve their metric handles once,
+// and then touch only those handles on the hot path. A nil *Collector is
+// the disabled state: every method no-ops and every handle it returns is
+// nil (which also no-ops), so instrumentation needs no enablement flag
+// beyond the attach call itself.
+type Collector struct {
+	reg    *Registry
+	tracer *Tracer
+	labels []string
+	tid    int
+}
+
+// NewCollector roots a collector on a registry and tracer (either may be
+// nil to disable that half).
+func NewCollector(reg *Registry, tracer *Tracer) *Collector {
+	if reg == nil && tracer == nil {
+		return nil
+	}
+	return &Collector{reg: reg, tracer: tracer}
+}
+
+// With returns a child collector whose metrics carry the additional label
+// pairs. The parent is unchanged.
+func (c *Collector) With(labels ...string) *Collector {
+	if c == nil {
+		return nil
+	}
+	child := *c
+	child.labels = append(append([]string(nil), c.labels...), labels...)
+	return &child
+}
+
+// WithTID returns a child collector whose trace events carry tid (worker
+// identity in the timeline view; never used in metrics).
+func (c *Collector) WithTID(tid int) *Collector {
+	if c == nil {
+		return nil
+	}
+	child := *c
+	child.tid = tid
+	return &child
+}
+
+// Registry exposes the underlying registry (nil when disabled); exporters
+// use it, instrumentation should not.
+func (c *Collector) Registry() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.reg
+}
+
+// Tracer exposes the underlying tracer (nil when disabled).
+func (c *Collector) Tracer() *Tracer {
+	if c == nil {
+		return nil
+	}
+	return c.tracer
+}
+
+// Counter resolves the counter series for family under this collector's
+// labels plus any extra pairs.
+func (c *Collector) Counter(family string, extra ...string) *Counter {
+	if c == nil {
+		return nil
+	}
+	return c.reg.Counter(family, c.join(extra)...)
+}
+
+// Gauge resolves the gauge series for family.
+func (c *Collector) Gauge(family string, extra ...string) *Gauge {
+	if c == nil {
+		return nil
+	}
+	return c.reg.Gauge(family, c.join(extra)...)
+}
+
+// Histogram resolves the histogram series for family with the given
+// bucket bounds.
+func (c *Collector) Histogram(family string, bounds []uint64, extra ...string) *Histogram {
+	if c == nil {
+		return nil
+	}
+	return c.reg.Histogram(family, bounds, c.join(extra)...)
+}
+
+// join concatenates scope labels with call-site extras.
+func (c *Collector) join(extra []string) []string {
+	if len(extra) == 0 {
+		return c.labels
+	}
+	return append(append([]string(nil), c.labels...), extra...)
+}
+
+// Span opens a trace span under this collector's thread id.
+func (c *Collector) Span(cat, name string) Span {
+	if c == nil {
+		return Span{}
+	}
+	return c.tracer.Span(cat, name, c.tid)
+}
+
+// Instant records a point-in-time trace event.
+func (c *Collector) Instant(cat, name string, simTime uint64, args ...string) {
+	if c == nil {
+		return
+	}
+	c.tracer.Instant(cat, name, c.tid, simTime, args...)
+}
+
+// Instrumentable is implemented by simulation components that accept a
+// telemetry collector. Attaching nil detaches (restores the zero-cost
+// disabled path).
+type Instrumentable interface {
+	AttachTelemetry(*Collector)
+}

@@ -1,0 +1,293 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one trace record: a completed span (Ph 'X') or an instant
+// marker (Ph 'i'). Wall-time fields (TS, Dur) are nanoseconds relative to
+// the tracer's start so a run renders as a timeline; SimTime carries the
+// simulated-cycle stamp when the emitting site has one. Args are
+// alternating key/value pairs.
+type Event struct {
+	Name    string
+	Cat     string
+	Ph      byte
+	TID     int
+	TS      int64 // wall ns since tracer start
+	Dur     int64 // wall ns (spans only)
+	SimTime uint64
+	Args    []string
+}
+
+// Tracer collects events into a bounded in-memory buffer. When the buffer
+// is full new events are counted as dropped rather than grown — tracing
+// must never turn a long run into an OOM. All methods are safe on a nil
+// receiver and for concurrent use.
+type Tracer struct {
+	mu      sync.Mutex
+	start   time.Time
+	events  []Event
+	limit   int
+	dropped uint64
+}
+
+// DefaultTraceLimit bounds the tracer's event buffer. Cell spans and
+// instant events are coarse (per cell, not per reference), so even the
+// full experiment suite stays far below this.
+const DefaultTraceLimit = 1 << 20
+
+// NewTracer returns a tracer that keeps at most limit events
+// (DefaultTraceLimit if limit <= 0).
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = DefaultTraceLimit
+	}
+	return &Tracer{start: time.Now(), limit: limit}
+}
+
+// now returns nanoseconds since the tracer started.
+func (t *Tracer) now() int64 { return int64(time.Since(t.start)) }
+
+// add appends one event, counting it as dropped if the buffer is full.
+func (t *Tracer) add(e Event) {
+	t.mu.Lock()
+	if len(t.events) >= t.limit {
+		t.dropped++
+	} else {
+		t.events = append(t.events, e)
+	}
+	t.mu.Unlock()
+}
+
+// Instant records a point-in-time event.
+func (t *Tracer) Instant(cat, name string, tid int, simTime uint64, args ...string) {
+	if t == nil {
+		return
+	}
+	t.add(Event{Name: name, Cat: cat, Ph: 'i', TID: tid, TS: t.now(), SimTime: simTime, Args: args})
+}
+
+// Span is an open interval started by Tracer.Span and closed by End. The
+// zero Span (from a nil tracer) is inert. SimTime may be set before End
+// to stamp the span with simulated cycles.
+type Span struct {
+	t       *Tracer
+	name    string
+	cat     string
+	tid     int
+	ts      int64
+	SimTime uint64
+}
+
+// Span opens a duration event; call End on the returned span to record it.
+func (t *Tracer) Span(cat, name string, tid int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, cat: cat, tid: tid, ts: t.now()}
+}
+
+// End closes the span and records it with optional key/value args.
+func (s Span) End(args ...string) {
+	if s.t == nil {
+		return
+	}
+	now := s.t.now()
+	s.t.add(Event{Name: s.name, Cat: s.cat, Ph: 'X', TID: s.tid, TS: s.ts, Dur: now - s.ts, SimTime: s.SimTime, Args: args})
+}
+
+// Counts returns (recorded, dropped) event totals.
+func (t *Tracer) Counts() (total, dropped uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return uint64(len(t.events)), t.dropped
+}
+
+// snapshot copies the current event list.
+func (t *Tracer) snapshot() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// chromeEvent is the trace_event wire form: timestamps in microseconds,
+// one process, thread = worker id.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// argsMap converts alternating key/value pairs to a JSON object, adding
+// the simulated-time stamp when present.
+func argsMap(e Event) map[string]any {
+	if len(e.Args) == 0 && e.SimTime == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(e.Args)/2+1)
+	for i := 0; i+1 < len(e.Args); i += 2 {
+		m[e.Args[i]] = e.Args[i+1]
+	}
+	if e.SimTime != 0 {
+		m["sim_cycles"] = e.SimTime
+	}
+	return m
+}
+
+// WriteChromeTrace renders all recorded events as a Chrome trace_event
+// JSON object ({"traceEvents":[...]}) loadable in chrome://tracing or
+// Perfetto.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	events := t.snapshot()
+	out := make([]chromeEvent, 0, len(events))
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			Ph:   string(e.Ph),
+			PID:  1,
+			TID:  e.TID,
+			TS:   float64(e.TS) / 1e3,
+			Args: argsMap(e),
+		}
+		if e.Ph == 'X' {
+			ce.Dur = float64(e.Dur) / 1e3
+		}
+		if e.Ph == 'i' {
+			ce.S = "t"
+		}
+		out = append(out, ce)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":`); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	// Encode wrote a trailing newline after the array; close the object.
+	if _, err := bw.WriteString("}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// jsonlEvent is the JSONL stream form of one event.
+type jsonlEvent struct {
+	Name    string         `json:"name"`
+	Cat     string         `json:"cat"`
+	Ph      string         `json:"ph"`
+	TID     int            `json:"tid"`
+	WallNS  int64          `json:"wall_ns"`
+	DurNS   int64          `json:"dur_ns,omitempty"`
+	SimTime uint64         `json:"sim_cycles,omitempty"`
+	Args    map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSONL renders the event stream as JSON Lines: a meta record first
+// (event totals), then one event per line in recorded order.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	total, dropped := t.Counts()
+	meta := map[string]any{"meta": true, "events_total": total, "events_dropped": dropped}
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+	if t != nil {
+		for _, e := range t.snapshot() {
+			je := jsonlEvent{
+				Name:    e.Name,
+				Cat:     e.Cat,
+				Ph:      string(e.Ph),
+				TID:     e.TID,
+				WallNS:  e.TS,
+				SimTime: e.SimTime,
+			}
+			if e.Ph == 'X' {
+				je.DurNS = e.Dur
+			}
+			if m := argsMap(e); m != nil {
+				delete(m, "sim_cycles")
+				if len(m) > 0 {
+					je.Args = m
+				}
+			}
+			if err := enc.Encode(je); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ValidateChromeTrace checks that data is a well-formed trace_event
+// document: a JSON object whose traceEvents member is an array of events
+// each carrying a name and a known phase. Returns the event count.
+func ValidateChromeTrace(data []byte) (events int, err error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name *string `json:"name"`
+			Ph   string  `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("trace JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return 0, fmt.Errorf("trace JSON: missing traceEvents array")
+	}
+	for i, e := range doc.TraceEvents {
+		if e.Name == nil || *e.Name == "" {
+			return 0, fmt.Errorf("trace JSON: event %d has no name", i)
+		}
+		switch e.Ph {
+		case "X", "i", "B", "E", "M", "C":
+		default:
+			return 0, fmt.Errorf("trace JSON: event %d has unknown phase %q", i, e.Ph)
+		}
+	}
+	return len(doc.TraceEvents), nil
+}
+
+// ValidateJSONL checks that every line of data is a standalone JSON
+// object, returning the line count.
+func ValidateJSONL(r io.Reader) (lines int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal(line, &obj); err != nil {
+			return lines, fmt.Errorf("jsonl line %d: %w", lines+1, err)
+		}
+		lines++
+	}
+	if serr := sc.Err(); serr != nil {
+		return lines, serr
+	}
+	return lines, nil
+}

@@ -52,6 +52,20 @@ func (t *SetAssoc) PageSize() addr.PageSize { return t.size }
 // LookupReplayConsistent implements ReplayConsistent.
 func (t *SetAssoc) LookupReplayConsistent() bool { return true }
 
+// OccupancyBySet implements OccupancyReporter.
+func (t *SetAssoc) OccupancyBySet() []int {
+	occ := make([]int, t.sets)
+	for si := 0; si < t.sets; si++ {
+		set := t.data[si*t.ways : (si+1)*t.ways]
+		for i := range set {
+			if set[i].valid {
+				occ[si]++
+			}
+		}
+	}
+	return occ
+}
+
 func (t *SetAssoc) set(va addr.V) []entrySlot {
 	si := int((uint64(va) >> t.shift) & t.mask)
 	return t.data[si*t.ways : (si+1)*t.ways : (si+1)*t.ways]

@@ -131,6 +131,15 @@ type ReplayConsistent interface {
 	LookupReplayConsistent() bool
 }
 
+// OccupancyReporter is implemented by TLBs that can report how many valid
+// entries each set currently holds — the balance lens telemetry uses to
+// see whether mirrored superpage fills crowd out 4KB entries (Sec 4.5).
+// The slice is a fresh snapshot; callers may retain it. Telemetry-only:
+// simulation statistics never read it.
+type OccupancyReporter interface {
+	OccupancyBySet() []int
+}
+
 // entrySlot is the bookkeeping shared by the simple designs: one valid
 // translation plus an LRU stamp.
 type entrySlot struct {

@@ -47,4 +47,32 @@ fi
 echo "== benchdiff identity"
 "$tmpdir/mixtlb" -exp fig15r -quick -jobs 1 -bench-out "$tmpdir/bench.json" > /dev/null
 ./scripts/benchdiff.sh "$tmpdir/bench.json" "$tmpdir/bench.json" > /dev/null
+
+# Telemetry smoke: a quick instrumented run must emit a parseable
+# Prometheus dump with the core metric families, a well-formed Chrome
+# trace, and a well-formed JSONL stream — and its result table must be
+# byte-identical to an uninstrumented run (telemetry never feeds back
+# into the simulation).
+echo "== telemetry exporters"
+go build -o "$tmpdir/telemetrycheck" ./cmd/telemetrycheck
+"$tmpdir/mixtlb" -exp fig15r -quick -csv -jobs 4 \
+    -metrics-out "$tmpdir/metrics.prom" \
+    -trace-events "$tmpdir/trace.json" \
+    -events-out "$tmpdir/events.jsonl" > "$tmpdir/tel-on.csv"
+"$tmpdir/telemetrycheck" \
+    -metrics "$tmpdir/metrics.prom" \
+    -require mmu_accesses_total,mmu_walks_total,mmu_walk_depth,tlb_coalesce_members,tlb_set_occupancy \
+    -trace "$tmpdir/trace.json" \
+    -events "$tmpdir/events.jsonl" > /dev/null
+"$tmpdir/mixtlb" -exp fig15r -quick -csv -jobs 4 > "$tmpdir/tel-off.csv"
+if ! cmp -s "$tmpdir/tel-on.csv" "$tmpdir/tel-off.csv"; then
+    echo "FAIL: result table differs with telemetry on vs off" >&2
+    diff "$tmpdir/tel-on.csv" "$tmpdir/tel-off.csv" >&2 || true
+    exit 1
+fi
+
+# Zero-alloc guard: the disabled-telemetry translate loop must not
+# allocate (nil-sink fast path). Run without -race, which inflates counts.
+echo "== telemetry zero-alloc guard"
+go test ./internal/mmu/ -run 'TestTranslateZeroAllocTelemetry' -count=1 > /dev/null
 echo "== OK"
