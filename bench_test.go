@@ -245,7 +245,7 @@ func BenchmarkAlignmentRestriction(b *testing.B) {
 			env := newSuperpageEnv(b)
 			cfg := core.L1Config()
 			cfg.NoAlignmentRestriction = !restricted
-			m := tlb.Must(mmu.New(mmu.Config{Name: cfg.Name, L1: tlb.Must(core.New(cfg))},
+			m := tlb.Must(mmu.New(mmu.Config{Name: cfg.Name, Levels: mmu.L(tlb.Must(core.New(cfg)))},
 				env.as.PageTable(), cachesim.DefaultHierarchy(), env.as.HandleFault))
 			stream := workload.NewZipf(env.base, env.fp, simrand.New(1), 0.9, 0, 0xaa)
 			for i := 0; i < 50_000; i++ {
@@ -276,7 +276,7 @@ func BenchmarkFillStrategy(b *testing.B) {
 			env := newSuperpageEnv(b)
 			cfg := core.L1Config()
 			cfg.MirrorProbedSetOnly = probedOnly
-			m := tlb.Must(mmu.New(mmu.Config{Name: cfg.Name, L1: tlb.Must(core.New(cfg))},
+			m := tlb.Must(mmu.New(mmu.Config{Name: cfg.Name, Levels: mmu.L(tlb.Must(core.New(cfg)))},
 				env.as.PageTable(), cachesim.DefaultHierarchy(), env.as.HandleFault))
 			stream := workload.NewZipf(env.base, env.fp, simrand.New(1), 0.9, 0, 0xab)
 			for i := 0; i < 50_000; i++ {

@@ -43,6 +43,7 @@ import (
 
 	"mixtlb/internal/chaos"
 	"mixtlb/internal/experiments"
+	"mixtlb/internal/mmu"
 	"mixtlb/internal/stats"
 	"mixtlb/internal/telemetry"
 )
@@ -84,6 +85,8 @@ func main() {
 		eventsOut  = flag.String("events-out", "", "write the raw telemetry event stream as JSONL to this file")
 		pprofAddr  = flag.String("pprof-addr", "", "serve /metrics, /trace, /debug/vars and /debug/pprof/ on this address (e.g. localhost:6060)")
 		progress   = flag.Bool("progress", false, "print live per-cell progress (done/total, ETA) to stderr")
+		designs    = flag.String("designs", "", "comma-separated design subset for the hierarchy experiment (default: its built-in set)")
+		designFile = flag.String("design-file", "", "JSON file of extra TLB design specs to register (see examples/designs.json)")
 	)
 	flag.Parse()
 
@@ -95,6 +98,33 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Design registry: the builtins, extended by any -design-file specs.
+	// A malformed file, invalid spec, or duplicate name is rejected up
+	// front — a typo'd design must not silently run the builtin set.
+	registry := mmu.DefaultRegistry()
+	if *designFile != "" {
+		f, err := os.Open(*designFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			stopProfiles()
+			os.Exit(2)
+		}
+		specs, err := mmu.ParseSpecs(f)
+		f.Close()
+		if err == nil {
+			for _, s := range specs {
+				if err = registry.Register(s); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *designFile, err)
+			stopProfiles()
+			os.Exit(2)
+		}
+	}
+
 	if *list {
 		fmt.Println("experiments:")
 		for _, e := range experiments.All() {
@@ -103,6 +133,10 @@ func main() {
 		fmt.Println("groups:")
 		for _, g := range groupOrder {
 			fmt.Printf("  %-15s %s\n", g, strings.Join(groups[g], " "))
+		}
+		fmt.Println("designs:")
+		for _, s := range registry.Specs() {
+			fmt.Printf("  %-15s %s\n", s.Name, s.Desc)
 		}
 		stopProfiles()
 		return
@@ -141,10 +175,20 @@ func main() {
 	}
 	scale.Jobs = *jobs
 	scale.Cell = *cell
+	scale.Registry = registry
+	if *designs != "" {
+		scale.Designs = strings.Split(*designs, ",")
+	}
 
 	// Reject workload typos up front; without this check a bad -workloads
 	// value runs every experiment over an empty set and prints empty tables.
 	if err := scale.ValidateWorkloads(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		stopProfiles()
+		os.Exit(2)
+	}
+	// Same for -designs: every name must resolve in the registry.
+	if err := scale.ValidateDesigns(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		stopProfiles()
 		os.Exit(2)

@@ -125,7 +125,7 @@ func info(args []string) {
 
 func run(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	designName := fs.String("design", "mix", "TLB design (split|mix|mix+colt|rehash+pred|skew+pred|colt|colt++|ideal)")
+	designName := fs.String("design", "mix", "TLB design from the registry (split|mix|mix+colt|split+pwc|mix-as-l2|...; see mixtlb -list)")
 	tracePath := fs.String("trace", "", "trace file (required)")
 	memGB := fs.Uint64("mem-gb", 4, "simulated physical memory (GiB)")
 	policy := fs.String("policy", "THS", "page-size policy (4KB|2MB|1GB|THS)")

@@ -206,7 +206,7 @@ func DuplicateStudy(ctx context.Context, s Scale) (*stats.Table, error) {
 						return nil, err
 					}
 					caches := cachesim.DefaultHierarchy()
-					m, err := mmu.New(mmu.Config{Name: label, L1: l1, L2: l2},
+					m, err := mmu.New(mmu.Config{Name: label, Levels: mmu.L(l1, l2)},
 						env.as.PageTable(), caches, env.as.HandleFault)
 					if err != nil {
 						return nil, err
@@ -262,7 +262,7 @@ func CoalesceCapStudy(ctx context.Context, s Scale, caps []int) (*stats.Table, e
 					if err != nil {
 						return nil, err
 					}
-					m, err := mmu.New(mmu.Config{Name: cfg.Name, L1: l1},
+					m, err := mmu.New(mmu.Config{Name: cfg.Name, Levels: mmu.L(l1)},
 						env.as.PageTable(), caches, env.as.HandleFault)
 					if err != nil {
 						return nil, err

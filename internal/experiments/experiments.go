@@ -46,6 +46,13 @@ type Scale struct {
 	GPUCores int
 	// Workloads optionally restricts the CPU workload set (nil = all).
 	Workloads []string
+	// Designs optionally overrides the design set of experiments that
+	// iterate the registry (currently "hierarchy"; nil = their defaults).
+	Designs []string
+	// Registry resolves design names for registry-driven experiments.
+	// Nil falls back to mmu.DefaultRegistry() (the builtin designs); the
+	// CLI installs a registry extended with -design-file specs.
+	Registry *mmu.Registry
 	// Seed drives all randomness.
 	Seed uint64
 	// Chaos configures fault injection for the chaos experiment (zero
@@ -100,6 +107,14 @@ func QuickScale() Scale {
 		Seed:           42,
 		Chaos:          chaos.DefaultRates(),
 	}
+}
+
+// registry resolves the scale's design registry.
+func (s Scale) registry() *mmu.Registry {
+	if s.Registry != nil {
+		return s.Registry
+	}
+	return mmu.DefaultRegistry()
 }
 
 // workloads resolves the scale's workload set.
@@ -226,7 +241,7 @@ func mixMMU(name string, l1cfg, l2cfg core.Config, env *nativeEnv, caches *cache
 	if err != nil {
 		return nil, err
 	}
-	return mmu.New(mmu.Config{Name: name, L1: l1, L2: l2},
+	return mmu.New(mmu.Config{Name: name, Levels: mmu.L(l1, l2)},
 		env.as.PageTable(), caches, env.as.HandleFault)
 }
 
@@ -397,6 +412,7 @@ func All() []Experiment {
 		{"scaling", "Sec 7.2 scaling study: set counts up to 512", ScalingStudy},
 		{"duplicates", "Sec 4.3 duplicate creation and elimination study", DuplicateStudy},
 		{"invalidation", "Sec 4.4 invalidation study: shootdown refill traffic by design", InvalidationStudy},
+		{"hierarchy", "registry designs compared: per-level hits, walk traffic, PWC effect", HierarchyStudy},
 		{"chaos", "fault injection: TLB/PTE corruption, lost IPIs, transient OOM — detection and recovery rates", ChaosStudy},
 	}
 }
@@ -456,6 +472,23 @@ func (s Scale) ValidateWorkloads() error {
 				valid[i] = spec.Name
 			}
 			return &UnknownWorkloadError{Name: name, Valid: valid}
+		}
+	}
+	return nil
+}
+
+// ValidateDesigns checks that every name in Scale.Designs resolves in the
+// scale's design registry, returning an *mmu.UnknownDesignError for the
+// first one that does not — so a typo'd -designs flag fails up front
+// instead of erroring mid-grid.
+func (s Scale) ValidateDesigns() error {
+	if len(s.Designs) == 0 {
+		return nil
+	}
+	reg := s.registry()
+	for _, name := range s.Designs {
+		if _, ok := reg.Lookup(name); !ok {
+			return &mmu.UnknownDesignError{Name: name, Valid: reg.Names()}
 		}
 	}
 	return nil

@@ -19,10 +19,13 @@ func f(t *testing.T, s string) float64 {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(All()) != 17 {
+	if len(All()) != 18 {
 		t.Errorf("%d experiments registered", len(All()))
 	}
 	if _, err := ByName("fig14"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("hierarchy"); err != nil {
 		t.Error(err)
 	}
 	if _, err := ByName("chaos"); err != nil {

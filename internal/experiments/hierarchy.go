@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"mixtlb/internal/cachesim"
+	"mixtlb/internal/mmu"
+	"mixtlb/internal/osmm"
+	"mixtlb/internal/simrand"
+	"mixtlb/internal/stats"
+	"mixtlb/internal/workload"
+)
+
+// defaultHierarchyDesigns is the design set HierarchyStudy compares when
+// Scale.Designs is empty: the commercial baseline, the same baseline with
+// paging-structure caches on the walker, full MIX, and the drop-in
+// MIX-as-L2 upgrade. Together they separate "better TLB" gains from
+// "cheaper walk" gains.
+var defaultHierarchyDesigns = []string{
+	string(mmu.DesignSplit),
+	string(mmu.DesignSplitPWC),
+	string(mmu.DesignMix),
+	string(mmu.DesignMixAsL2),
+}
+
+// hierarchyMemhogFrac is the background fragmentation the study runs
+// under. A pristine THS environment maps the whole footprint with 2MB
+// pages that fit in every L2, so no design ever walks and the walk/PWC
+// columns degenerate to zero; heavy memhog load forces the mixed
+// 2MB/4KB regime (Fig 9's middle band) where both TLB reach and walk
+// cost are live.
+const hierarchyMemhogFrac = 0.7
+
+// HierarchyStudy compares translation-hierarchy designs drawn from the
+// registry — including designs loaded from a -design-file — on the
+// scale's workloads. Every design of a cell runs over the same fragmented
+// environment and the same reference stream, so rows differ only by
+// design. Reported per (design, workload): per-level hit rates, walk
+// traffic (frequency and per-walk PTE references after any
+// paging-structure-cache skips), the fraction of walk references the PWC
+// removed, and translation cycles per access. One cell per workload.
+func HierarchyStudy(ctx context.Context, s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: "Translation hierarchy comparison: registry designs, per-level hits and walk traffic",
+		Columns: []string{"design", "workload", "l1-hit%", "l2-hit%",
+			"walks-per-1k", "refs-per-walk", "pwc-skip%", "cyc/acc"},
+	}
+	designs := s.Designs
+	if len(designs) == 0 {
+		designs = defaultHierarchyDesigns
+	}
+	reg := s.registry()
+	specs := make([]mmu.DesignSpec, len(designs))
+	for i, d := range designs {
+		spec, ok := reg.Lookup(d)
+		if !ok {
+			return nil, &mmu.UnknownDesignError{Name: d, Valid: reg.Names()}
+		}
+		specs[i] = spec
+	}
+	var cells []Cell
+	for _, wl := range s.workloads() {
+		wl := wl.Name
+		cells = append(cells, Cell{
+			Name: wl,
+			Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+				spec, err := workload.ByName(wl)
+				if err != nil {
+					return nil, err
+				}
+				env, err := newNative(cs, osmm.THS, hierarchyMemhogFrac, cs.Seed)
+				if err != nil {
+					return nil, err
+				}
+				var rows []Row
+				for _, ds := range specs {
+					caches := cachesim.DefaultHierarchy()
+					m, err := ds.Build(env.as.PageTable(), env.as.PageTable(), caches, env.as.HandleFault)
+					if err != nil {
+						return nil, err
+					}
+					if cs.Telemetry != nil {
+						m.AttachTelemetry(cs.Telemetry.With("workload", wl))
+					}
+					stream := spec.Build(env.base, env.fp, simrand.New(cs.Seed))
+					st, err := runStream(ctx, m, stream, cs.WarmupRefs, cs.MeasureRefs)
+					if err != nil {
+						return nil, fmt.Errorf("%s/%s (seed %d): %w", wl, ds.Name, cs.Seed, err)
+					}
+					if cs.Telemetry != nil {
+						m.FlushTelemetry()
+						env.flushTelemetry()
+					}
+					acc := float64(st.Accesses)
+					if acc == 0 {
+						acc = 1
+					}
+					refsPerWalk := 0.0
+					if st.Walks > 0 {
+						refsPerWalk = float64(st.WalkRefs) / float64(st.Walks)
+					}
+					pwcSkip := 0.0
+					if tot := st.WalkRefs + st.PWCSkippedRefs; tot > 0 {
+						pwcSkip = 100 * float64(st.PWCSkippedRefs) / float64(tot)
+					}
+					rows = append(rows, Row{ds.Name, wl,
+						100 * float64(st.L1Hits) / acc,
+						100 * float64(st.L2Hits) / acc,
+						1000 * float64(st.Walks) / acc,
+						refsPerWalk,
+						pwcSkip,
+						st.CyclesPerAccess()})
+				}
+				return rows, nil
+			},
+		})
+	}
+	results, err := RunGrid(ctx, s, "hierarchy", t, cells)
+	AppendRows(t, results)
+	return t, err
+}

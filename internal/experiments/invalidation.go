@@ -6,13 +6,12 @@ import (
 
 	"mixtlb/internal/addr"
 	"mixtlb/internal/cachesim"
-	"mixtlb/internal/core"
+	"mixtlb/internal/mmu"
 	"mixtlb/internal/osmm"
 	"mixtlb/internal/physmem"
 	"mixtlb/internal/simrand"
 	"mixtlb/internal/smp"
 	"mixtlb/internal/stats"
-	"mixtlb/internal/tlb"
 	"mixtlb/internal/workload"
 )
 
@@ -23,38 +22,32 @@ import (
 // bundles drop the whole coalesced entry; split TLBs lose a single entry.
 // Reported: walks per shootdown (post-invalidation refill traffic).
 // One cell per design point.
+//
+// The design points resolve through the registry (split, mix, mix-range)
+// instead of hand-built TLB pairs; the cell names predate the registry
+// and are pinned — they seed each cell's random streams.
 func InvalidationStudy(ctx context.Context, s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:   "Sec 4.4 invalidations: post-shootdown refill traffic by design",
 		Columns: []string{"design", "walks-per-1k-refs", "shootdowns", "invalidations"},
 	}
-	type point struct {
-		name  string
-		build func() (tlb.TLB, tlb.TLB, error)
-	}
-	pair := func(l1 tlb.TLB, e1 error) func(tlb.TLB, error) (tlb.TLB, tlb.TLB, error) {
-		return func(l2 tlb.TLB, e2 error) (tlb.TLB, tlb.TLB, error) {
-			if e1 != nil {
-				return nil, nil, e1
-			}
-			return l1, l2, e2
-		}
-	}
-	points := []point{
-		{"split", func() (tlb.TLB, tlb.TLB, error) {
-			return pair(tlb.NewHaswellL1())(tlb.NewHaswellL2())
-		}},
-		{"mix-bitmap", func() (tlb.TLB, tlb.TLB, error) {
-			return pair(core.New(core.L1Config()))(core.New(core.L2Config()))
-		}},
-		{"mix-range", func() (tlb.TLB, tlb.TLB, error) {
-			return pair(core.New(core.L1Config()))(core.New(core.L2RangeConfig()))
-		}},
+	points := []struct {
+		name   string // pinned cell name (feeds the seed split)
+		design string // registry design the cell builds
+	}{
+		{"split", string(mmu.DesignSplit)},
+		{"mix-bitmap", string(mmu.DesignMix)},
+		{"mix-range", string(mmu.DesignMixRange)},
 	}
 	const cores = 2
+	reg := s.registry()
 	var cells []Cell
 	for _, p := range points {
 		p := p
+		spec, ok := reg.Lookup(p.design)
+		if !ok {
+			return nil, &mmu.UnknownDesignError{Name: p.design, Valid: reg.Names()}
+		}
 		cells = append(cells, Cell{
 			Name: p.name,
 			Run: func(ctx context.Context, cs Scale) ([]Row, error) {
@@ -71,7 +64,7 @@ func InvalidationStudy(ctx context.Context, s Scale) (*stats.Table, error) {
 				if _, err := as.Populate(base, fp); err != nil {
 					return nil, fmt.Errorf("invalidation study populate: %w", err)
 				}
-				sys, err := smp.NewWithTLBs(cores, as, cachesim.DefaultHierarchy(), p.build)
+				sys, err := smp.NewFromSpec(cores, as, cachesim.DefaultHierarchy(), spec)
 				if err != nil {
 					return nil, err
 				}

@@ -137,9 +137,8 @@ func New(cfg Config, as *osmm.AddressSpace, caches *cachesim.Hierarchy) (*System
 			return nil, err
 		}
 		m, err := mmu.New(mmu.Config{
-			Name: fmt.Sprintf("%s.core%d", cfg.Design, i),
-			L1:   l1,
-			L2:   l2,
+			Name:   fmt.Sprintf("%s.core%d", cfg.Design, i),
+			Levels: mmu.L(l1, l2),
 		}, as.PageTable(), caches, as.HandleFault)
 		if err != nil {
 			return nil, err

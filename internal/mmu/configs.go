@@ -1,16 +1,14 @@
 package mmu
 
 import (
-	"fmt"
-
-	"mixtlb/internal/addr"
 	"mixtlb/internal/cachesim"
-	"mixtlb/internal/core"
 	"mixtlb/internal/pagetable"
-	"mixtlb/internal/tlb"
 )
 
 // Design names the TLB organizations compared in the evaluation (Sec 7.2).
+// Each constant is the registry name of a builtin DesignSpec; Build is a
+// registry lookup, so the constants, CLI flags, and design files all draw
+// from the same declarative catalog.
 type Design string
 
 // The design points. All are area-equivalent to the split baseline at the
@@ -37,6 +35,17 @@ const (
 	// DesignMixSuperIndex is the Sec 3 ablation: MIX indexed by superpage
 	// bits.
 	DesignMixSuperIndex Design = "mix-superidx"
+	// DesignMixRange is MIX with the paper's literal range-encoded L2
+	// (the invalidation study's third point).
+	DesignMixRange Design = "mix-range"
+	// DesignMixAsL2 keeps the commercial split L1 and swaps only the L2
+	// for a MIX array — the drop-in upgrade path a vendor would ship
+	// first.
+	DesignMixAsL2 Design = "mix-as-l2"
+	// DesignSplitPWC is the Haswell baseline with paging-structure caches
+	// on the walker, isolating how much of the TLB-design gap MMU caches
+	// close.
+	DesignSplitPWC Design = "split+pwc"
 )
 
 // AllDesigns lists the comparable designs in report order.
@@ -45,113 +54,9 @@ func AllDesigns() []Design {
 		DesignSkew, DesignColt, DesignColtPP, DesignIdeal}
 }
 
-// Build constructs a two-level MMU of the given design over the page table
-// and cache hierarchy. fault handles demand paging (may be nil).
+// Build constructs an MMU of the given design over the page table and
+// cache hierarchy, resolving the name in the builtin registry. fault
+// handles demand paging (may be nil).
 func Build(d Design, src TranslationSource, pt *pagetable.PageTable, caches *cachesim.Hierarchy, fault FaultHandler) (*MMU, error) {
-	cfg := Config{Name: string(d)}
-	var err error
-	switch d {
-	case DesignSplit:
-		if cfg.L1, cfg.L2, err = levels(tlb.NewHaswellL1())(tlb.NewHaswellL2()); err != nil {
-			return nil, err
-		}
-	case DesignMix:
-		if cfg.L1, cfg.L2, err = levels(core.New(core.L1Config()))(core.New(core.L2Config())); err != nil {
-			return nil, err
-		}
-	case DesignMixColt:
-		l1 := core.L1Config()
-		l1.Name, l1.SmallCoalesce = "mix+colt-L1", 4
-		l2 := core.L2Config()
-		l2.Name, l2.SmallCoalesce = "mix+colt-L2", 4
-		if cfg.L1, cfg.L2, err = levels(core.New(l1))(core.New(l2)); err != nil {
-			return nil, err
-		}
-	case DesignRehash:
-		// 16 sets x 6 ways = 96 entries at L1; 128 x 4 at L2, all sizes.
-		if cfg.L1, err = predictedRehash("rehash-L1", 16, 6); err != nil {
-			return nil, err
-		}
-		if cfg.L2, err = predictedRehash("rehash-L2", 128, 4); err != nil {
-			return nil, err
-		}
-	case DesignSkew:
-		// Skew pays area for replacement timestamps (Sec 7.2), so its
-		// area-equivalent builds carry fewer entries: 16x6=96 -> 16 sets
-		// of 2 ways per size at L1 is already 96, minus the timestamp
-		// tax modeled as one fewer way-set at the L2 (64x6=384 vs 512).
-		if cfg.L1, err = predictedSkew("skew-L1", 16, 2); err != nil {
-			return nil, err
-		}
-		if cfg.L2, err = predictedSkew("skew-L2", 64, 2); err != nil {
-			return nil, err
-		}
-	case DesignColt:
-		if cfg.L1, cfg.L2, err = levels(tlb.NewColtSplitL1())(tlb.NewHaswellL2()); err != nil {
-			return nil, err
-		}
-	case DesignColtPP:
-		// COLT++ coalesces within each *split* TLB (Sec 7.2); the L2
-		// keeps the commercial shared hash-rehash array, which cannot
-		// coalesce across its mixed-size sets.
-		if cfg.L1, cfg.L2, err = levels(tlb.NewColtPlusPlusL1())(tlb.NewHaswellL2()); err != nil {
-			return nil, err
-		}
-	case DesignIdeal:
-		if pt == nil {
-			return nil, fmt.Errorf("mmu: ideal design requires the native page table")
-		}
-		cfg.L1 = tlb.NewIdeal(pt)
-		cfg.FreeWalks = true
-	case DesignMixSuperIndex:
-		l1 := core.L1Config()
-		l1.Name, l1.IndexShift = "mix-superidx-L1", addr.Shift2M
-		l2 := core.L2Config()
-		l2.Name, l2.IndexShift = "mix-superidx-L2", addr.Shift2M
-		if cfg.L1, cfg.L2, err = levels(core.New(l1))(core.New(l2)); err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("mmu: unknown design %q", d)
-	}
-	return New(cfg, src, caches, fault)
-}
-
-// levels pairs two fallible TLB constructors into (L1, L2, err). The
-// curried shape lets each multi-valued constructor call be the sole
-// argument list of its application.
-func levels(l1 tlb.TLB, e1 error) func(l2 tlb.TLB, e2 error) (tlb.TLB, tlb.TLB, error) {
-	return func(l2 tlb.TLB, e2 error) (tlb.TLB, tlb.TLB, error) {
-		if e1 != nil {
-			return nil, nil, e1
-		}
-		if e2 != nil {
-			return nil, nil, e2
-		}
-		return l1, l2, nil
-	}
-}
-
-func predictedRehash(name string, sets, ways int) (tlb.TLB, error) {
-	inner, err := tlb.NewHashRehash(name, sets, ways, addr.Page4K, addr.Page2M, addr.Page1G)
-	if err != nil {
-		return nil, err
-	}
-	pred, err := tlb.NewSizePredictor(512)
-	if err != nil {
-		return nil, err
-	}
-	return tlb.NewPredictedRehash(inner, pred), nil
-}
-
-func predictedSkew(name string, sets, waysEach int) (tlb.TLB, error) {
-	inner, err := tlb.NewSkewAllSizes(name, sets, waysEach)
-	if err != nil {
-		return nil, err
-	}
-	pred, err := tlb.NewSizePredictor(512)
-	if err != nil {
-		return nil, err
-	}
-	return tlb.NewPredictedSkew(inner, pred), nil
+	return DefaultRegistry().Build(string(d), src, pt, caches, fault)
 }

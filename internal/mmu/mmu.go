@@ -1,11 +1,19 @@
-// Package mmu composes a two-level TLB hierarchy, a hardware page-table
-// walker, and the cache hierarchy into a memory-management unit with full
-// latency and event accounting — the functional simulator of Sec 6.2.
+// Package mmu composes an N-level TLB hierarchy, a hardware page-table
+// walker (optionally fronted by paging-structure caches), and the cache
+// hierarchy into a memory-management unit with full latency and event
+// accounting — the functional simulator of Sec 6.2.
 //
-// Every translation request flows L1 TLB → L2 TLB → page-table walk, with
-// walker PTE reads going through the cache hierarchy (so walk cost depends
-// on page-table locality, as on real hardware). Misses on unmapped
-// addresses invoke a demand-paging callback (the OS layer) and re-walk.
+// Every translation request flows through the ordered hierarchy levels
+// (the paper's fixed L1 TLB → L2 TLB pipeline is the two-level instance),
+// then to the page-table walk, with walker PTE reads going through the
+// cache hierarchy (so walk cost depends on page-table locality, as on
+// real hardware). Misses on unmapped addresses invoke a demand-paging
+// callback (the OS layer) and re-walk.
+//
+// Designs are data: a DesignSpec names the level stack, its geometry, and
+// whether the walker carries paging-structure caches, and the Registry
+// turns validated specs into MMUs. The hand-written constructors this
+// package used to carry are now registry entries.
 package mmu
 
 import (
@@ -15,6 +23,7 @@ import (
 	"mixtlb/internal/cachesim"
 	"mixtlb/internal/chaos"
 	"mixtlb/internal/pagetable"
+	"mixtlb/internal/pwc"
 	"mixtlb/internal/tlb"
 )
 
@@ -34,10 +43,11 @@ type FaultHandler func(va addr.V, write bool) bool
 
 // Latencies configures the cycle model.
 type Latencies struct {
-	// L1Hit is charged for every request (the L1 TLB probe overlaps the
-	// L1 cache access on real parts; this is its exposed cost).
+	// L1Hit is charged for every request (the first level's probe overlaps
+	// the L1 cache access on real parts; this is its exposed cost).
 	L1Hit uint64
-	// L2Hit is the added cost of an L2 TLB probe round.
+	// L2Hit is the added cost of each probe round beyond the first level
+	// (any deeper level without its own HitLatency override).
 	L2Hit uint64
 	// ExtraProbe is the added cost of each probe round beyond the first
 	// (hash-rehash re-probes, predictor second rounds).
@@ -57,22 +67,52 @@ func DefaultLatencies() Latencies {
 	return Latencies{L1Hit: 1, L2Hit: 7, ExtraProbe: 2, DirtyMicroOp: 0}
 }
 
+// Level is one hierarchy level of a Config: a TLB plus its probe cost.
+type Level struct {
+	TLB tlb.TLB
+	// HitLatency is the added cost of probing this level. Zero selects
+	// the default: Lat.L1Hit for the first level (charged on every
+	// request), Lat.L2Hit for every deeper level.
+	HitLatency uint64
+}
+
+// L wraps TLBs into a Level slice with default latencies, skipping nils —
+// the compact spelling callers use for ad-hoc hierarchies: L(l1, l2).
+func L(tlbs ...tlb.TLB) []Level {
+	levels := make([]Level, 0, len(tlbs))
+	for _, t := range tlbs {
+		if t != nil {
+			levels = append(levels, Level{TLB: t})
+		}
+	}
+	return levels
+}
+
 // Config assembles an MMU.
 type Config struct {
 	Name string
-	L1   tlb.TLB
-	L2   tlb.TLB // optional
-	Lat  Latencies
+	// Levels is the ordered translation hierarchy, probed first to last.
+	// At least one level is required.
+	Levels []Level
+	Lat    Latencies
+	// PWC, when non-nil, attaches paging-structure caches to the walker:
+	// walks skip the upper-level PTE references a cached prefix supplies.
+	// Never share one cache across address spaces.
+	PWC *pwc.Cache
 	// FreeWalks makes misses cost nothing — used by the ideal-TLB
-	// yardstick so its only cost is the L1 hit cycle.
+	// yardstick so its only cost is the first-level hit cycle.
 	FreeWalks bool
 }
 
-// Stats aggregates the MMU's event counters.
+// Stats aggregates the MMU's event counters. The L1/L2 fields describe
+// the first two hierarchy levels (every design in the paper has at most
+// two); DeepHits folds any third-or-deeper level in, and per-level detail
+// for arbitrary hierarchies comes from MMU.LevelStats.
 type Stats struct {
 	Accesses uint64
 	L1Hits   uint64
 	L2Hits   uint64
+	DeepHits uint64 // hits at hierarchy levels beyond the second
 	Walks    uint64
 	Faults   uint64
 
@@ -89,6 +129,11 @@ type Stats struct {
 	Invalidations uint64
 	Flushes       uint64
 
+	// Paging-structure-cache accounting (zero unless the design has one).
+	PWCHits        uint64 // walks that short-circuited upper levels
+	PWCMisses      uint64 // walks the caches could not shorten
+	PWCSkippedRefs uint64 // upper-level PTE references never issued
+
 	// Fault-injection accounting (zero unless chaos/oracle attached).
 	ECC              tlb.ECCStats
 	PTECorruptions   uint64 // walker results corrupted in flight
@@ -100,19 +145,47 @@ type Stats struct {
 	OracleUnrecovered uint64
 }
 
+// LevelStat is one hierarchy level's share of the counters, for reports
+// that want per-level detail at any depth.
+type LevelStat struct {
+	Name   string // the level's TLB name
+	Hits   uint64
+	Lookup tlb.Cost
+	Fill   tlb.Cost
+}
+
 // maxOracleRetries bounds the scrub-and-retranslate loop when the oracle
 // rejects a result; after that the oracle's ground truth is substituted so
 // no wrong translation ever reaches the workload.
 const maxOracleRetries = 3
 
+// hierLevel is one level's runtime state: its TLB, probe cost, counters,
+// and the optional interfaces pre-asserted once at construction so the
+// hot path never repeats a type switch.
+type hierLevel struct {
+	tlb tlb.TLB
+	lat uint64 // cycles charged when this level is probed
+
+	hits   uint64
+	lookup tlb.Cost
+	fill   tlb.Cost
+
+	promoter  tlb.Promoter
+	bundler   tlb.BundleProvider
+	refresher tlb.DirtyRefresher
+	scrubber  tlb.Scrubber
+}
+
 // MMU is a simulated memory-management unit.
 type MMU struct {
 	cfg    Config
+	levels []hierLevel
 	src    TranslationSource
 	caches *cachesim.Hierarchy
 	fault  FaultHandler
 	chaos  *chaos.Injector
 	oracle *chaos.Oracle
+	pwc    *pwc.Cache
 	stats  Stats
 
 	// pt is src when it is the native page table; it enables the fused
@@ -122,17 +195,17 @@ type MMU struct {
 	// steady-state misses allocation-free. Nothing retains a walk past the
 	// Translate call that produced it, so one buffer per MMU suffices.
 	walkBuf pagetable.WalkResult
-	// promoLine is the single-translation line used when an L2 hit without
-	// bundle members promotes into the L1.
+	// promoLine is the single-translation line used when a deeper-level
+	// hit without bundle members promotes into the levels above it.
 	promoLine [1]pagetable.Translation
 	// lineBuf is the reusable PTE cache line for fused dirty-bit assists.
 	lineBuf []pagetable.Translation
 
-	// replayOK records whether the L1 design's lookups are
+	// replayOK records whether the first level's lookups are
 	// replay-consistent (tlb.ReplayConsistent); memoOK additionally
-	// requires no chaos injector or oracle. memo caches the last pure L1
-	// hit so consecutive accesses to the same 4KB page replay its exact
-	// Result and Cost without re-probing.
+	// requires no chaos injector or oracle. memo caches the last pure
+	// first-level hit so consecutive accesses to the same 4KB page replay
+	// its exact Result and Cost without re-probing.
 	replayOK bool
 	memoOK   bool
 	memo     memoEntry
@@ -142,8 +215,8 @@ type MMU struct {
 	tel *mmuTel
 }
 
-// memoEntry captures one pure L1 hit (no fault, no dirty-bit transition)
-// for replay on consecutive same-page accesses.
+// memoEntry captures one pure first-level hit (no fault, no dirty-bit
+// transition) for replay on consecutive same-page accesses.
 type memoEntry struct {
 	valid  bool
 	vpn4k  uint64 // 4KB virtual page number of the hit
@@ -158,15 +231,36 @@ type memoEntry struct {
 // shader cores sharing an LLC); fault may be nil if every access is
 // pre-mapped.
 func New(cfg Config, src TranslationSource, caches *cachesim.Hierarchy, fault FaultHandler) (*MMU, error) {
-	if cfg.L1 == nil {
-		return nil, fmt.Errorf("mmu %q: config needs an L1 TLB", cfg.Name)
+	if len(cfg.Levels) == 0 {
+		return nil, fmt.Errorf("mmu %q: config needs at least one hierarchy level", cfg.Name)
 	}
 	if cfg.Lat == (Latencies{}) {
 		cfg.Lat = DefaultLatencies()
 	}
-	m := &MMU{cfg: cfg, src: src, caches: caches, fault: fault}
+	m := &MMU{cfg: cfg, src: src, caches: caches, fault: fault, pwc: cfg.PWC}
+	m.levels = make([]hierLevel, len(cfg.Levels))
+	for i, l := range cfg.Levels {
+		if l.TLB == nil {
+			return nil, fmt.Errorf("mmu %q: hierarchy level %d has no TLB", cfg.Name, i)
+		}
+		lat := l.HitLatency
+		if lat == 0 {
+			if i == 0 {
+				lat = cfg.Lat.L1Hit
+			} else {
+				lat = cfg.Lat.L2Hit
+			}
+		}
+		lv := &m.levels[i]
+		lv.tlb = l.TLB
+		lv.lat = lat
+		lv.promoter, _ = l.TLB.(tlb.Promoter)
+		lv.bundler, _ = l.TLB.(tlb.BundleProvider)
+		lv.refresher, _ = l.TLB.(tlb.DirtyRefresher)
+		lv.scrubber, _ = l.TLB.(tlb.Scrubber)
+	}
 	m.pt, _ = src.(*pagetable.PageTable)
-	if rc, ok := cfg.L1.(tlb.ReplayConsistent); ok && rc.LookupReplayConsistent() {
+	if rc, ok := m.levels[0].tlb.(tlb.ReplayConsistent); ok && rc.LookupReplayConsistent() {
 		m.replayOK = true
 	}
 	m.memoOK = m.replayOK
@@ -204,32 +298,79 @@ func (m *MMU) AttachOracle(o *chaos.Oracle) {
 // Name returns the MMU's configuration name.
 func (m *MMU) Name() string { return m.cfg.Name }
 
-// Stats returns a snapshot of the counters.
-func (m *MMU) Stats() Stats { return m.stats }
+// Depth returns the number of hierarchy levels.
+func (m *MMU) Depth() int { return len(m.levels) }
+
+// PWC exposes the attached paging-structure cache, nil when the design
+// has none.
+func (m *MMU) PWC() *pwc.Cache { return m.pwc }
+
+// Stats returns a snapshot of the counters, folding the per-level
+// counters into the legacy two-level fields.
+func (m *MMU) Stats() Stats {
+	s := m.stats
+	s.L1Hits = m.levels[0].hits
+	s.L1Lookup = m.levels[0].lookup
+	s.L1Fill = m.levels[0].fill
+	if len(m.levels) > 1 {
+		s.L2Hits = m.levels[1].hits
+		s.L2Lookup = m.levels[1].lookup
+		s.L2Fill = m.levels[1].fill
+	}
+	for i := 2; i < len(m.levels); i++ {
+		s.DeepHits += m.levels[i].hits
+	}
+	return s
+}
+
+// LevelStats returns each hierarchy level's counters in probe order. The
+// slice is a fresh snapshot; callers may retain it.
+func (m *MMU) LevelStats() []LevelStat {
+	out := make([]LevelStat, len(m.levels))
+	for i := range m.levels {
+		lv := &m.levels[i]
+		out[i] = LevelStat{Name: lv.tlb.Name(), Hits: lv.hits, Lookup: lv.lookup, Fill: lv.fill}
+	}
+	return out
+}
 
 // ResetStats zeroes the counters (TLB and cache contents are retained),
 // separating warm-up from measurement.
-func (m *MMU) ResetStats() { m.stats = Stats{} }
+func (m *MMU) ResetStats() {
+	m.stats = Stats{}
+	for i := range m.levels {
+		lv := &m.levels[i]
+		lv.hits, lv.lookup, lv.fill = 0, tlb.Cost{}, tlb.Cost{}
+	}
+	if m.pwc != nil {
+		m.pwc.ResetStats()
+	}
+}
 
 // Result reports one translated access.
 type Result struct {
-	PA      addr.P
-	Size    addr.PageSize // page size of the serving translation
-	Cycles  uint64
-	L1Hit   bool
-	L2Hit   bool
-	Walked  bool
-	Faulted bool // unmapped and the fault handler refused
+	PA   addr.P
+	Size addr.PageSize // page size of the serving translation
+	// HitLevel is the hierarchy level that served the hit (0 = first
+	// level), or -1 when the access walked or faulted.
+	HitLevel int8
+	Cycles   uint64
+	L1Hit    bool // HitLevel == 0
+	L2Hit    bool // HitLevel == 1
+	Walked   bool
+	Faulted  bool // unmapped and the fault handler refused
 }
 
 // provenance names the structure that served the result, for oracle
 // diagnostics.
 func (r Result) provenance() string {
 	switch {
-	case r.L1Hit:
+	case r.HitLevel == 0:
 		return "L1"
-	case r.L2Hit:
+	case r.HitLevel == 1:
 		return "L2"
+	case r.HitLevel > 1:
+		return fmt.Sprintf("L%d", r.HitLevel+1)
 	case r.Walked:
 		return "walk"
 	default:
@@ -239,9 +380,9 @@ func (r Result) provenance() string {
 
 // Translate services one memory access. With an oracle attached, the
 // result is cross-checked against page-table ground truth: a mismatch
-// scrubs the offending entries from both TLB levels and re-translates,
-// and after maxOracleRetries the oracle's own translation is substituted,
-// so a workload never consumes a wrong physical address.
+// scrubs the offending entries from every hierarchy level and
+// re-translates, and after maxOracleRetries the oracle's own translation
+// is substituted, so a workload never consumes a wrong physical address.
 func (m *MMU) Translate(req tlb.Request) Result {
 	if res, ok := m.replayMemo(req); ok {
 		return res
@@ -283,12 +424,12 @@ func (m *MMU) Translate(req tlb.Request) Result {
 }
 
 // replayMemo serves a consecutive access to the last memoized 4KB page
-// without re-probing the L1, replaying the exact Result, Cost, and cycle
-// charge of the pure L1 hit that set the memo. Any non-matching access
-// clears the memo: it only ever covers an unbroken same-page run, during
-// which no TLB or page-table state changes (the L1 is replay-consistent
-// by the memoOK gate, and writes replay only through already-dirty
-// entries, so no dirty transition is skipped).
+// without re-probing the first level, replaying the exact Result, Cost,
+// and cycle charge of the pure hit that set the memo. Any non-matching
+// access clears the memo: it only ever covers an unbroken same-page run,
+// during which no TLB or page-table state changes (the first level is
+// replay-consistent by the memoOK gate, and writes replay only through
+// already-dirty entries, so no dirty transition is skipped).
 func (m *MMU) replayMemo(req tlb.Request) (Result, bool) {
 	if !m.memo.valid {
 		return Result{}, false
@@ -298,8 +439,8 @@ func (m *MMU) replayMemo(req tlb.Request) (Result, bool) {
 		return Result{}, false
 	}
 	m.stats.Accesses++
-	m.stats.L1Hits++
-	m.stats.L1Lookup.Add(m.memo.cost)
+	m.levels[0].hits++
+	m.levels[0].lookup.Add(m.memo.cost)
 	m.stats.Cycles += m.memo.cycles
 	if m.tel != nil {
 		m.tel.memoHits.Inc()
@@ -331,97 +472,82 @@ func (m *MMU) TranslateBatch(reqs []tlb.Request, out []Result) int {
 	return len(reqs)
 }
 
-// translateOnce runs one full L1 → L2 → walk translation attempt,
-// including fault injection at each layer.
+// translateOnce runs one full probe of the hierarchy — first level to
+// last, then the page-table walk — including fault injection at each
+// layer.
 func (m *MMU) translateOnce(req tlb.Request) Result {
 	var res Result
-	res.Cycles = m.cfg.Lat.L1Hit
-
-	r1 := m.cfg.L1.Lookup(req)
-	m.stats.L1Lookup.Add(r1.Cost)
-	if r1.Cost.Probes > 1 {
-		res.Cycles += uint64(r1.Cost.Probes-1) * m.cfg.Lat.ExtraProbe
-	}
-	if r1.Hit {
-		switch m.chaos.CorruptTLBHit(&r1.T) {
-		case chaos.FaultDetected:
-			// Parity caught the flipped bit: scrub and fall through to
-			// the L2/walk path as if the entry had never been there.
-			m.stats.ECC.ParityDetected++
-			m.stats.ECC.Rewalks++
-			m.scrubCorrupt(req.VA, r1.T.Size)
-			r1.Hit = false
-		case chaos.FaultSilent:
-			m.stats.ECC.SilentCorruptions++
+	res.HitLevel = -1
+	for li := range m.levels {
+		lv := &m.levels[li]
+		res.Cycles += lv.lat
+		r := lv.tlb.Lookup(req)
+		lv.lookup.Add(r.Cost)
+		if r.Cost.Probes > 1 {
+			res.Cycles += uint64(r.Cost.Probes-1) * m.cfg.Lat.ExtraProbe
 		}
-	}
-	if r1.Hit {
-		m.stats.L1Hits++
-		res.L1Hit = true
-		res.PA = r1.T.Translate(req.VA)
-		res.Size = r1.T.Size
-		m.handleDirty(req, r1.Dirty, &res, nil)
-		m.stats.Cycles += res.Cycles
-		if m.memoOK && (!req.Write || r1.Dirty) {
-			// A pure hit (no dirty transition): memoize it so consecutive
-			// same-page accesses replay without re-probing.
-			m.memo = memoEntry{
-				valid:  true,
-				vpn4k:  uint64(req.VA) >> addr.Shift4K,
-				dirty:  r1.Dirty,
-				size:   res.Size,
-				paBase: res.PA &^ ((1 << addr.Shift4K) - 1),
-				cycles: res.Cycles,
-				cost:   r1.Cost,
-			}
-		}
-		return res
-	}
-
-	if m.cfg.L2 != nil {
-		r2 := m.cfg.L2.Lookup(req)
-		m.stats.L2Lookup.Add(r2.Cost)
-		res.Cycles += m.cfg.Lat.L2Hit
-		if r2.Cost.Probes > 1 {
-			res.Cycles += uint64(r2.Cost.Probes-1) * m.cfg.Lat.ExtraProbe
-		}
-		if r2.Hit {
-			switch m.chaos.CorruptTLBHit(&r2.T) {
+		if r.Hit {
+			switch m.chaos.CorruptTLBHit(&r.T) {
 			case chaos.FaultDetected:
+				// Parity caught the flipped bit: scrub and fall through
+				// to the deeper levels as if the entry had never been
+				// there.
 				m.stats.ECC.ParityDetected++
 				m.stats.ECC.Rewalks++
-				m.scrubCorrupt(req.VA, r2.T.Size)
-				r2.Hit = false
+				m.scrubCorrupt(req.VA, r.T.Size)
+				r.Hit = false
 			case chaos.FaultSilent:
 				m.stats.ECC.SilentCorruptions++
 			}
 		}
-		if r2.Hit {
-			m.stats.L2Hits++
-			res.L2Hit = true
-			res.PA = r2.T.Translate(req.VA)
-			res.Size = r2.T.Size
-			// Promote into L1: hardware refills the L1 from the L2
-			// entry, carrying the entry's whole coalesced membership.
-			// Mirroring designs fill only the probed set here.
-			m.promoLine[0] = r2.T
+		if !r.Hit {
+			continue
+		}
+		lv.hits++
+		res.HitLevel = int8(li)
+		res.L1Hit = li == 0
+		res.L2Hit = li == 1
+		res.PA = r.T.Translate(req.VA)
+		res.Size = r.T.Size
+		if li > 0 {
+			// Promote into every level above the hit: hardware refills
+			// the upper levels from the hit entry, carrying the entry's
+			// whole coalesced membership. Mirroring designs fill only the
+			// probed set here.
+			m.promoLine[0] = r.T
 			line := m.promoLine[:]
-			if bp, ok := m.cfg.L2.(tlb.BundleProvider); ok {
-				if members := bp.Members(req.VA); len(members) > 0 {
+			if lv.bundler != nil {
+				if members := lv.bundler.Members(req.VA); len(members) > 0 {
 					line = members
 				}
 			}
-			if p, ok := m.cfg.L1.(tlb.Promoter); ok {
-				m.stats.L1Fill.Add(p.Promote(req, r2.T, line))
-			} else {
-				m.stats.L1Fill.Add(m.cfg.L1.Fill(req, pagetable.WalkResult{
-					Found: true, Translation: r2.T, Line: line,
-				}))
+			for j := li - 1; j >= 0; j-- {
+				up := &m.levels[j]
+				if up.promoter != nil {
+					up.fill.Add(up.promoter.Promote(req, r.T, line))
+				} else {
+					up.fill.Add(up.tlb.Fill(req, pagetable.WalkResult{
+						Found: true, Translation: r.T, Line: line,
+					}))
+				}
 			}
-			m.handleDirty(req, r2.Dirty, &res, nil)
-			m.stats.Cycles += res.Cycles
-			return res
 		}
+		m.handleDirty(req, r.Dirty, &res, nil)
+		m.stats.Cycles += res.Cycles
+		if li == 0 && m.memoOK && (!req.Write || r.Dirty) {
+			// A pure first-level hit (no dirty transition): memoize it so
+			// consecutive same-page accesses replay without re-probing.
+			m.memo = memoEntry{
+				valid:  true,
+				vpn4k:  uint64(req.VA) >> addr.Shift4K,
+				dirty:  r.Dirty,
+				size:   res.Size,
+				paBase: res.PA &^ ((1 << addr.Shift4K) - 1),
+				cycles: res.Cycles,
+				cost:   r.Cost,
+			}
+		}
+		return res
 	}
 
 	walk := m.walk(req, &res)
@@ -437,37 +563,39 @@ func (m *MMU) translateOnce(req tlb.Request) Result {
 	res.Walked = true
 	res.PA = walk.Translation.Translate(req.VA)
 	res.Size = walk.Translation.Size
-	if m.cfg.L2 != nil {
-		m.stats.L2Fill.Add(m.cfg.L2.Fill(req, *walk))
+	// Fill deepest level first, mirroring the hardware refill order (the
+	// walk response installs in the last level, then propagates up).
+	for li := len(m.levels) - 1; li >= 0; li-- {
+		m.levels[li].fill.Add(m.levels[li].tlb.Fill(req, *walk))
 	}
-	m.stats.L1Fill.Add(m.cfg.L1.Fill(req, *walk))
 	m.handleDirty(req, walk.Translation.Dirty, &res, walk)
 	m.stats.Cycles += res.Cycles
 	return res
 }
 
 // scrubCorrupt evicts the (presumed corrupted) entries covering va from
-// both levels. TLBs exposing tlb.Scrubber drop the whole bundle; others
-// fall back to an ordinary invalidation.
+// every hierarchy level. TLBs exposing tlb.Scrubber drop the whole
+// bundle; others fall back to an ordinary invalidation.
 func (m *MMU) scrubCorrupt(va addr.V, size addr.PageSize) {
-	scrub := func(t tlb.TLB) {
-		if t == nil {
-			return
+	for li := range m.levels {
+		lv := &m.levels[li]
+		if lv.scrubber != nil {
+			m.stats.ECC.Scrubbed += uint64(lv.scrubber.ScrubCorrupt(va, size))
+		} else {
+			m.stats.ECC.Scrubbed += uint64(lv.tlb.Invalidate(va, size))
 		}
-		if s, ok := t.(tlb.Scrubber); ok {
-			m.stats.ECC.Scrubbed += uint64(s.ScrubCorrupt(va, size))
-			return
-		}
-		m.stats.ECC.Scrubbed += uint64(t.Invalidate(va, size))
 	}
-	scrub(m.cfg.L1)
-	scrub(m.cfg.L2)
 }
 
 // walk runs the hardware walker (and demand paging on a fault), charging
-// each PTE reference through the cache hierarchy. The returned result
-// points at the MMU's reusable buffer for native sources; it is consumed
-// within the enclosing Translate call and never retained.
+// each PTE reference through the cache hierarchy. When the design carries
+// paging-structure caches, a cached prefix short-circuits the walk's
+// upper-level references on the fused WalkInto path: the traversal stays
+// functional (the simulator still resolves the leaf), but the skipped
+// PTE reads are never charged — exactly the architectural effect.
+// The returned result points at the MMU's reusable buffer for native
+// sources; it is consumed within the enclosing Translate call and never
+// retained.
 func (m *MMU) walk(req tlb.Request, res *Result) *pagetable.WalkResult {
 	m.stats.Walks++
 	walk := &m.walkBuf
@@ -492,16 +620,33 @@ func (m *MMU) walk(req tlb.Request, res *Result) *pagetable.WalkResult {
 			*walk = m.src.Walk(req.VA)
 		}
 	}
+	skip := 0
+	if m.pwc != nil {
+		// Probe before fill so a walk never short-circuits on the entries
+		// it is itself about to cache.
+		if n := len(walk.Accesses); n > 1 {
+			skip = m.pwc.Skip(req.VA, n-1)
+			if skip > 0 {
+				m.stats.PWCHits++
+				m.stats.PWCSkippedRefs += uint64(skip)
+			} else {
+				m.stats.PWCMisses++
+			}
+		}
+		if walk.Found {
+			m.pwc.Fill(req.VA, len(walk.Accesses))
+		}
+	}
 	if !m.cfg.FreeWalks {
 		start := res.Cycles
-		for _, pa := range walk.Accesses {
+		for _, pa := range walk.Accesses[skip:] {
 			m.stats.WalkRefs++
 			c := m.caches.Access(pa)
 			res.Cycles += c.Cycles
 			m.stats.WalkCycles += c.Cycles
 		}
 		if m.tel != nil {
-			m.tel.walkDepth.Observe(uint64(len(walk.Accesses)))
+			m.tel.walkDepth.Observe(uint64(len(walk.Accesses) - skip))
 			m.tel.walkCycles.Observe(res.Cycles - start)
 		}
 	}
@@ -554,36 +699,39 @@ func (m *MMU) handleDirty(req tlb.Request, entryDirty bool, res *Result, walk *p
 			m.tel.dirtyGeneric.Inc()
 		}
 	}
-	refresh := func(t tlb.TLB) {
-		if r, ok := t.(tlb.DirtyRefresher); ok {
-			r.RefreshDirty(req.VA, line)
+	for li := range m.levels {
+		lv := &m.levels[li]
+		if lv.refresher != nil {
+			lv.refresher.RefreshDirty(req.VA, line)
 		} else {
-			t.MarkDirty(req.VA)
+			lv.tlb.MarkDirty(req.VA)
 		}
-	}
-	refresh(m.cfg.L1)
-	if m.cfg.L2 != nil {
-		refresh(m.cfg.L2)
 	}
 }
 
-// Invalidate performs a TLB shootdown for one page in both levels.
+// Invalidate performs a TLB shootdown for one page in every hierarchy
+// level (and the paging-structure caches, whose entries the page-table
+// update also stales).
 func (m *MMU) Invalidate(va addr.V, size addr.PageSize) {
 	m.stats.Invalidations++
 	m.memo = memoEntry{}
-	m.cfg.L1.Invalidate(va, size)
-	if m.cfg.L2 != nil {
-		m.cfg.L2.Invalidate(va, size)
+	for li := range m.levels {
+		m.levels[li].tlb.Invalidate(va, size)
+	}
+	if m.pwc != nil {
+		m.pwc.Invalidate(va)
 	}
 }
 
-// Flush empties both TLB levels.
+// Flush empties every hierarchy level and the paging-structure caches.
 func (m *MMU) Flush() {
 	m.stats.Flushes++
 	m.memo = memoEntry{}
-	m.cfg.L1.Flush()
-	if m.cfg.L2 != nil {
-		m.cfg.L2.Flush()
+	for li := range m.levels {
+		m.levels[li].tlb.Flush()
+	}
+	if m.pwc != nil {
+		m.pwc.Flush()
 	}
 }
 

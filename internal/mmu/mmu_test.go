@@ -345,9 +345,9 @@ func TestLatencyOverride(t *testing.T) {
 	e := newEnv(t)
 	e.mapPage(t, 0x1000, addr.Page4K)
 	m := mustBuild(New(Config{
-		Name: "slow",
-		L1:   tlb.Must(tlb.NewSetAssoc("l1", addr.Page4K, 4, 2)),
-		Lat:  Latencies{L1Hit: 3, L2Hit: 0, ExtraProbe: 0, DirtyMicroOp: 50},
+		Name:   "slow",
+		Levels: L(tlb.Must(tlb.NewSetAssoc("l1", addr.Page4K, 4, 2))),
+		Lat:    Latencies{L1Hit: 3, L2Hit: 0, ExtraProbe: 0, DirtyMicroOp: 50},
 	}, e.pt, e.caches, nil))
 	m.Translate(tlb.Request{VA: 0x1000})
 	r := m.Translate(tlb.Request{VA: 0x1000, Write: true})

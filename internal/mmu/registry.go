@@ -1,0 +1,216 @@
+package mmu
+
+import (
+	"sort"
+	"sync"
+
+	"mixtlb/internal/cachesim"
+	"mixtlb/internal/pagetable"
+)
+
+// Registry holds validated DesignSpecs by name. A registry stores only
+// specs (data); TLBs and MMUs are constructed fresh on every Build, so
+// one registry can serve many cores and experiments concurrently.
+type Registry struct {
+	mu    sync.RWMutex
+	specs map[string]DesignSpec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{specs: make(map[string]DesignSpec)}
+}
+
+// Register validates the spec and adds it. Duplicate names are a
+// *DesignSpecError: silently replacing a design mid-run would make
+// experiment rows unattributable.
+func (r *Registry) Register(s DesignSpec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.specs[s.Name]; dup {
+		return &DesignSpecError{Design: s.Name, Level: -1, Field: "name",
+			Reason: "duplicate design name"}
+	}
+	r.specs[s.Name] = s
+	return nil
+}
+
+// MustRegister is Register for statically-known specs.
+func (r *Registry) MustRegister(s DesignSpec) {
+	if err := r.Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the named spec.
+func (r *Registry) Lookup(name string) (DesignSpec, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.specs[name]
+	return s, ok
+}
+
+// Names returns every registered design name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.specs))
+	for n := range r.specs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Specs returns every registered spec, sorted by name.
+func (r *Registry) Specs() []DesignSpec {
+	names := r.Names()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]DesignSpec, len(names))
+	for i, n := range names {
+		out[i] = r.specs[n]
+	}
+	return out
+}
+
+// Build constructs an MMU of the named design, returning
+// *UnknownDesignError when the registry has no such spec.
+func (r *Registry) Build(name string, src TranslationSource, pt *pagetable.PageTable, caches *cachesim.Hierarchy, fault FaultHandler) (*MMU, error) {
+	s, ok := r.Lookup(name)
+	if !ok {
+		return nil, &UnknownDesignError{Name: name, Valid: r.Names()}
+	}
+	return s.Build(src, pt, caches, fault)
+}
+
+// BuildConfig assembles the named design's Config without wiring an MMU.
+func (r *Registry) BuildConfig(name string, pt *pagetable.PageTable) (Config, error) {
+	s, ok := r.Lookup(name)
+	if !ok {
+		return Config{}, &UnknownDesignError{Name: name, Valid: r.Names()}
+	}
+	return s.BuildConfig(pt)
+}
+
+// builtinSpecs declares every design the evaluation knows, replacing the
+// hand-written constructors configs.go used to carry. Geometry comments
+// follow Sec 7.2's area-equivalence argument.
+func builtinSpecs() []DesignSpec {
+	mixL1 := LevelSpec{Kind: KindMix, Name: "mix-L1", Sets: 16, Ways: 6}
+	mixL2 := LevelSpec{Kind: KindMix, Name: "mix-L2", Sets: 64, Ways: 8}
+	return []DesignSpec{
+		{
+			Name: string(DesignSplit),
+			Desc: "commercial Haswell-style split baseline",
+			Levels: []LevelSpec{
+				{Kind: KindHaswellL1},
+				{Kind: KindHaswellL2},
+			},
+		},
+		{
+			Name:   string(DesignMix),
+			Desc:   "MIX TLBs at both levels (the paper's contribution)",
+			Levels: []LevelSpec{mixL1, mixL2},
+		},
+		{
+			Name: string(DesignMixColt),
+			Desc: "MIX plus 4KB coalescing (Fig 18's best)",
+			Levels: []LevelSpec{
+				{Kind: KindMix, Name: "mix+colt-L1", Sets: 16, Ways: 6, SmallCoalesce: 4},
+				{Kind: KindMix, Name: "mix+colt-L2", Sets: 64, Ways: 8, SmallCoalesce: 4},
+			},
+		},
+		{
+			Name: string(DesignRehash),
+			Desc: "hash-rehash for all sizes with the best predictor",
+			Levels: []LevelSpec{
+				// 16 sets x 6 ways = 96 entries at L1; 128 x 4 at L2.
+				{Kind: KindRehashPred, Name: "rehash-L1", Sets: 16, Ways: 6},
+				{Kind: KindRehashPred, Name: "rehash-L2", Sets: 128, Ways: 4},
+			},
+		},
+		{
+			Name: string(DesignSkew),
+			Desc: "skew-associative TLB with the best predictor",
+			Levels: []LevelSpec{
+				// Skew pays area for replacement timestamps (Sec 7.2), so
+				// its area-equivalent builds carry fewer entries: 16 sets
+				// of 2 ways per size at L1, 64 at the L2 (64x6=384 vs 512).
+				{Kind: KindSkewPred, Name: "skew-L1", Sets: 16, Ways: 2},
+				{Kind: KindSkewPred, Name: "skew-L2", Sets: 64, Ways: 2},
+			},
+		},
+		{
+			Name: string(DesignColt),
+			Desc: "split with a coalescing 4KB component (CoLT)",
+			Levels: []LevelSpec{
+				{Kind: KindColtSplitL1},
+				{Kind: KindHaswellL2},
+			},
+		},
+		{
+			Name: string(DesignColtPP),
+			Desc: "split with every component coalescing (COLT++)",
+			Levels: []LevelSpec{
+				// The L2 keeps the commercial shared hash-rehash array,
+				// which cannot coalesce across its mixed-size sets.
+				{Kind: KindColtPPSplitL1},
+				{Kind: KindHaswellL2},
+			},
+		},
+		{
+			Name:      string(DesignIdeal),
+			Desc:      "never misses on mapped pages (Figures 1, 15)",
+			Levels:    []LevelSpec{{Kind: KindIdeal}},
+			FreeWalks: true,
+		},
+		{
+			Name: string(DesignMixSuperIndex),
+			Desc: "Sec 3 ablation: MIX indexed by superpage bits",
+			Levels: []LevelSpec{
+				{Kind: KindMix, Name: "mix-superidx-L1", Sets: 16, Ways: 6, SuperpageIndex: true},
+				{Kind: KindMix, Name: "mix-superidx-L2", Sets: 64, Ways: 8, SuperpageIndex: true},
+			},
+		},
+		{
+			Name: string(DesignMixRange),
+			Desc: "MIX with the paper's literal range-encoded L2",
+			Levels: []LevelSpec{
+				mixL1,
+				{Kind: KindMix, Name: "mix-L2-range", Sets: 128, Ways: 4, Encoding: "range"},
+			},
+		},
+		{
+			Name: string(DesignMixAsL2),
+			Desc: "commercial split L1 in front of a MIX L2 (drop-in L2 upgrade)",
+			Levels: []LevelSpec{
+				{Kind: KindHaswellL1},
+				{Kind: KindMix, Name: "mix-as-l2-L2", Sets: 64, Ways: 8},
+			},
+		},
+		{
+			Name: string(DesignSplitPWC),
+			Desc: "Haswell baseline with paging-structure caches on the walker",
+			Levels: []LevelSpec{
+				{Kind: KindHaswellL1},
+				{Kind: KindHaswellL2},
+			},
+			PWC: true,
+		},
+	}
+}
+
+// DefaultRegistry returns a fresh registry populated with every builtin
+// design. Each call builds a new instance so callers may extend it (e.g.
+// with -design-file specs) without affecting others.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	for _, s := range builtinSpecs() {
+		r.MustRegister(s)
+	}
+	return r
+}

@@ -1,6 +1,8 @@
 package mmu
 
 import (
+	"fmt"
+
 	"mixtlb/internal/telemetry"
 	"mixtlb/internal/tlb"
 )
@@ -30,18 +32,21 @@ var walkCycleBounds = []uint64{4, 8, 16, 32, 64, 128, 256, 512, 1024}
 // occupancyBounds buckets per-set valid-entry counts.
 var occupancyBounds = []uint64{0, 1, 2, 4, 8, 16, 32}
 
+// levelLabel names hierarchy level i in metric labels: "L1", "L2", ...
+// Matching the historical two-level label values keeps existing dashboards
+// and the telemetry goldens stable.
+func levelLabel(i int) string { return fmt.Sprintf("L%d", i+1) }
+
 // AttachTelemetry enables (or, with nil, disables) telemetry for this MMU
 // and forwards the collector to any TLB level that is itself
 // instrumentable. Metrics carry an mmu label so multi-core systems keep
 // per-MMU series.
 func (m *MMU) AttachTelemetry(c *telemetry.Collector) {
-	forward := func(t tlb.TLB) {
-		if i, ok := t.(telemetry.Instrumentable); ok {
-			i.AttachTelemetry(c)
+	for i := range m.levels {
+		if ins, ok := m.levels[i].tlb.(telemetry.Instrumentable); ok {
+			ins.AttachTelemetry(c)
 		}
 	}
-	forward(m.cfg.L1)
-	forward(m.cfg.L2)
 	if c == nil {
 		m.tel = nil
 		return
@@ -61,9 +66,9 @@ func (m *MMU) AttachTelemetry(c *telemetry.Collector) {
 }
 
 // FlushTelemetry exports the MMU's accumulated Stats counters and a
-// per-set occupancy snapshot of both TLB levels into the registry. Call
-// it once, after measurement; it reads Stats but never writes simulator
-// state, so results are identical with telemetry on or off.
+// per-set occupancy snapshot of every hierarchy level into the registry.
+// Call it once, after measurement; it reads Stats but never writes
+// simulator state, so results are identical with telemetry on or off.
 func (m *MMU) FlushTelemetry() {
 	if m.tel == nil {
 		return
@@ -71,8 +76,6 @@ func (m *MMU) FlushTelemetry() {
 	mc := m.tel.col
 	s := m.stats
 	mc.Counter("mmu_accesses_total").Add(s.Accesses)
-	mc.Counter("mmu_hits_total", "level", "L1").Add(s.L1Hits)
-	mc.Counter("mmu_hits_total", "level", "L2").Add(s.L2Hits)
 	mc.Counter("mmu_walks_charged_total").Add(s.Walks)
 	mc.Counter("mmu_faults_total").Add(s.Faults)
 	mc.Counter("mmu_cycles_total").Add(s.Cycles)
@@ -81,24 +84,40 @@ func (m *MMU) FlushTelemetry() {
 	mc.Counter("mmu_dirty_micro_ops_total").Add(s.DirtyMicroOps)
 	mc.Counter("mmu_invalidations_total").Add(s.Invalidations)
 	mc.Counter("mmu_flushes_total").Add(s.Flushes)
-	mc.Counter("mmu_probe_rounds_total", "level", "L1").Add(uint64(s.L1Lookup.Probes))
-	mc.Counter("mmu_probe_rounds_total", "level", "L2").Add(uint64(s.L2Lookup.Probes))
-	mc.Counter("mmu_fill_entries_total", "level", "L1").Add(uint64(s.L1Fill.EntriesWritten))
-	mc.Counter("mmu_fill_entries_total", "level", "L2").Add(uint64(s.L2Fill.EntriesWritten))
+	// Always emit at least the L1/L2 series (zero-valued when a design has
+	// fewer levels) so exported metric shapes stay stable across designs.
+	nlv := len(m.levels)
+	if nlv < 2 {
+		nlv = 2
+	}
+	for i := 0; i < nlv; i++ {
+		var lv hierLevel
+		if i < len(m.levels) {
+			lv = m.levels[i]
+		}
+		label := levelLabel(i)
+		mc.Counter("mmu_hits_total", "level", label).Add(lv.hits)
+		mc.Counter("mmu_probe_rounds_total", "level", label).Add(uint64(lv.lookup.Probes))
+		mc.Counter("mmu_fill_entries_total", "level", label).Add(uint64(lv.fill.EntriesWritten))
+	}
+	if m.pwc != nil {
+		mc.Counter("mmu_pwc_events_total", "kind", "hit").Add(s.PWCHits)
+		mc.Counter("mmu_pwc_events_total", "kind", "miss").Add(s.PWCMisses)
+		mc.Counter("mmu_pwc_skipped_refs_total").Add(s.PWCSkippedRefs)
+	}
 	if s.ECC.ParityDetected+s.ECC.SilentCorruptions+s.ECC.Scrubbed > 0 {
 		mc.Counter("mmu_ecc_events_total", "kind", "parity_detected").Add(s.ECC.ParityDetected)
 		mc.Counter("mmu_ecc_events_total", "kind", "silent").Add(s.ECC.SilentCorruptions)
 		mc.Counter("mmu_ecc_events_total", "kind", "scrubbed").Add(s.ECC.Scrubbed)
 	}
-	snapshotOccupancy(mc, "L1", m.cfg.L1)
-	snapshotOccupancy(mc, "L2", m.cfg.L2)
-	forward := func(t tlb.TLB) {
-		if f, ok := t.(interface{ FlushTelemetry() }); ok {
+	for i := range m.levels {
+		snapshotOccupancy(mc, levelLabel(i), m.levels[i].tlb)
+	}
+	for i := range m.levels {
+		if f, ok := m.levels[i].tlb.(interface{ FlushTelemetry() }); ok {
 			f.FlushTelemetry()
 		}
 	}
-	forward(m.cfg.L1)
-	forward(m.cfg.L2)
 }
 
 // snapshotOccupancy records each set's valid-entry count for TLBs that

@@ -1,91 +1,116 @@
 package mmu
 
+// MMU-integrated paging-structure-cache tests: the cache model itself
+// lives in internal/pwc (with its own unit tests); these cover the MMU's
+// walker integration — skipped reference charging, stats, and the
+// invalidate/flush forwarding.
+
 import (
 	"testing"
 
 	"mixtlb/internal/addr"
+	"mixtlb/internal/pwc"
 	"mixtlb/internal/tlb"
 )
 
-func TestWalkCacheSkipsUpperLevels(t *testing.T) {
+// tinyMMU builds a single-level MMU with a 4-entry TLB (so misses are
+// easy to force) and an optional paging-structure cache.
+func tinyMMU(t *testing.T, e *env, cache *pwc.Cache) *MMU {
+	t.Helper()
+	return mustBuild(New(Config{
+		Name:   "t",
+		Levels: L(tlb.Must(tlb.NewSetAssoc("l1", addr.Page4K, 2, 2))),
+		PWC:    cache,
+	}, e.pt, e.caches, nil))
+}
+
+func TestPWCSkipsUpperWalkLevels(t *testing.T) {
 	e := newEnv(t)
 	e.mapPage(t, 0x1000, addr.Page4K)
 	e.mapPage(t, 0x2000, addr.Page4K) // same PT, same upper levels
-	src := NewCachedSource(e.pt, NewWalkCache(16))
+	m := tinyMMU(t, e, pwc.New(16))
 
-	// First walk: cold cache, full 4 accesses.
-	res := src.Walk(0x1000)
-	if len(res.Accesses) != 4 {
-		t.Fatalf("cold walk made %d accesses", len(res.Accesses))
+	// First walk: cold cache, full 4 PTE references charged.
+	m.Translate(tlb.Request{VA: 0x1000})
+	if refs := m.Stats().WalkRefs; refs != 4 {
+		t.Fatalf("cold walk charged %d refs, want 4", refs)
 	}
-	// Second walk to a sibling page: PDE cached, only the PTE is read.
-	res = src.Walk(0x2000)
-	if len(res.Accesses) != 1 {
-		t.Errorf("PDE-cached walk made %d accesses, want 1", len(res.Accesses))
+	// Sibling page under the same PD: PDE cached, only the PTE is read.
+	m.Translate(tlb.Request{VA: 0x2000})
+	st := m.Stats()
+	if st.WalkRefs != 5 {
+		t.Errorf("PDE-cached walk charged %d total refs, want 5", st.WalkRefs)
 	}
-	hits, misses := src.Cache().Stats()
-	if hits != 1 || misses != 1 {
-		t.Errorf("cache stats: hits=%d misses=%d", hits, misses)
+	if st.PWCHits != 1 || st.PWCMisses != 1 || st.PWCSkippedRefs != 3 {
+		t.Errorf("PWC stats: hits=%d misses=%d skipped=%d, want 1/1/3",
+			st.PWCHits, st.PWCMisses, st.PWCSkippedRefs)
 	}
 }
 
-func TestWalkCachePartialHit(t *testing.T) {
+func TestPWCPartialHit(t *testing.T) {
 	e := newEnv(t)
 	e.mapPage(t, 0x1000, addr.Page4K)
-	// A page in a different PD but same PDPT: PDPTE hit skips 2 levels.
-	e.mapPage(t, addr.V(1)<<30|0x1000, addr.Page4K) // different PDPT entry? 1GB apart: same PML4, different PDPTE
-	src := NewCachedSource(e.pt, NewWalkCache(16))
-	src.Walk(0x1000)
-	res := src.Walk(addr.V(1)<<30 | 0x1000)
-	// Same PML4 entry cached (skip 1): 3 accesses remain.
-	if len(res.Accesses) != 3 {
-		t.Errorf("PML4E-cached walk made %d accesses, want 3", len(res.Accesses))
+	// 1GB apart: same PML4 entry, different PDPT entry → skip 1.
+	e.mapPage(t, addr.V(1)<<30|0x1000, addr.Page4K)
+	m := tinyMMU(t, e, pwc.New(16))
+	m.Translate(tlb.Request{VA: 0x1000})
+	m.Translate(tlb.Request{VA: addr.V(1)<<30 | 0x1000})
+	if refs := m.Stats().WalkRefs; refs != 4+3 {
+		t.Errorf("PML4E-cached walk: %d total refs, want 7", refs)
 	}
 }
 
-func TestWalkCacheOnSuperpageWalks(t *testing.T) {
+func TestPWCOnSuperpageWalks(t *testing.T) {
 	e := newEnv(t)
 	e.mapPage(t, 0x40000000, addr.Page2M)
 	e.mapPage(t, 0x40200000, addr.Page2M)
-	src := NewCachedSource(e.pt, NewWalkCache(16))
-	if res := src.Walk(0x40000000); len(res.Accesses) != 3 {
-		t.Fatalf("cold 2MB walk: %d accesses", len(res.Accesses))
+	m := mustBuild(New(Config{
+		Name:   "t2m",
+		Levels: L(tlb.Must(tlb.NewSetAssoc("l1", addr.Page2M, 1, 1))),
+		PWC:    pwc.New(16),
+	}, e.pt, e.caches, nil))
+	m.Translate(tlb.Request{VA: 0x40000000})
+	if refs := m.Stats().WalkRefs; refs != 3 {
+		t.Fatalf("cold 2MB walk: %d refs", refs)
 	}
 	// Sibling 2MB page: PDPTE cached → only the PDE access remains. The
 	// PDE *cache* must not over-skip a walk whose leaf is the PDE itself.
-	if res := src.Walk(0x40200000); len(res.Accesses) != 1 {
-		t.Errorf("cached 2MB walk: %d accesses, want 1", len(res.Accesses))
+	m.Translate(tlb.Request{VA: 0x40200000})
+	if refs := m.Stats().WalkRefs; refs != 3+1 {
+		t.Errorf("cached 2MB walk: %d total refs, want 4", refs)
 	}
 }
 
-func TestWalkCacheInvalidateAndFlush(t *testing.T) {
+func TestPWCInvalidateAndFlushForwarding(t *testing.T) {
 	e := newEnv(t)
 	e.mapPage(t, 0x1000, addr.Page4K)
-	src := NewCachedSource(e.pt, NewWalkCache(16))
-	src.Walk(0x1000)
-	src.Cache().Invalidate(0x1000)
-	if res := src.Walk(0x1000); len(res.Accesses) != 4 {
-		t.Errorf("post-invalidate walk: %d accesses", len(res.Accesses))
+	m := tinyMMU(t, e, pwc.New(16))
+	m.Translate(tlb.Request{VA: 0x1000})
+	// Invalidate goes through the MMU: both the TLB entry and the cached
+	// walk prefixes must drop, so the next walk is full-cost again.
+	m.Invalidate(0x1000, addr.Page4K)
+	m.ResetStats()
+	m.Translate(tlb.Request{VA: 0x1000})
+	if refs := m.Stats().WalkRefs; refs != 4 {
+		t.Errorf("post-invalidate walk charged %d refs, want 4", refs)
 	}
-	src.Cache().Flush()
-	if res := src.Walk(0x1000); len(res.Accesses) != 4 {
-		t.Errorf("post-flush walk: %d accesses", len(res.Accesses))
+	m.Flush()
+	m.ResetStats()
+	m.Translate(tlb.Request{VA: 0x1000})
+	if refs := m.Stats().WalkRefs; refs != 4 {
+		t.Errorf("post-flush walk charged %d refs, want 4", refs)
 	}
 }
 
-func TestWalkCacheReducesMMUMissCost(t *testing.T) {
-	// End-to-end: a split MMU over a cached source pays fewer walk cycles
+func TestPWCReducesMissCostNotMissCount(t *testing.T) {
+	// End-to-end: an MMU with paging-structure caches pays fewer walk refs
 	// for the same miss count.
-	run := func(cached bool) (uint64, uint64) {
+	run := func(cache *pwc.Cache) (uint64, uint64) {
 		e := newEnv(t)
 		for i := 0; i < 256; i++ {
 			e.mapPage(t, addr.V(i)<<12, addr.Page4K)
 		}
-		var src TranslationSource = e.pt
-		if cached {
-			src = NewCachedSource(e.pt, NewWalkCache(16))
-		}
-		m := mustBuild(New(Config{Name: "t", L1: tlb.Must(tlb.NewSetAssoc("l1", addr.Page4K, 2, 2))}, src, e.caches, nil))
+		m := tinyMMU(t, e, cache)
 		for round := 0; round < 3; round++ {
 			for i := 0; i < 256; i++ { // thrashes the 4-entry TLB: all walks
 				m.Translate(tlb.Request{VA: addr.V(i) << 12})
@@ -93,8 +118,8 @@ func TestWalkCacheReducesMMUMissCost(t *testing.T) {
 		}
 		return m.Stats().Walks, m.Stats().WalkRefs
 	}
-	walksPlain, refsPlain := run(false)
-	walksCached, refsCached := run(true)
+	walksPlain, refsPlain := run(nil)
+	walksCached, refsCached := run(pwc.New(16))
 	if walksPlain != walksCached {
 		t.Errorf("walk counts differ: %d vs %d", walksPlain, walksCached)
 	}
@@ -103,21 +128,26 @@ func TestWalkCacheReducesMMUMissCost(t *testing.T) {
 	}
 }
 
-func TestWalkCacheLRU(t *testing.T) {
-	// 2-entry PDE cache: three distinct PDs evict round-robin.
+func TestPWCStatsResetWithMMU(t *testing.T) {
 	e := newEnv(t)
-	for i := 0; i < 3; i++ {
-		e.mapPage(t, addr.V(i)<<21|0x1000, addr.Page4K)
+	e.mapPage(t, 0x1000, addr.Page4K)
+	e.mapPage(t, 0x2000, addr.Page4K)
+	e.mapPage(t, 0x3000, addr.Page4K)
+	cache := pwc.New(16)
+	m := tinyMMU(t, e, cache)
+	m.Translate(tlb.Request{VA: 0x1000})
+	m.Translate(tlb.Request{VA: 0x2000})
+	m.ResetStats()
+	if st := m.Stats(); st.PWCHits != 0 || st.PWCMisses != 0 || st.PWCSkippedRefs != 0 {
+		t.Errorf("MMU PWC stats survived reset: %+v", st)
 	}
-	src := NewCachedSource(e.pt, NewWalkCache(2))
-	src.Walk(0x1000)
-	src.Walk(addr.V(1)<<21 | 0x1000)
-	src.Walk(addr.V(2)<<21 | 0x1000) // evicts PD 0's entry
-	if res := src.Walk(0x1000); len(res.Accesses) == 1 {
-		t.Error("evicted PDE still hit")
+	if st := cache.Stats(); st != (pwc.Stats{}) {
+		t.Errorf("cache stats survived reset: %+v", st)
 	}
-	// PD 2 is MRU: still cached.
-	if res := src.Walk(addr.V(2)<<21 | 0x1000); len(res.Accesses) != 1 {
-		t.Errorf("MRU PDE missed: %d accesses", len(res.Accesses))
+	// Contents survive the reset: a not-yet-cached sibling page misses the
+	// TLB but its walk still skips through the retained PDE entry.
+	m.Translate(tlb.Request{VA: 0x3000})
+	if st := m.Stats(); st.PWCHits != 1 || st.PWCSkippedRefs != 3 {
+		t.Errorf("post-reset walk did not hit the retained cache: %+v", st)
 	}
 }

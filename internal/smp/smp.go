@@ -171,6 +171,7 @@ func (s *System) Aggregate() mmu.Stats {
 		total.Accesses += st.Accesses
 		total.L1Hits += st.L1Hits
 		total.L2Hits += st.L2Hits
+		total.DeepHits += st.DeepHits
 		total.Walks += st.Walks
 		total.Faults += st.Faults
 		total.Cycles += st.Cycles
@@ -178,6 +179,9 @@ func (s *System) Aggregate() mmu.Stats {
 		total.WalkRefs += st.WalkRefs
 		total.DirtyMicroOps += st.DirtyMicroOps
 		total.Invalidations += st.Invalidations
+		total.PWCHits += st.PWCHits
+		total.PWCMisses += st.PWCMisses
+		total.PWCSkippedRefs += st.PWCSkippedRefs
 		total.ECC.Add(st.ECC)
 		total.PTECorruptions += st.PTECorruptions
 		total.OracleMismatches += st.OracleMismatches
@@ -191,21 +195,22 @@ func (s *System) Aggregate() mmu.Stats {
 	return total
 }
 
-// NewWithTLBs builds a system whose cores use explicitly constructed TLB
-// pairs instead of a registered design — each core gets a fresh (L1, L2)
-// from build. Used by experiments that sweep custom configurations.
-func NewWithTLBs(cores int, as *osmm.AddressSpace, caches *cachesim.Hierarchy, build func() (tlb.TLB, tlb.TLB, error)) (*System, error) {
+// NewFromSpec builds a system whose cores each construct a fresh
+// hierarchy from spec — which need not be a registered design. Cores get
+// distinct MMU names ("<design>.core<i>") so multi-core telemetry keeps
+// per-core series. Used by experiments that sweep custom configurations.
+func NewFromSpec(cores int, as *osmm.AddressSpace, caches *cachesim.Hierarchy, spec mmu.DesignSpec) (*System, error) {
 	if cores <= 0 {
 		cores = 4
 	}
-	s := &System{cfg: Config{Cores: cores}, as: as, caches: caches}
+	s := &System{cfg: Config{Cores: cores, Design: mmu.Design(spec.Name)}, as: as, caches: caches}
 	for i := 0; i < cores; i++ {
-		l1, l2, err := build()
+		cfg, err := spec.BuildConfig(as.PageTable())
 		if err != nil {
 			return nil, fmt.Errorf("smp: core %d: %w", i, err)
 		}
-		m, err := mmu.New(mmu.Config{Name: fmt.Sprintf("custom.core%d", i), L1: l1, L2: l2},
-			as.PageTable(), caches, as.HandleFault)
+		cfg.Name = fmt.Sprintf("%s.core%d", spec.Name, i)
+		m, err := mmu.New(cfg, as.PageTable(), caches, as.HandleFault)
 		if err != nil {
 			return nil, fmt.Errorf("smp: core %d: %w", i, err)
 		}

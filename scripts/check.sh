@@ -42,6 +42,22 @@ if ! cmp -s "$tmpdir/jobs1.csv" "$tmpdir/jobs4.csv"; then
     exit 1
 fi
 
+# Design registry: every registered design (builtin and the shipped
+# example file) must validate and construct, and the hierarchy comparison
+# over file-loaded designs must be jobs-invariant like every experiment.
+echo "== design registry"
+go test ./internal/mmu/ -run 'TestRegistryBuiltinsConstruct|TestDesignSpecValidationErrors|TestParseSpecs' -count=1 > /dev/null
+"$tmpdir/mixtlb" -design-file examples/designs.json -list > /dev/null
+"$tmpdir/mixtlb" -exp hierarchy -quick -csv -jobs 1 \
+    -design-file examples/designs.json -designs split+pwc,mix-as-l2,mix+pwc > "$tmpdir/hier1.csv"
+"$tmpdir/mixtlb" -exp hierarchy -quick -csv -jobs 8 \
+    -design-file examples/designs.json -designs split+pwc,mix-as-l2,mix+pwc > "$tmpdir/hier8.csv"
+if ! cmp -s "$tmpdir/hier1.csv" "$tmpdir/hier8.csv"; then
+    echo "FAIL: hierarchy -jobs 8 output differs from -jobs 1" >&2
+    diff "$tmpdir/hier1.csv" "$tmpdir/hier8.csv" >&2 || true
+    exit 1
+fi
+
 # benchdiff smoke: a timing file diffed against itself must join every
 # cell, report 1.00x, and exit 0.
 echo "== benchdiff identity"
