@@ -46,6 +46,7 @@ fuzz:
 	$(GO) test ./internal/trace/ -fuzz 'FuzzRoundTrip' -fuzztime 10s -run ^$$
 	$(GO) test ./internal/trace/ -fuzz 'FuzzReader' -fuzztime 10s -run ^$$
 	$(GO) test ./internal/addr/ -fuzz 'FuzzAddrArithmetic' -fuzztime 10s -run ^$$
+	$(GO) test ./internal/journal/ -fuzz 'FuzzJournalDecode' -fuzztime 10s -run ^$$
 
 # Regenerate the golden experiment tables after an intentional change in
 # simulator behavior (records at -jobs=1; the test verifies at -jobs=8).

@@ -20,6 +20,21 @@
 // (-exp chaos, or the -chaos shorthand) sweeps every TLB design under
 // fault injection; -fault-scale multiplies the default fault rates.
 //
+// Long sweeps survive process death: -journal FILE checkpoints each
+// completed cell to a checksummed JSONL log, and -resume replays those
+// cells on restart, simulating only the remainder — the final table is
+// byte-identical to an uninterrupted run. -max-retries re-runs cells
+// that fail transiently (capped, seeded exponential backoff),
+// -cell-deadline arms a per-cell watchdog that cancels and requeues
+// stuck cells, and -fail-soft turns cells that exhaust their retries
+// into explicit FAILED(...) table markers instead of aborting the run.
+//
+// Exit codes: 0 all cells succeeded; 1 hard failure (error, panic, I/O);
+// 2 usage or configuration error (including a journal whose fingerprint
+// does not match the run); 3 the run completed but a table contains
+// FAILED cells; 4 an experiment was truncated by -timeout. When several
+// apply, the most severe wins (1 > 4 > 3).
+//
 // Telemetry is off by default and costs nothing when off. Any of
 // -metrics-out (Prometheus text dump), -trace-events (Chrome trace_event
 // JSON for chrome://tracing or Perfetto), -events-out (JSONL event
@@ -39,10 +54,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"mixtlb/internal/chaos"
 	"mixtlb/internal/experiments"
+	"mixtlb/internal/journal"
 	"mixtlb/internal/mmu"
 	"mixtlb/internal/stats"
 	"mixtlb/internal/telemetry"
@@ -87,6 +104,15 @@ func main() {
 		progress   = flag.Bool("progress", false, "print live per-cell progress (done/total, ETA) to stderr")
 		designs    = flag.String("designs", "", "comma-separated design subset for the hierarchy experiment (default: its built-in set)")
 		designFile = flag.String("design-file", "", "JSON file of extra TLB design specs to register (see examples/designs.json)")
+
+		journalPath  = flag.String("journal", "", "checkpoint each completed cell to this JSONL file (crash-safe)")
+		resume       = flag.Bool("resume", false, "replay completed cells from the -journal file instead of truncating it")
+		maxRetries   = flag.Int("max-retries", 0, "re-run a transiently failing cell up to this many times (seeded backoff)")
+		retryBackoff = flag.Duration("retry-backoff", 0, "base backoff before the first cell retry (0 = built-in default)")
+		cellDeadline = flag.Duration("cell-deadline", 0, "per-cell watchdog: cancel and requeue cells exceeding this wall time (0 disables)")
+		failSoft     = flag.Bool("fail-soft", false, "record cells that exhaust retries as FAILED table markers instead of aborting")
+		injectFail   = flag.String("inject-cell-failure", "", "fail every cell whose name contains this substring (fault-injection testing)")
+		killAfter    = flag.Int("kill-after-cells", 0, "exit(137) after this many cells complete (crash-testing the journal)")
 	)
 	flag.Parse()
 
@@ -179,6 +205,20 @@ func main() {
 	if *designs != "" {
 		scale.Designs = strings.Split(*designs, ",")
 	}
+	scale.MaxRetries = *maxRetries
+	scale.RetryBackoff = *retryBackoff
+	scale.CellDeadline = *cellDeadline
+	scale.FailSoft = *failSoft
+	scale.Failures = &experiments.FailureLog{}
+	if *injectFail != "" {
+		pat := *injectFail
+		scale.CellFault = func(exp, cell string) error {
+			if strings.Contains(cell, pat) {
+				return fmt.Errorf("injected failure (-inject-cell-failure %q)", pat)
+			}
+			return nil
+		}
+	}
 
 	// Reject workload typos up front; without this check a bad -workloads
 	// value runs every experiment over an empty set and prints empty tables.
@@ -192,6 +232,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		stopProfiles()
 		os.Exit(2)
+	}
+
+	// Checkpoint journal. Without -resume the file starts fresh; with it,
+	// completed cells recorded under the *same configuration fingerprint*
+	// replay instead of re-simulating. A journal written under different
+	// scale parameters (memory, seed, workloads, ...) is refused — its
+	// rows would not correspond to this run's cells.
+	if *resume && *journalPath == "" {
+		fmt.Fprintln(os.Stderr, "mixtlb: -resume requires -journal FILE")
+		stopProfiles()
+		os.Exit(2)
+	}
+	var jnl *journal.Journal
+	if *journalPath != "" {
+		fp := scale.Fingerprint()
+		var jerr error
+		if *resume {
+			jnl, jerr = journal.Open(*journalPath, fp)
+		} else {
+			jnl, jerr = journal.Create(*journalPath, fp)
+		}
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "mixtlb: %v\n", jerr)
+			var ce *journal.CorruptError
+			if errors.As(jerr, &ce) && ce.Reason == journal.ReasonFingerprint {
+				fmt.Fprintln(os.Stderr, "mixtlb: refusing to resume: the journal was written under a different configuration (rerun with matching flags, or without -resume to start over)")
+			}
+			stopProfiles()
+			os.Exit(2)
+		}
+		if st := jnl.Stats(); *resume {
+			note := ""
+			if st.DroppedTail {
+				note = " (discarded a torn final record from the crash)"
+			}
+			fmt.Fprintf(os.Stderr, "[journal: %s — %d checkpointed cells to replay%s]\n",
+				*journalPath, st.Replayed, note)
+		}
+		scale.Journal = jnl
 	}
 
 	// Telemetry root. All exporter flags share one registry/tracer so a
@@ -228,6 +307,23 @@ func main() {
 				ev.Elapsed.Round(time.Millisecond), ev.ETA.Round(time.Millisecond))
 		}
 	}
+	if *killAfter > 0 {
+		// Crash simulation for the journal's check.sh gate: die the instant
+		// the Nth cell reports completion. The engine checkpoints a cell
+		// before reporting it, so every cell this counter saw is durable —
+		// exiting here is exactly a SIGKILL between two cells.
+		limit, prev := *killAfter, scale.ProgressFn
+		var count int64
+		scale.ProgressFn = func(ev experiments.ProgressEvent) {
+			if prev != nil {
+				prev(ev)
+			}
+			if atomic.AddInt64(&count, 1) == int64(limit) {
+				fmt.Fprintf(os.Stderr, "[simulated crash: exiting after %d cells]\n", limit)
+				os.Exit(137)
+			}
+		}
+	}
 
 	var toRun []experiments.Experiment
 	switch {
@@ -258,7 +354,15 @@ func main() {
 	scale.Bench = bench
 	ctx := context.Background()
 
+	// Exit-code severity lattice: 1 (hard failure) > 4 (timeout
+	// truncation) > 3 (FAILED cells in a completed table) > 0.
 	exitCode := 0
+	setExit := func(code int) {
+		rank := map[int]int{0: 0, 3: 1, 4: 2, 1: 3}
+		if rank[code] > rank[exitCode] {
+			exitCode = code
+		}
+	}
 	for _, e := range toRun {
 		start := time.Now()
 		tbl, err := experiments.RunSafe(ctx, e, scale, *timeout)
@@ -283,17 +387,27 @@ func main() {
 			var te *experiments.TimeoutError
 			if errors.As(err, &te) {
 				fmt.Fprintf(os.Stderr, "reproduce: mixtlb -exp %s -seed %d -timeout 0\n", e.Name, te.Seed)
+				setExit(4) // truncated, not broken: partial rows are valid
+			} else {
+				setExit(1)
 			}
-			exitCode = 1
 			continue
 		}
 		printTable(tbl, *csv)
 		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
+	if n := scale.Failures.Count(); n > 0 {
+		fmt.Fprintf(os.Stderr, "[%d cells FAILED after exhausting retries — see FAILED(...) markers above]\n", n)
+		setExit(3)
+	}
+	if err := jnl.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "closing journal: %v\n", err)
+		setExit(1)
+	}
 	stopServe()
 	if err := writeTelemetry(reg, tracer, *metricsOut, *traceOut, *eventsOut); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		exitCode = 1
+		setExit(1)
 	}
 	if tracer != nil {
 		total, dropped := tracer.Counts()
@@ -306,14 +420,12 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *benchOut, err)
-			exitCode = 1
+			setExit(1)
 		}
 	}
 	if err := stopProfiles(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		if exitCode == 0 {
-			exitCode = 1
-		}
+		setExit(1)
 	}
 	os.Exit(exitCode)
 }

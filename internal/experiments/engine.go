@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -12,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mixtlb/internal/journal"
 	"mixtlb/internal/simrand"
 	"mixtlb/internal/stats"
 	"mixtlb/internal/telemetry"
@@ -124,6 +126,61 @@ func RunGrid(ctx context.Context, s Scale, experiment string, t *stats.Table, ce
 			work = append(work, i)
 		}
 	}
+	gridCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	gridStart := time.Now()
+	var (
+		mu         sync.Mutex
+		results    = make([][]Row, len(cells))
+		errs       = make([]error, len(cells))
+		done       = make([]bool, len(cells))
+		soft       = make([]bool, len(cells)) // exhausted retries under FailSoft
+		completed  int   // cells finished (success or failure), for progress
+		next       int64 = -1
+		wg         sync.WaitGroup
+		journalErr error // first checkpoint-append failure
+	)
+
+	// Replay: cells already checkpointed in the journal skip simulation
+	// entirely; only the remainder is scheduled. Replayed rows land in
+	// their canonical slots with their exact recorded values (and the
+	// journal is fingerprint-pinned to this configuration), so the merged
+	// table is byte-identical to an uninterrupted run. Each record's seed
+	// must equal the seed this grid would derive — a renamed cell or
+	// changed split function invalidates the record rather than replaying
+	// rows that no longer correspond to the cell.
+	replayed := 0
+	if s.Journal != nil {
+		remaining := work[:0]
+		for _, i := range work {
+			if rec, ok := s.Journal.Lookup(experiment, cells[i].Name); ok &&
+				rec.Seed == CellSeed(s.Seed, experiment, cells[i].Name) {
+				results[i] = rowsFromRecord(rec)
+				done[i] = true
+				replayed++
+				continue
+			}
+			remaining = append(remaining, i)
+		}
+		work = remaining
+		if replayed > 0 {
+			snap := &stats.Table{Title: t.Title, Columns: t.Columns}
+			for j := range results {
+				if done[j] {
+					for _, r := range results[j] {
+						snap.AddRow(r...)
+					}
+				}
+			}
+			s.Progress.Publish(snap)
+			if s.Telemetry != nil {
+				s.Telemetry.With("exp", experiment).
+					Counter("engine_journal_replayed_total").Add(uint64(replayed))
+			}
+		}
+	}
+
 	jobs := s.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -131,20 +188,6 @@ func RunGrid(ctx context.Context, s Scale, experiment string, t *stats.Table, ce
 	if jobs > len(work) {
 		jobs = len(work)
 	}
-
-	gridCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	gridStart := time.Now()
-	var (
-		mu        sync.Mutex
-		results   = make([][]Row, len(cells))
-		errs      = make([]error, len(cells))
-		done      = make([]bool, len(cells))
-		completed int   // cells finished (success or failure), for progress
-		next      int64 = -1
-		wg        sync.WaitGroup
-	)
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
 		go func(worker int) {
@@ -173,34 +216,108 @@ func RunGrid(ctx context.Context, s Scale, experiment string, t *stats.Table, ce
 				cs.Progress, cs.Bench = nil, nil
 				cs.Jobs, cs.Cell = 1, ""
 				cs.ProgressFn = nil
+				cs.Journal, cs.Failures = nil, nil
 				// Scope the cell's telemetry: metrics gain deterministic
 				// exp/cell labels (so dumps merge identically at any -jobs
 				// value); the trace tid records which worker ran it.
 				cs.Telemetry = s.Telemetry.With("exp", experiment, "cell", c.Name).WithTID(worker)
-				var span telemetry.Span
-				if cs.Telemetry != nil {
-					span = cs.Telemetry.Span("cell", experiment+"/"+c.Name)
-				}
-				start := time.Now()
-				rows, err := runCell(gridCtx, experiment, c, cs)
-				elapsed := time.Since(start)
-				if cs.Telemetry != nil {
-					outcome := "ok"
-					if err != nil {
-						outcome = "error"
+
+				// Retry loop: each attempt runs under the watchdog deadline;
+				// transient failures (anything not Permanent) are re-run up to
+				// MaxRetries times after a seeded, capped exponential backoff.
+				var (
+					rows    []Row
+					err     error
+					attempt = 1
+				)
+				for {
+					var span telemetry.Span
+					if cs.Telemetry != nil {
+						span = cs.Telemetry.Span("cell", experiment+"/"+c.Name)
 					}
-					span.End("outcome", outcome)
+					start := time.Now()
+					rows, err = runCellAttempt(gridCtx, experiment, c, cs)
+					elapsed := time.Since(start)
+					if cs.Telemetry != nil {
+						outcome := "ok"
+						if err != nil {
+							outcome = "error"
+						}
+						span.End("outcome", outcome)
+					}
+					s.Bench.RecordCell(CellTime{
+						Experiment: experiment, Cell: c.Name,
+						Seed: cs.Seed, Seconds: elapsed.Seconds(),
+					})
+					if err != nil && s.Telemetry != nil {
+						var stuck *StuckCellError
+						if errors.As(err, &stuck) {
+							s.Telemetry.With("exp", experiment).
+								Counter("engine_watchdog_fires_total").Add(1)
+						}
+					}
+					if err == nil || gridCtx.Err() != nil ||
+						isPermanent(err) || attempt > s.MaxRetries {
+						break
+					}
+					if s.Telemetry != nil {
+						s.Telemetry.With("exp", experiment).
+							Counter("engine_cell_retries_total").Add(1)
+					}
+					timer := time.NewTimer(RetryDelay(cs.Seed, attempt, s.RetryBackoff))
+					select {
+					case <-timer.C:
+					case <-gridCtx.Done():
+						timer.Stop()
+					}
+					if cerr := gridCtx.Err(); cerr != nil {
+						err = cerr
+						break
+					}
+					attempt++
 				}
-				s.Bench.RecordCell(CellTime{
-					Experiment: experiment, Cell: c.Name,
-					Seed: cs.Seed, Seconds: elapsed.Seconds(),
-				})
+
+				// Fail-soft: an exhausted real cell failure (not cancellation
+				// fallout) becomes a FailedCell record and a nil result slot —
+				// exactly the shape -cell filtering leaves, which every
+				// experiment's post-processing already tolerates.
+				var failedSoft bool
+				if err != nil && s.FailSoft {
+					var ce *CellError
+					if asCellError(err, &ce) {
+						s.Failures.Record(FailedCell{
+							Experiment: experiment, Cell: c.Name,
+							Seed: cs.Seed, Attempts: attempt, Err: err,
+						})
+						failedSoft = true
+					}
+				}
+				// Checkpoint before progress is reported: once ProgressFn has
+				// seen the cell complete, a kill must find its record durable.
+				if err == nil {
+					if jerr := s.Journal.Append(journal.Record{
+						Experiment: experiment, Cell: c.Name,
+						Seed: cs.Seed, Rows: recordRows(rows),
+					}); jerr != nil {
+						mu.Lock()
+						if journalErr == nil {
+							journalErr = jerr
+						}
+						mu.Unlock()
+						cancel() // checkpointing broke: stop making unrecorded progress
+					}
+				}
 				mu.Lock()
-				results[i], errs[i] = rows, err
-				completed++
-				if err != nil {
-					cancel() // fail fast at cell granularity
+				if failedSoft {
+					soft[i] = true
+					// results[i] and errs[i] stay nil: the grid continues.
 				} else {
+					results[i], errs[i] = rows, err
+				}
+				completed++
+				if err != nil && !failedSoft {
+					cancel() // fail fast at cell granularity
+				} else if err == nil {
 					done[i] = true
 					// Publish the completed cells' rows in canonical order,
 					// inside the lock so snapshots stay monotone.
@@ -233,11 +350,13 @@ func RunGrid(ctx context.Context, s Scale, experiment string, t *stats.Table, ce
 	wg.Wait()
 	if s.Telemetry != nil {
 		ec := s.Telemetry.With("exp", experiment)
-		ok, failed := 0, 0
+		ok, failed, softN := 0, 0, 0
 		for _, i := range work {
 			switch {
 			case done[i]:
 				ok++
+			case soft[i]:
+				softN++
 			case errs[i] != nil:
 				failed++
 			}
@@ -246,10 +365,14 @@ func RunGrid(ctx context.Context, s Scale, experiment string, t *stats.Table, ce
 		if failed > 0 {
 			ec.Counter("engine_cells_failed_total").Add(uint64(failed))
 		}
+		if softN > 0 {
+			ec.Counter("engine_cells_failed_soft_total").Add(uint64(softN))
+		}
 	}
 
 	// Prefer the lowest-indexed real failure over cancellation fallout from
-	// cells the failure itself skipped.
+	// cells the failure itself skipped; a checkpoint-append failure (which
+	// itself cancels the grid) outranks that fallout too.
 	var firstCancel error
 	for _, err := range errs {
 		if err == nil {
@@ -263,10 +386,64 @@ func RunGrid(ctx context.Context, s Scale, experiment string, t *stats.Table, ce
 			firstCancel = err
 		}
 	}
+	if journalErr != nil {
+		return results, fmt.Errorf("experiments: checkpoint journal: %w", journalErr)
+	}
 	if firstCancel != nil {
 		return results, firstCancel
 	}
 	return results, nil
+}
+
+// runCellAttempt executes one attempt of a cell: fault injection first
+// (Scale.CellFault), then the cell itself under the per-cell watchdog
+// deadline when one is armed. A deadline expiry yields a *CellError
+// wrapping *StuckCellError; if the cell ignores the cancellation, its
+// goroutine is abandoned (it exits at its next stream checkpoint — the
+// buffered channel lets it deliver into the void) so the worker can
+// requeue the cell instead of hanging with it.
+func runCellAttempt(ctx context.Context, experiment string, c Cell, cs Scale) ([]Row, error) {
+	if cs.CellFault != nil {
+		if ferr := cs.CellFault(experiment, c.Name); ferr != nil {
+			return nil, &CellError{Experiment: experiment, Cell: c.Name, Seed: cs.Seed, Err: ferr}
+		}
+	}
+	if cs.CellDeadline <= 0 {
+		return runCell(ctx, experiment, c, cs)
+	}
+	actx, cancel := context.WithTimeout(ctx, cs.CellDeadline)
+	defer cancel()
+	type attemptResult struct {
+		rows []Row
+		err  error
+	}
+	ch := make(chan attemptResult, 1)
+	go func() {
+		rows, err := runCell(actx, experiment, c, cs)
+		ch <- attemptResult{rows, err}
+	}()
+	stuck := func() error {
+		return &CellError{Experiment: experiment, Cell: c.Name, Seed: cs.Seed,
+			Err: &StuckCellError{Experiment: experiment, Cell: c.Name,
+				Seed: cs.Seed, Deadline: cs.CellDeadline}}
+	}
+	select {
+	case a := <-ch:
+		if a.err != nil && actx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+			// The watchdog fired and the cell exited on the cancellation:
+			// report the watchdog's verdict, not the raw context error.
+			return nil, stuck()
+		}
+		return a.rows, a.err
+	case <-actx.Done():
+		if ctx.Err() != nil {
+			// Grid-level cancellation, not the watchdog: wait for the cell
+			// to stop at its next checkpoint so shutdown stays leak-free.
+			a := <-ch
+			return a.rows, a.err
+		}
+		return nil, stuck()
+	}
 }
 
 // asCellError reports whether err is a *CellError (avoiding an errors.As

@@ -16,11 +16,13 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"mixtlb/internal/addr"
 	"mixtlb/internal/cachesim"
 	"mixtlb/internal/chaos"
 	"mixtlb/internal/core"
+	"mixtlb/internal/journal"
 	"mixtlb/internal/mmu"
 	"mixtlb/internal/osmm"
 	"mixtlb/internal/perfmodel"
@@ -79,6 +81,50 @@ type Scale struct {
 	// done/total, ETA) as cells complete. Calls are serialized. Like
 	// Telemetry, it observes the run without influencing it.
 	ProgressFn func(ProgressEvent)
+	// Journal, when set, is the run's crash-safe checkpoint log: the
+	// engine replays cells already recorded there (skipping their
+	// simulation) and appends each newly completed cell. Results are
+	// byte-identical to an uninterrupted run because replayed rows carry
+	// their exact values and seeds are pure functions of cell identity.
+	// Nil disables checkpointing at zero cost.
+	Journal *journal.Journal
+	// MaxRetries is how many times the engine re-runs a cell that fails
+	// with a transient error (0 = fail on first error). Each retry waits
+	// a capped, seeded exponential backoff — see RetryDelay.
+	MaxRetries int
+	// RetryBackoff is the base backoff before the first retry
+	// (0 = defaultRetryBackoff). Tests set it to ~1ms.
+	RetryBackoff time.Duration
+	// CellDeadline, when positive, arms a per-cell watchdog: a cell
+	// exceeding it is canceled (abandoned if it ignores cancellation),
+	// reported as a *StuckCellError, and requeued under the retry policy.
+	CellDeadline time.Duration
+	// FailSoft, when true, turns cells that exhaust their retries into
+	// FailedCell records (and FAILED table markers) instead of aborting
+	// the grid. The failed cell's result slot stays nil, exactly like a
+	// cell excluded by -cell filtering.
+	FailSoft bool
+	// Failures, when set, collects the run's FailedCell records (the
+	// CLI's exit code and the table's FAILED markers read it). Nil-safe.
+	Failures *FailureLog
+	// CellFault, when set, is consulted before each cell attempt; a
+	// non-nil return fails the attempt with that error. It exists for
+	// fault injection (tests, -inject-cell-failure) and observes only the
+	// cell's identity, never simulation state.
+	CellFault func(experiment, cell string) error
+}
+
+// Fingerprint summarizes every Scale field that determines simulation
+// results, plus the journal format version. A checkpoint journal is
+// pinned to this string: resuming under a different memory size, seed,
+// workload set, or chaos configuration is refused instead of silently
+// mixing incompatible cells. Scheduling-only knobs (Jobs, Cell) and
+// observers (Telemetry, Progress, Bench, ...) are deliberately excluded —
+// they never change results.
+func (s Scale) Fingerprint() string {
+	return fmt.Sprintf("mixtlb-journal-v%d mem=%d foot=%d warmup=%d measure=%d gpu=%d seed=%d workloads=[%s] designs=[%s] chaos=%+v",
+		journal.Version, s.MemoryBytes, s.FootprintBytes, s.WarmupRefs, s.MeasureRefs,
+		s.GPUCores, s.Seed, strings.Join(s.Workloads, ","), strings.Join(s.Designs, ","), s.Chaos)
 }
 
 // DefaultScale is the CLI configuration: footprints far beyond TLB reach

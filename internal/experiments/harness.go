@@ -114,6 +114,21 @@ func RunSafe(ctx context.Context, e Experiment, s Scale, timeout time.Duration) 
 		done <- outcome{tbl: tbl, err: err}
 	}()
 
+	// drain cancels the run and waits (briefly) for the experiment
+	// goroutine to unwind before RunSafe returns. The wait is what flushes
+	// the partial run's observability: the engine's end-of-grid counters,
+	// per-cell BenchLog timings, and journal appends for cells that beat
+	// the deadline all happen on that goroutine's way out — returning
+	// immediately used to drop them whenever a deadline fired mid-grid.
+	drain := func() {
+		cancel() // workers exit at their next checkpoint
+		select {
+		case <-done:
+		case <-time.After(runSafeFlushGrace):
+			// A cell is ignoring cancellation; give up on its events rather
+			// than hanging the harness on a stuck simulation.
+		}
+	}
 	var deadline <-chan time.Time
 	if timeout > 0 {
 		timer := time.NewTimer(timeout)
@@ -123,13 +138,20 @@ func RunSafe(ctx context.Context, e Experiment, s Scale, timeout time.Duration) 
 	select {
 	case out := <-done:
 		if out.err != nil {
-			return pub.Snapshot(), out.err
+			return withFailureRows(pub.Snapshot(), s.Failures, e.Name), out.err
 		}
-		return out.tbl, nil
+		return withFailureRows(out.tbl, s.Failures, e.Name), nil
 	case <-deadline:
-		cancel() // workers exit at their next checkpoint
-		return pub.Snapshot(), &TimeoutError{Experiment: e.Name, Seed: s.Seed, Timeout: timeout}
+		drain()
+		return withFailureRows(pub.Snapshot(), s.Failures, e.Name),
+			&TimeoutError{Experiment: e.Name, Seed: s.Seed, Timeout: timeout}
 	case <-ctx.Done():
-		return pub.Snapshot(), ctx.Err()
+		drain()
+		return withFailureRows(pub.Snapshot(), s.Failures, e.Name), ctx.Err()
 	}
 }
+
+// runSafeFlushGrace bounds how long RunSafe waits after cancellation for
+// the experiment goroutine to unwind and flush its telemetry/bench/journal
+// state. A package variable so tests can shrink it.
+var runSafeFlushGrace = 5 * time.Second

@@ -1,0 +1,79 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzJournalDecode feeds arbitrary bytes to the single-line decoder and
+// the whole-image parser. The contract under fuzz: corrupt, truncated,
+// or checksum-mismatched input yields a typed *CorruptError — never a
+// panic and never a silently skipped record. When Parse does accept an
+// image, its recovery invariants must hold: ValidBytes marks a prefix
+// that re-parses cleanly with the same records, so Open's truncate-and-
+// append repair can never lose or invent cells.
+func FuzzJournalDecode(f *testing.F) {
+	hdr, _ := EncodeHeader("fuzz-fingerprint")
+	rec, _ := EncodeRecord(Record{
+		Experiment: "fig12",
+		Cell:       "hog0/cpu-spec",
+		Seed:       0xdeadbeefcafef00d,
+		Rows:       [][]interface{}{{"mcf", 42, uint64(1) << 63, 3.14, true}},
+	})
+	full := append(append([]byte{}, hdr...), rec...)
+
+	f.Add([]byte{})
+	f.Add(hdr)
+	f.Add(rec)
+	f.Add(full)
+	f.Add(full[:len(full)-9]) // torn tail
+	f.Add([]byte(`{"crc":"00000000","p":{"kind":"cell"}}`))
+	f.Add([]byte(`{"crc":"`))
+	f.Add([]byte("not a journal at all\n"))
+	f.Add([]byte(`{"crc":"deadbeef","p":{"kind":"header","version":99,"fingerprint":"x"}}` + "\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Single-line decode: typed error or success, nothing else.
+		line := data
+		if i := bytes.IndexByte(line, '\n'); i >= 0 {
+			line = line[:i]
+		}
+		if _, err := Decode(line); err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Decode returned untyped error %T: %v", err, err)
+			}
+		}
+
+		// Whole-image parse with the recovery invariants.
+		p, err := Parse(data, "")
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Parse returned untyped error %T: %v", err, err)
+			}
+			return
+		}
+		if p.ValidBytes < 0 || p.ValidBytes > int64(len(data)) {
+			t.Fatalf("ValidBytes %d out of range [0,%d]", p.ValidBytes, len(data))
+		}
+		if !p.DroppedTail && p.ValidBytes != int64(len(data)) {
+			t.Fatalf("clean parse but ValidBytes %d != len %d", p.ValidBytes, len(data))
+		}
+		if p.ValidBytes == 0 {
+			return // torn header: nothing to re-parse
+		}
+		again, err := Parse(data[:p.ValidBytes], "")
+		if err != nil {
+			t.Fatalf("valid prefix failed to re-parse: %v", err)
+		}
+		if again.DroppedTail {
+			t.Fatal("valid prefix re-parsed with a dropped tail")
+		}
+		if again.Fingerprint != p.Fingerprint || len(again.Records) != len(p.Records) {
+			t.Fatalf("re-parse drifted: %d records (%q) vs %d (%q)",
+				len(again.Records), again.Fingerprint, len(p.Records), p.Fingerprint)
+		}
+	})
+}

@@ -1,0 +1,590 @@
+// Package journal is the experiment engine's crash-safe checkpoint log.
+// Each completed grid cell is appended as one self-describing JSONL
+// record — experiment name, cell name, derived seed, and the cell's raw
+// result rows with their exact Go types — wrapped in a CRC32 envelope so
+// torn writes and bit rot are detected, never silently replayed. A
+// header record pins the journal to a configuration fingerprint (scale
+// parameters, seed, format version): resuming under a different
+// configuration is refused rather than mixing incompatible results.
+//
+// The crash model is a killed process (SIGKILL, OOM, panic, deadline),
+// not a failed disk: every Append is a single O_APPEND write of one
+// complete line, so the only damage a kill can cause is a truncated
+// final line. Open treats exactly that — an undecodable *tail* — as an
+// expected crash artifact: it truncates the file back to the last valid
+// record and reports it via Stats. Corruption anywhere before the tail
+// is a hard, typed error; the journal never guesses.
+//
+// Row values round-trip with their concrete types (int vs uint64 vs
+// float64 and so on), because experiments post-process raw cell rows
+// positionally — a float64 that came back as a string would panic a
+// sort, and a float rendered early would break the byte-identical-table
+// guarantee the engine makes for resumed runs.
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// Version is the journal format version. Decoding refuses records from a
+// different version: replaying rows across format changes is how silent
+// corruption happens.
+const Version = 1
+
+// Record is one checkpointed cell result.
+type Record struct {
+	Experiment string
+	Cell       string
+	Seed       uint64 // the cell's derived seed (engine CellSeed)
+	Rows       [][]interface{}
+}
+
+// Decode failure reasons carried by *CorruptError.
+const (
+	ReasonSyntax      = "syntax"      // line is not a well-formed envelope/payload
+	ReasonChecksum    = "checksum"    // CRC32 mismatch between envelope and payload
+	ReasonKind        = "kind"        // unknown record kind
+	ReasonVersion     = "version"     // header from a different format version
+	ReasonValue       = "value"       // a field or row value fails to parse
+	ReasonHeader      = "header"      // first record is not a header
+	ReasonFingerprint = "fingerprint" // header fingerprint does not match the run
+	ReasonCorrupt     = "mid-file"    // undecodable record before the tail
+)
+
+// CorruptError is the typed decode failure: every malformed journal
+// byte sequence maps onto one of these, never a panic and never a
+// silently skipped record.
+type CorruptError struct {
+	Line   int    // 1-based line number in the journal ("0" when unknown)
+	Reason string // one of the Reason* constants
+	Detail string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("journal: line %d: %s record (%s)", e.Line, e.Reason, e.Detail)
+}
+
+// envelope is the wire shape of one line: the payload's raw JSON bytes
+// plus the CRC32 (IEEE, hex) of exactly those bytes.
+type envelope struct {
+	CRC string          `json:"crc"`
+	P   json.RawMessage `json:"p"`
+}
+
+// payload is the inner record. Kind selects which fields are meaningful.
+// Seed travels as a decimal string because full 64-bit seeds do not
+// survive JSON's float64 number representation.
+type payload struct {
+	Kind        string          `json:"kind"` // "header" | "cell"
+	Version     int             `json:"version,omitempty"`
+	Fingerprint string          `json:"fingerprint,omitempty"`
+	Experiment  string          `json:"experiment,omitempty"`
+	Cell        string          `json:"cell,omitempty"`
+	Seed        string          `json:"seed,omitempty"`
+	Rows        [][]taggedValue `json:"rows,omitempty"`
+}
+
+// taggedValue carries one row value with its concrete Go type, so decode
+// reconstructs exactly what the cell returned.
+type taggedValue struct {
+	T string `json:"t"`
+	V string `json:"v"`
+}
+
+// encodeValue maps a row value onto its tagged wire form. Types outside
+// the closed set fall back to the opaque tag "x" — their fmt.Sprintf("%v")
+// rendering — which preserves table output byte-for-byte (tables render
+// non-float values with %v) but not the dynamic type; floats, which
+// tables format specially and experiments sort on, are always typed.
+func encodeValue(v interface{}) taggedValue {
+	switch x := v.(type) {
+	case string:
+		return taggedValue{T: "s", V: x}
+	case bool:
+		return taggedValue{T: "b", V: strconv.FormatBool(x)}
+	case int:
+		return taggedValue{T: "i", V: strconv.FormatInt(int64(x), 10)}
+	case int8:
+		return taggedValue{T: "i8", V: strconv.FormatInt(int64(x), 10)}
+	case int16:
+		return taggedValue{T: "i16", V: strconv.FormatInt(int64(x), 10)}
+	case int32:
+		return taggedValue{T: "i32", V: strconv.FormatInt(int64(x), 10)}
+	case int64:
+		return taggedValue{T: "i64", V: strconv.FormatInt(x, 10)}
+	case uint:
+		return taggedValue{T: "u", V: strconv.FormatUint(uint64(x), 10)}
+	case uint8:
+		return taggedValue{T: "u8", V: strconv.FormatUint(uint64(x), 10)}
+	case uint16:
+		return taggedValue{T: "u16", V: strconv.FormatUint(uint64(x), 10)}
+	case uint32:
+		return taggedValue{T: "u32", V: strconv.FormatUint(uint64(x), 10)}
+	case uint64:
+		return taggedValue{T: "u64", V: strconv.FormatUint(x, 10)}
+	case float32:
+		// Shortest round-trip decimal: ParseFloat returns the exact bits.
+		return taggedValue{T: "f32", V: strconv.FormatFloat(float64(x), 'g', -1, 32)}
+	case float64:
+		return taggedValue{T: "f64", V: strconv.FormatFloat(x, 'g', -1, 64)}
+	default:
+		return taggedValue{T: "x", V: fmt.Sprintf("%v", v)}
+	}
+}
+
+// decodeValue reconstructs a row value from its tagged form.
+func decodeValue(tv taggedValue) (interface{}, error) {
+	switch tv.T {
+	case "s", "x":
+		return tv.V, nil
+	case "b":
+		return strconv.ParseBool(tv.V)
+	case "i", "i8", "i16", "i32", "i64":
+		bits := map[string]int{"i": 0, "i8": 8, "i16": 16, "i32": 32, "i64": 64}[tv.T]
+		n, err := strconv.ParseInt(tv.V, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		switch bits {
+		case 8:
+			return int8(n), checkIntRange(n, 8)
+		case 16:
+			return int16(n), checkIntRange(n, 16)
+		case 32:
+			return int32(n), checkIntRange(n, 32)
+		case 64:
+			return n, nil
+		default:
+			return int(n), nil
+		}
+	case "u", "u8", "u16", "u32", "u64":
+		n, err := strconv.ParseUint(tv.V, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		switch tv.T {
+		case "u8":
+			return uint8(n), checkUintRange(n, 8)
+		case "u16":
+			return uint16(n), checkUintRange(n, 16)
+		case "u32":
+			return uint32(n), checkUintRange(n, 32)
+		case "u64":
+			return n, nil
+		default:
+			return uint(n), nil
+		}
+	case "f32":
+		f, err := strconv.ParseFloat(tv.V, 32)
+		return float32(f), err
+	case "f64":
+		return strconv.ParseFloat(tv.V, 64)
+	default:
+		return nil, fmt.Errorf("unknown value tag %q", tv.T)
+	}
+}
+
+func checkIntRange(n int64, bits int) error {
+	if n>>(bits-1) != 0 && n>>(bits-1) != -1 {
+		return fmt.Errorf("value %d overflows int%d", n, bits)
+	}
+	return nil
+}
+
+func checkUintRange(n uint64, bits int) error {
+	if n>>bits != 0 {
+		return fmt.Errorf("value %d overflows uint%d", n, bits)
+	}
+	return nil
+}
+
+// Entry is one decoded journal line: either the header (Fingerprint set)
+// or a cell record.
+type Entry struct {
+	Header      bool
+	Fingerprint string
+	Record      Record
+}
+
+// encodeLine renders one payload as a complete journal line (with
+// trailing newline). The CRC covers the payload bytes exactly as they
+// appear on the wire.
+func encodeLine(p payload) ([]byte, error) {
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encoding record: %w", err)
+	}
+	sum := crc32.ChecksumIEEE(raw)
+	var b bytes.Buffer
+	b.Grow(len(raw) + 32)
+	fmt.Fprintf(&b, `{"crc":"%08x","p":%s}`, sum, raw)
+	b.WriteByte('\n')
+	return b.Bytes(), nil
+}
+
+// EncodeHeader renders the journal's header line for a fingerprint.
+func EncodeHeader(fingerprint string) ([]byte, error) {
+	return encodeLine(payload{Kind: "header", Version: Version, Fingerprint: fingerprint})
+}
+
+// EncodeRecord renders one cell record as a journal line.
+func EncodeRecord(rec Record) ([]byte, error) {
+	p := payload{
+		Kind:       "cell",
+		Experiment: rec.Experiment,
+		Cell:       rec.Cell,
+		Seed:       strconv.FormatUint(rec.Seed, 10),
+		Rows:       make([][]taggedValue, len(rec.Rows)),
+	}
+	for i, row := range rec.Rows {
+		tr := make([]taggedValue, len(row))
+		for j, v := range row {
+			tr[j] = encodeValue(v)
+		}
+		p.Rows[i] = tr
+	}
+	return encodeLine(p)
+}
+
+// Decode parses one journal line (without its trailing newline). Every
+// failure is a *CorruptError; Decode never panics on any input.
+func Decode(line []byte) (Entry, error) {
+	corrupt := func(reason, detail string) (Entry, error) {
+		return Entry{}, &CorruptError{Line: 1, Reason: reason, Detail: detail}
+	}
+	var env envelope
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		return corrupt(ReasonSyntax, err.Error())
+	}
+	if dec.More() {
+		return corrupt(ReasonSyntax, "trailing data after envelope")
+	}
+	if len(env.P) == 0 || env.CRC == "" {
+		return corrupt(ReasonSyntax, "missing crc or payload")
+	}
+	sum, err := strconv.ParseUint(env.CRC, 16, 32)
+	if err != nil {
+		return corrupt(ReasonSyntax, "bad crc field: "+err.Error())
+	}
+	if uint32(sum) != crc32.ChecksumIEEE(env.P) {
+		return corrupt(ReasonChecksum,
+			fmt.Sprintf("recorded %s, computed %08x", env.CRC, crc32.ChecksumIEEE(env.P)))
+	}
+	var p payload
+	pdec := json.NewDecoder(bytes.NewReader(env.P))
+	pdec.DisallowUnknownFields()
+	if err := pdec.Decode(&p); err != nil {
+		return corrupt(ReasonSyntax, "payload: "+err.Error())
+	}
+	switch p.Kind {
+	case "header":
+		if p.Version != Version {
+			return corrupt(ReasonVersion,
+				fmt.Sprintf("journal version %d, this build reads %d", p.Version, Version))
+		}
+		if p.Fingerprint == "" {
+			return corrupt(ReasonValue, "header without fingerprint")
+		}
+		return Entry{Header: true, Fingerprint: p.Fingerprint}, nil
+	case "cell":
+		if p.Experiment == "" || p.Cell == "" {
+			return corrupt(ReasonValue, "cell record without identity")
+		}
+		seed, err := strconv.ParseUint(p.Seed, 10, 64)
+		if err != nil {
+			return corrupt(ReasonValue, "bad seed: "+err.Error())
+		}
+		rec := Record{Experiment: p.Experiment, Cell: p.Cell, Seed: seed,
+			Rows: make([][]interface{}, len(p.Rows))}
+		for i, row := range p.Rows {
+			vals := make([]interface{}, len(row))
+			for j, tv := range row {
+				v, err := decodeValue(tv)
+				if err != nil {
+					return corrupt(ReasonValue,
+						fmt.Sprintf("row %d col %d: %v", i, j, err))
+				}
+				vals[j] = v
+			}
+			rec.Rows[i] = vals
+		}
+		return Entry{Record: rec}, nil
+	default:
+		return corrupt(ReasonKind, fmt.Sprintf("unknown kind %q", p.Kind))
+	}
+}
+
+// Parsed is the result of decoding a whole journal image.
+type Parsed struct {
+	Fingerprint string
+	Records     []Record
+	// ValidBytes is the offset just past the last fully-valid record; a
+	// resuming writer truncates the file here before appending.
+	ValidBytes int64
+	// DroppedTail reports that trailing bytes after ValidBytes were
+	// undecodable and discarded — the expected artifact of a mid-write
+	// kill. (Undecodable bytes *before* the tail are an error instead.)
+	DroppedTail bool
+}
+
+// Parse decodes a complete journal image. The first line must be a
+// header whose fingerprint matches; fingerprint may be empty to accept
+// any header (inspection tools). Only the final line may be corrupt —
+// that is the crash artifact Parse exists to absorb; anything else
+// returns a typed *CorruptError.
+func Parse(data []byte, fingerprint string) (*Parsed, error) {
+	out := &Parsed{}
+	lineNo := 0
+	off := 0
+	for off < len(data) {
+		lineNo++
+		end := bytes.IndexByte(data[off:], '\n')
+		if end < 0 {
+			// Final line with no terminating newline: a torn write, even if
+			// the bytes happen to decode — appending after an unterminated
+			// line would corrupt it, so only complete lines count as valid.
+			line := data[off:]
+			if lineNo > 1 || bytes.HasPrefix(line, []byte(`{"crc":"`)) {
+				out.DroppedTail = true
+				out.ValidBytes = int64(off)
+				return out, nil
+			}
+			// The sole line does not even look like a journal envelope:
+			// refuse rather than letting Open truncate whatever file the
+			// caller mistakenly pointed us at.
+			if _, err := Decode(line); err != nil {
+				if ce, ok := err.(*CorruptError); ok {
+					ce.Line = 1
+				}
+				return nil, err
+			}
+			return nil, &CorruptError{Line: 1, Reason: ReasonSyntax,
+				Detail: "unterminated first line"}
+		}
+		line, next := data[off:off+end], off+end+1
+		last := next == len(data)
+		entry, err := Decode(line)
+		if err != nil {
+			if ce, ok := err.(*CorruptError); ok {
+				ce.Line = lineNo
+				// Fingerprint/version disagreements on an intact header are
+				// configuration errors, not crash artifacts: refuse even at
+				// the tail rather than deleting someone else's journal.
+				if last && lineNo > 1 && ce.Reason != ReasonVersion {
+					out.DroppedTail = true
+					out.ValidBytes = int64(off)
+					return out, nil
+				}
+				if lineNo == 1 && last && bytes.HasPrefix(line, []byte(`{"crc":"`)) &&
+					(ce.Reason == ReasonSyntax || ce.Reason == ReasonChecksum) {
+					// Torn header write (the line starts like an envelope but
+					// never finished): nothing valid was ever recorded. A
+					// first line that does not even look like a journal is a
+					// hard error instead — truncating it would destroy
+					// whatever file the caller mistakenly pointed us at.
+					out.DroppedTail = true
+					out.ValidBytes = 0
+					return out, nil
+				}
+				if !last {
+					ce.Reason = ReasonCorrupt + "/" + ce.Reason
+				}
+			}
+			return nil, err
+		}
+		if lineNo == 1 {
+			if !entry.Header {
+				return nil, &CorruptError{Line: 1, Reason: ReasonHeader,
+					Detail: "first record is not a header"}
+			}
+			if fingerprint != "" && entry.Fingerprint != fingerprint {
+				return nil, &CorruptError{Line: 1, Reason: ReasonFingerprint,
+					Detail: fmt.Sprintf("journal written by %q, this run is %q",
+						entry.Fingerprint, fingerprint)}
+			}
+			out.Fingerprint = entry.Fingerprint
+		} else {
+			if entry.Header {
+				return nil, &CorruptError{Line: lineNo, Reason: ReasonKind,
+					Detail: "header record after line 1"}
+			}
+			out.Records = append(out.Records, entry.Record)
+		}
+		out.ValidBytes = int64(next)
+		off = next
+	}
+	if lineNo == 0 {
+		return nil, &CorruptError{Line: 0, Reason: ReasonHeader, Detail: "empty journal"}
+	}
+	return out, nil
+}
+
+// Stats summarizes what Open recovered from an existing journal.
+type Stats struct {
+	Replayed    int  // records loaded for replay
+	DroppedTail bool // a torn final record was discarded
+	Appended    int  // records appended by this process
+}
+
+// Journal is a live checkpoint log: a replay index of the records
+// recovered at Open plus an append-mode file handle. All methods are
+// safe for concurrent use and safe on a nil receiver (a nil *Journal
+// checkpoints nothing and replays nothing — the disabled state).
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	replay   map[string]Record
+	dropped  bool
+	appended int
+}
+
+func cellKey(experiment, cell string) string { return experiment + "\x00" + cell }
+
+// Create starts a fresh journal at path (truncating any existing file)
+// pinned to the given fingerprint.
+func Create(path, fingerprint string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	hdr, err := EncodeHeader(fingerprint)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: writing header: %w", err)
+	}
+	return &Journal{f: f, path: path, replay: map[string]Record{}}, nil
+}
+
+// Open resumes an existing journal at path: it decodes every record,
+// truncates a torn tail if the last line was cut by a crash, and reopens
+// the file for appending. A missing or empty file starts fresh (Create
+// semantics). A fingerprint mismatch or mid-file corruption is a typed
+// error — the journal belongs to a different configuration or has been
+// damaged, and replaying it would silently produce wrong tables.
+func Open(path, fingerprint string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Create(path, fingerprint)
+		}
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if len(data) == 0 {
+		return Create(path, fingerprint)
+	}
+	parsed, err := Parse(data, fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	if parsed.ValidBytes == 0 {
+		// Torn header: nothing recoverable, start over.
+		j, err := Create(path, fingerprint)
+		if err != nil {
+			return nil, err
+		}
+		j.dropped = true
+		return j, nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if parsed.DroppedTail {
+		if err := f.Truncate(parsed.ValidBytes); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(parsed.ValidBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{f: f, path: path, replay: make(map[string]Record, len(parsed.Records)),
+		dropped: parsed.DroppedTail}
+	for _, rec := range parsed.Records {
+		j.replay[cellKey(rec.Experiment, rec.Cell)] = rec
+	}
+	return j, nil
+}
+
+// Lookup returns the replayable record for a cell, if one was recovered.
+func (j *Journal) Lookup(experiment, cell string) (Record, bool) {
+	if j == nil {
+		return Record{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.replay[cellKey(experiment, cell)]
+	return rec, ok
+}
+
+// Append checkpoints one completed cell: a single write of one complete
+// line, flushed to the OS before return, so a kill immediately after
+// leaves the record durable against process death.
+func (j *Journal) Append(rec Record) error {
+	if j == nil {
+		return nil
+	}
+	line, err := EncodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("journal: append after Close")
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.replay[cellKey(rec.Experiment, rec.Cell)] = rec
+	j.appended++
+	return nil
+}
+
+// Stats reports what this journal recovered and recorded so far.
+func (j *Journal) Stats() Stats {
+	if j == nil {
+		return Stats{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{Replayed: len(j.replay) - j.appended, DroppedTail: j.dropped, Appended: j.appended}
+}
+
+// Path returns the journal's file path ("" on nil).
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Close flushes and closes the underlying file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

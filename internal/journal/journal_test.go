@@ -1,0 +1,339 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testRecord(cell string) Record {
+	return Record{
+		Experiment: "fig12",
+		Cell:       cell,
+		Seed:       0xdeadbeefcafef00d, // deliberately > 2^53: must survive JSON
+		Rows: [][]interface{}{
+			{"mcf", 42, uint64(math.MaxUint64), 3.14159265358979, true},
+			{int64(-7), uint32(9), float32(0.25), "x,y\nz"},
+		},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	t.Parallel()
+	rec := testRecord("hog0/cpu-spec")
+	line, err := EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := Decode(bytes.TrimSuffix(line, []byte("\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Header {
+		t.Fatal("cell record decoded as header")
+	}
+	if !reflect.DeepEqual(entry.Record, rec) {
+		t.Errorf("round trip mismatch:\n got %#v\nwant %#v", entry.Record, rec)
+	}
+}
+
+// TestValueTypesSurvive pins the property the byte-identical-resume
+// guarantee rests on: every supported dynamic type comes back exactly,
+// including edge values.
+func TestValueTypesSurvive(t *testing.T) {
+	t.Parallel()
+	vals := []interface{}{
+		"", "plain", "with \"quotes\" and \\ and \n newline",
+		true, false,
+		0, -1, math.MaxInt64, math.MinInt64,
+		int8(-128), int16(32767), int32(-2147483648), int64(math.MinInt64),
+		uint(0), uint8(255), uint16(65535), uint32(4294967295), uint64(math.MaxUint64),
+		float32(1.5), float32(math.Pi),
+		0.1, 2.0 / 3.0, math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64,
+	}
+	rec := Record{Experiment: "e", Cell: "c", Seed: 1, Rows: [][]interface{}{vals}}
+	line, err := EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := Decode(bytes.TrimSuffix(line, []byte("\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := entry.Record.Rows[0]
+	for i, want := range vals {
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("value %d: got %#v (%T), want %#v (%T)", i, got[i], got[i], want, want)
+		}
+	}
+	// NaN needs its own check (NaN != NaN).
+	nrec := Record{Experiment: "e", Cell: "c", Seed: 1, Rows: [][]interface{}{{math.NaN()}}}
+	nline, _ := EncodeRecord(nrec)
+	nentry, err := Decode(bytes.TrimSuffix(nline, []byte("\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := nentry.Record.Rows[0][0].(float64); !ok || !math.IsNaN(f) {
+		t.Errorf("NaN did not survive: %#v", nentry.Record.Rows[0][0])
+	}
+	// Unsupported types degrade to their %v string (opaque tag), loudly
+	// typed as string rather than silently wrong.
+	orec := Record{Experiment: "e", Cell: "c", Seed: 1,
+		Rows: [][]interface{}{{struct{ A int }{7}}}}
+	oline, err := EncodeRecord(orec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oentry, err := Decode(bytes.TrimSuffix(oline, []byte("\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := oentry.Record.Rows[0][0]; got != fmt.Sprintf("%v", struct{ A int }{7}) {
+		t.Errorf("opaque fallback = %#v", got)
+	}
+}
+
+func TestDecodeTypedErrors(t *testing.T) {
+	t.Parallel()
+	good, _ := EncodeRecord(testRecord("c"))
+	good = bytes.TrimSuffix(good, []byte("\n"))
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-10] ^= 0x40 // corrupt a payload byte: CRC must catch it
+
+	cases := []struct {
+		name   string
+		line   []byte
+		reason string
+	}{
+		{"empty", []byte(""), ReasonSyntax},
+		{"not-json", []byte("== mixtlb table =="), ReasonSyntax},
+		{"truncated", good[:len(good)/2], ReasonSyntax},
+		{"bit-flip", flipped, ReasonChecksum},
+		{"bad-crc-field", []byte(`{"crc":"zzzz","p":{"kind":"cell"}}`), ReasonSyntax},
+		{"bad-kind", mustLine(t, payload{Kind: "wat"}), ReasonKind},
+		{"bad-seed", mustLine(t, payload{Kind: "cell", Experiment: "e", Cell: "c", Seed: "12x"}), ReasonValue},
+		{"no-identity", mustLine(t, payload{Kind: "cell", Seed: "1"}), ReasonValue},
+		{"bad-version", mustLine(t, payload{Kind: "header", Version: Version + 1, Fingerprint: "f"}), ReasonVersion},
+		{"bad-value-tag", mustLine(t, payload{Kind: "cell", Experiment: "e", Cell: "c", Seed: "1",
+			Rows: [][]taggedValue{{{T: "q", V: "1"}}}}), ReasonValue},
+		{"bad-value-num", mustLine(t, payload{Kind: "cell", Experiment: "e", Cell: "c", Seed: "1",
+			Rows: [][]taggedValue{{{T: "u64", V: "-3"}}}}), ReasonValue},
+	}
+	for _, tc := range cases {
+		_, err := Decode(tc.line)
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: err = %v, want *CorruptError", tc.name, err)
+			continue
+		}
+		if ce.Reason != tc.reason {
+			t.Errorf("%s: reason = %q, want %q (%v)", tc.name, ce.Reason, tc.reason, ce)
+		}
+	}
+}
+
+func mustLine(t *testing.T, p payload) []byte {
+	t.Helper()
+	line, err := encodeLine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.TrimSuffix(line, []byte("\n"))
+}
+
+func journalImage(t *testing.T, fingerprint string, recs ...Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	hdr, err := EncodeHeader(fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(hdr)
+	for _, rec := range recs {
+		line, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(line)
+	}
+	return buf.Bytes()
+}
+
+func TestParseTornTail(t *testing.T) {
+	t.Parallel()
+	full := journalImage(t, "fp", testRecord("a"), testRecord("b"))
+	// Chop mid-way through the final record: parse must keep record "a"
+	// and report a dropped tail with the right truncation offset.
+	lines := bytes.SplitAfter(full, []byte("\n"))
+	validEnd := len(lines[0]) + len(lines[1])
+	for cut := validEnd + 1; cut < len(full); cut += 13 {
+		p, err := Parse(full[:cut], "fp")
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !p.DroppedTail || len(p.Records) != 1 || p.Records[0].Cell != "a" {
+			t.Fatalf("cut %d: parsed %+v", cut, p)
+		}
+		if p.ValidBytes != int64(validEnd) {
+			t.Fatalf("cut %d: ValidBytes = %d, want %d", cut, p.ValidBytes, validEnd)
+		}
+	}
+	// The intact image parses clean.
+	p, err := Parse(full, "fp")
+	if err != nil || p.DroppedTail || len(p.Records) != 2 {
+		t.Fatalf("intact parse: %+v, %v", p, err)
+	}
+}
+
+func TestParseMidFileCorruptionIsFatal(t *testing.T) {
+	t.Parallel()
+	full := journalImage(t, "fp", testRecord("a"), testRecord("b"))
+	lines := bytes.SplitAfter(full, []byte("\n"))
+	// Corrupt record "a" (line 2) while an intact "b" follows: that is
+	// not a crash artifact, and silently skipping it would drop a cell.
+	bad := append([]byte(nil), lines[0]...)
+	corrupted := append([]byte(nil), lines[1]...)
+	corrupted[10] ^= 0xff
+	bad = append(bad, corrupted...)
+	bad = append(bad, lines[2]...)
+	_, err := Parse(bad, "fp")
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Line != 2 {
+		t.Fatalf("err = %v, want mid-file *CorruptError at line 2", err)
+	}
+}
+
+func TestParseFingerprintMismatch(t *testing.T) {
+	t.Parallel()
+	img := journalImage(t, "config-A", testRecord("a"))
+	_, err := Parse(img, "config-B")
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Reason != ReasonFingerprint {
+		t.Fatalf("err = %v, want fingerprint *CorruptError", err)
+	}
+	// Empty expected fingerprint accepts anything (inspection mode).
+	if p, err := Parse(img, ""); err != nil || p.Fingerprint != "config-A" {
+		t.Fatalf("inspection parse: %+v, %v", p, err)
+	}
+	// Headerless data is refused, not truncated.
+	recLine, _ := EncodeRecord(testRecord("a"))
+	if _, err := Parse(recLine, "fp"); err == nil {
+		t.Fatal("headerless journal accepted")
+	}
+	// A non-journal file must never be mistaken for a torn header.
+	if _, err := Parse([]byte("just some text file"), "fp"); err == nil {
+		t.Fatal("arbitrary text accepted as torn journal")
+	}
+}
+
+func TestJournalCreateAppendOpen(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Create(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(testRecord("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(testRecord("b")); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Stats(); st.Appended != 2 || st.Replayed != 0 {
+		t.Errorf("writer stats = %+v", st)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: both records replayable, file still appendable.
+	j2, err := Open(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, ok := j2.Lookup("fig12", "a"); !ok || !reflect.DeepEqual(rec, testRecord("a")) {
+		t.Errorf("lookup a = %+v, %v", rec, ok)
+	}
+	if _, ok := j2.Lookup("fig12", "nope"); ok {
+		t.Error("phantom record")
+	}
+	if st := j2.Stats(); st.Replayed != 2 || st.DroppedTail {
+		t.Errorf("resume stats = %+v", st)
+	}
+	if err := j2.Append(testRecord("c")); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	j3, err := Open(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j3.Stats(); st.Replayed != 3 {
+		t.Errorf("after second resume: %+v", st)
+	}
+	j3.Close()
+
+	// Wrong fingerprint refuses to resume.
+	if _, err := Open(path, "other"); err == nil {
+		t.Fatal("fingerprint mismatch accepted")
+	}
+}
+
+func TestJournalOpenTruncatesTornTail(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	img := journalImage(t, "fp", testRecord("a"), testRecord("b"))
+	// Simulate a crash 7 bytes into the final record's write.
+	lines := bytes.SplitAfter(img, []byte("\n"))
+	torn := img[:len(lines[0])+len(lines[1])+7]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := j.Stats()
+	if st.Replayed != 1 || !st.DroppedTail {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Appending after truncation must produce a fully-valid journal.
+	if err := j.Append(testRecord("b")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(data, "fp")
+	if err != nil || p.DroppedTail || len(p.Records) != 2 {
+		t.Fatalf("post-recovery journal invalid: %+v, %v", p, err)
+	}
+}
+
+func TestNilJournalIsDisabled(t *testing.T) {
+	t.Parallel()
+	var j *Journal
+	if err := j.Append(testRecord("a")); err != nil {
+		t.Error(err)
+	}
+	if _, ok := j.Lookup("e", "c"); ok {
+		t.Error("nil journal found a record")
+	}
+	if st := j.Stats(); st != (Stats{}) {
+		t.Errorf("nil stats = %+v", st)
+	}
+	if err := j.Close(); err != nil {
+		t.Error(err)
+	}
+	if j.Path() != "" {
+		t.Error("nil path")
+	}
+}

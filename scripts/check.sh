@@ -26,6 +26,7 @@ echo "== go test -fuzz (10s per target)"
 go test ./internal/trace/ -fuzz 'FuzzRoundTrip' -fuzztime 10s -run '^$'
 go test ./internal/trace/ -fuzz 'FuzzReader' -fuzztime 10s -run '^$'
 go test ./internal/addr/ -fuzz 'FuzzAddrArithmetic' -fuzztime 10s -run '^$'
+go test ./internal/journal/ -fuzz 'FuzzJournalDecode' -fuzztime 10s -run '^$'
 
 # Parallel determinism: the same experiment at -jobs 1 and -jobs 4 must
 # produce byte-identical tables (cell seeds derive from cell identity,
@@ -41,6 +42,59 @@ if ! cmp -s "$tmpdir/jobs1.csv" "$tmpdir/jobs4.csv"; then
     diff "$tmpdir/jobs1.csv" "$tmpdir/jobs4.csv" >&2 || true
     exit 1
 fi
+
+# Crash-safe resume: run with a checkpoint journal, kill the process
+# after 2 of fig12's 3 cells (the engine journals each cell before
+# reporting progress, so exactly 2 records are durable), then resume at
+# -jobs 1 and again at -jobs 8. Both resumed tables must be
+# byte-identical to the uninterrupted jobs1.csv above; the second
+# resume replays every cell without simulating anything.
+echo "== crash-safe journal resume"
+rc=0
+"$tmpdir/mixtlb" -exp fig12 -quick -csv -jobs 4 -journal "$tmpdir/crash.journal" \
+    -kill-after-cells 2 > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 137 ]; then
+    echo "FAIL: -kill-after-cells 2 exited $rc, want 137" >&2
+    exit 1
+fi
+"$tmpdir/mixtlb" -exp fig12 -quick -csv -jobs 1 \
+    -journal "$tmpdir/crash.journal" -resume > "$tmpdir/resume1.csv"
+if ! cmp -s "$tmpdir/jobs1.csv" "$tmpdir/resume1.csv"; then
+    echo "FAIL: resumed run (-jobs 1) differs from uninterrupted run" >&2
+    diff "$tmpdir/jobs1.csv" "$tmpdir/resume1.csv" >&2 || true
+    exit 1
+fi
+"$tmpdir/mixtlb" -exp fig12 -quick -csv -jobs 8 \
+    -journal "$tmpdir/crash.journal" -resume > "$tmpdir/resume8.csv"
+if ! cmp -s "$tmpdir/jobs1.csv" "$tmpdir/resume8.csv"; then
+    echo "FAIL: resumed run (-jobs 8) differs from uninterrupted run" >&2
+    diff "$tmpdir/jobs1.csv" "$tmpdir/resume8.csv" >&2 || true
+    exit 1
+fi
+
+# Fail-soft: a persistently failing cell must exhaust its retries,
+# surface as a FAILED(...) marker row instead of aborting the grid, set
+# exit code 3, and show up in the retry/fail-soft telemetry counters.
+echo "== fail-soft FAILED markers"
+rc=0
+"$tmpdir/mixtlb" -exp fig12 -quick -csv -jobs 2 -fail-soft \
+    -max-retries 1 -retry-backoff 10ms -inject-cell-failure hog2 \
+    -metrics-out "$tmpdir/failsoft.prom" > "$tmpdir/failsoft.csv" 2> /dev/null || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "FAIL: fail-soft run exited $rc, want 3" >&2
+    exit 1
+fi
+if ! grep -q 'FAILED(cell=hog2' "$tmpdir/failsoft.csv"; then
+    echo "FAIL: fail-soft table missing FAILED(cell=hog2 marker" >&2
+    cat "$tmpdir/failsoft.csv" >&2
+    exit 1
+fi
+for metric in engine_cell_retries_total engine_cells_failed_soft_total; do
+    if ! grep -q "$metric" "$tmpdir/failsoft.prom"; then
+        echo "FAIL: metrics dump missing $metric" >&2
+        exit 1
+    fi
+done
 
 # Design registry: every registered design (builtin and the shipped
 # example file) must validate and construct, and the hierarchy comparison
@@ -63,6 +117,27 @@ fi
 echo "== benchdiff identity"
 "$tmpdir/mixtlb" -exp fig15r -quick -jobs 1 -bench-out "$tmpdir/bench.json" > /dev/null
 ./scripts/benchdiff.sh "$tmpdir/bench.json" "$tmpdir/bench.json" > /dev/null
+
+# Journaling overhead: checkpointing must be cheap relative to the
+# simulation itself. Quick cells run ~60ms each, where scheduler noise
+# alone exceeds 15%, so this gate runs longer cells (-refs 300000, after
+# a warmup pass) and checks the geomean: journaling-on must stay within
+# 15% of journaling-off overall, with a loose 40% per-cell backstop
+# against pathological regressions.
+echo "== journaling overhead"
+"$tmpdir/mixtlb" -exp fig15r -quick -refs 300000 -jobs 1 > /dev/null # warmup
+"$tmpdir/mixtlb" -exp fig15r -quick -refs 300000 -jobs 1 \
+    -bench-out "$tmpdir/nojournal.json" > /dev/null
+"$tmpdir/mixtlb" -exp fig15r -quick -refs 300000 -jobs 1 \
+    -journal "$tmpdir/overhead.journal" -bench-out "$tmpdir/journal.json" > /dev/null
+./scripts/benchdiff.sh "$tmpdir/nojournal.json" "$tmpdir/journal.json" \
+    -max-regression 40 > "$tmpdir/overhead.txt"
+geomean=$(awk '/geomean/ { g=$NF; sub(/x$/, "", g); print g }' "$tmpdir/overhead.txt")
+if [ -z "$geomean" ] || ! awk -v g="$geomean" 'BEGIN { exit !(g >= 0.85) }'; then
+    echo "FAIL: journaling overhead geomean ${geomean:-?}x is below the 0.85x floor" >&2
+    cat "$tmpdir/overhead.txt" >&2
+    exit 1
+fi
 
 # Telemetry smoke: a quick instrumented run must emit a parseable
 # Prometheus dump with the core metric families, a well-formed Chrome
