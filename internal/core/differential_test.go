@@ -104,7 +104,15 @@ func conform(t *testing.T, name string, tl tlb.TLB, e *diffEnv) {
 			if !walk.Found {
 				t.Fatalf("%s: oracle walk failed for mapped VA %v", name, va)
 			}
-			tl.Fill(tlb.Request{VA: va, PC: uint64(i)}, walk)
+			// Victim levels fill only by eviction-driven demotion (their
+			// Fill is a no-op); feed them the walk result the way the
+			// hierarchy would. 1GB entries are refused by contract and
+			// simply never hit.
+			if dem, ok := tl.(tlb.Demoter); ok {
+				dem.Demote(walk.Translation, false)
+			} else {
+				tl.Fill(tlb.Request{VA: va, PC: uint64(i)}, walk)
+			}
 		}
 		// Random interleaved invalidation of some resident page: the
 		// next lookup of that page must miss, not serve a stale entry.

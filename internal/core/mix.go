@@ -165,6 +165,13 @@ type MixTLB struct {
 	targets []int                   // scratch reused by mirrorTargets
 	members []pagetable.Translation // scratch reused by Members
 
+	// sink receives translations displaced by capacity replacement (the
+	// victim-level demotion feed), nil unless attached. Mirrored bundles
+	// mean an evicted copy's members may still be resident in other sets;
+	// the sink sees them anyway — demotion must be conservative, and the
+	// probe order (SRAM levels first) keeps such duplicates harmless.
+	sink tlb.EvictionSink
+
 	// tel is the telemetry hook block, nil unless AttachTelemetry enabled
 	// it; every use is a single nil-check branch.
 	tel *mixTel
@@ -252,6 +259,60 @@ func (m *MixTLB) Config() Config { return m.cfg }
 
 // Stats returns a snapshot of MIX-specific counters.
 func (m *MixTLB) Stats() Stats { return m.stats }
+
+// SetEvictionSink implements tlb.EvictionNotifier.
+func (m *MixTLB) SetEvictionSink(sink tlb.EvictionSink) { m.sink = sink }
+
+// reportEviction feeds every member of a displaced entry to the sink.
+// Call sites guarantee e.valid and m.sink != nil.
+func (m *MixTLB) reportEviction(e *entry) {
+	if e.k == 0 {
+		m.sink(pagetable.Translation{
+			VA: addr.V(e.vpn << addr.Shift4K), PA: e.pa, Size: addr.Page4K,
+			Perm: e.perm, Accessed: true, Dirty: e.dirty,
+		}, e.dirty)
+		return
+	}
+	for s := 0; s < int(e.k); s++ {
+		if e.memberPresent(m.cfg.Encoding, s) {
+			m.sink(m.memberTranslation(e, s), e.memberDirty(m.cfg.Encoding, s))
+		}
+	}
+}
+
+// ReachBytes implements tlb.ReachReporter: bytes of virtual address
+// space the resident entries translate, counting each distinct member
+// page once no matter how many sets mirror it. Snapshot-only (allocates).
+func (m *MixTLB) ReachBytes() uint64 {
+	type pageKey struct {
+		size addr.PageSize
+		svn  uint64
+	}
+	seen := make(map[pageKey]struct{})
+	for _, set := range m.data {
+		for i := range set {
+			e := &set[i]
+			if !e.valid {
+				continue
+			}
+			if e.k == 0 {
+				seen[pageKey{addr.Page4K, e.vpn}] = struct{}{}
+				continue
+			}
+			base := m.baseSVN(e)
+			for s := 0; s < int(e.k); s++ {
+				if e.memberPresent(m.cfg.Encoding, s) {
+					seen[pageKey{e.size, base + uint64(s)}] = struct{}{}
+				}
+			}
+		}
+	}
+	var b uint64
+	for k := range seen {
+		b += k.size.Bytes()
+	}
+	return b
+}
 
 // setIndex computes the single set a request probes: VA bits
 // [IndexShift, IndexShift+log2(Sets)).

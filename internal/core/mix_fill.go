@@ -23,6 +23,9 @@ func (m *MixTLB) Fill(req tlb.Request, walk pagetable.WalkResult) tlb.Cost {
 	if tr.Size == addr.Page4K && m.cfg.SmallCoalesce == 0 {
 		set := m.data[m.setIndex(req.VA)]
 		v := m.victim(set)
+		if set[v].valid && m.sink != nil {
+			m.reportEviction(&set[v])
+		}
 		set[v] = entry{
 			valid: true, size: addr.Page4K,
 			vpn: tr.VA.VPN4K(), pa: tr.PA.PageBase(addr.Page4K),
@@ -75,6 +78,9 @@ func (m *MixTLB) fillBundle(probeVA addr.V, bundle entry, targets []int) tlb.Cos
 		if si != probed && !m.cfg.BlindMirrors && set[v].valid {
 			continue // no spare way: skip the prefetch, keep live entries
 		}
+		if set[v].valid && m.sink != nil {
+			m.reportEviction(&set[v])
+		}
 		set[v] = bundle
 		set[v].stamp = m.clock
 		cost.SetsFilled++
@@ -98,6 +104,9 @@ func (m *MixTLB) Promote(req tlb.Request, t pagetable.Translation, line []pageta
 	if t.Size == addr.Page4K && m.cfg.SmallCoalesce == 0 {
 		set := m.data[m.setIndex(req.VA)]
 		v := m.victim(set)
+		if set[v].valid && m.sink != nil {
+			m.reportEviction(&set[v])
+		}
 		set[v] = entry{
 			valid: true, size: addr.Page4K,
 			vpn: t.VA.VPN4K(), pa: t.PA.PageBase(addr.Page4K),

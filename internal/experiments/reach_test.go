@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"context"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"mixtlb/internal/journal"
+)
+
+// reachCSV runs the reach experiment end to end and renders its table.
+func reachCSV(t *testing.T, s Scale) string {
+	t.Helper()
+	tbl, err := ReachStudy(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl.CSV()
+}
+
+// TestReachResumeByteIdentical kills a journaled reach run after half
+// its cells checkpointed and resumes it: the resumed table must be
+// byte-identical to an uninterrupted run. Unlike the synthetic-grid
+// resume test, this exercises crash/resume over real simulation cells —
+// including the victim designs' demotion state, which must be rebuilt
+// from scratch per cell rather than leak across the crash boundary.
+func TestReachResumeByteIdentical(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full reach runs are covered in the non-race build")
+	}
+	t.Parallel()
+	s := QuickScale()
+	s.Jobs = 2
+	want := reachCSV(t, s)
+
+	path := filepath.Join(t.TempDir(), "reach.journal")
+	fp := s.Fingerprint()
+	j1, err := journal.Create(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var seen atomic.Int64
+	s1 := s
+	s1.Journal = j1
+	s1.ProgressFn = func(ev ProgressEvent) {
+		if seen.Add(1) == 3 {
+			cancel()
+		}
+	}
+	if _, err := ReachStudy(ctx, s1); err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	j1.Close()
+	if st := j1.Stats(); st.Appended < 1 || st.Appended >= 6 {
+		t.Fatalf("first run checkpointed %d of 6 cells, want partial progress", st.Appended)
+	}
+
+	j2, err := journal.Open(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	s2 := s
+	s2.Journal = j2
+	if got := reachCSV(t, s2); got != want {
+		t.Errorf("resumed reach table differs from uninterrupted run:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -9,9 +9,11 @@ import (
 )
 
 // allTestDesigns is every comparable design plus the superpage-index
-// ablation, so equivalence guarantees cover the full catalog.
+// ablation and the cache-backed victim designs, so equivalence
+// guarantees cover the full catalog.
 func allTestDesigns() []Design {
-	return append(AllDesigns(), DesignMixSuperIndex)
+	return append(AllDesigns(), DesignMixSuperIndex,
+		DesignVictima, DesignMixVictima, DesignVictimaLite)
 }
 
 // mappedPage is one pre-mapped page available to the randomized stream.

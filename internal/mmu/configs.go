@@ -46,6 +46,15 @@ const (
 	// on the walker, isolating how much of the TLB-design gap MMU caches
 	// close.
 	DesignSplitPWC Design = "split+pwc"
+	// DesignVictima is the split baseline backed by a cache-resident
+	// victim level fed by L2 evictions (after Victima, PAPERS.md).
+	DesignVictima Design = "victima"
+	// DesignMixVictima stacks the victim level behind MIX TLBs, combining
+	// coalesced reach with spilled reach.
+	DesignMixVictima Design = "mix+victima"
+	// DesignVictimaLite is victima with an eighth of the victim bundles —
+	// the capacity-sensitivity point of the reach study.
+	DesignVictimaLite Design = "victima-lite"
 )
 
 // AllDesigns lists the comparable designs in report order.

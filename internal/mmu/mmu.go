@@ -134,6 +134,14 @@ type Stats struct {
 	PWCMisses      uint64 // walks the caches could not shorten
 	PWCSkippedRefs uint64 // upper-level PTE references never issued
 
+	// Victim-level accounting (zero unless the hierarchy ends in a
+	// cache-resident victim level; see tlb.Victim).
+	Demotions         uint64 // evicted feeder entries the victim level absorbed
+	DemotionDrops     uint64 // evicted entries the victim level refused (e.g. 1GB)
+	VictimEvictions   uint64 // victim-level PTEs displaced by absorbing demotions
+	VictimProbes      uint64 // victim-level probes issued (hits and misses)
+	VictimProbeCycles uint64 // cycles those probes spent in the data caches
+
 	// Fault-injection accounting (zero unless chaos/oracle attached).
 	ECC              tlb.ECCStats
 	PTECorruptions   uint64 // walker results corrupted in flight
@@ -174,6 +182,8 @@ type hierLevel struct {
 	bundler   tlb.BundleProvider
 	refresher tlb.DirtyRefresher
 	scrubber  tlb.Scrubber
+	demoter   tlb.Demoter
+	cacheRes  tlb.CacheResident
 }
 
 // MMU is a simulated memory-management unit.
@@ -258,6 +268,22 @@ func New(cfg Config, src TranslationSource, caches *cachesim.Hierarchy, fault Fa
 		lv.bundler, _ = l.TLB.(tlb.BundleProvider)
 		lv.refresher, _ = l.TLB.(tlb.DirtyRefresher)
 		lv.scrubber, _ = l.TLB.(tlb.Scrubber)
+		lv.demoter, _ = l.TLB.(tlb.Demoter)
+		lv.cacheRes, _ = l.TLB.(tlb.CacheResident)
+	}
+	if last := len(m.levels) - 1; m.levels[last].demoter != nil {
+		// A demotion-fed victim level is filled only by capacity evictions
+		// from the level directly above it; wire that feed now so the hot
+		// path never checks for it.
+		if last == 0 {
+			return nil, fmt.Errorf("mmu %q: a demotion-fed victim level cannot be the only hierarchy level", cfg.Name)
+		}
+		en, ok := m.levels[last-1].tlb.(tlb.EvictionNotifier)
+		if !ok {
+			return nil, fmt.Errorf("mmu %q: level %d (%s) feeds the victim level by demotion but cannot report evictions",
+				cfg.Name, last-1, m.levels[last-1].tlb.Name())
+		}
+		en.SetEvictionSink(m.demote)
 	}
 	m.pt, _ = src.(*pagetable.PageTable)
 	if rc, ok := m.levels[0].tlb.(tlb.ReplayConsistent); ok && rc.LookupReplayConsistent() {
@@ -300,6 +326,17 @@ func (m *MMU) Name() string { return m.cfg.Name }
 
 // Depth returns the number of hierarchy levels.
 func (m *MMU) Depth() int { return len(m.levels) }
+
+// LevelTLBs returns the hierarchy's TLBs in probe order — a fresh slice,
+// for introspection (reach snapshots, invariant checks); the simulation
+// itself never calls it.
+func (m *MMU) LevelTLBs() []tlb.TLB {
+	out := make([]tlb.TLB, len(m.levels))
+	for i := range m.levels {
+		out[i] = m.levels[i].tlb
+	}
+	return out
+}
 
 // PWC exposes the attached paging-structure cache, nil when the design
 // has none.
@@ -480,10 +517,19 @@ func (m *MMU) translateOnce(req tlb.Request) Result {
 	res.HitLevel = -1
 	for li := range m.levels {
 		lv := &m.levels[li]
-		res.Cycles += lv.lat
+		if lv.cacheRes == nil {
+			res.Cycles += lv.lat
+		}
 		r := lv.tlb.Lookup(req)
+		if lv.cacheRes != nil {
+			// A cache-resident victim level has no SRAM latency of its
+			// own: each probe is a data-cache access to the storage lines
+			// it read (which also fills them — the cache pollution Victima
+			// pays is modeled, not abstracted away).
+			m.chargeCacheProbes(lv, &res)
+		}
 		lv.lookup.Add(r.Cost)
-		if r.Cost.Probes > 1 {
+		if r.Cost.Probes > 1 && lv.cacheRes == nil {
 			res.Cycles += uint64(r.Cost.Probes-1) * m.cfg.Lat.ExtraProbe
 		}
 		if r.Hit {
@@ -531,6 +577,15 @@ func (m *MMU) translateOnce(req tlb.Request) Result {
 					}))
 				}
 			}
+			if lv.demoter != nil {
+				// Move semantics for the victim level: the served page is
+				// now resident above, so drop it here — a future eviction
+				// will demote it back. (Promotions above may themselves
+				// have demoted a displaced feeder entry into this level;
+				// that happens before this invalidate and never concerns
+				// the served page, which the feeder exclusively lacked.)
+				lv.tlb.Invalidate(req.VA, r.T.Size)
+			}
 		}
 		m.handleDirty(req, r.Dirty, &res, nil)
 		m.stats.Cycles += res.Cycles
@@ -571,6 +626,37 @@ func (m *MMU) translateOnce(req tlb.Request) Result {
 	m.handleDirty(req, walk.Translation.Dirty, &res, walk)
 	m.stats.Cycles += res.Cycles
 	return res
+}
+
+// chargeCacheProbes prices a cache-resident level's probe: one data-cache
+// access per storage line the lookup read. Without a cache hierarchy the
+// level's configured latency stands in.
+func (m *MMU) chargeCacheProbes(lv *hierLevel, res *Result) {
+	m.stats.VictimProbes++
+	if m.caches == nil {
+		res.Cycles += lv.lat
+		m.stats.VictimProbeCycles += lv.lat
+		return
+	}
+	for _, pa := range lv.cacheRes.ProbedLines() {
+		c := m.caches.Access(pa)
+		res.Cycles += c.Cycles
+		m.stats.VictimProbeCycles += c.Cycles
+	}
+}
+
+// demote is the eviction sink wired from the victim level's feeder: a
+// capacity-displaced feeder entry either lands in the victim level or is
+// accounted as a drop, and any victim-level entries displaced in turn are
+// counted — together the books the demotion-conservation property audits.
+func (m *MMU) demote(t pagetable.Translation, dirty bool) {
+	absorbed, evicted := m.levels[len(m.levels)-1].demoter.Demote(t, dirty)
+	if absorbed {
+		m.stats.Demotions++
+	} else {
+		m.stats.DemotionDrops++
+	}
+	m.stats.VictimEvictions += uint64(evicted)
 }
 
 // scrubCorrupt evicts the (presumed corrupted) entries covering va from

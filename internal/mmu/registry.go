@@ -201,6 +201,36 @@ func builtinSpecs() []DesignSpec {
 			},
 			PWC: true,
 		},
+		{
+			// 512x4 bundles x 8 PTEs = 16K translations: 64MB of 4KB reach
+			// (or up to 32GB of 2MB) from 128KB of cache lines — Victima's
+			// trade of cache capacity for translation reach.
+			Name: string(DesignVictima),
+			Desc: "split baseline backed by a cache-resident victim level (Victima)",
+			Levels: []LevelSpec{
+				{Kind: KindHaswellL1},
+				{Kind: KindHaswellL2},
+				{Kind: KindVictim, Name: "victima-L3", Sets: 512, Ways: 4},
+			},
+		},
+		{
+			Name: string(DesignMixVictima),
+			Desc: "MIX TLBs with a cache-resident victim level behind them",
+			Levels: []LevelSpec{
+				mixL1, mixL2,
+				{Kind: KindVictim, Name: "mix-victima-L3", Sets: 512, Ways: 4},
+			},
+		},
+		{
+			// An eighth of victima's bundles: the capacity-sensitivity point.
+			Name: string(DesignVictimaLite),
+			Desc: "victim level at an eighth the reach (capacity sensitivity)",
+			Levels: []LevelSpec{
+				{Kind: KindHaswellL1},
+				{Kind: KindHaswellL2},
+				{Kind: KindVictim, Name: "victima-lite-L3", Sets: 64, Ways: 4},
+			},
+		},
 	}
 }
 

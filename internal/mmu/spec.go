@@ -47,12 +47,19 @@ const (
 	// KindIdeal never misses on mapped pages; it must be a design's only
 	// level and requires the native page table at build time.
 	KindIdeal = "ideal"
+	// KindVictim is a software-managed victim level resident in the data
+	// caches (Victima-style): sets x ways cache-line bundles of packed
+	// PTEs (tlb.BundlePTEs each), fed only by eviction-driven demotion
+	// from the level above and charged data-cache accesses instead of an
+	// SRAM probe latency. Parameterized: Sets, Ways required; it must be
+	// the design's deepest level and cannot be the first.
+	KindVictim = "victim"
 )
 
 // levelKinds lists every valid LevelSpec kind, for error messages.
 var levelKinds = []string{
 	KindHaswellL1, KindHaswellL2, KindColtSplitL1, KindColtPPSplitL1,
-	KindMix, KindRehashPred, KindSkewPred, KindIdeal,
+	KindMix, KindRehashPred, KindSkewPred, KindIdeal, KindVictim,
 }
 
 // LevelSpec describes one level of a design's translation hierarchy.
@@ -230,6 +237,23 @@ func (s DesignSpec) Validate() error {
 			if err := fixed(); err != nil {
 				return err
 			}
+		case KindVictim:
+			if i != len(s.Levels)-1 {
+				return lerr("kind", "a victim level must be the design's deepest level")
+			}
+			if i == 0 {
+				return lerr("kind", "a victim level needs at least one SRAM level above it to demote from")
+			}
+			if err := geom(); err != nil {
+				return err
+			}
+			if l.Coalesce != 0 || l.SmallCoalesce != 0 || l.Encoding != "" ||
+				l.SuperpageIndex || l.PredictorEntries != 0 {
+				return lerr("kind", "victim levels take only sets/ways")
+			}
+			if l.HitLatency != 0 {
+				return lerr("hit_latency", "victim probes are charged data-cache accesses, not a fixed latency")
+			}
 		case "":
 			return lerr("kind", "missing level kind")
 		default:
@@ -310,6 +334,8 @@ func (s DesignSpec) buildLevel(i int, pt *pagetable.PageTable) (tlb.TLB, error) 
 			return nil, fmt.Errorf("design %q: ideal level requires the native page table", s.Name)
 		}
 		return tlb.NewIdeal(pt), nil
+	case KindVictim:
+		return tlb.NewVictim(s.levelName(i), l.Sets, l.Ways)
 	default:
 		return nil, &DesignSpecError{Design: s.Name, Level: i, Field: "kind",
 			Reason: fmt.Sprintf("unknown level kind %q", l.Kind)}

@@ -52,6 +52,25 @@ func TestDesignSpecValidationErrors(t *testing.T) {
 		{"ideal-with-sibling-levels", func(s *DesignSpec) {
 			s.Levels = []LevelSpec{{Kind: KindIdeal}, {Kind: KindHaswellL2}}
 		}, 0, "kind", "only level"},
+		{"victim-not-deepest", func(s *DesignSpec) {
+			s.Levels = []LevelSpec{{Kind: KindHaswellL1},
+				{Kind: KindVictim, Sets: 8, Ways: 2}, {Kind: KindHaswellL2}}
+		}, 1, "kind", "deepest"},
+		{"victim-as-only-level", func(s *DesignSpec) {
+			s.Levels = []LevelSpec{{Kind: KindVictim, Sets: 8, Ways: 2}}
+		}, 0, "kind", "demote from"},
+		{"victim-non-pow2-sets", func(s *DesignSpec) {
+			s.Levels = append(s.Levels, LevelSpec{Kind: KindVictim, Sets: 12, Ways: 2})
+		}, 1, "sets", "power of two"},
+		{"victim-zero-ways", func(s *DesignSpec) {
+			s.Levels = append(s.Levels, LevelSpec{Kind: KindVictim, Sets: 8})
+		}, 1, "ways", "positive"},
+		{"victim-with-coalescing", func(s *DesignSpec) {
+			s.Levels = append(s.Levels, LevelSpec{Kind: KindVictim, Sets: 8, Ways: 2, Coalesce: 4})
+		}, 1, "kind", "only sets/ways"},
+		{"victim-with-hit-latency", func(s *DesignSpec) {
+			s.Levels = append(s.Levels, LevelSpec{Kind: KindVictim, Sets: 8, Ways: 2, HitLatency: 9})
+		}, 1, "hit_latency", "data-cache accesses"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -83,8 +102,8 @@ func TestRegistryBuiltinsConstruct(t *testing.T) {
 	e := newEnv(t)
 	reg := DefaultRegistry()
 	names := reg.Names()
-	if len(names) != 12 {
-		t.Errorf("%d builtin designs registered, want 12: %v", len(names), names)
+	if len(names) != 15 {
+		t.Errorf("%d builtin designs registered, want 15: %v", len(names), names)
 	}
 	if !sort.StringsAreSorted(names) {
 		t.Errorf("Names() not sorted: %v", names)
@@ -108,7 +127,8 @@ func TestRegistryBuiltinsConstruct(t *testing.T) {
 		}
 	}
 	// Every legacy Design constant must resolve.
-	for _, d := range append(AllDesigns(), DesignMixSuperIndex, DesignMixRange, DesignMixAsL2, DesignSplitPWC) {
+	for _, d := range append(AllDesigns(), DesignMixSuperIndex, DesignMixRange,
+		DesignMixAsL2, DesignSplitPWC, DesignVictima, DesignMixVictima, DesignVictimaLite) {
 		if _, ok := reg.Lookup(string(d)); !ok {
 			t.Errorf("design constant %q missing from registry", d)
 		}

@@ -105,6 +105,15 @@ func (m *MMU) FlushTelemetry() {
 		mc.Counter("mmu_pwc_events_total", "kind", "miss").Add(s.PWCMisses)
 		mc.Counter("mmu_pwc_skipped_refs_total").Add(s.PWCSkippedRefs)
 	}
+	if m.levels[len(m.levels)-1].demoter != nil {
+		// Victim-level series exist only for designs that have one, like
+		// the PWC series — victimless dumps stay byte-identical.
+		mc.Counter("mmu_victim_events_total", "kind", "demotion").Add(s.Demotions)
+		mc.Counter("mmu_victim_events_total", "kind", "drop").Add(s.DemotionDrops)
+		mc.Counter("mmu_victim_events_total", "kind", "eviction").Add(s.VictimEvictions)
+		mc.Counter("mmu_victim_probes_total").Add(s.VictimProbes)
+		mc.Counter("mmu_victim_probe_cycles_total").Add(s.VictimProbeCycles)
+	}
 	if s.ECC.ParityDetected+s.ECC.SilentCorruptions+s.ECC.Scrubbed > 0 {
 		mc.Counter("mmu_ecc_events_total", "kind", "parity_detected").Add(s.ECC.ParityDetected)
 		mc.Counter("mmu_ecc_events_total", "kind", "silent").Add(s.ECC.SilentCorruptions)

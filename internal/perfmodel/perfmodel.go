@@ -60,6 +60,26 @@ func (p Params) Runtime(st mmu.Stats) Estimate {
 	return e
 }
 
+// AvgWalkCycles returns the mean cycle cost of a charged page walk —
+// the price a translation pays when every TLB level misses.
+func AvgWalkCycles(st mmu.Stats) float64 {
+	if st.Walks == 0 {
+		return 0
+	}
+	return float64(st.WalkCycles) / float64(st.Walks)
+}
+
+// AvgVictimProbeCycles returns the mean cycle cost of a victim-level
+// probe (a data-cache access or two, per tlb.Victim). The reach study
+// compares it against AvgWalkCycles: a victim level only pays off while
+// its probes stay cheaper than the walks they replace.
+func AvgVictimProbeCycles(st mmu.Stats) float64 {
+	if st.VictimProbes == 0 {
+		return 0
+	}
+	return float64(st.VictimProbeCycles) / float64(st.VictimProbes)
+}
+
 // ImprovementPercent returns the % performance improvement of `test` over
 // `base` for the same work — the Figure 14/15/18 metric:
 // 100 * (baseTime - testTime) / baseTime.

@@ -182,6 +182,11 @@ func (s *System) Aggregate() mmu.Stats {
 		total.PWCHits += st.PWCHits
 		total.PWCMisses += st.PWCMisses
 		total.PWCSkippedRefs += st.PWCSkippedRefs
+		total.Demotions += st.Demotions
+		total.DemotionDrops += st.DemotionDrops
+		total.VictimEvictions += st.VictimEvictions
+		total.VictimProbes += st.VictimProbes
+		total.VictimProbeCycles += st.VictimProbeCycles
 		total.ECC.Add(st.ECC)
 		total.PTECorruptions += st.PTECorruptions
 		total.OracleMismatches += st.OracleMismatches

@@ -1,0 +1,117 @@
+package tlb
+
+import (
+	"testing"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/pagetable"
+)
+
+// FuzzVictimBundle exercises the victim level's cache-line bundle codec
+// with arbitrary inputs: a canonicalized translation must round-trip
+// through Set/Get exactly, arbitrary raw bundle words must never panic
+// the unpacking paths, and no decoded member may alias another slot's
+// VPN — the property that keeps one bundle from ever serving a
+// translation for a page it does not cover.
+func FuzzVictimBundle(f *testing.F) {
+	f.Add(uint64(0), byte(0), byte(0), uint64(0), byte(0), uint64(0), uint64(0))
+	f.Add(uint64(0x7f00000000), byte(0), byte(7), uint64(0x40000000), byte(3), uint64(1), uint64(1<<63))
+	f.Add(uint64(1)<<35, byte(1), byte(3), uint64(1)<<46, byte(7), ^uint64(0), uint64(0xa5a5a5a5a5a5a5a5))
+	f.Add(^uint64(0), byte(1), byte(255), ^uint64(0), byte(255), uint64(0x123456789abcdef0), uint64(0x81))
+	f.Fuzz(func(t *testing.T, bvpnRaw uint64, sizeSel, slotRaw byte, paRaw uint64, flags byte, raw1, raw2 uint64) {
+		s := addr.Page4K
+		if sizeSel&1 == 1 {
+			s = addr.Page2M
+		}
+		bvpn := WrapBundleVPN(bvpnRaw, s)
+		slot := int(slotRaw) % BundlePTEs
+
+		// Slot addressing is lossless: the VA computed for (bvpn, slot)
+		// decomposes back to exactly that bundle and slot.
+		va := SlotVA(bvpn, slot, s)
+		if got := BundleVPN(va, s); got != bvpn {
+			t.Fatalf("BundleVPN(SlotVA(%#x,%d,%v)) = %#x", bvpn, slot, s, got)
+		}
+		if got := BundleSlot(va, s); got != slot {
+			t.Fatalf("BundleSlot(SlotVA(%#x,%d,%v)) = %d", bvpn, slot, s, got)
+		}
+
+		// Round-trip: a canonical translation (page-aligned PA within the
+		// physical address space, read permission implied) survives the
+		// packed 8-byte encoding bit for bit.
+		perm := addr.PermRead
+		if flags&1 != 0 {
+			perm |= addr.PermWrite
+		}
+		if flags&2 != 0 {
+			perm |= addr.PermUser
+		}
+		if flags&4 != 0 {
+			perm |= addr.PermExec
+		}
+		want := pagetable.Translation{
+			VA:       va,
+			PA:       addr.P(paRaw & (uint64(1)<<addr.PABits - 1)).PageBase(s),
+			Size:     s,
+			Perm:     perm,
+			Accessed: flags&8 != 0,
+			Dirty:    flags&16 != 0,
+		}
+		var b VBundle
+		b.Set(slot, want)
+		if !b.Present(slot) {
+			t.Fatalf("slot %d absent after Set", slot)
+		}
+		got, ok := b.Get(slot, bvpn, s)
+		if !ok || got != want {
+			t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, want)
+		}
+		if b.Count() != 1 || b.Empty() {
+			t.Fatalf("Count=%d Empty=%v after one Set", b.Count(), b.Empty())
+		}
+		b.Clear(slot)
+		if b.Present(slot) || !b.Empty() {
+			t.Fatalf("slot %d survives Clear", slot)
+		}
+
+		// Arbitrary raw words: unpacking must not panic, absent slots
+		// must stay invisible, and every decoded member must map to its
+		// own slot's VA — never another's (no cross-VPN aliasing).
+		var rb VBundle
+		for i := range rb {
+			rb[i] = raw1*uint64(i+1) ^ raw2>>(uint64(i)%17) ^ bvpnRaw<<(uint64(i)%7)
+		}
+		count := rb.Count()
+		present := 0
+		for i := 0; i < BundlePTEs; i++ {
+			m, ok := rb.Get(i, bvpn, s)
+			if !ok {
+				continue
+			}
+			present++
+			if wantVA := SlotVA(bvpn, i, s); m.VA != wantVA {
+				t.Fatalf("slot %d decoded VA %v, want %v", i, m.VA, wantVA)
+			}
+			if m.Size != s {
+				t.Fatalf("slot %d decoded size %v under %v bundle", i, m.Size, s)
+			}
+		}
+		members := rb.AppendMembers(nil, bvpn, s)
+		if len(members) != present {
+			t.Fatalf("AppendMembers found %d, slot scan found %d", len(members), present)
+		}
+		if count < present {
+			t.Fatalf("Count=%d below decodable members %d", count, present)
+		}
+		seen := map[addr.V]bool{}
+		for _, m := range members {
+			if seen[m.VA] {
+				t.Fatalf("two members share VA %v", m.VA)
+			}
+			seen[m.VA] = true
+			if BundleVPN(m.VA, s) != bvpn {
+				t.Fatalf("member %v escapes bundle %#x", m.VA, bvpn)
+			}
+		}
+	})
+}

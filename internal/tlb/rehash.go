@@ -21,6 +21,7 @@ type HashRehash struct {
 	cached [addr.NumPageSizes]bool  // size supported?
 	data   [][]entrySlot
 	clock  uint64
+	sink   EvictionSink // capacity-eviction feed (nil = detached)
 }
 
 // NewHashRehash builds a hash-rehash TLB probing the given sizes in order.
@@ -66,6 +67,22 @@ func (t *HashRehash) caches(s addr.PageSize) bool {
 
 // LookupReplayConsistent implements ReplayConsistent.
 func (t *HashRehash) LookupReplayConsistent() bool { return true }
+
+// SetEvictionSink implements EvictionNotifier.
+func (t *HashRehash) SetEvictionSink(sink EvictionSink) { t.sink = sink }
+
+// ReachBytes implements ReachReporter.
+func (t *HashRehash) ReachBytes() uint64 {
+	var b uint64
+	for _, set := range t.data {
+		for i := range set {
+			if set[i].valid {
+				b += set[i].t.Size.Bytes()
+			}
+		}
+	}
+	return b
+}
 
 // probe checks one set for a translation of one specific size.
 func (t *HashRehash) probe(va addr.V, s addr.PageSize) (*entrySlot, bool) {
@@ -116,6 +133,9 @@ func (t *HashRehash) Fill(req Request, walk pagetable.WalkResult) Cost {
 	t.clock++
 	set := t.data[(uint64(req.VA)>>t.shifts[walk.Translation.Size])&t.mask]
 	v := victimIndex(set)
+	if set[v].valid && t.sink != nil {
+		t.sink(set[v].t, set[v].dirty)
+	}
 	set[v] = entrySlot{valid: true, t: walk.Translation, dirty: walk.Translation.Dirty, stamp: t.clock}
 	return Cost{SetsFilled: 1, EntriesWritten: 1}
 }

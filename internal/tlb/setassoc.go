@@ -20,6 +20,7 @@ type SetAssoc struct {
 	mask  uint64
 	data  []entrySlot // sets*ways, flattened row-major by set
 	clock uint64
+	sink  EvictionSink // capacity-eviction feed (nil = detached)
 }
 
 // NewSetAssoc builds a TLB with the given geometry caching only pages of
@@ -51,6 +52,20 @@ func (t *SetAssoc) PageSize() addr.PageSize { return t.size }
 
 // LookupReplayConsistent implements ReplayConsistent.
 func (t *SetAssoc) LookupReplayConsistent() bool { return true }
+
+// SetEvictionSink implements EvictionNotifier.
+func (t *SetAssoc) SetEvictionSink(sink EvictionSink) { t.sink = sink }
+
+// ReachBytes implements ReachReporter.
+func (t *SetAssoc) ReachBytes() uint64 {
+	n := uint64(0)
+	for i := range t.data {
+		if t.data[i].valid {
+			n++
+		}
+	}
+	return n * t.size.Bytes()
+}
 
 // OccupancyBySet implements OccupancyReporter.
 func (t *SetAssoc) OccupancyBySet() []int {
@@ -98,6 +113,9 @@ func (t *SetAssoc) Fill(req Request, walk pagetable.WalkResult) Cost {
 	t.clock++
 	set := t.set(req.VA)
 	v := victimIndex(set)
+	if set[v].valid && t.sink != nil {
+		t.sink(set[v].t, set[v].dirty)
+	}
 	set[v] = entrySlot{valid: true, t: walk.Translation, dirty: walk.Translation.Dirty, stamp: t.clock}
 	return Cost{SetsFilled: 1, EntriesWritten: 1}
 }

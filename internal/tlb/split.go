@@ -91,6 +91,28 @@ func (s *Split) LookupReplayConsistent() bool {
 	return true
 }
 
+// SetEvictionSink implements EvictionNotifier, attaching the sink to
+// every component that can report evictions.
+func (s *Split) SetEvictionSink(sink EvictionSink) {
+	for _, p := range s.parts {
+		if en, ok := p.(EvictionNotifier); ok {
+			en.SetEvictionSink(sink)
+		}
+	}
+}
+
+// ReachBytes implements ReachReporter, summing the components that can
+// report (others count as zero).
+func (s *Split) ReachBytes() uint64 {
+	var b uint64
+	for _, p := range s.parts {
+		if rr, ok := p.(ReachReporter); ok {
+			b += rr.ReachBytes()
+		}
+	}
+	return b
+}
+
 // Lookup implements TLB: all components probe in parallel, so the latency
 // is the slowest component's probe count while energy sums every
 // component's reads.

@@ -131,6 +131,45 @@ type ReplayConsistent interface {
 	LookupReplayConsistent() bool
 }
 
+// EvictionSink receives a translation displaced from a TLB by a capacity
+// replacement (never by Invalidate or Flush — those are removals the
+// software asked for, not pressure). dirty is the evicted entry's TLB
+// dirty bit, which can be sharper than the translation's own Dirty flag.
+type EvictionSink func(t pagetable.Translation, dirty bool)
+
+// EvictionNotifier is implemented by TLBs that can report capacity
+// evictions to a sink — the feed of an eviction-driven victim level. The
+// sink is called synchronously from Fill/Promote, before the replacement
+// lands; passing nil detaches it.
+type EvictionNotifier interface {
+	SetEvictionSink(EvictionSink)
+}
+
+// Demoter is implemented by victim levels fed by demotion rather than
+// walk fills. absorbed is false when the level refuses the translation
+// (the MMU's demotion-drop counter); evicted counts resident entries the
+// absorption displaced in turn.
+type Demoter interface {
+	Demote(t pagetable.Translation, dirty bool) (absorbed bool, evicted int)
+}
+
+// CacheResident marks a level whose storage lives in the data-cache
+// hierarchy (Victima-style). The MMU charges its probes as cache
+// accesses to the storage lines the last Lookup reports here, instead of
+// a fixed SRAM hit latency. The slice is scratch, valid until the next
+// Lookup.
+type CacheResident interface {
+	ProbedLines() []addr.P
+}
+
+// ReachReporter is implemented by TLBs that can report how many bytes of
+// virtual address space their resident entries translate — the "reach"
+// the paper's Fig 1 argument is about. Snapshot-only: experiments read
+// it after a run; the simulation itself never does.
+type ReachReporter interface {
+	ReachBytes() uint64
+}
+
 // OccupancyReporter is implemented by TLBs that can report how many valid
 // entries each set currently holds — the balance lens telemetry uses to
 // see whether mirrored superpage fills crowd out 4KB entries (Sec 4.5).

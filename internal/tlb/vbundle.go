@@ -1,0 +1,119 @@
+package tlb
+
+import (
+	"mixtlb/internal/addr"
+	"mixtlb/internal/pagetable"
+)
+
+// Victim-level bundle format (after Victima, PAPERS.md): the victim
+// translation level stores PTEs at cache-block granularity, one 64-byte
+// line per bundle. A bundle covers BundlePTEs consecutive same-size pages;
+// slot i holds the packed 8-byte PTE (pagetable.EncodePTE format) of page
+// number bvpn*BundlePTEs+i, or zero when the slot is empty. Presence is
+// the PTE's own P bit, so an all-zero line is an empty bundle — exactly
+// the invariant a cache-resident structure needs, since a zero-filled
+// line and an absent line must mean the same thing.
+const (
+	// BundlePTEs is the number of packed PTEs per victim bundle: one
+	// cache line of 8-byte entries.
+	BundlePTEs = addr.CacheLineSize / 8
+
+	// bundleShift is log2(BundlePTEs): the page-number bits consumed by
+	// the in-bundle slot.
+	bundleShift = 3
+)
+
+// VBundle is the cache-line image of one victim bundle.
+type VBundle [BundlePTEs]uint64
+
+// pteLevel maps a page size onto the radix leaf level its PTE encoding
+// uses (1 = 4KB, 2 = 2MB, 3 = 1GB).
+func pteLevel(s addr.PageSize) int {
+	switch s {
+	case addr.Page4K:
+		return 1
+	case addr.Page2M:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// BundleVPN returns the number of the bundle covering va at size s.
+func BundleVPN(va addr.V, s addr.PageSize) uint64 {
+	return va.PageNum(s) >> bundleShift
+}
+
+// BundleSlot returns va's slot within its bundle at size s.
+func BundleSlot(va addr.V, s addr.PageSize) int {
+	return int(va.PageNum(s) & (BundlePTEs - 1))
+}
+
+// WrapBundleVPN reduces an arbitrary 64-bit value to a canonical bundle
+// number at size s: one whose member pages all fit in the implemented
+// virtual address width. SlotVA truncates to that width, so two bundle
+// numbers equal modulo the wrap alias to the same pages.
+func WrapBundleVPN(bvpn uint64, s addr.PageSize) uint64 {
+	return bvpn & (1<<(addr.VABits-s.Shift()-bundleShift) - 1)
+}
+
+// SlotVA returns the virtual base address of the given slot of bundle
+// bvpn at size s, truncated to the implemented VA width.
+func SlotVA(bvpn uint64, slot int, s addr.PageSize) addr.V {
+	pn := bvpn<<bundleShift | uint64(slot&(BundlePTEs-1))
+	return addr.V(pn<<s.Shift()) & (1<<addr.VABits - 1)
+}
+
+// Set packs t into the slot, overwriting any previous occupant. The
+// caller is responsible for slot/bvpn consistency with t.VA; Get derives
+// the VA back from (bvpn, slot), never from the packed bits.
+func (b *VBundle) Set(slot int, t pagetable.Translation) {
+	b[slot&(BundlePTEs-1)] = pagetable.EncodePTE(t, pteLevel(t.Size))
+}
+
+// Clear empties the slot.
+func (b *VBundle) Clear(slot int) { b[slot&(BundlePTEs-1)] = 0 }
+
+// Get decodes the slot of bundle bvpn at size s. ok is false for empty or
+// malformed slots (e.g. a PS bit inconsistent with s).
+func (b *VBundle) Get(slot int, bvpn uint64, s addr.PageSize) (pagetable.Translation, bool) {
+	slot &= BundlePTEs - 1
+	return pagetable.DecodePTE(b[slot], SlotVA(bvpn, slot, s), pteLevel(s))
+}
+
+// Present reports whether the slot holds a present PTE (P bit set).
+func (b *VBundle) Present(slot int) bool {
+	return b[slot&(BundlePTEs-1)]&1 != 0
+}
+
+// Empty reports whether no slot holds a present PTE.
+func (b *VBundle) Empty() bool {
+	for _, raw := range b {
+		if raw&1 != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of present slots.
+func (b *VBundle) Count() int {
+	n := 0
+	for _, raw := range b {
+		if raw&1 != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// AppendMembers appends every decodable member of bundle bvpn at size s
+// to dst and returns it.
+func (b *VBundle) AppendMembers(dst []pagetable.Translation, bvpn uint64, s addr.PageSize) []pagetable.Translation {
+	for i := 0; i < BundlePTEs; i++ {
+		if t, ok := b.Get(i, bvpn, s); ok {
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,290 @@
+package tlb
+
+import (
+	"mixtlb/internal/addr"
+	"mixtlb/internal/pagetable"
+)
+
+// Victim is a software-managed victim translation level resident in the
+// data-cache hierarchy, after Victima (PAPERS.md): instead of dedicated
+// SRAM, its storage is ordinary cache lines, each holding one VBundle of
+// packed PTEs. That buys enormous reach (thousands of bundles fit in an
+// L2/LLC slice) at the price of cache-access latency per probe — the MMU
+// charges each probe as a data-cache access to the storage lines this
+// level reports via ProbedLines, not as a fixed SRAM latency.
+//
+// The level is fed exclusively by eviction-driven demotion from the SRAM
+// level above it (Demote); Fill on a page walk is a no-op, so the victim
+// holds only translations that earned residency once and were pushed
+// out. A deep hit promotes the translation back up and removes it here
+// (move semantics). 4KB and 2MB pages are supported; 1GB demotions are
+// refused (a 4-entry SRAM array already covers more 1GB reach than any
+// bundle scheme) and surface in the MMU's demotion-drop counter.
+type Victim struct {
+	name string
+	sets int
+	ways int
+	mask uint64
+	data []vslot // sets*ways, flattened row-major by set
+	// lineBase is the physical address of way 0 of set 0's storage line;
+	// slot (si, wi) lives at lineBase + (si*ways+wi)*CacheLineSize.
+	lineBase addr.P
+	clock    uint64
+
+	probed  []addr.P                // storage lines touched by the last Lookup
+	scratch []pagetable.Translation // reused by Members
+}
+
+// vslot is one victim way: a bundle of packed PTEs tagged by page size
+// and bundle number.
+type vslot struct {
+	valid bool
+	size  addr.PageSize
+	bvpn  uint64
+	b     VBundle
+	stamp uint64
+}
+
+// victimSizes is the probe order: 4KB bundles first (the common case on
+// fragmented memory), then 2MB.
+var victimSizes = [...]addr.PageSize{addr.Page4K, addr.Page2M}
+
+// VictimLineBase is where the victim level's storage lines live in the
+// simulated physical address space: above any modeled DRAM (experiments
+// allocate at most a few GB) but within the implemented PABits, so the
+// cache hierarchy treats the lines like any other memory.
+const VictimLineBase addr.P = 1 << 40
+
+// NewVictim builds a victim level with sets x ways bundles (each bundle
+// holds BundlePTEs PTEs). sets must be a power of two.
+func NewVictim(name string, sets, ways int) (*Victim, error) {
+	if sets <= 0 || !addr.IsPow2(uint64(sets)) || ways <= 0 {
+		return nil, cfgErr(name, "bad geometry %dx%d", sets, ways)
+	}
+	t := &Victim{
+		name:     name,
+		sets:     sets,
+		ways:     ways,
+		mask:     uint64(sets - 1),
+		lineBase: VictimLineBase,
+	}
+	t.data = make([]vslot, sets*ways)
+	t.probed = make([]addr.P, 0, len(victimSizes))
+	t.scratch = make([]pagetable.Translation, 0, BundlePTEs)
+	return t, nil
+}
+
+// Name implements TLB.
+func (t *Victim) Name() string { return t.name }
+
+// Entries implements TLB: total PTE capacity, for area comparisons.
+func (t *Victim) Entries() int { return t.sets * t.ways * BundlePTEs }
+
+// set returns the ways of the set indexed by bvpn.
+func (t *Victim) set(bvpn uint64) []vslot {
+	si := int(bvpn & t.mask)
+	return t.data[si*t.ways : (si+1)*t.ways : (si+1)*t.ways]
+}
+
+// lineOf returns the storage line of way wi of set si.
+func (t *Victim) lineOf(si, wi int) addr.P {
+	return t.lineBase + addr.P((si*t.ways+wi)*addr.CacheLineSize)
+}
+
+// Lookup implements TLB: one probe round per page size, each reading one
+// candidate storage line (the matching way's line on a hit; the set's
+// first way on a miss — the tag read that concludes "not here").
+func (t *Victim) Lookup(req Request) Result {
+	t.clock++
+	t.probed = t.probed[:0]
+	var res Result
+	for _, size := range victimSizes {
+		bvpn := BundleVPN(req.VA, size)
+		si := int(bvpn & t.mask)
+		set := t.set(bvpn)
+		res.Cost.Probes++
+		res.Cost.WaysRead += t.ways
+		hit := false
+		for i := range set {
+			if set[i].valid && set[i].size == size && set[i].bvpn == bvpn {
+				t.probed = append(t.probed, t.lineOf(si, i))
+				hit = true
+				if tr, ok := set[i].b.Get(BundleSlot(req.VA, size), bvpn, size); ok {
+					set[i].stamp = t.clock
+					res.Hit = true
+					res.T = tr
+					res.Dirty = tr.Dirty
+					return res
+				}
+				break
+			}
+		}
+		if !hit {
+			t.probed = append(t.probed, t.lineOf(si, 0))
+		}
+	}
+	return res
+}
+
+// ProbedLines implements CacheResident: the storage lines the last
+// Lookup read, valid until the next Lookup.
+func (t *Victim) ProbedLines() []addr.P { return t.probed }
+
+// Fill implements TLB as a no-op: the victim level is fed only by
+// demotion. Refilling walk results here would duplicate what the SRAM
+// levels just cached and burn cache bandwidth on lines about to be
+// demoted into anyway.
+func (t *Victim) Fill(req Request, walk pagetable.WalkResult) Cost { return Cost{} }
+
+// Demote implements Demoter: absorb a translation evicted from the SRAM
+// level above. absorbed is false when the victim refuses the page
+// (invalid or 1GB); evicted counts PTEs displaced when absorbing forced
+// out a resident bundle.
+func (t *Victim) Demote(tr pagetable.Translation, dirty bool) (absorbed bool, evicted int) {
+	if !tr.Valid() || (tr.Size != addr.Page4K && tr.Size != addr.Page2M) {
+		return false, 0
+	}
+	t.clock++
+	// A demoted entry was resident and used; its bundle slot carries the
+	// accessed bit and the sharpest dirty knowledge the SRAM level had.
+	tr.Accessed = true
+	tr.Dirty = tr.Dirty || dirty
+	bvpn := BundleVPN(tr.VA, tr.Size)
+	slot := BundleSlot(tr.VA, tr.Size)
+	set := t.set(bvpn)
+	// Merge into the resident bundle if one exists.
+	for i := range set {
+		if set[i].valid && set[i].size == tr.Size && set[i].bvpn == bvpn {
+			set[i].b.Set(slot, tr)
+			set[i].stamp = t.clock
+			return true, 0
+		}
+	}
+	// Allocate: invalid way first, else LRU.
+	v, oldest := 0, ^uint64(0)
+	for i := range set {
+		if !set[i].valid {
+			v, oldest = i, 0
+			break
+		}
+		if set[i].stamp < oldest {
+			v, oldest = i, set[i].stamp
+		}
+	}
+	if set[v].valid {
+		evicted = set[v].b.Count()
+	}
+	set[v] = vslot{valid: true, size: tr.Size, bvpn: bvpn, stamp: t.clock}
+	set[v].b.Set(slot, tr)
+	return true, evicted
+}
+
+// Members implements BundleProvider: the present members of the bundle
+// covering va, the payload a deep-hit promotion copies upward. The slice
+// is scratch, reused by the next call.
+func (t *Victim) Members(va addr.V) []pagetable.Translation {
+	for _, size := range victimSizes {
+		bvpn := BundleVPN(va, size)
+		set := t.set(bvpn)
+		for i := range set {
+			if set[i].valid && set[i].size == size && set[i].bvpn == bvpn {
+				if !set[i].b.Present(BundleSlot(va, size)) {
+					break
+				}
+				out := set[i].b.AppendMembers(t.scratch[:0], bvpn, size)
+				t.scratch = out[:0]
+				return out
+			}
+		}
+	}
+	return nil
+}
+
+// MarkDirty implements TLB: set the member PTE's D bit. Precise, so
+// future stores may skip the update micro-op.
+func (t *Victim) MarkDirty(va addr.V) bool {
+	for _, size := range victimSizes {
+		bvpn := BundleVPN(va, size)
+		set := t.set(bvpn)
+		for i := range set {
+			if set[i].valid && set[i].size == size && set[i].bvpn == bvpn {
+				slot := BundleSlot(va, size)
+				if tr, ok := set[i].b.Get(slot, bvpn, size); ok {
+					tr.Dirty = true
+					set[i].b.Set(slot, tr)
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Invalidate implements TLB: clear the member's slot; an emptied bundle
+// frees its way.
+func (t *Victim) Invalidate(va addr.V, size addr.PageSize) int {
+	if size != addr.Page4K && size != addr.Page2M {
+		return 0
+	}
+	bvpn := BundleVPN(va, size)
+	set := t.set(bvpn)
+	for i := range set {
+		if set[i].valid && set[i].size == size && set[i].bvpn == bvpn {
+			slot := BundleSlot(va, size)
+			if !set[i].b.Present(slot) {
+				return 0
+			}
+			set[i].b.Clear(slot)
+			if set[i].b.Empty() {
+				set[i].valid = false
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Flush implements TLB.
+func (t *Victim) Flush() {
+	for i := range t.data {
+		t.data[i] = vslot{}
+	}
+}
+
+// ReachBytes implements ReachReporter: bytes of virtual address space
+// the resident members translate.
+func (t *Victim) ReachBytes() uint64 {
+	var b uint64
+	for i := range t.data {
+		if t.data[i].valid {
+			b += uint64(t.data[i].b.Count()) * t.data[i].size.Bytes()
+		}
+	}
+	return b
+}
+
+// OccupancyBySet implements OccupancyReporter: valid bundles per set.
+func (t *Victim) OccupancyBySet() []int {
+	occ := make([]int, t.sets)
+	for si := 0; si < t.sets; si++ {
+		for wi := 0; wi < t.ways; wi++ {
+			if t.data[si*t.ways+wi].valid {
+				occ[si]++
+			}
+		}
+	}
+	return occ
+}
+
+// Dump returns a fresh slice of every resident member translation
+// (diagnostics and tests; the simulation never calls it).
+func (t *Victim) Dump() []pagetable.Translation {
+	var out []pagetable.Translation
+	for i := range t.data {
+		s := &t.data[i]
+		if s.valid {
+			out = s.b.AppendMembers(out, s.bvpn, s.size)
+		}
+	}
+	return out
+}

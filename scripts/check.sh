@@ -27,6 +27,7 @@ go test ./internal/trace/ -fuzz 'FuzzRoundTrip' -fuzztime 10s -run '^$'
 go test ./internal/trace/ -fuzz 'FuzzReader' -fuzztime 10s -run '^$'
 go test ./internal/addr/ -fuzz 'FuzzAddrArithmetic' -fuzztime 10s -run '^$'
 go test ./internal/journal/ -fuzz 'FuzzJournalDecode' -fuzztime 10s -run '^$'
+go test ./internal/tlb/ -fuzz 'FuzzVictimBundle' -fuzztime 10s -run '^$'
 
 # Parallel determinism: the same experiment at -jobs 1 and -jobs 4 must
 # produce byte-identical tables (cell seeds derive from cell identity,
@@ -97,8 +98,9 @@ for metric in engine_cell_retries_total engine_cells_failed_soft_total; do
 done
 
 # Design registry: every registered design (builtin and the shipped
-# example file) must validate and construct, and the hierarchy comparison
-# over file-loaded designs must be jobs-invariant like every experiment.
+# example file, including the victim-level specs) must validate and
+# construct, and the hierarchy comparison over file-loaded designs must
+# be jobs-invariant like every experiment.
 echo "== design registry"
 go test ./internal/mmu/ -run 'TestRegistryBuiltinsConstruct|TestDesignSpecValidationErrors|TestParseSpecs' -count=1 > /dev/null
 "$tmpdir/mixtlb" -design-file examples/designs.json -list > /dev/null
@@ -136,6 +138,44 @@ geomean=$(awk '/geomean/ { g=$NF; sub(/x$/, "", g); print g }' "$tmpdir/overhead
 if [ -z "$geomean" ] || ! awk -v g="$geomean" 'BEGIN { exit !(g >= 0.85) }'; then
     echo "FAIL: journaling overhead geomean ${geomean:-?}x is below the 0.85x floor" >&2
     cat "$tmpdir/overhead.txt" >&2
+    exit 1
+fi
+
+# Victim level: the cache-backed victim designs must satisfy the
+# metamorphic/differential layer (deeper hierarchies never change the
+# translation function; demotion conserves entries), and the reach study
+# must be jobs-invariant like every experiment — including the
+# file-loaded mix+victima-xl design.
+echo "== victim level"
+go test ./internal/mmu/ -run 'TestDeeperHierarchyPreservesTranslation|TestVictimInvariants|TestVictimShootdownConsistency' -count=1 > /dev/null
+go test ./internal/tlb/ -run 'TestVictimDemotionConservation|TestEvictionSinkConservation' -count=1 > /dev/null
+"$tmpdir/mixtlb" -exp reach -quick -csv -jobs 1 \
+    -design-file examples/designs.json \
+    -designs split,victima,mix+victima-xl > "$tmpdir/reach1.csv"
+"$tmpdir/mixtlb" -exp reach -quick -csv -jobs 8 \
+    -design-file examples/designs.json \
+    -designs split,victima,mix+victima-xl > "$tmpdir/reach8.csv"
+if ! cmp -s "$tmpdir/reach1.csv" "$tmpdir/reach8.csv"; then
+    echo "FAIL: reach -jobs 8 output differs from -jobs 1" >&2
+    diff "$tmpdir/reach1.csv" "$tmpdir/reach8.csv" >&2 || true
+    exit 1
+fi
+
+# Zero-cost-when-absent: designs without a victim level must not pay for
+# the subsystem. The AllocsPerRun pin keeps the victimless translate
+# loop at zero heap allocations, and re-timing fig15r (whose designs are
+# all victimless) against the journaling-off baseline above bounds any
+# slow-path regression at the same 0.85x geomean floor.
+echo "== victim zero-cost-when-absent"
+go test ./internal/mmu/ -run 'TestTranslateZeroAlloc$' -count=1 > /dev/null
+"$tmpdir/mixtlb" -exp fig15r -quick -refs 300000 -jobs 1 \
+    -bench-out "$tmpdir/absent.json" > /dev/null
+./scripts/benchdiff.sh "$tmpdir/nojournal.json" "$tmpdir/absent.json" \
+    -max-regression 40 > "$tmpdir/absent.txt"
+geomean=$(awk '/geomean/ { g=$NF; sub(/x$/, "", g); print g }' "$tmpdir/absent.txt")
+if [ -z "$geomean" ] || ! awk -v g="$geomean" 'BEGIN { exit !(g >= 0.85) }'; then
+    echo "FAIL: victimless fig15r geomean ${geomean:-?}x is below the 0.85x floor" >&2
+    cat "$tmpdir/absent.txt" >&2
     exit 1
 fi
 
