@@ -1,0 +1,183 @@
+// Command benchtrend reads a history of BENCH_experiments.json snapshots
+// (as written by mixtlb -bench-out and archived under bench_history/) and
+// reports each experiment's wall-clock trend: the geomean of its past
+// snapshots as the baseline, the newest snapshot against it, and a
+// REGRESSION flag when the newest exceeds the baseline by more than
+// -max-regression percent.
+//
+//	benchtrend [-max-regression 25] bench_history/
+//	benchtrend old.json newer.json newest.json
+//
+// A directory operand expands to its *.json files sorted by name, so
+// lexically ordered snapshot names (bench-0001.json, 2026-08-09.json)
+// read oldest-to-newest. Snapshots recorded at different -jobs settings
+// are still compared — the jobs column shows when a shift in timing is a
+// pool-size change rather than a code change.
+//
+// Exit codes: 0 no regression, 1 regression flagged, 2 usage or a
+// malformed snapshot.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"text/tabwriter"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// snapshot is the subset of BENCH_experiments.json benchtrend reads.
+type snapshot struct {
+	Name        string
+	Jobs        int `json:"jobs"`
+	Experiments []struct {
+		Experiment string  `json:"experiment"`
+		Seconds    float64 `json:"seconds"`
+		Err        string  `json:"error,omitempty"`
+	} `json:"experiments"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchtrend", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	maxRegression := fs.Float64("max-regression", 25,
+		"flag experiments whose newest snapshot is this percent slower than the geomean of prior ones")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	paths, err := expand(fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "benchtrend:", err)
+		return 2
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(stderr, "usage: benchtrend [-max-regression PCT] <snapshot.json ... | history-dir>")
+		return 2
+	}
+
+	snaps := make([]snapshot, 0, len(paths))
+	for _, p := range paths {
+		s, err := load(p)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchtrend:", err)
+			return 2
+		}
+		snaps = append(snaps, s)
+	}
+	if len(snaps) < 2 {
+		fmt.Fprintf(stdout, "benchtrend: %d snapshot(s) — need at least 2 for a trend; nothing to compare\n", len(snaps))
+		return 0
+	}
+
+	latest := snaps[len(snaps)-1]
+	history := snaps[:len(snaps)-1]
+
+	// baseline[exp] = geomean seconds over historical snapshots that ran it.
+	baseline := map[string]float64{}
+	runs := map[string]int{}
+	for _, s := range history {
+		for _, e := range s.Experiments {
+			if e.Err != "" || e.Seconds <= 0 {
+				continue
+			}
+			baseline[e.Experiment] += math.Log(e.Seconds)
+			runs[e.Experiment]++
+		}
+	}
+	for name, sum := range baseline {
+		baseline[name] = math.Exp(sum / float64(runs[name]))
+	}
+
+	fmt.Fprintf(stdout, "history: %d snapshots, newest %s (jobs %d)\n",
+		len(snaps), latest.Name, latest.Jobs)
+	tw := tabwriter.NewWriter(stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "experiment\truns\tbaseline-s\tlatest-s\tratio\tstatus")
+	regressed := false
+	var logSum float64
+	var logN int
+	names := make([]string, 0, len(latest.Experiments))
+	for _, e := range latest.Experiments {
+		names = append(names, e.Experiment)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var latestSec float64
+		for _, e := range latest.Experiments {
+			if e.Experiment == name && e.Err == "" {
+				latestSec = e.Seconds
+			}
+		}
+		base, ok := baseline[name]
+		if !ok || latestSec <= 0 {
+			fmt.Fprintf(tw, "%s\t%d\t-\t%.3f\t-\tnew\n", name, runs[name], latestSec)
+			continue
+		}
+		ratio := latestSec / base
+		logSum += math.Log(ratio)
+		logN++
+		status := "ok"
+		if ratio > 1+*maxRegression/100 {
+			status = "REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\t%.2fx\t%s\n",
+			name, runs[name], base, latestSec, ratio, status)
+	}
+	tw.Flush()
+	if logN > 0 {
+		fmt.Fprintf(stdout, "geomean ratio vs history: %.2fx\n", math.Exp(logSum/float64(logN)))
+	}
+	if regressed {
+		fmt.Fprintf(stdout, "REGRESSION: newest snapshot exceeds the historical geomean by more than %.0f%%\n", *maxRegression)
+		return 1
+	}
+	return 0
+}
+
+// expand turns operands into an ordered snapshot path list: files stay in
+// argument order; a directory contributes its *.json entries sorted by
+// name.
+func expand(operands []string) ([]string, error) {
+	var out []string
+	for _, op := range operands {
+		info, err := os.Stat(op)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			out = append(out, op)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(op, "*.json"))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(matches)
+		out = append(out, matches...)
+	}
+	return out, nil
+}
+
+func load(path string) (snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snapshot{}, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return snapshot{}, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(s.Experiments) == 0 {
+		return snapshot{}, fmt.Errorf("%s: no experiment timings (is this a -bench-out file?)", path)
+	}
+	s.Name = filepath.Base(path)
+	return s, nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnap(t *testing.T, dir, name string, secs map[string]float64) string {
+	t.Helper()
+	var exps []string
+	for exp, s := range secs {
+		exps = append(exps, fmt.Sprintf(`{"experiment":%q,"seconds":%g,"cells":3}`, exp, s))
+	}
+	body := fmt.Sprintf(`{"jobs":4,"experiments":[%s],"cells":[]}`, strings.Join(exps, ","))
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runTrend(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestStableHistoryPasses(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, "a-0001.json", map[string]float64{"fig12": 1.00})
+	writeSnap(t, dir, "b-0002.json", map[string]float64{"fig12": 1.04})
+	writeSnap(t, dir, "c-0003.json", map[string]float64{"fig12": 0.98})
+	code, out, _ := runTrend(t, dir)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s", code, out)
+	}
+	if !strings.Contains(out, "fig12") || !strings.Contains(out, "ok") {
+		t.Errorf("trend table malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "geomean ratio vs history") {
+		t.Errorf("missing geomean summary:\n%s", out)
+	}
+}
+
+func TestRegressionFlagged(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, "a.json", map[string]float64{"fig12": 1.0, "reach": 2.0})
+	writeSnap(t, dir, "b.json", map[string]float64{"fig12": 1.0, "reach": 2.0})
+	writeSnap(t, dir, "c.json", map[string]float64{"fig12": 2.0, "reach": 2.0})
+	code, out, _ := runTrend(t, "-max-regression", "25", dir)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Errorf("no REGRESSION flag:\n%s", out)
+	}
+	// The well-behaved experiment must still read ok.
+	if !strings.Contains(out, "reach") {
+		t.Errorf("reach row missing:\n%s", out)
+	}
+}
+
+func TestNewExperimentIsNotARegression(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, "a.json", map[string]float64{"fig12": 1.0})
+	writeSnap(t, dir, "b.json", map[string]float64{"fig12": 1.0, "breakdown": 9.9})
+	code, out, _ := runTrend(t, dir)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0:\n%s", code, out)
+	}
+	if !strings.Contains(out, "new") {
+		t.Errorf("breakdown should be marked new:\n%s", out)
+	}
+}
+
+func TestSingleSnapshotIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, "only.json", map[string]float64{"fig12": 1.0})
+	code, out, _ := runTrend(t, dir)
+	if code != 0 || !strings.Contains(out, "need at least 2") {
+		t.Fatalf("exit %d out %q", code, out)
+	}
+}
+
+func TestUsageAndBadInputExit2(t *testing.T) {
+	if code, _, _ := runTrend(t); code != 2 {
+		t.Errorf("no operands: exit %d, want 2", code)
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	ok := writeSnap(t, dir, "ok.json", map[string]float64{"fig12": 1})
+	if code, _, _ := runTrend(t, ok, bad); code != 2 {
+		t.Errorf("malformed snapshot: exit %d, want 2", code)
+	}
+	if code, _, _ := runTrend(t, filepath.Join(dir, "missing.json")); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}
+
+func TestFileArgumentOrderWins(t *testing.T) {
+	dir := t.TempDir()
+	slow := writeSnap(t, dir, "z-old-slow.json", map[string]float64{"fig12": 2.0})
+	fast := writeSnap(t, dir, "a-new-fast.json", map[string]float64{"fig12": 1.0})
+	// Explicit file order: slow history, fast latest — an improvement.
+	code, out, _ := runTrend(t, slow, slow, fast)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "0.50x") {
+		t.Errorf("expected 0.50x improvement ratio:\n%s", out)
+	}
+}

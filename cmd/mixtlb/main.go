@@ -53,6 +53,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,7 @@ import (
 	"mixtlb/internal/chaos"
 	"mixtlb/internal/experiments"
 	"mixtlb/internal/journal"
+	"mixtlb/internal/logx"
 	"mixtlb/internal/mmu"
 	"mixtlb/internal/stats"
 	"mixtlb/internal/telemetry"
@@ -113,14 +115,25 @@ func main() {
 		failSoft     = flag.Bool("fail-soft", false, "record cells that exhaust retries as FAILED table markers instead of aborting")
 		injectFail   = flag.String("inject-cell-failure", "", "fail every cell whose name contains this substring (fault-injection testing)")
 		killAfter    = flag.Int("kill-after-cells", 0, "exit(137) after this many cells complete (crash-testing the journal)")
+
+		logFormat   = flag.String("log-format", "text", "stderr log format: text or json")
+		ledgerAudit = flag.Bool("ledger-audit", false, "attach the cycle-attribution ledger to every cell and fail cells whose books do not balance")
+		tailK       = flag.Int("tail", 0, "record the K slowest translations per cell in the tail flight recorder (0 disables)")
+		explain     = flag.Bool("explain", false, "replay one translation with full cost narration: mixtlb -explain vaddr=0x... design=...")
 	)
 	flag.Parse()
+
+	lg, err := logx.New(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	// Profiles must be finalized before the explicit os.Exit below, which
 	// skips deferred calls; stopProfiles is invoked on every exit path.
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		lg.Error("starting profiles", "err", err)
 		os.Exit(2)
 	}
 
@@ -131,7 +144,7 @@ func main() {
 	if *designFile != "" {
 		f, err := os.Open(*designFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			lg.Error("opening design file", "err", err)
 			stopProfiles()
 			os.Exit(2)
 		}
@@ -145,7 +158,7 @@ func main() {
 			}
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", *designFile, err)
+			lg.Error("loading design file", "file", *designFile, "err", err)
 			stopProfiles()
 			os.Exit(2)
 		}
@@ -170,8 +183,9 @@ func main() {
 	if *chaosRun && expName == "" {
 		expName = "chaos"
 	}
-	if expName == "" {
+	if expName == "" && !*explain {
 		fmt.Fprintln(os.Stderr, "usage: mixtlb -exp <name>|<group>|all [-jobs N] [-quick] [-csv] [-chaos]; see -list")
+		fmt.Fprintln(os.Stderr, "       mixtlb -explain vaddr=0x... design=<name>")
 		stopProfiles()
 		os.Exit(2)
 	}
@@ -202,6 +216,8 @@ func main() {
 	scale.Jobs = *jobs
 	scale.Cell = *cell
 	scale.Registry = registry
+	scale.LedgerAudit = *ledgerAudit
+	scale.TailK = *tailK
 	if *designs != "" {
 		scale.Designs = strings.Split(*designs, ",")
 	}
@@ -223,15 +239,32 @@ func main() {
 	// Reject workload typos up front; without this check a bad -workloads
 	// value runs every experiment over an empty set and prints empty tables.
 	if err := scale.ValidateWorkloads(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		lg.Error("invalid -workloads", "err", err)
 		stopProfiles()
 		os.Exit(2)
 	}
 	// Same for -designs: every name must resolve in the registry.
 	if err := scale.ValidateDesigns(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		lg.Error("invalid -designs", "err", err)
 		stopProfiles()
 		os.Exit(2)
+	}
+
+	// Single-translation replay: narrate one address's cost and exit.
+	if *explain {
+		design, va, err := parseExplainArgs(flag.Args())
+		if err != nil {
+			lg.Error("bad -explain arguments", "err", err)
+			stopProfiles()
+			os.Exit(2)
+		}
+		if err := experiments.Explain(os.Stdout, scale, design, va); err != nil {
+			lg.Error("explain failed", "err", err)
+			stopProfiles()
+			os.Exit(1)
+		}
+		stopProfiles()
+		return
 	}
 
 	// Checkpoint journal. Without -resume the file starts fresh; with it,
@@ -240,7 +273,7 @@ func main() {
 	// scale parameters (memory, seed, workloads, ...) is refused — its
 	// rows would not correspond to this run's cells.
 	if *resume && *journalPath == "" {
-		fmt.Fprintln(os.Stderr, "mixtlb: -resume requires -journal FILE")
+		lg.Error("-resume requires -journal FILE")
 		stopProfiles()
 		os.Exit(2)
 	}
@@ -254,21 +287,17 @@ func main() {
 			jnl, jerr = journal.Create(*journalPath, fp)
 		}
 		if jerr != nil {
-			fmt.Fprintf(os.Stderr, "mixtlb: %v\n", jerr)
+			lg.Error("opening journal", "journal", *journalPath, "err", jerr)
 			var ce *journal.CorruptError
 			if errors.As(jerr, &ce) && ce.Reason == journal.ReasonFingerprint {
-				fmt.Fprintln(os.Stderr, "mixtlb: refusing to resume: the journal was written under a different configuration (rerun with matching flags, or without -resume to start over)")
+				lg.Error("refusing to resume: the journal was written under a different configuration (rerun with matching flags, or without -resume to start over)")
 			}
 			stopProfiles()
 			os.Exit(2)
 		}
 		if st := jnl.Stats(); *resume {
-			note := ""
-			if st.DroppedTail {
-				note = " (discarded a torn final record from the crash)"
-			}
-			fmt.Fprintf(os.Stderr, "[journal: %s — %d checkpointed cells to replay%s]\n",
-				*journalPath, st.Replayed, note)
+			lg.Info("journal resumed", "journal", *journalPath,
+				"replayed_cells", st.Replayed, "dropped_torn_tail", st.DroppedTail)
 		}
 		scale.Journal = jnl
 	}
@@ -289,11 +318,12 @@ func main() {
 	if *pprofAddr != "" {
 		bound, shutdown, err := telemetry.Serve(*pprofAddr, reg, tracer)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			lg.Error("starting telemetry server", "err", err)
 			stopProfiles()
 			os.Exit(2)
 		}
-		fmt.Fprintf(os.Stderr, "[telemetry: serving http://%s/metrics /trace /debug/vars /debug/pprof/]\n", bound)
+		lg.Info("telemetry serving", "addr", bound,
+			"endpoints", "/metrics /trace /debug/tail /debug/vars /debug/pprof/")
 		stopServe = shutdown
 	}
 	if *progress {
@@ -302,9 +332,10 @@ func main() {
 			if ev.Failed {
 				status = "FAIL"
 			}
-			fmt.Fprintf(os.Stderr, "[%s] %d/%d %s (%s) elapsed %v eta %v\n",
-				ev.Experiment, ev.Done, ev.Total, ev.Cell, status,
-				ev.Elapsed.Round(time.Millisecond), ev.ETA.Round(time.Millisecond))
+			lg.Info("cell done", "experiment", ev.Experiment,
+				"done", ev.Done, "total", ev.Total, "cell", ev.Cell, "status", status,
+				"elapsed", ev.Elapsed.Round(time.Millisecond).String(),
+				"eta", ev.ETA.Round(time.Millisecond).String())
 		}
 	}
 	if *killAfter > 0 {
@@ -319,7 +350,7 @@ func main() {
 				prev(ev)
 			}
 			if atomic.AddInt64(&count, 1) == int64(limit) {
-				fmt.Fprintf(os.Stderr, "[simulated crash: exiting after %d cells]\n", limit)
+				lg.Warn("simulated crash", "after_cells", limit)
 				os.Exit(137)
 			}
 		}
@@ -333,7 +364,7 @@ func main() {
 		for _, name := range groups[expName] {
 			e, err := experiments.ByName(name)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				lg.Error("unknown experiment", "err", err)
 				stopProfiles()
 				os.Exit(2)
 			}
@@ -342,8 +373,8 @@ func main() {
 	default:
 		e, err := experiments.ByName(expName)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			fmt.Fprintf(os.Stderr, "groups: %s, all\n", strings.Join(groupOrder, ", "))
+			lg.Error("unknown experiment", "err", err,
+				"groups", strings.Join(groupOrder, ", ")+", all")
 			stopProfiles()
 			os.Exit(2)
 		}
@@ -371,14 +402,14 @@ func main() {
 			// Print whatever completed, then the failure with its
 			// reproducing seed.
 			if tbl != nil && len(tbl.Rows) > 0 {
-				fmt.Fprintf(os.Stderr, "[%s: partial results — %d rows completed before failure]\n", e.Name, len(tbl.Rows))
+				lg.Warn("partial results", "experiment", e.Name, "rows", len(tbl.Rows))
 				printTable(tbl, *csv)
 			}
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+			lg.Error("experiment failed", "experiment", e.Name, "err", err)
 			var ce *experiments.CellError
 			if errors.As(err, &ce) {
-				fmt.Fprintf(os.Stderr, "reproduce: mixtlb -exp %s -cell %q -seed %d -jobs 1\n",
-					e.Name, ce.Cell, scale.Seed)
+				lg.Info("reproduce", "cmd", fmt.Sprintf("mixtlb -exp %s -cell %q -seed %d -jobs 1",
+					e.Name, ce.Cell, scale.Seed))
 			}
 			var pe *experiments.PanicError
 			if errors.As(err, &pe) {
@@ -386,7 +417,7 @@ func main() {
 			}
 			var te *experiments.TimeoutError
 			if errors.As(err, &te) {
-				fmt.Fprintf(os.Stderr, "reproduce: mixtlb -exp %s -seed %d -timeout 0\n", e.Name, te.Seed)
+				lg.Info("reproduce", "cmd", fmt.Sprintf("mixtlb -exp %s -seed %d -timeout 0", e.Name, te.Seed))
 				setExit(4) // truncated, not broken: partial rows are valid
 			} else {
 				setExit(1)
@@ -394,19 +425,20 @@ func main() {
 			continue
 		}
 		printTable(tbl, *csv)
-		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+		lg.Info("experiment completed", "experiment", e.Name,
+			"elapsed", time.Since(start).Round(time.Millisecond).String())
 	}
 	if n := scale.Failures.Count(); n > 0 {
-		fmt.Fprintf(os.Stderr, "[%d cells FAILED after exhausting retries — see FAILED(...) markers above]\n", n)
+		lg.Warn("cells failed after exhausting retries — see FAILED(...) markers above", "cells", n)
 		setExit(3)
 	}
 	if err := jnl.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "closing journal: %v\n", err)
+		lg.Error("closing journal", "err", err)
 		setExit(1)
 	}
 	stopServe()
 	if err := writeTelemetry(reg, tracer, *metricsOut, *traceOut, *eventsOut); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		lg.Error("writing telemetry", "err", err)
 		setExit(1)
 	}
 	if tracer != nil {
@@ -419,15 +451,44 @@ func main() {
 			err = os.WriteFile(*benchOut, append(data, '\n'), 0o644)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *benchOut, err)
+			lg.Error("writing bench log", "file", *benchOut, "err", err)
 			setExit(1)
 		}
 	}
 	if err := stopProfiles(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		lg.Error("stopping profiles", "err", err)
 		setExit(1)
 	}
 	os.Exit(exitCode)
+}
+
+// parseExplainArgs reads -explain's k=v operands: vaddr (required hex or
+// decimal address) and design (default mix).
+func parseExplainArgs(args []string) (design string, va uint64, err error) {
+	design = string(mmu.DesignMix)
+	haveVA := false
+	for _, a := range args {
+		k, v, ok := strings.Cut(a, "=")
+		if !ok {
+			return "", 0, fmt.Errorf("expected key=value, got %q", a)
+		}
+		switch k {
+		case "vaddr", "va":
+			va, err = strconv.ParseUint(v, 0, 64)
+			if err != nil {
+				return "", 0, fmt.Errorf("bad vaddr %q (want hex 0x... or decimal): %v", v, err)
+			}
+			haveVA = true
+		case "design":
+			design = v
+		default:
+			return "", 0, fmt.Errorf("unknown key %q (want vaddr=, design=)", k)
+		}
+	}
+	if !haveVA {
+		return "", 0, fmt.Errorf("missing vaddr=0x...")
+	}
+	return design, va, nil
 }
 
 // writeTelemetry dumps whichever exporter files were requested. A nil

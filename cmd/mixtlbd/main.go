@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"mixtlb/internal/logx"
 	"mixtlb/internal/telemetry"
 )
 
@@ -51,11 +52,18 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 30*time.Minute, "wall-clock budget per job (0 disables)")
 		cellJobs     = flag.Int("jobs", 0, "worker pool per job's cell grid (0 = GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for the running job on shutdown")
+		logFormat    = flag.String("log-format", "text", "stderr log format: text or json")
 	)
 	flag.Parse()
 
-	if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+	lg, err := logx.New(os.Stderr, *logFormat)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+		lg.Error("creating data dir", "dir", *dataDir, "err", err)
 		os.Exit(2)
 	}
 
@@ -68,22 +76,23 @@ func main() {
 		JobTimeout:   *jobTimeout,
 		CellJobs:     *cellJobs,
 		DrainTimeout: *drainTimeout,
+		Log:          lg,
 	}, reg, tracer)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		lg.Error("listening", "addr", *addr, "err", err)
 		os.Exit(2)
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go httpSrv.Serve(ln)
-	fmt.Fprintf(os.Stderr, "[mixtlbd: serving http://%s/jobs /metrics /healthz; journals in %s]\n",
-		ln.Addr(), *dataDir)
+	lg.Info("serving", "addr", ln.Addr().String(),
+		"endpoints", "/jobs /metrics /debug/tail /healthz", "journals", *dataDir)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
 	sig := <-stop
-	fmt.Fprintf(os.Stderr, "[mixtlbd: %v — draining (in-flight cells stay checkpointed)]\n", sig)
+	lg.Info("signal received — draining (in-flight cells stay checkpointed)", "signal", sig.String())
 	srv.Drain()
 	httpSrv.Close()
 }

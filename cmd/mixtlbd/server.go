@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"io"
+	"log/slog"
 	"net/http"
 	"path/filepath"
 	"sort"
@@ -16,6 +18,7 @@ import (
 
 	"mixtlb/internal/experiments"
 	"mixtlb/internal/journal"
+	"mixtlb/internal/logx"
 	"mixtlb/internal/telemetry"
 )
 
@@ -32,6 +35,12 @@ type JobSpec struct {
 	MaxRetries   int      `json:"max_retries,omitempty"`
 	CellDeadline string   `json:"cell_deadline,omitempty"` // Go duration, e.g. "2m"
 	FailSoft     *bool    `json:"fail_soft,omitempty"`     // default true under the daemon
+	// LedgerAudit arms the cycle-attribution ledger on every cell;
+	// TailK records the K slowest translations per cell, surfaced at
+	// GET /debug/tail. Both are observers: result tables are
+	// byte-identical with them on or off.
+	LedgerAudit bool `json:"ledger_audit,omitempty"`
+	TailK       int  `json:"tail_k,omitempty"`
 }
 
 // job states.
@@ -89,13 +98,16 @@ type Config struct {
 	CellJobs     int           // worker pool per job (0 = GOMAXPROCS)
 	DrainTimeout time.Duration // how long Drain waits for the running job
 	RetryAfter   time.Duration // hint returned with 429/503
+	Log          *slog.Logger  // lifecycle event log (nil = discard)
 }
 
 // Server owns the job queue, the runner loop, and the HTTP API.
 type Server struct {
-	cfg Config
-	reg *telemetry.Registry
-	col *telemetry.Collector
+	cfg    Config
+	reg    *telemetry.Registry
+	col    *telemetry.Collector
+	tracer *telemetry.Tracer
+	lg     *slog.Logger
 
 	mu    sync.Mutex
 	jobs  map[string]*job
@@ -130,12 +142,17 @@ func newServer(cfg Config, reg *telemetry.Registry, tracer *telemetry.Tracer,
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 30 * time.Second
 	}
+	if cfg.Log == nil {
+		cfg.Log, _ = logx.New(io.Discard, logx.FormatText)
+	}
 	s := &Server{
-		cfg:   cfg,
-		reg:   reg,
-		col:   telemetry.NewCollector(reg, tracer),
-		jobs:  map[string]*job{},
-		queue: make(chan *job, cfg.QueueDepth),
+		cfg:    cfg,
+		reg:    reg,
+		col:    telemetry.NewCollector(reg, tracer),
+		tracer: tracer,
+		lg:     cfg.Log,
+		jobs:   map[string]*job{},
+		queue:  make(chan *job, cfg.QueueDepth),
 	}
 	s.runJob = s.runExperiment
 	if runJob != nil {
@@ -185,6 +202,7 @@ func (s *Server) runLoop() {
 		if canceled {
 			continue
 		}
+		s.lg.Info("job started", "job", j.ID, "experiment", j.Spec.Experiment)
 		s.runJob(ctx, j)
 		j.mu.Lock()
 		j.finished = time.Now()
@@ -197,7 +215,18 @@ func (s *Server) runLoop() {
 			j.state = stateDone
 		}
 		s.countJob(j.state)
+		state, errMsg, elapsed := j.state, j.err, j.finished.Sub(j.started).Round(time.Millisecond)
 		j.mu.Unlock()
+		switch state {
+		case stateFailed:
+			s.lg.Error("job failed", "job", j.ID, "experiment", j.Spec.Experiment,
+				"err", errMsg, "elapsed", elapsed.String())
+		case stateCanceled:
+			s.lg.Warn("job canceled", "job", j.ID, "experiment", j.Spec.Experiment, "reason", errMsg)
+		default:
+			s.lg.Info("job done", "job", j.ID, "experiment", j.Spec.Experiment,
+				"elapsed", elapsed.String())
+		}
 	}
 }
 
@@ -239,6 +268,8 @@ func (s *Server) scaleFor(spec JobSpec) experiments.Scale {
 	scale.FailSoft = spec.FailSoft == nil || *spec.FailSoft
 	scale.Failures = &experiments.FailureLog{}
 	scale.Telemetry = s.col
+	scale.LedgerAudit = spec.LedgerAudit
+	scale.TailK = spec.TailK
 	return scale
 }
 
@@ -278,6 +309,9 @@ func (s *Server) runExperimentWithFault(ctx context.Context, j *job, faultCell s
 	}
 	scale.Journal = jnl
 	replayable := jnl.Stats().Replayed
+	if replayable > 0 {
+		s.lg.Info("job resumed", "job", j.ID, "experiment", e.Name, "replayed_cells", replayable)
+	}
 
 	tbl, runErr := experiments.RunSafe(ctx, e, scale, s.cfg.JobTimeout)
 	st := jnl.Stats()
@@ -313,6 +347,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		s.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /debug/tail", func(w http.ResponseWriter, r *http.Request) {
+		limit := 100
+		if v := r.URL.Query().Get("n"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+				limit = n
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		s.tracer.WriteTailJSON(w, limit)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if s.draining.Load() {
@@ -377,6 +421,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.mu.Unlock()
+	s.lg.Info("job accepted", "job", j.ID, "experiment", spec.Experiment, "quick", spec.Quick)
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.ID})
 }
 
@@ -503,6 +548,7 @@ func (s *Server) Drain() {
 	if s.draining.Swap(true) {
 		return
 	}
+	s.lg.Info("draining", "queued_jobs", len(s.queue))
 	s.mu.Lock()
 	for _, j := range s.jobs {
 		j.mu.Lock()

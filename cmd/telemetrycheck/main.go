@@ -10,43 +10,51 @@
 // its format (Prometheus text exposition, Chrome trace_event JSON, JSONL
 // event stream). -require lists metric families that must appear in the
 // Prometheus dump, catching instrumentation that silently stopped
-// exporting. Exits 0 when everything validates, 1 otherwise.
+// exporting.
+//
+// Exit codes: 0 everything validates, 1 a file failed to read/parse or a
+// required family is missing, 2 usage error (no files named, bad flag).
 package main
 
 import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"mixtlb/internal/telemetry"
 )
 
-func main() { os.Exit(run()) }
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("telemetrycheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		metricsPath = flag.String("metrics", "", "Prometheus text dump to validate")
-		tracePath   = flag.String("trace", "", "Chrome trace_event JSON file to validate")
-		eventsPath  = flag.String("events", "", "JSONL event stream to validate")
-		require     = flag.String("require", "", "comma-separated metric families that must appear in -metrics")
+		metricsPath = fs.String("metrics", "", "Prometheus text dump to validate")
+		tracePath   = fs.String("trace", "", "Chrome trace_event JSON file to validate")
+		eventsPath  = fs.String("events", "", "JSONL event stream to validate")
+		require     = fs.String("require", "", "comma-separated metric families that must appear in -metrics")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *metricsPath == "" && *tracePath == "" && *eventsPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: telemetrycheck [-metrics FILE [-require fam,...]] [-trace FILE] [-events FILE]")
+		fmt.Fprintln(stderr, "usage: telemetrycheck [-metrics FILE [-require fam,...]] [-trace FILE] [-events FILE]")
 		return 2
 	}
 
 	ok := true
 	if *metricsPath != "" {
-		ok = checkMetrics(*metricsPath, *require) && ok
+		ok = checkMetrics(stdout, stderr, *metricsPath, *require) && ok
 	}
 	if *tracePath != "" {
-		ok = checkTrace(*tracePath) && ok
+		ok = checkTrace(stdout, stderr, *tracePath) && ok
 	}
 	if *eventsPath != "" {
-		ok = checkEvents(*eventsPath) && ok
+		ok = checkEvents(stdout, stderr, *eventsPath) && ok
 	}
 	if !ok {
 		return 1
@@ -54,19 +62,19 @@ func run() int {
 	return 0
 }
 
-func checkMetrics(path, require string) bool {
+func checkMetrics(stdout, stderr io.Writer, path, require string) bool {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "telemetrycheck: %v\n", err)
+		fmt.Fprintf(stderr, "telemetrycheck: %v\n", err)
 		return false
 	}
 	samples, err := telemetry.ParsePrometheus(bytes.NewReader(data))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "telemetrycheck: %s: %v\n", path, err)
+		fmt.Fprintf(stderr, "telemetrycheck: %s: %v\n", path, err)
 		return false
 	}
 	if samples == 0 {
-		fmt.Fprintf(os.Stderr, "telemetrycheck: %s: no samples\n", path)
+		fmt.Fprintf(stderr, "telemetrycheck: %s: no samples\n", path)
 		return false
 	}
 	ok := true
@@ -78,12 +86,12 @@ func checkMetrics(path, require string) bool {
 		// A family appears either as a bare name or with a label block;
 		// match at line start so substrings of other families don't count.
 		if !hasFamily(data, fam) {
-			fmt.Fprintf(os.Stderr, "telemetrycheck: %s: missing required metric family %q\n", path, fam)
+			fmt.Fprintf(stderr, "telemetrycheck: %s: missing required metric family %q\n", path, fam)
 			ok = false
 		}
 	}
 	if ok {
-		fmt.Printf("telemetrycheck: %s: %d samples ok\n", path, samples)
+		fmt.Fprintf(stdout, "telemetrycheck: %s: %d samples ok\n", path, samples)
 	}
 	return ok
 }
@@ -106,33 +114,33 @@ func hasFamily(data []byte, fam string) bool {
 	return false
 }
 
-func checkTrace(path string) bool {
+func checkTrace(stdout, stderr io.Writer, path string) bool {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "telemetrycheck: %v\n", err)
+		fmt.Fprintf(stderr, "telemetrycheck: %v\n", err)
 		return false
 	}
 	events, err := telemetry.ValidateChromeTrace(data)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "telemetrycheck: %s: %v\n", path, err)
+		fmt.Fprintf(stderr, "telemetrycheck: %s: %v\n", path, err)
 		return false
 	}
-	fmt.Printf("telemetrycheck: %s: %d trace events ok\n", path, events)
+	fmt.Fprintf(stdout, "telemetrycheck: %s: %d trace events ok\n", path, events)
 	return true
 }
 
-func checkEvents(path string) bool {
+func checkEvents(stdout, stderr io.Writer, path string) bool {
 	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "telemetrycheck: %v\n", err)
+		fmt.Fprintf(stderr, "telemetrycheck: %v\n", err)
 		return false
 	}
 	defer f.Close()
 	lines, err := telemetry.ValidateJSONL(f)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "telemetrycheck: %s: %v\n", path, err)
+		fmt.Fprintf(stderr, "telemetrycheck: %s: %v\n", path, err)
 		return false
 	}
-	fmt.Printf("telemetrycheck: %s: %d JSONL lines ok\n", path, lines)
+	fmt.Fprintf(stdout, "telemetrycheck: %s: %d JSONL lines ok\n", path, lines)
 	return true
 }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mixtlb/internal/telemetry"
+)
+
+// writeFixtures renders one valid file per exporter format from a live
+// registry/tracer, so the checks run against exactly what mixtlb writes.
+func writeFixtures(t *testing.T) (metrics, trace, events string) {
+	t.Helper()
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(0)
+	col := telemetry.NewCollector(reg, tracer)
+	col.Counter("mmu_accesses_total", "design", "mix").Add(42)
+	col.Instant("engine", "cell_done", 7, "cell", "gups")
+
+	emit := func(name string, write func(f *os.File) error) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := write(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	metrics = emit("metrics.prom", func(f *os.File) error { return reg.WritePrometheus(f) })
+	trace = emit("trace.json", func(f *os.File) error { return tracer.WriteChromeTrace(f) })
+	events = emit("events.jsonl", func(f *os.File) error { return tracer.WriteJSONL(f) })
+	return metrics, trace, events
+}
+
+// TestExitCodes pins the whole exit-code contract table-driven: 0 on
+// valid input, 1 on unreadable/unparseable files or missing families,
+// 2 on usage errors.
+func TestExitCodes(t *testing.T) {
+	metrics, trace, events := writeFixtures(t)
+	dir := t.TempDir()
+	garbage := filepath.Join(dir, "garbage.prom")
+	if err := os.WriteFile(garbage, []byte("%% not prometheus\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badJSON := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badJSON, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"all valid", []string{"-metrics", metrics, "-trace", trace, "-events", events}, 0},
+		{"metrics with required family", []string{"-metrics", metrics, "-require", "mmu_accesses_total"}, 0},
+		{"missing family", []string{"-metrics", metrics, "-require", "mmu_accesses_total,no_such_family"}, 1},
+		{"family substring does not count", []string{"-metrics", metrics, "-require", "mmu_accesses"}, 1},
+		{"unreadable file", []string{"-metrics", filepath.Join(dir, "absent.prom")}, 1},
+		{"unparseable metrics", []string{"-metrics", garbage}, 1},
+		{"unparseable trace", []string{"-trace", badJSON}, 1},
+		{"one bad file fails the batch", []string{"-metrics", metrics, "-trace", badJSON}, 1},
+		{"no files", nil, 2},
+		{"unknown flag", []string{"-bogus"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			if got := run(tc.args, &stdout, &stderr); got != tc.want {
+				t.Errorf("run(%v) = %d, want %d\nstdout: %s\nstderr: %s",
+					tc.args, got, tc.want, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+// TestSuccessReportsCounts pins the human-readable success lines.
+func TestSuccessReportsCounts(t *testing.T) {
+	metrics, trace, events := writeFixtures(t)
+	var stdout, stderr strings.Builder
+	if got := run([]string{"-metrics", metrics, "-trace", trace, "-events", events}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit %d: %s", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"samples ok", "trace events ok", "JSONL lines ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -84,7 +84,7 @@ func AblationIndexBits(ctx context.Context, s Scale) (*stats.Table, error) {
 					if err != nil {
 						return 0, err
 					}
-					st, err := runStream(ctx, m, p.build(env, cs.Seed), cs.WarmupRefs, cs.MeasureRefs)
+					st, err := runStream(ctx, cs, m, p.build(env, cs.Seed))
 					if err != nil {
 						return 0, err
 					}
@@ -150,7 +150,7 @@ func ScalingStudy(ctx context.Context, s Scale) (*stats.Table, error) {
 						return nil, err
 					}
 					stream := spec.Build(env.base, env.fp, simrand.New(cs.Seed))
-					st, err := runStream(ctx, m, stream, cs.WarmupRefs, cs.MeasureRefs)
+					st, err := runStream(ctx, cs, m, stream)
 					if err != nil {
 						return nil, err
 					}
@@ -212,7 +212,7 @@ func DuplicateStudy(ctx context.Context, s Scale) (*stats.Table, error) {
 						return nil, err
 					}
 					stream := spec.Build(env.base, env.fp, simrand.New(cs.Seed))
-					st, err := runStream(ctx, m, stream, cs.WarmupRefs, cs.MeasureRefs)
+					st, err := runStream(ctx, cs, m, stream)
 					if err != nil {
 						return nil, err
 					}
@@ -268,7 +268,7 @@ func CoalesceCapStudy(ctx context.Context, s Scale, caps []int) (*stats.Table, e
 						return nil, err
 					}
 					stream := spec.Build(env.base, env.fp, simrand.New(cs.Seed))
-					st, err := runStream(ctx, m, stream, cs.WarmupRefs, cs.MeasureRefs)
+					st, err := runStream(ctx, cs, m, stream)
 					if err != nil {
 						return nil, err
 					}
@@ -316,7 +316,7 @@ func EncodingStudy(ctx context.Context, s Scale) (*stats.Table, error) {
 					if err != nil {
 						return nil, err
 					}
-					st, err := runStream(ctx, m, stream, cs.WarmupRefs, cs.MeasureRefs)
+					st, err := runStream(ctx, cs, m, stream)
 					if err != nil {
 						return nil, err
 					}

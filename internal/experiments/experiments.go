@@ -15,6 +15,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"mixtlb/internal/chaos"
 	"mixtlb/internal/core"
 	"mixtlb/internal/journal"
+	"mixtlb/internal/ledger"
 	"mixtlb/internal/mmu"
 	"mixtlb/internal/osmm"
 	"mixtlb/internal/perfmodel"
@@ -112,6 +114,20 @@ type Scale struct {
 	// fault injection (tests, -inject-cell-failure) and observes only the
 	// cell's identity, never simulation state.
 	CellFault func(experiment, cell string) error
+	// LedgerAudit, when true, attaches a cycle-attribution ledger to
+	// every MMU driven through runStream and fails the cell unless
+	// attributed cycles sum exactly to the MMU's total (ledger.Audit) and
+	// the walk/victim books agree with the Stats counters the performance
+	// model consumes (perfmodel.CrossCheck). Like Telemetry it is an
+	// observer: tables are byte-identical with it on or off, so it is
+	// excluded from Fingerprint.
+	LedgerAudit bool
+	// TailK, when positive, arms a bounded top-K tail flight recorder on
+	// every runStream MMU: the K slowest translations of each cell's
+	// measurement interval (VA, page size, serving level, walk depth,
+	// charge trail) export as "tail" trace events through Telemetry.
+	// Clamped to ledger.MaxTailK; an observer like LedgerAudit.
+	TailK int
 }
 
 // Fingerprint summarizes every Scale field that determines simulation
@@ -310,7 +326,18 @@ const translateBatch = 512
 // The context is a cancellation checkpoint — a canceled grid stops
 // mid-stream rather than finishing a multi-second simulation whose result
 // will be discarded.
-func runStream(ctx context.Context, m *mmu.MMU, stream workload.Stream, warmup, measure uint64) (mmu.Stats, error) {
+//
+// When the scale requests attribution (LedgerAudit or TailK) and the
+// caller has not already wired a ledger, one is attached before warmup;
+// after measurement the conservation audit runs and the tail recorder
+// flushes. Both observe without influencing: st is read before any of it.
+func runStream(ctx context.Context, cs Scale, m *mmu.MMU, stream workload.Stream) (mmu.Stats, error) {
+	warmup, measure := cs.WarmupRefs, cs.MeasureRefs
+	led := m.Ledger()
+	if led == nil && (cs.LedgerAudit || cs.TailK > 0) {
+		led = ledger.New(cs.TailK)
+		m.AttachLedger(led)
+	}
 	var (
 		refs [translateBatch]workload.Ref
 		reqs [translateBatch]tlb.Request
@@ -346,7 +373,46 @@ func runStream(ctx context.Context, m *mmu.MMU, stream workload.Stream, warmup, 
 	if err := run(measure, "fault at %v"); err != nil {
 		return mmu.Stats{}, err
 	}
-	return m.Stats(), nil
+	st := m.Stats()
+	if led != nil {
+		if err := led.Audit(st.Cycles); err != nil {
+			return mmu.Stats{}, fmt.Errorf("%s: %w", m.Name(), err)
+		}
+		if err := perfmodel.CrossCheck(st, led); err != nil {
+			return mmu.Stats{}, fmt.Errorf("%s: %w", m.Name(), err)
+		}
+		flushTail(cs, m, led)
+	}
+	return st, nil
+}
+
+// flushTail exports a cell's K slowest translations as "tail" instant
+// trace events: rank order, simulated-cycle stamp, and the merged charge
+// trail. The records surface in the telemetry JSONL export and the
+// /debug/tail endpoints; they never touch tables or goldens.
+func flushTail(cs Scale, m *mmu.MMU, led *ledger.Ledger) {
+	if cs.Telemetry == nil {
+		return
+	}
+	for i, r := range led.Top() {
+		served := "walk"
+		switch {
+		case r.Faulted:
+			served = "fault"
+		case r.HitLevel >= 0:
+			served = fmt.Sprintf("L%d", r.HitLevel+1)
+		}
+		cs.Telemetry.Instant("tail", "slow_translation", r.Cycles,
+			"design", m.Name(),
+			"rank", strconv.Itoa(i),
+			"va", fmt.Sprintf("0x%x", r.VA),
+			"size", r.Size.String(),
+			"served", served,
+			"walk_refs", strconv.Itoa(int(r.WalkRefs)),
+			"retries", strconv.Itoa(int(r.Retries)),
+			"seq", strconv.FormatUint(r.Seq, 10),
+			"trail", ledger.TrailString(r.Trail()))
+	}
 }
 
 // measureNative runs one workload on one design in an environment,
@@ -360,7 +426,7 @@ func measureNative(ctx context.Context, s Scale, env *nativeEnv, spec workload.S
 		m.AttachTelemetry(s.Telemetry.With("workload", spec.Name))
 	}
 	stream := spec.Build(env.base, env.fp, simrand.New(s.Seed))
-	st, err := runStream(ctx, m, stream, s.WarmupRefs, s.MeasureRefs)
+	st, err := runStream(ctx, s, m, stream)
 	if err != nil {
 		return mmu.Stats{}, perfmodel.Estimate{}, nil, fmt.Errorf("%s/%s (seed %d): %w", spec.Name, d, s.Seed, err)
 	}
@@ -421,7 +487,7 @@ func measureVirt(ctx context.Context, s Scale, env *vmEnv, spec workload.Spec, d
 		m.AttachTelemetry(s.Telemetry.With("workload", spec.Name, "env", "virt"))
 	}
 	stream := spec.Build(env.bases[0], env.fp, simrand.New(s.Seed))
-	st, err := runStream(ctx, m, stream, s.WarmupRefs, s.MeasureRefs)
+	st, err := runStream(ctx, s, m, stream)
 	if err != nil {
 		return mmu.Stats{}, perfmodel.Estimate{}, fmt.Errorf("%s/%s virt (seed %d): %w", spec.Name, d, s.Seed, err)
 	}
@@ -461,6 +527,7 @@ func All() []Experiment {
 		{"hierarchy", "registry designs compared: per-level hits, walk traffic, PWC effect", HierarchyStudy},
 		{"reach", "coalesced SRAM reach (MIX) vs spilled cache reach (Victima) under fragmentation", ReachStudy},
 		{"chaos", "fault injection: TLB/PTE corruption, lost IPIs, transient OOM — detection and recovery rates", ChaosStudy},
+		{"breakdown", "cycle attribution: where each design's translation cycles go, conservation-audited", Breakdown},
 	}
 }
 

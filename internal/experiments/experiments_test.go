@@ -19,7 +19,7 @@ func f(t *testing.T, s string) float64 {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(All()) != 19 {
+	if len(All()) != 20 {
 		t.Errorf("%d experiments registered", len(All()))
 	}
 	if _, err := ByName("fig14"); err != nil {

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExplainNarratesTranslation replays one translation on MIX and
+// checks the narration carries the design, a charge trail, the serving
+// structure, and a balanced audit line.
+func TestExplainNarratesTranslation(t *testing.T) {
+	s := QuickScale()
+	s.Workloads = []string{"gups"}
+	var b strings.Builder
+	if err := Explain(&b, s, "mix", 0x0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"design", "charges:", "result:", "served by", "books balance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output lacks %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "explaining offset") {
+		t.Errorf("offset note missing for sub-base va:\n%s", out)
+	}
+}
+
+// TestExplainDeterministic pins that two runs with identical inputs
+// narrate identically — the replay derives only from (design, va, scale).
+func TestExplainDeterministic(t *testing.T) {
+	s := QuickScale()
+	s.Workloads = []string{"mcf"}
+	run := func() string {
+		var b strings.Builder
+		if err := Explain(&b, s, "split+pwc", 0x1000); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("explain is nondeterministic:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+// TestExplainRejectsUnknownDesign pins the usage-error path.
+func TestExplainRejectsUnknownDesign(t *testing.T) {
+	var b strings.Builder
+	if err := Explain(&b, QuickScale(), "no-such-design", 0); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+}

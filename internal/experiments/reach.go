@@ -87,7 +87,7 @@ func ReachStudy(ctx context.Context, s Scale) (*stats.Table, error) {
 							m.AttachTelemetry(cs.Telemetry.With("workload", wl))
 						}
 						stream := spec.Build(env.base, env.fp, simrand.New(cs.Seed))
-						st, err := runStream(ctx, m, stream, cs.WarmupRefs, cs.MeasureRefs)
+						st, err := runStream(ctx, cs, m, stream)
 						if err != nil {
 							return nil, fmt.Errorf("%s/%s (seed %d): %w", wl, ds.Name, cs.Seed, err)
 						}

@@ -1,0 +1,235 @@
+package ledger
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/simrand"
+)
+
+func TestCategoryNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Categories() {
+		name := c.String()
+		if name == "" || strings.HasPrefix(name, "category(") {
+			t.Fatalf("category %d has no name", c)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate category name %q", name)
+		}
+		seen[name] = true
+	}
+	if got := Category(200).String(); got != "category(200)" {
+		t.Fatalf("out-of-range name = %q", got)
+	}
+}
+
+func TestAuditConservation(t *testing.T) {
+	l := New(0)
+	l.Begin()
+	l.ChargeProbe(0, 1)
+	l.ChargeProbe(1, 7)
+	l.ChargeWalk(WalkFull, 40, 4)
+	l.End(0x1000, addr.Page4K, -1, false)
+
+	if err := l.Audit(48); err != nil {
+		t.Fatalf("balanced audit failed: %v", err)
+	}
+	err := l.Audit(50)
+	if err == nil {
+		t.Fatal("audit accepted a 2-cycle leak")
+	}
+	var ce *ConservationError
+	if !errors.As(err, &ce) {
+		t.Fatalf("audit error type = %T", err)
+	}
+	if ce.Attributed != 48 || ce.Total != 50 {
+		t.Fatalf("ConservationError = %+v", ce)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "leak 2") || !strings.Contains(msg, "walk-full=40") {
+		t.Fatalf("error message lacks leak/category detail: %s", msg)
+	}
+}
+
+func TestNilLedgerAuditsClean(t *testing.T) {
+	var l *Ledger
+	if err := l.Audit(123); err != nil {
+		t.Fatalf("nil ledger audit: %v", err)
+	}
+	if l.Top() != nil {
+		t.Fatal("nil ledger returned tail records")
+	}
+}
+
+func TestRetryRedirect(t *testing.T) {
+	l := New(0)
+	l.Begin()
+	l.ChargeProbe(0, 1)
+	l.SetRetry(true)
+	l.ChargeProbe(0, 1)
+	l.ChargeWalk(WalkPWC, 30, 2)
+	l.SetRetry(false)
+	l.End(0, addr.Page4K, 0, false)
+
+	e := l.Entries()
+	if e[L1Probe].Cycles != 1 || e[ChaosRetry].Cycles != 31 {
+		t.Fatalf("redirect books: l1=%+v retry=%+v", e[L1Probe], e[ChaosRetry])
+	}
+	if e[WalkPWC].Cycles != 0 {
+		t.Fatalf("retry walk leaked into walk-pwc: %+v", e[WalkPWC])
+	}
+	if err := l.Audit(32); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+}
+
+func TestResetClearsBooksAndTail(t *testing.T) {
+	l := New(4)
+	l.Begin()
+	l.Charge(MemoReplay, 5)
+	l.End(0x42, addr.Page2M, 0, false)
+	l.Reset()
+	if l.Total() != 0 || l.Accesses() != 0 {
+		t.Fatalf("reset left books: total=%d acc=%d", l.Total(), l.Accesses())
+	}
+	if got := l.Top(); got != nil {
+		t.Fatalf("reset left %d tail records", len(got))
+	}
+}
+
+func TestTrailMergesConsecutiveCharges(t *testing.T) {
+	l := New(0)
+	l.Begin()
+	l.ChargeProbe(0, 1)
+	l.Charge(VictimProbe, 10)
+	l.Charge(VictimProbe, 12)
+	l.ChargeWalk(WalkFull, 40, 4)
+	l.End(0, addr.Page4K, -1, false)
+
+	steps := l.Trail()
+	if len(steps) != 3 {
+		t.Fatalf("trail = %v, want 3 merged steps", steps)
+	}
+	if steps[1].Cat != VictimProbe || steps[1].Cycles != 22 || steps[1].Events != 2 {
+		t.Fatalf("victim step not merged: %+v", steps[1])
+	}
+	s := TrailString(steps)
+	if !strings.Contains(s, "L1:1") || !strings.Contains(s, "victim-probe:22x2") || !strings.Contains(s, "walk-full:40") {
+		t.Fatalf("TrailString = %q", s)
+	}
+}
+
+func TestTrailOverflowStaysBounded(t *testing.T) {
+	l := New(0)
+	l.Begin()
+	for i := 0; i < 3*MaxTrail; i++ {
+		// Alternate categories so no merge hides the overflow.
+		if i%2 == 0 {
+			l.Charge(WalkFull, 1)
+		} else {
+			l.Charge(DirtyAssist, 1)
+		}
+	}
+	l.End(0, addr.Page4K, -1, false)
+	if len(l.Trail()) != MaxTrail {
+		t.Fatalf("trail length = %d, want %d", len(l.Trail()), MaxTrail)
+	}
+	if err := l.Audit(3 * MaxTrail); err != nil {
+		t.Fatalf("overflowed trail broke conservation: %v", err)
+	}
+}
+
+func TestTailKeepsKSlowest(t *testing.T) {
+	const k = 4
+	l := New(k)
+	cycles := []uint64{5, 90, 10, 70, 70, 3, 100, 10}
+	for i, c := range cycles {
+		l.Begin()
+		l.Charge(WalkFull, c)
+		l.End(uint64(i)<<addr.Shift4K, addr.Page4K, -1, false)
+	}
+	top := l.Top()
+	if len(top) != k {
+		t.Fatalf("len(top) = %d, want %d", len(top), k)
+	}
+	gotCycles := []uint64{top[0].Cycles, top[1].Cycles, top[2].Cycles, top[3].Cycles}
+	want := []uint64{100, 90, 70, 70}
+	for i := range want {
+		if gotCycles[i] != want[i] {
+			t.Fatalf("top cycles = %v, want %v", gotCycles, want)
+		}
+	}
+	// The two 70s tie: earliest access first.
+	if top[2].Seq != 3 || top[3].Seq != 4 {
+		t.Fatalf("tie order: seq %d then %d, want 3 then 4", top[2].Seq, top[3].Seq)
+	}
+}
+
+func TestTailTiesKeepEarliest(t *testing.T) {
+	l := New(2)
+	for i := 0; i < 10; i++ {
+		l.Begin()
+		l.Charge(WalkFull, 50) // all equal: later accesses must not displace
+		l.End(uint64(i), addr.Page4K, -1, false)
+	}
+	top := l.Top()
+	if len(top) != 2 || top[0].Seq != 0 || top[1].Seq != 1 {
+		t.Fatalf("equal-cycle stream kept %v, want seqs 0,1", top)
+	}
+}
+
+func TestTailKClamped(t *testing.T) {
+	l := New(10 * MaxTailK)
+	if l.tail.K() != MaxTailK {
+		t.Fatalf("K = %d, want clamp to %d", l.tail.K(), MaxTailK)
+	}
+}
+
+// TestTailDeterministic replays one random charge stream twice and
+// requires identical recorder contents — the property that makes tail
+// exports jobs-invariant (per-cell state, deterministic insertion).
+func TestTailDeterministic(t *testing.T) {
+	run := func() []TailRecord {
+		l := New(8)
+		rng := simrand.New(7)
+		for i := 0; i < 5000; i++ {
+			l.Begin()
+			l.ChargeProbe(0, 1)
+			if rng.Uint64n(4) == 0 {
+				l.ChargeWalk(WalkFull, rng.Uint64n(200), 4)
+			}
+			l.End(rng.Uint64(), addr.Page4K, -1, false)
+		}
+		return l.Top()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHotPathAllocs(t *testing.T) {
+	l := New(MaxTailK)
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		l.Begin()
+		l.ChargeProbe(0, 1)
+		l.ChargeProbe(1, 7)
+		l.Charge(VictimProbe, 20)
+		l.ChargeWalk(WalkPWC, uint64(i%97), 2)
+		l.Charge(DirtyAssist, 0)
+		l.End(uint64(i), addr.Page2M, -1, false)
+		l.Event(Shootdown)
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("hot path allocates %.1f/op, want 0", avg)
+	}
+}

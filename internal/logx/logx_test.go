@@ -1,0 +1,56 @@
+package logx
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTextFormatOmitsTimestamps(t *testing.T) {
+	var b strings.Builder
+	lg, err := New(&b, FormatText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("cell done", "experiment", "fig14", "done", 3)
+	got := b.String()
+	if strings.Contains(got, "time=") {
+		t.Errorf("text log carries a timestamp: %q", got)
+	}
+	for _, want := range []string{"cell done", "experiment=fig14", "done=3"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("text log lacks %q: %q", want, got)
+		}
+	}
+}
+
+func TestJSONFormatIsParseable(t *testing.T) {
+	var b strings.Builder
+	lg, err := New(&b, FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Warn("cell failed", "cell", "gups/mix")
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &rec); err != nil {
+		t.Fatalf("not JSON: %q (%v)", b.String(), err)
+	}
+	if rec["msg"] != "cell failed" || rec["cell"] != "gups/mix" || rec["level"] != "WARN" {
+		t.Errorf("unexpected record: %v", rec)
+	}
+	if _, ok := rec["time"]; ok {
+		t.Errorf("JSON log carries a timestamp: %v", rec)
+	}
+}
+
+func TestEmptyFormatDefaultsToText(t *testing.T) {
+	if _, err := New(&strings.Builder{}, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownFormatRejected(t *testing.T) {
+	if _, err := New(&strings.Builder{}, "yaml"); err == nil {
+		t.Fatal("yaml accepted")
+	}
+}

@@ -1,0 +1,29 @@
+package mmu
+
+import "mixtlb/internal/ledger"
+
+// AttachLedger enables (or, with nil, disables) cycle attribution for
+// this MMU. The ledger observes every cycle-charging site on the
+// translation path — probes per level, extra probe rounds, victim-level
+// cache probes, walks (full and PWC-shortened), dirty-bit assists, memo
+// replays, oracle-retry re-translations — plus shootdown events, and
+// never influences simulation results: tables are byte-identical with a
+// ledger attached or not. Like telemetry, the disabled state costs a
+// single nil-check branch per site.
+//
+// The ledger belongs to this MMU's simulation goroutine; never share one
+// ledger across MMUs (per-category sums would interleave and Audit
+// against any single MMU's Stats would fail).
+func (m *MMU) AttachLedger(l *ledger.Ledger) {
+	m.led = l
+}
+
+// Ledger returns the attached ledger, nil when attribution is disabled.
+func (m *MMU) Ledger() *ledger.Ledger { return m.led }
+
+// AuditLedger checks the conservation invariant — attributed cycles sum
+// exactly to Stats.Cycles — returning a *ledger.ConservationError on any
+// leak. With no ledger attached it reports clean.
+func (m *MMU) AuditLedger() error {
+	return m.led.Audit(m.stats.Cycles)
+}

@@ -22,6 +22,7 @@ import (
 	"mixtlb/internal/addr"
 	"mixtlb/internal/cachesim"
 	"mixtlb/internal/chaos"
+	"mixtlb/internal/ledger"
 	"mixtlb/internal/pagetable"
 	"mixtlb/internal/pwc"
 	"mixtlb/internal/tlb"
@@ -223,6 +224,10 @@ type MMU struct {
 	// tel is the telemetry hook block, nil unless AttachTelemetry enabled
 	// it; every use is a single nil-check branch.
 	tel *mmuTel
+	// led is the cycle-attribution ledger, nil unless AttachLedger
+	// enabled it; like tel, every use is a single nil-check branch and
+	// it observes charges without ever influencing them.
+	led *ledger.Ledger
 }
 
 // memoEntry captures one pure first-level hit (no fault, no dirty-bit
@@ -382,6 +387,9 @@ func (m *MMU) ResetStats() {
 	if m.pwc != nil {
 		m.pwc.ResetStats()
 	}
+	if m.led != nil {
+		m.led.Reset()
+	}
 }
 
 // Result reports one translated access.
@@ -425,6 +433,21 @@ func (m *MMU) Translate(req tlb.Request) Result {
 		return res
 	}
 	m.stats.Accesses++
+	if m.led == nil {
+		return m.translateChecked(req)
+	}
+	m.led.Begin()
+	res := m.translateChecked(req)
+	m.led.End(uint64(req.VA), res.Size, res.HitLevel, res.Faulted)
+	return res
+}
+
+// translateChecked is Translate's body after the memo and ledger
+// bookkeeping: one hierarchy pass plus the oracle's scrub-and-retry loop.
+// Retry passes run with the ledger's charges redirected to its
+// chaos-retry category — their cycles are the cost of the injected
+// fault, not of the design.
+func (m *MMU) translateChecked(req tlb.Request) Result {
 	res := m.translateOnce(req)
 	if m.oracle == nil || res.Faulted {
 		return res
@@ -442,7 +465,13 @@ func (m *MMU) Translate(req tlb.Request) Result {
 		m.stats.OracleMismatches++
 		m.scrubCorrupt(req.VA, res.Size)
 		if try < maxOracleRetries {
+			if m.led != nil {
+				m.led.SetRetry(true)
+			}
 			res = m.translateOnce(req)
+			if m.led != nil {
+				m.led.SetRetry(false)
+			}
 			if res.Faulted {
 				return res
 			}
@@ -482,6 +511,11 @@ func (m *MMU) replayMemo(req tlb.Request) (Result, bool) {
 	if m.tel != nil {
 		m.tel.memoHits.Inc()
 	}
+	if m.led != nil {
+		m.led.Begin()
+		m.led.Charge(ledger.MemoReplay, m.memo.cycles)
+		m.led.End(uint64(req.VA), m.memo.size, 0, false)
+	}
 	return Result{
 		PA:     m.memo.paBase + addr.P(uint64(req.VA)&((1<<addr.Shift4K)-1)),
 		Size:   m.memo.size,
@@ -519,6 +553,9 @@ func (m *MMU) translateOnce(req tlb.Request) Result {
 		lv := &m.levels[li]
 		if lv.cacheRes == nil {
 			res.Cycles += lv.lat
+			if m.led != nil {
+				m.led.ChargeProbe(li, lv.lat)
+			}
 		}
 		r := lv.tlb.Lookup(req)
 		if lv.cacheRes != nil {
@@ -530,7 +567,11 @@ func (m *MMU) translateOnce(req tlb.Request) Result {
 		}
 		lv.lookup.Add(r.Cost)
 		if r.Cost.Probes > 1 && lv.cacheRes == nil {
-			res.Cycles += uint64(r.Cost.Probes-1) * m.cfg.Lat.ExtraProbe
+			extra := uint64(r.Cost.Probes-1) * m.cfg.Lat.ExtraProbe
+			res.Cycles += extra
+			if m.led != nil {
+				m.led.Charge(ledger.ExtraProbe, extra)
+			}
 		}
 		if r.Hit {
 			switch m.chaos.CorruptTLBHit(&r.T) {
@@ -633,15 +674,19 @@ func (m *MMU) translateOnce(req tlb.Request) Result {
 // level's configured latency stands in.
 func (m *MMU) chargeCacheProbes(lv *hierLevel, res *Result) {
 	m.stats.VictimProbes++
+	start := res.Cycles
 	if m.caches == nil {
 		res.Cycles += lv.lat
 		m.stats.VictimProbeCycles += lv.lat
-		return
+	} else {
+		for _, pa := range lv.cacheRes.ProbedLines() {
+			c := m.caches.Access(pa)
+			res.Cycles += c.Cycles
+			m.stats.VictimProbeCycles += c.Cycles
+		}
 	}
-	for _, pa := range lv.cacheRes.ProbedLines() {
-		c := m.caches.Access(pa)
-		res.Cycles += c.Cycles
-		m.stats.VictimProbeCycles += c.Cycles
+	if m.led != nil {
+		m.led.Charge(ledger.VictimProbe, res.Cycles-start)
 	}
 }
 
@@ -735,6 +780,13 @@ func (m *MMU) walk(req tlb.Request, res *Result) *pagetable.WalkResult {
 			m.tel.walkDepth.Observe(uint64(len(walk.Accesses) - skip))
 			m.tel.walkCycles.Observe(res.Cycles - start)
 		}
+		if m.led != nil {
+			cat := ledger.WalkFull
+			if skip > 0 {
+				cat = ledger.WalkPWC
+			}
+			m.led.ChargeWalk(cat, res.Cycles-start, len(walk.Accesses)-skip)
+		}
 	}
 	return walk
 }
@@ -755,6 +807,9 @@ func (m *MMU) handleDirty(req tlb.Request, entryDirty bool, res *Result, walk *p
 	}
 	m.stats.DirtyMicroOps++
 	res.Cycles += m.cfg.Lat.DirtyMicroOp
+	if m.led != nil {
+		m.led.Charge(ledger.DirtyAssist, m.cfg.Lat.DirtyMicroOp)
+	}
 	// The assist read the PTE's cache line to write the D bit; coalescing
 	// TLBs use the neighbouring D bits to refresh bundle dirty state
 	// (free: the access already happened and is priced above).
@@ -801,6 +856,9 @@ func (m *MMU) handleDirty(req tlb.Request, entryDirty bool, res *Result, walk *p
 func (m *MMU) Invalidate(va addr.V, size addr.PageSize) {
 	m.stats.Invalidations++
 	m.memo = memoEntry{}
+	if m.led != nil {
+		m.led.Event(ledger.Shootdown)
+	}
 	for li := range m.levels {
 		m.levels[li].tlb.Invalidate(va, size)
 	}
@@ -813,6 +871,9 @@ func (m *MMU) Invalidate(va addr.V, size addr.PageSize) {
 func (m *MMU) Flush() {
 	m.stats.Flushes++
 	m.memo = memoEntry{}
+	if m.led != nil {
+		m.led.Event(ledger.Shootdown)
+	}
 	for li := range m.levels {
 		m.levels[li].tlb.Flush()
 	}

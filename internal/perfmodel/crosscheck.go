@@ -1,0 +1,63 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"mixtlb/internal/ledger"
+	"mixtlb/internal/mmu"
+)
+
+// CrossCheck verifies a ledger's books against the aggregate Stats
+// counters this model consumes, closing the loop between attribution and
+// estimation: AvgWalkCycles divides Stats.WalkCycles, so the ledger's
+// walk categories must agree with it, and likewise the victim-probe
+// books with Stats.VictimProbeCycles.
+//
+// With oracle retries in play the agreement is one-sided: Stats.WalkCycles
+// keeps counting retry walks while the ledger books them as chaos-retry,
+// so the walk categories may only fall short, never exceed. On retry-free
+// runs (ChaosRetry events zero) equality is exact and enforced. Nil-safe:
+// an absent ledger cross-checks clean.
+func CrossCheck(st mmu.Stats, led *ledger.Ledger) error {
+	if led == nil {
+		return nil
+	}
+	e := led.Entries()
+	walk := e[ledger.WalkFull].Cycles + e[ledger.WalkPWC].Cycles
+	victim := e[ledger.VictimProbe].Cycles
+	retries := e[ledger.ChaosRetry].Events
+	if retries == 0 {
+		if walk != st.WalkCycles {
+			return fmt.Errorf("perfmodel: ledger walk cycles %d != Stats.WalkCycles %d", walk, st.WalkCycles)
+		}
+		if victim != st.VictimProbeCycles {
+			return fmt.Errorf("perfmodel: ledger victim cycles %d != Stats.VictimProbeCycles %d", victim, st.VictimProbeCycles)
+		}
+		return nil
+	}
+	if walk > st.WalkCycles {
+		return fmt.Errorf("perfmodel: ledger walk cycles %d exceed Stats.WalkCycles %d under %d retries", walk, st.WalkCycles, retries)
+	}
+	if victim > st.VictimProbeCycles {
+		return fmt.Errorf("perfmodel: ledger victim cycles %d exceed Stats.VictimProbeCycles %d under %d retries", victim, st.VictimProbeCycles, retries)
+	}
+	return nil
+}
+
+// AttributionShares converts ledger books into per-category percentage
+// shares of total attributed cycles — the stacked columns of the
+// breakdown experiment. All zeros when nothing was attributed.
+func AttributionShares(entries [ledger.NumCategories]ledger.Entry) [ledger.NumCategories]float64 {
+	var out [ledger.NumCategories]float64
+	var total uint64
+	for _, e := range entries {
+		total += e.Cycles
+	}
+	if total == 0 {
+		return out
+	}
+	for i, e := range entries {
+		out[i] = 100 * float64(e.Cycles) / float64(total)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package perfmodel
+
+import (
+	"strings"
+	"testing"
+
+	"mixtlb/internal/ledger"
+	"mixtlb/internal/mmu"
+)
+
+func TestCrossCheckNil(t *testing.T) {
+	if err := CrossCheck(mmu.Stats{WalkCycles: 99}, nil); err != nil {
+		t.Fatalf("nil ledger: %v", err)
+	}
+}
+
+func TestCrossCheckExactWithoutRetries(t *testing.T) {
+	led := ledger.New(0)
+	led.Charge(ledger.WalkFull, 30)
+	led.Charge(ledger.WalkPWC, 10)
+	led.Charge(ledger.VictimProbe, 5)
+	st := mmu.Stats{WalkCycles: 40, VictimProbeCycles: 5}
+	if err := CrossCheck(st, led); err != nil {
+		t.Fatalf("balanced books rejected: %v", err)
+	}
+	st.WalkCycles = 41
+	err := CrossCheck(st, led)
+	if err == nil || !strings.Contains(err.Error(), "walk cycles") {
+		t.Fatalf("1-cycle walk drift not caught: %v", err)
+	}
+	st.WalkCycles = 40
+	st.VictimProbeCycles = 6
+	if err := CrossCheck(st, led); err == nil {
+		t.Fatal("victim drift not caught")
+	}
+}
+
+func TestCrossCheckOneSidedUnderRetries(t *testing.T) {
+	led := ledger.New(0)
+	led.Charge(ledger.WalkFull, 30)
+	led.SetRetry(true)
+	led.Charge(ledger.WalkFull, 20) // books as chaos-retry
+	led.SetRetry(false)
+	// Stats counted both walks; the ledger's walk category only the first.
+	st := mmu.Stats{WalkCycles: 50}
+	if err := CrossCheck(st, led); err != nil {
+		t.Fatalf("retry shortfall rejected: %v", err)
+	}
+	st.WalkCycles = 20 // ledger walk books exceed stats: impossible
+	if err := CrossCheck(st, led); err == nil {
+		t.Fatal("walk excess under retries not caught")
+	}
+}
+
+func TestAttributionShares(t *testing.T) {
+	var e [ledger.NumCategories]ledger.Entry
+	if got := AttributionShares(e); got != ([ledger.NumCategories]float64{}) {
+		t.Fatalf("empty books produced shares %v", got)
+	}
+	e[ledger.L1Probe].Cycles = 25
+	e[ledger.WalkFull].Cycles = 75
+	got := AttributionShares(e)
+	if got[ledger.L1Probe] != 25 || got[ledger.WalkFull] != 75 {
+		t.Fatalf("shares = %v", got)
+	}
+	var sum float64
+	for _, s := range got {
+		sum += s
+	}
+	if sum != 100 {
+		t.Fatalf("shares sum to %v, want 100", sum)
+	}
+}

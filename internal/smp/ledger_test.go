@@ -1,0 +1,58 @@
+package smp
+
+import (
+	"testing"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/chaos"
+	"mixtlb/internal/ledger"
+	"mixtlb/internal/mmu"
+	"mixtlb/internal/simrand"
+	"mixtlb/internal/workload"
+)
+
+// TestLedgerConservationUnderShootdowns audits attribution on a
+// multi-core system whose cores take shootdown IPIs — including lost
+// IPIs that the retry protocol re-delivers — between translation rounds.
+// Each core carries its own ledger: conservation must hold per core, and
+// every delivered invalidation must appear in that core's shootdown
+// books.
+func TestLedgerConservationUnderShootdowns(t *testing.T) {
+	const cores = 3
+	sys, _, base, fp := newSMP(t, mmu.DesignMix, cores)
+	sys.SetChaos(chaos.NewInjector(5, chaos.Rates{IPILoss: 0.3, IPIDelay: 0.2}))
+	ledgers := make([]*ledger.Ledger, cores)
+	for i, c := range sys.Cores() {
+		ledgers[i] = ledger.New(4)
+		c.AttachLedger(ledgers[i])
+	}
+	streams := make([]workload.Stream, cores)
+	for i := range streams {
+		streams[i] = workload.NewZipf(base, fp, simrand.New(uint64(i)+9), 0.9, 0.2, uint64(i))
+	}
+	rng := simrand.New(0x5d0)
+	for round := 0; round < 12; round++ {
+		if err := sys.Run(streams, 6000); err != nil {
+			t.Fatal(err)
+		}
+		off := addr.AlignedDown(rng.Uint64n(fp-(2<<20)), addr.Size2M)
+		sys.Munmap(base+addr.V(off), 2<<20)
+	}
+	if sys.Stats().IPIsLost == 0 {
+		t.Fatal("IPI loss never exercised; lost-IPI path untested")
+	}
+	for i, c := range sys.Cores() {
+		if err := c.AuditLedger(); err != nil {
+			t.Errorf("core %d: %v", i, err)
+		}
+		st := c.Stats()
+		e := ledgers[i].Entries()
+		if e[ledger.Shootdown].Events != st.Invalidations+st.Flushes {
+			t.Errorf("core %d: shootdown events %d != invalidations+flushes %d",
+				i, e[ledger.Shootdown].Events, st.Invalidations+st.Flushes)
+		}
+		if st.Invalidations == 0 {
+			t.Errorf("core %d: munmap storm delivered no invalidations", i)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // Serve starts an HTTP listener on addr exposing live observability for a
@@ -13,6 +14,7 @@ import (
 //
 //	/metrics        current registry as Prometheus text
 //	/trace          current event buffer as Chrome trace_event JSON
+//	/debug/tail     slowest recorded translations, slowest-first JSON
 //	/debug/vars     expvar (Go runtime memstats + event totals)
 //	/debug/pprof/*  live CPU/heap/goroutine profiles
 //
@@ -32,6 +34,10 @@ func Serve(addr string, reg *Registry, tracer *Tracer) (bound string, shutdown f
 		w.Header().Set("Content-Type", "application/json")
 		tracer.WriteChromeTrace(w)
 	})
+	mux.HandleFunc("/debug/tail", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		tracer.WriteTailJSON(w, tailLimit(r))
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -44,6 +50,20 @@ func Serve(addr string, reg *Registry, tracer *Tracer) (bound string, shutdown f
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+// tailLimit parses /debug/tail's optional ?n= cap (default 100, 0 = all).
+func tailLimit(r *http.Request) int {
+	const def = 100
+	v := r.URL.Query().Get("n")
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return def
+	}
+	return n
 }
 
 // eventVarsPublished guards the process-global expvar names, which panic

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// TailCategory is the trace category the experiments layer uses for tail
+// flight-recorder events; the /debug/tail endpoints filter on it.
+const TailCategory = "tail"
+
+// TailRecord is one slow-translation event in endpoint form: the
+// simulated cycle cost plus the emitting site's key/value narration
+// (design, va, size, served, trail, ...).
+type TailRecord struct {
+	Cycles uint64            `json:"cycles"`
+	TID    int               `json:"tid"`
+	Args   map[string]string `json:"args"`
+}
+
+// TailRecords extracts every tail-category event from the trace buffer,
+// sorted slowest-first (ties broken by recording order, which is
+// deterministic per cell). Nil-safe.
+func (t *Tracer) TailRecords() []TailRecord {
+	if t == nil {
+		return nil
+	}
+	events := t.snapshot()
+	var out []TailRecord
+	order := make([]int, 0, len(events))
+	for i, e := range events {
+		if e.Cat != TailCategory {
+			continue
+		}
+		args := make(map[string]string, len(e.Args)/2)
+		for j := 0; j+1 < len(e.Args); j += 2 {
+			args[e.Args[j]] = e.Args[j+1]
+		}
+		out = append(out, TailRecord{Cycles: e.SimTime, TID: e.TID, Args: args})
+		order = append(order, i)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Cycles != out[b].Cycles {
+			return out[a].Cycles > out[b].Cycles
+		}
+		return order[a] < order[b]
+	})
+	return out
+}
+
+// WriteTailJSON renders the tail records as a JSON document:
+// {"count":N,"tail":[...]} sorted slowest-first. The limit caps the
+// rendered list (0 = everything); count always reports the full total.
+func (t *Tracer) WriteTailJSON(w io.Writer, limit int) error {
+	recs := t.TailRecords()
+	total := len(recs)
+	if limit > 0 && len(recs) > limit {
+		recs = recs[:limit]
+	}
+	if recs == nil {
+		recs = []TailRecord{}
+	}
+	body, err := json.Marshal(recs)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"count":` + strconv.Itoa(total) + `,"tail":`); err != nil {
+		return err
+	}
+	if _, err := bw.Write(body); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString("}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

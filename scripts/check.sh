@@ -206,4 +206,65 @@ fi
 # allocate (nil-sink fast path). Run without -race, which inflates counts.
 echo "== telemetry zero-alloc guard"
 go test ./internal/mmu/ -run 'TestTranslateZeroAllocTelemetry' -count=1 > /dev/null
+
+# Cycle-provenance ledger: conservation must hold per cell across every
+# registry design (chaos and shootdowns included), attribution must be an
+# observer (armed vs disarmed tables byte-identical), and the translate
+# loop must stay zero-alloc with the ledger attached and detached.
+echo "== ledger conservation audit"
+go test ./internal/ledger/ -count=1 > /dev/null
+go test ./internal/mmu/ -run 'TestLedgerConservation|TestLedgerObserverOnly|TestTranslateZeroAllocLedger' -count=1 > /dev/null
+go test ./internal/smp/ -run 'TestLedgerConservationUnderShootdowns' -count=1 > /dev/null
+go test ./internal/perfmodel/ -count=1 > /dev/null
+
+# The breakdown experiment (the ledger's table readout, audited in-cell)
+# must be jobs-invariant like every experiment, and match its checked-in
+# golden byte for byte.
+echo "== breakdown attribution table"
+"$tmpdir/mixtlb" -exp breakdown -quick -csv -jobs 1 > "$tmpdir/breakdown1.csv"
+"$tmpdir/mixtlb" -exp breakdown -quick -csv -jobs 8 > "$tmpdir/breakdown8.csv"
+if ! cmp -s "$tmpdir/breakdown1.csv" "$tmpdir/breakdown8.csv"; then
+    echo "FAIL: breakdown -jobs 8 output differs from -jobs 1" >&2
+    diff "$tmpdir/breakdown1.csv" "$tmpdir/breakdown8.csv" >&2 || true
+    exit 1
+fi
+# (-csv prints one extra trailing newline after the table; the golden
+# stores the bare table, so normalize before comparing.)
+cat internal/experiments/testdata/golden/breakdown.csv > "$tmpdir/breakdown.golden"
+printf '\n' >> "$tmpdir/breakdown.golden"
+if ! cmp -s "$tmpdir/breakdown.golden" "$tmpdir/breakdown1.csv"; then
+    echo "FAIL: breakdown output differs from its golden" >&2
+    diff "$tmpdir/breakdown.golden" "$tmpdir/breakdown1.csv" >&2 || true
+    exit 1
+fi
+
+# Ledger overhead: arming attribution on fig15r must keep the geomean
+# within the same 0.85x floor as the journaling/victim gates, against the
+# journaling-off baseline timed above.
+echo "== ledger overhead"
+"$tmpdir/mixtlb" -exp fig15r -quick -refs 300000 -jobs 1 -ledger-audit -tail 8 \
+    -bench-out "$tmpdir/ledger.json" > /dev/null
+./scripts/benchdiff.sh "$tmpdir/nojournal.json" "$tmpdir/ledger.json" \
+    -max-regression 40 > "$tmpdir/ledger-overhead.txt"
+geomean=$(awk '/geomean/ { g=$NF; sub(/x$/, "", g); print g }' "$tmpdir/ledger-overhead.txt")
+if [ -z "$geomean" ] || ! awk -v g="$geomean" 'BEGIN { exit !(g >= 0.85) }'; then
+    echo "FAIL: ledger-armed fig15r geomean ${geomean:-?}x is below the 0.85x floor" >&2
+    cat "$tmpdir/ledger-overhead.txt" >&2
+    exit 1
+fi
+
+# Bench history: benchtrend must join this run's snapshots and exit
+# clean; with CHECK_ARCHIVE_BENCH=1 the newest snapshot is archived
+# under bench_history/ for long-term trend tracking.
+echo "== benchtrend"
+go build -o "$tmpdir/benchtrend" ./cmd/benchtrend
+mkdir -p "$tmpdir/hist"
+cp "$tmpdir/nojournal.json" "$tmpdir/hist/0001.json"
+cp "$tmpdir/absent.json" "$tmpdir/hist/0002.json"
+"$tmpdir/benchtrend" -max-regression 40 "$tmpdir/hist" > /dev/null
+if [ "${CHECK_ARCHIVE_BENCH:-0}" = "1" ]; then
+    mkdir -p bench_history
+    cp "$tmpdir/absent.json" "bench_history/$(date -u +%Y%m%dT%H%M%SZ).json"
+    "$tmpdir/benchtrend" bench_history/ || true # informational on real history
+fi
 echo "== OK"
