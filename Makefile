@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 bench: bench-experiments
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

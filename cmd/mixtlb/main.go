@@ -60,6 +60,7 @@ import (
 
 	"mixtlb/internal/chaos"
 	"mixtlb/internal/experiments"
+	"mixtlb/internal/isa"
 	"mixtlb/internal/journal"
 	"mixtlb/internal/logx"
 	"mixtlb/internal/mmu"
@@ -105,6 +106,7 @@ func main() {
 		pprofAddr  = flag.String("pprof-addr", "", "serve /metrics, /trace, /debug/vars and /debug/pprof/ on this address (e.g. localhost:6060)")
 		progress   = flag.Bool("progress", false, "print live per-cell progress (done/total, ETA) to stderr")
 		designs    = flag.String("designs", "", "comma-separated design subset for the hierarchy experiment (default: its built-in set)")
+		isaName    = flag.String("isa", "", "translation ISA descriptor for every native environment (see -list; default x86-64)")
 		designFile = flag.String("design-file", "", "JSON file of extra TLB design specs to register (see examples/designs.json)")
 
 		journalPath  = flag.String("journal", "", "checkpoint each completed cell to this JSONL file (crash-safe)")
@@ -175,7 +177,20 @@ func main() {
 		}
 		fmt.Println("designs:")
 		for _, s := range registry.Specs() {
-			fmt.Printf("  %-15s %s\n", s.Name, s.Desc)
+			designISA := s.ISA
+			if designISA == "" {
+				designISA = "any" // ISA-agnostic: runs on whatever -isa selects
+			}
+			fmt.Printf("  %-15s [%s] %s\n", s.Name, designISA, s.Desc)
+		}
+		fmt.Println("isas:")
+		for _, n := range isa.Names() {
+			d, _ := isa.Lookup(n)
+			contig := ""
+			if d.ContigPages > 1 {
+				contig = fmt.Sprintf(", %s x%d", d.Contig, d.ContigPages)
+			}
+			fmt.Printf("  %-15s %d-level radix, %d-bit VAs%s\n", n, d.Depth(), d.VABits, contig)
 		}
 		stopProfiles()
 		return
@@ -221,6 +236,7 @@ func main() {
 	if *designs != "" {
 		scale.Designs = strings.Split(*designs, ",")
 	}
+	scale.ISA = *isaName
 	scale.MaxRetries = *maxRetries
 	scale.RetryBackoff = *retryBackoff
 	scale.CellDeadline = *cellDeadline
@@ -246,6 +262,12 @@ func main() {
 	// Same for -designs: every name must resolve in the registry.
 	if err := scale.ValidateDesigns(); err != nil {
 		lg.Error("invalid -designs", "err", err)
+		stopProfiles()
+		os.Exit(2)
+	}
+	// And -isa: the typed error lists every valid descriptor name.
+	if err := scale.ValidateISA(); err != nil {
+		lg.Error("invalid -isa", "err", err)
 		stopProfiles()
 		os.Exit(2)
 	}

@@ -26,15 +26,19 @@ import (
 // measured-reference count — the unit the per-job work budget is
 // denominated in; zero takes the scale default.
 type JobSpec struct {
-	Experiment   string   `json:"experiment"`
-	Quick        bool     `json:"quick,omitempty"`
-	Seed         uint64   `json:"seed,omitempty"`
-	Workloads    []string `json:"workloads,omitempty"`
-	Refs         uint64   `json:"refs,omitempty"`
-	Jobs         int      `json:"jobs,omitempty"` // worker pool for the job's cells
-	MaxRetries   int      `json:"max_retries,omitempty"`
-	CellDeadline string   `json:"cell_deadline,omitempty"` // Go duration, e.g. "2m"
-	FailSoft     *bool    `json:"fail_soft,omitempty"`     // default true under the daemon
+	Experiment string   `json:"experiment"`
+	Quick      bool     `json:"quick,omitempty"`
+	Seed       uint64   `json:"seed,omitempty"`
+	Workloads  []string `json:"workloads,omitempty"`
+	// ISA names the translation descriptor every native environment's
+	// page table implements (empty = default x86-64). Validated up
+	// front: an unknown name rejects the submission as bad_spec.
+	ISA          string `json:"isa,omitempty"`
+	Refs         uint64 `json:"refs,omitempty"`
+	Jobs         int    `json:"jobs,omitempty"` // worker pool for the job's cells
+	MaxRetries   int    `json:"max_retries,omitempty"`
+	CellDeadline string `json:"cell_deadline,omitempty"` // Go duration, e.g. "2m"
+	FailSoft     *bool  `json:"fail_soft,omitempty"`     // default true under the daemon
 	// LedgerAudit arms the cycle-attribution ledger on every cell;
 	// TailK records the K slowest translations per cell, surfaced at
 	// GET /debug/tail. Both are observers: result tables are
@@ -253,6 +257,7 @@ func (s *Server) scaleFor(spec JobSpec) experiments.Scale {
 	if len(spec.Workloads) > 0 {
 		scale.Workloads = spec.Workloads
 	}
+	scale.ISA = spec.ISA
 	if spec.Refs > 0 {
 		scale.MeasureRefs = spec.Refs
 		scale.WarmupRefs = spec.Refs / 2
@@ -446,6 +451,9 @@ func (s *Server) validate(spec JobSpec) *specError {
 	}
 	scale := s.scaleFor(spec)
 	if err := scale.ValidateWorkloads(); err != nil {
+		return &specError{"bad_spec", err.Error()}
+	}
+	if err := scale.ValidateISA(); err != nil {
 		return &specError{"bad_spec", err.Error()}
 	}
 	if s.cfg.MaxRefs > 0 && scale.WarmupRefs+scale.MeasureRefs > s.cfg.MaxRefs {

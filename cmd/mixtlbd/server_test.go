@@ -109,6 +109,7 @@ func TestSubmitValidation(t *testing.T) {
 		`{"experiment":"nope"}`,
 		`{"experiment":"fig12","quick":true,"workloads":["zzz"]}`,
 		`{"experiment":"fig12","quick":true,"cell_deadline":"soon"}`,
+		`{"experiment":"fig12","quick":true,"isa":"pdp-11"}`,
 		`{"experiment":"fig12","quick":true,"refs":999999}`, // over budget
 		`{"experiment":"fig12","unknown_field":1}`,
 		`not json`,

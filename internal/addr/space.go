@@ -1,0 +1,81 @@
+package addr
+
+import "mixtlb/internal/isa"
+
+// Space binds the package's page-size arithmetic to an isa.Descriptor:
+// page-size shifts come from the descriptor's radix-derived ladder instead
+// of the x86-64 Shift4K/Shift2M/Shift1G constants. Binding to the default
+// descriptor reproduces the package-level functions exactly (tested), so
+// descriptor-indirect callers stay bit-identical on x86-64.
+//
+// A Space is a small value (copied freely, no pointers chased on the hot
+// path); construct it once at configuration time with Bind.
+type Space struct {
+	shifts [NumPageSizes]uint
+	vaBits uint
+	d      *isa.Descriptor
+}
+
+// Bind derives a Space from a descriptor. The descriptor must be valid
+// (Bind panics otherwise — configuration-time misuse, like PageSize.Shift
+// on an invalid size).
+func Bind(d *isa.Descriptor) Space {
+	if err := d.Validate(); err != nil {
+		panic("addr: Bind: " + err.Error())
+	}
+	var sp Space
+	for c := 0; c < NumPageSizes; c++ {
+		sp.shifts[c] = d.LadderShift(c)
+	}
+	sp.vaBits = d.VABits
+	sp.d = d
+	return sp
+}
+
+// DefaultSpace returns the binding for the default x86-64 descriptor.
+func DefaultSpace() Space { return Bind(isa.Default()) }
+
+// Descriptor returns the bound descriptor.
+func (sp Space) Descriptor() *isa.Descriptor { return sp.d }
+
+// VABits returns the canonical virtual-address width.
+func (sp Space) VABits() uint { return sp.vaBits }
+
+// Shift returns the page-offset width of s under the bound ladder.
+func (sp Space) Shift(s PageSize) uint {
+	if !s.Valid() {
+		panic("addr: invalid page size")
+	}
+	return sp.shifts[s]
+}
+
+// Bytes returns the size of s in bytes under the bound ladder.
+func (sp Space) Bytes(s PageSize) uint64 { return 1 << sp.Shift(s) }
+
+// Frames returns the number of constituent base-page frames of s.
+func (sp Space) Frames(s PageSize) uint64 { return 1 << (sp.Shift(s) - sp.shifts[Page4K]) }
+
+// PageNum returns va's page number for size s under the bound ladder.
+func (sp Space) PageNum(va V, s PageSize) uint64 { return uint64(va) >> sp.Shift(s) }
+
+// PageBase returns the start of va's enclosing page of size s.
+func (sp Space) PageBase(va V, s PageSize) V { return va &^ V(sp.Bytes(s)-1) }
+
+// Offset returns va's offset within its enclosing page of size s.
+func (sp Space) Offset(va V, s PageSize) uint64 { return uint64(va) & (sp.Bytes(s) - 1) }
+
+// SetIndex is SetIndex under the bound ladder: the set index of va for a
+// `sets`-set structure indexed by indexSize page numbers.
+func (sp Space) SetIndex(va V, indexSize PageSize, sets int) int {
+	return int(sp.PageNum(va, indexSize) & uint64(sets-1))
+}
+
+// MirrorID is MirrorID under the bound ladder: the identity of the base
+// page within a size-s superpage, excluding the set-index bits of a
+// `sets`-set TLB. sets must not exceed Frames(s).
+func (sp Space) MirrorID(va V, s PageSize, sets int) uint64 {
+	return (uint64(va) >> (sp.shifts[Page4K] + Log2(uint64(sets)))) & (sp.Frames(s)/uint64(sets) - 1)
+}
+
+// Canonical reports whether va fits the descriptor's VA width.
+func (sp Space) Canonical(va V) bool { return uint64(va)>>sp.vaBits == 0 }

@@ -1,0 +1,76 @@
+package addr
+
+import (
+	"testing"
+
+	"mixtlb/internal/isa"
+)
+
+// FuzzSpaceArithmetic is the descriptor-parameterized counterpart of
+// FuzzAddrArithmetic: it synthesizes an arbitrary radix geometry from the
+// fuzz input, binds a Space to it, and checks that the bound arithmetic
+// never panics and preserves the same identities the x86-64 constants
+// guarantee — round-trips, index bounds, and cross-size consistency.
+func FuzzSpaceArithmetic(f *testing.F) {
+	f.Add(uint64(0x7fffdeadb123), uint8(1), uint8(0), uint8(0), uint8(4))    // x86-64-like, 2MB, 16 sets
+	f.Add(uint64(0x1234567890ab), uint8(2), uint8(0x12), uint8(1), uint8(6)) // 5-level, uneven bits
+	f.Add(uint64(0xffffffffffff), uint8(0), uint8(0x3f), uint8(2), uint8(0)) // 3-level, wide levels
+	f.Add(uint64(0x10000000000), uint8(3), uint8(0x24), uint8(0), uint8(8))  // deep radix
+	f.Add(uint64(1)<<62, uint8(1), uint8(0x07), uint8(2), uint8(2))          // VA above any canonical width
+	f.Fuzz(func(t *testing.T, raw uint64, depthSel, bitsSel, sizeSel, setsLog uint8) {
+		depth := 3 + int(depthSel%4) // 3..6 levels
+		pageShift := uint(12)
+		levels := make([]uint, depth)
+		sum := pageShift
+		for i := range levels {
+			// Per-level widths 4..11, varied by position so levels differ.
+			levels[i] = 4 + uint((bitsSel>>(uint(i)%6))&7)
+			sum += levels[i]
+		}
+		d := &isa.Descriptor{Name: "fuzz", VABits: sum, PABits: 48, PageShift: pageShift, LevelBits: levels}
+		if d.Validate() != nil {
+			t.Skip("synthesized descriptor out of range")
+		}
+		sp := Bind(d)
+
+		size := PageSize(sizeSel % uint8(NumPageSizes))
+		sets := 1 << (setsLog % 9) // 1..256
+		va := V(raw)
+
+		// Round trip: base + offset reconstructs the address.
+		base, off := sp.PageBase(va, size), sp.Offset(va, size)
+		if V(uint64(base)|off) != va || uint64(base)&(sp.Bytes(size)-1) != 0 {
+			t.Fatalf("base/offset round trip: va=%v base=%v off=%#x", va, base, off)
+		}
+		// Page number and base agree.
+		if sp.PageNum(va, size)<<sp.Shift(size) != uint64(base) {
+			t.Fatalf("PageNum/PageBase disagree for %v %v", va, size)
+		}
+		// Set index is bounded and equals the masked page number.
+		idx := sp.SetIndex(va, size, sets)
+		if idx < 0 || idx >= sets {
+			t.Fatalf("SetIndex out of range: %d (sets=%d)", idx, sets)
+		}
+		if uint64(idx) != sp.PageNum(va, size)&uint64(sets-1) {
+			t.Fatalf("SetIndex inconsistent with PageNum")
+		}
+		// Mirror identity is bounded by frames-per-superpage over sets.
+		if uint64(sets) <= sp.Frames(size) {
+			mid := sp.MirrorID(va, size, sets)
+			if limit := sp.Frames(size) / uint64(sets); mid >= limit {
+				t.Fatalf("MirrorID %d >= %d for %v %v sets=%d", mid, limit, va, size, sets)
+			}
+		}
+		// The ladder is monotone: each class is at least as large as the last.
+		for c := 1; c < NumPageSizes; c++ {
+			if sp.Shift(PageSize(c)) <= sp.Shift(PageSize(c-1)) {
+				t.Fatalf("ladder not monotone: %v", sp)
+			}
+		}
+		// Canonical masking is idempotent.
+		masked := V(uint64(va) & d.VAMask())
+		if !sp.Canonical(masked) {
+			t.Fatalf("masked VA %v not canonical (width %d)", masked, d.VABits)
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package addr
+
+import (
+	"testing"
+
+	"mixtlb/internal/isa"
+)
+
+// TestDefaultSpaceMatchesPackage pins the golden-safety contract: every
+// Space method bound to the default descriptor computes exactly what the
+// package-level x86-64 functions compute.
+func TestDefaultSpaceMatchesPackage(t *testing.T) {
+	sp := DefaultSpace()
+	vas := []V{0, 0x1000, 0x1fffff, 0x200000, 0x7fffdeadb000, (1 << 48) - 1}
+	setCounts := []int{1, 2, 16, 64, 256}
+	for _, s := range Sizes() {
+		if sp.Shift(s) != s.Shift() || sp.Bytes(s) != s.Bytes() || sp.Frames(s) != s.Frames() {
+			t.Fatalf("%v: bound geometry diverges from package constants", s)
+		}
+		for _, va := range vas {
+			if sp.PageNum(va, s) != va.PageNum(s) {
+				t.Errorf("PageNum(%v, %v) diverges", va, s)
+			}
+			if sp.PageBase(va, s) != va.PageBase(s) {
+				t.Errorf("PageBase(%v, %v) diverges", va, s)
+			}
+			if sp.Offset(va, s) != va.Offset(s) {
+				t.Errorf("Offset(%v, %v) diverges", va, s)
+			}
+			for _, sets := range setCounts {
+				if sp.SetIndex(va, s, sets) != SetIndex(va, s, sets) {
+					t.Errorf("SetIndex(%v, %v, %d) diverges", va, s, sets)
+				}
+				if uint64(sets) <= s.Frames() {
+					if sp.MirrorID(va, s, sets) != MirrorID(va, s, sets) {
+						t.Errorf("MirrorID(%v, %v, %d) diverges", va, s, sets)
+					}
+				}
+			}
+		}
+	}
+	if sp.VABits() != VABits {
+		t.Fatalf("VABits = %d, want %d", sp.VABits(), VABits)
+	}
+}
+
+// TestSpaceAcrossISAs: the ladder is the same 4KB/2MB/1GB on every
+// shipped descriptor, while the VA width varies.
+func TestSpaceAcrossISAs(t *testing.T) {
+	for _, name := range isa.Names() {
+		d, err := isa.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := Bind(d)
+		if sp.Bytes(Page4K) != Size4K || sp.Bytes(Page2M) != Size2M || sp.Bytes(Page1G) != Size1G {
+			t.Errorf("%s: ladder diverges from 4K/2M/1G", name)
+		}
+		if sp.VABits() != d.VABits {
+			t.Errorf("%s: VABits %d != descriptor %d", name, sp.VABits(), d.VABits)
+		}
+	}
+}
+
+func TestSpaceCanonical(t *testing.T) {
+	sv39, _ := isa.Lookup("sv39")
+	sp := Bind(sv39)
+	if !sp.Canonical(V(1<<39 - 1)) {
+		t.Error("top of Sv39 VA space reported non-canonical")
+	}
+	if sp.Canonical(V(1 << 39)) {
+		t.Error("VA above Sv39 width reported canonical")
+	}
+}
+
+func TestBindRejectsInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bind accepted an invalid descriptor")
+		}
+	}()
+	Bind(&isa.Descriptor{Name: "bogus", VABits: 10, PABits: 48, PageShift: 12, LevelBits: []uint{9, 9, 9}})
+}

@@ -101,6 +101,15 @@ type Config struct {
 	// bits the micro-op's assist reads anyway — bounding the added
 	// traffic (the ablation quantifies the difference).
 	NoDirtyGroups bool
+	// ContigPages, when nonzero, is the ISA's hardware contiguity block
+	// size in base pages (SVNAPOT's 16-page granule, the ARM64
+	// contiguous hint's 16-entry span). It is a validation constraint,
+	// not a runtime knob: the walker already hands the fill logic every
+	// member of an encoded block through walk.Line, so the only
+	// requirement is that a bundle can hold one whole block — New
+	// rejects Coalesce below it. Zero (the x86-64 default) imposes
+	// nothing.
+	ContigPages int
 	// SmallCoalesce, when nonzero, additionally coalesces runs of
 	// contiguous 4KB pages into bundles of up to this many members — the
 	// MIX+COLT combination of Sec 7.2 (the paper, like COLT, uses 4). A
@@ -226,6 +235,9 @@ func New(cfg Config) (*MixTLB, error) {
 	}
 	if cfg.SmallCoalesce != 0 && (cfg.SmallCoalesce < 0 || cfg.SmallCoalesce > maxK || !addr.IsPow2(uint64(cfg.SmallCoalesce))) {
 		return nil, fmt.Errorf("core: invalid %s config: bad small-page coalesce limit %d", cfg.Name, cfg.SmallCoalesce)
+	}
+	if cfg.ContigPages > 0 && cfg.Coalesce < cfg.ContigPages {
+		return nil, fmt.Errorf("core: invalid %s config: coalesce limit %d cannot cover the ISA's %d-page contiguity blocks", cfg.Name, cfg.Coalesce, cfg.ContigPages)
 	}
 	if cfg.IndexShift == 0 {
 		cfg.IndexShift = addr.Shift4K

@@ -23,6 +23,7 @@ import (
 	"mixtlb/internal/cachesim"
 	"mixtlb/internal/chaos"
 	"mixtlb/internal/core"
+	"mixtlb/internal/isa"
 	"mixtlb/internal/journal"
 	"mixtlb/internal/ledger"
 	"mixtlb/internal/mmu"
@@ -57,6 +58,11 @@ type Scale struct {
 	// Nil falls back to mmu.DefaultRegistry() (the builtin designs); the
 	// CLI installs a registry extended with -design-file specs.
 	Registry *mmu.Registry
+	// ISA names the translation architecture every native environment's
+	// page table implements (an isa.Lookup name; empty = default x86-64,
+	// reproducing pre-descriptor behaviour bit-for-bit). The xisa
+	// experiment ignores it and sweeps its own descriptor set.
+	ISA string
 	// Seed drives all randomness.
 	Seed uint64
 	// Chaos configures fault injection for the chaos experiment (zero
@@ -138,9 +144,13 @@ type Scale struct {
 // observers (Telemetry, Progress, Bench, ...) are deliberately excluded —
 // they never change results.
 func (s Scale) Fingerprint() string {
-	return fmt.Sprintf("mixtlb-journal-v%d mem=%d foot=%d warmup=%d measure=%d gpu=%d seed=%d workloads=[%s] designs=[%s] chaos=%+v",
+	isaName := s.ISA
+	if isaName == "" {
+		isaName = isa.DefaultName // "" and the explicit default are the same run
+	}
+	return fmt.Sprintf("mixtlb-journal-v%d mem=%d foot=%d warmup=%d measure=%d gpu=%d seed=%d workloads=[%s] designs=[%s] isa=%s chaos=%+v",
 		journal.Version, s.MemoryBytes, s.FootprintBytes, s.WarmupRefs, s.MeasureRefs,
-		s.GPUCores, s.Seed, strings.Join(s.Workloads, ","), strings.Join(s.Designs, ","), s.Chaos)
+		s.GPUCores, s.Seed, strings.Join(s.Workloads, ","), strings.Join(s.Designs, ","), isaName, s.Chaos)
 }
 
 // DefaultScale is the CLI configuration: footprints far beyond TLB reach
@@ -253,7 +263,7 @@ func newNative(s Scale, policy osmm.Policy, memhogFrac float64, seed uint64) (*n
 	if free := phys.FreeFrames() * addr.Size4K * 97 / 100; fp > free {
 		fp = addr.AlignedDown(free, addr.Size2M)
 	}
-	cfg := osmm.Config{Policy: policy, Compactor: hog}
+	cfg := osmm.Config{Policy: policy, Compactor: hog, ISA: s.ISA}
 	switch policy {
 	case osmm.Hugetlbfs2M, osmm.Hugetlbfs1G:
 		cfg.PoolBytes = fp
@@ -528,6 +538,7 @@ func All() []Experiment {
 		{"reach", "coalesced SRAM reach (MIX) vs spilled cache reach (Victima) under fragmentation", ReachStudy},
 		{"chaos", "fault injection: TLB/PTE corruption, lost IPIs, transient OOM — detection and recovery rates", ChaosStudy},
 		{"breakdown", "cycle attribution: where each design's translation cycles go, conservation-audited", Breakdown},
+		{"xisa", "cross-ISA study: headline designs over radix depth (LA57, Sv48) and contiguity encodings (SVNAPOT, ARM64 contig)", CrossISAStudy},
 	}
 }
 
@@ -589,6 +600,14 @@ func (s Scale) ValidateWorkloads() error {
 		}
 	}
 	return nil
+}
+
+// ValidateISA checks that Scale.ISA names a known descriptor, returning
+// the typed *isa.UnknownISAError (listing every valid name) for a typo'd
+// -isa flag before any environment is built.
+func (s Scale) ValidateISA() error {
+	_, err := isa.Lookup(s.ISA)
+	return err
 }
 
 // ValidateDesigns checks that every name in Scale.Designs resolves in the

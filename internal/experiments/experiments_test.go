@@ -19,13 +19,16 @@ func f(t *testing.T, s string) float64 {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(All()) != 20 {
+	if len(All()) != 21 {
 		t.Errorf("%d experiments registered", len(All()))
 	}
 	if _, err := ByName("fig14"); err != nil {
 		t.Error(err)
 	}
 	if _, err := ByName("hierarchy"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("xisa"); err != nil {
 		t.Error(err)
 	}
 	if _, err := ByName("chaos"); err != nil {

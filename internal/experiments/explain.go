@@ -62,8 +62,15 @@ func Explain(w io.Writer, s Scale, design string, va uint64) error {
 		fmt.Fprintf(w, "note: 0x%x is below the mapping base; explaining offset 0x%x into the footprint\n", va, va)
 	}
 
+	desc := env.as.PageTable().Descriptor()
+	contig := "no hardware contiguity encoding"
+	if desc.ContigPages > 1 {
+		contig = fmt.Sprintf("%s encoding over %d-page blocks", desc.Contig, desc.ContigPages)
+	}
 	fmt.Fprintf(w, "design    %s\n", m.Name())
 	fmt.Fprintf(w, "va        %v\n", target)
+	fmt.Fprintf(w, "isa       %s: %d-level radix, %d-bit VAs, %s\n",
+		desc.Name, desc.Depth(), desc.VABits, contig)
 	fmt.Fprintf(w, "env       %s warmup over [%v, +%d MiB), memhog %.2f, seed %d\n",
 		wl.Name, env.base, env.fp>>20, breakdownMemhogFrac, s.Seed)
 
@@ -91,6 +98,12 @@ func Explain(w io.Writer, s Scale, design string, va uint64) error {
 	}
 
 	served := "page walk"
+	for _, st := range trail {
+		if st.Cat == ledger.WalkContig {
+			served = fmt.Sprintf("page walk whose leaf carried the %s %s encoding (one PTE names a %d-page block)",
+				desc.Name, desc.Contig, desc.ContigPages)
+		}
+	}
 	switch {
 	case res.Faulted:
 		served = "fault (address not mapped; the handler refused)"

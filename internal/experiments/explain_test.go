@@ -43,6 +43,30 @@ func TestExplainDeterministic(t *testing.T) {
 	}
 }
 
+// TestExplainNarratesISA checks the narration names the descriptor the
+// environment runs on: the default header for x86-64, and the contiguity
+// encoding (kind and block size) on a NAPOT descriptor.
+func TestExplainNarratesISA(t *testing.T) {
+	s := QuickScale()
+	s.Workloads = []string{"gups"}
+	var b strings.Builder
+	if err := Explain(&b, s, "mix", 0x0); err != nil {
+		t.Fatal(err)
+	}
+	if out := b.String(); !strings.Contains(out, "x86-64: 4-level radix, 48-bit VAs, no hardware contiguity encoding") {
+		t.Errorf("default descriptor not narrated:\n%s", out)
+	}
+
+	s.ISA = "sv48-napot"
+	b.Reset()
+	if err := Explain(&b, s, "mix", 0x0); err != nil {
+		t.Fatal(err)
+	}
+	if out := b.String(); !strings.Contains(out, "sv48-napot: 4-level radix, 48-bit VAs, napot encoding over 16-page blocks") {
+		t.Errorf("NAPOT descriptor not narrated:\n%s", out)
+	}
+}
+
 // TestExplainRejectsUnknownDesign pins the usage-error path.
 func TestExplainRejectsUnknownDesign(t *testing.T) {
 	var b strings.Builder

@@ -86,7 +86,7 @@ func TestGoldenTables(t *testing.T) {
 // counts in one process and requires byte-identical tables — the direct
 // form of the determinism guarantee, independent of checked-in files.
 func TestJobsCountInvariance(t *testing.T) {
-	names := []string{"fig12", "fig13", "invalidation", "hierarchy", "reach", "breakdown"}
+	names := []string{"fig12", "fig13", "invalidation", "hierarchy", "reach", "breakdown", "xisa"}
 	for _, name := range names {
 		name := name
 		t.Run(name, func(t *testing.T) {

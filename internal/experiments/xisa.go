@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"mixtlb/internal/cachesim"
+	"mixtlb/internal/mmu"
+	"mixtlb/internal/osmm"
+	"mixtlb/internal/simrand"
+	"mixtlb/internal/stats"
+	"mixtlb/internal/workload"
+)
+
+// xisaISAs is the descriptor sweep of the cross-ISA study: the x86-64
+// baseline, its 5-level LA57 extension, RISC-V Sv48 with the SVNAPOT
+// 16-page range encoding, and an ARM64-style contiguous-hint descriptor.
+// All four share the 4KB/2MB/1GB ladder, so differences isolate radix
+// depth (walk length) and hardware contiguity encodings (coalescing
+// feed), not page-size geometry.
+var xisaISAs = []string{"x86-64", "x86-64-la57", "sv48-napot", "arm64-contig"}
+
+// xisaDesigns are the headline designs the sweep compares: the split
+// baseline with and without paging-structure caches, MIX with and without
+// small-page COLT coalescing, the drop-in MIX-as-L2 upgrade, and the
+// cache-backed victim hierarchy.
+var xisaDesigns = []string{
+	string(mmu.DesignSplit),
+	string(mmu.DesignSplitPWC),
+	string(mmu.DesignMix),
+	string(mmu.DesignMixColt),
+	string(mmu.DesignMixAsL2),
+	string(mmu.DesignVictima),
+}
+
+// CrossISAStudy runs the headline designs across translation
+// architectures: for each (ISA, workload) cell, the OS environment is
+// rebuilt on a page table implementing that descriptor (deeper radixes
+// walk more levels; NAPOT/contiguous-hint leaves extend the walker's
+// line to the whole 16-page block) and every design measures the same
+// reference stream. Reported per row: L1 hit rate, walk frequency,
+// per-walk PTE references (where LA57's fifth level and the PWC's skips
+// show up), the fraction of walks served from a contiguity-encoded leaf,
+// and cycles per access. One cell per (ISA, workload).
+func CrossISAStudy(ctx context.Context, s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: "Cross-ISA study: headline designs over descriptor radix depth and contiguity encodings",
+		Columns: []string{"isa", "design", "workload", "l1-hit%",
+			"walks-per-1k", "refs-per-walk", "contig-walk%", "cyc/acc"},
+	}
+	reg := s.registry()
+	specs := make([]mmu.DesignSpec, len(xisaDesigns))
+	for i, d := range xisaDesigns {
+		spec, ok := reg.Lookup(d)
+		if !ok {
+			return nil, &mmu.UnknownDesignError{Name: d, Valid: reg.Names()}
+		}
+		specs[i] = spec
+	}
+	var cells []Cell
+	for _, isaName := range xisaISAs {
+		for _, wl := range s.workloads() {
+			isaName, wl := isaName, wl.Name
+			cells = append(cells, Cell{
+				Name: isaName + "/" + wl,
+				Run: func(ctx context.Context, cs Scale) ([]Row, error) {
+					spec, err := workload.ByName(wl)
+					if err != nil {
+						return nil, err
+					}
+					cs.ISA = isaName // the whole cell lives on this descriptor
+					env, err := newNative(cs, osmm.THS, hierarchyMemhogFrac, cs.Seed)
+					if err != nil {
+						return nil, err
+					}
+					var rows []Row
+					for _, ds := range specs {
+						caches := cachesim.DefaultHierarchy()
+						m, err := ds.Build(env.as.PageTable(), env.as.PageTable(), caches, env.as.HandleFault)
+						if err != nil {
+							return nil, err
+						}
+						if cs.Telemetry != nil {
+							m.AttachTelemetry(cs.Telemetry.With("workload", wl, "isa", isaName))
+						}
+						stream := spec.Build(env.base, env.fp, simrand.New(cs.Seed))
+						st, err := runStream(ctx, cs, m, stream)
+						if err != nil {
+							return nil, fmt.Errorf("%s/%s/%s (seed %d): %w", isaName, wl, ds.Name, cs.Seed, err)
+						}
+						if cs.Telemetry != nil {
+							m.FlushTelemetry()
+							env.flushTelemetry()
+						}
+						acc := float64(st.Accesses)
+						if acc == 0 {
+							acc = 1
+						}
+						refsPerWalk := 0.0
+						if st.Walks > 0 {
+							refsPerWalk = float64(st.WalkRefs) / float64(st.Walks)
+						}
+						contigWalk := 0.0
+						if st.Walks > 0 {
+							contigWalk = 100 * float64(st.ContigWalks) / float64(st.Walks)
+						}
+						rows = append(rows, Row{isaName, ds.Name, wl,
+							100 * float64(st.L1Hits) / acc,
+							1000 * float64(st.Walks) / acc,
+							refsPerWalk,
+							contigWalk,
+							st.CyclesPerAccess()})
+					}
+					return rows, nil
+				},
+			})
+		}
+	}
+	results, err := RunGrid(ctx, s, "xisa", t, cells)
+	AppendRows(t, results)
+	return t, err
+}

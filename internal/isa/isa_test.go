@@ -1,0 +1,112 @@
+package isa
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestShippedDescriptorsValid: every registered descriptor validates, and
+// the geometry invariants the rest of the repository assumes hold: 4KB
+// base pages, 9-bit levels, and the 4KB/2MB/1GB ladder.
+func TestShippedDescriptorsValid(t *testing.T) {
+	for _, name := range Names() {
+		d, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if d.PageShift != 12 {
+			t.Errorf("%s: page shift %d, want 12", name, d.PageShift)
+		}
+		for c, want := range []uint{12, 21, 30} {
+			if got := d.LadderShift(c); got != want {
+				t.Errorf("%s: ladder shift[%d] = %d, want %d", name, c, got, want)
+			}
+		}
+	}
+}
+
+func TestDefaultMatchesX86(t *testing.T) {
+	d := Default()
+	if d.Name != "x86-64" || d.Depth() != 4 || d.VABits != 48 {
+		t.Fatalf("default descriptor = %+v", d)
+	}
+	// The walker convention: level 4 (root) indexes VA bits 39..47.
+	want := []uint{12, 21, 30, 39}
+	for lvl := 1; lvl <= 4; lvl++ {
+		if got := d.LevelShift(lvl); got != want[lvl-1] {
+			t.Errorf("LevelShift(%d) = %d, want %d", lvl, got, want[lvl-1])
+		}
+	}
+	if d.Contig != ContigNone || d.ContigPages != 0 {
+		t.Errorf("default descriptor has a contiguity encoding: %v/%d", d.Contig, d.ContigPages)
+	}
+}
+
+func TestLA57Depth(t *testing.T) {
+	d, err := Lookup("x86-64-la57")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Depth() != 5 || d.LevelShift(5) != 48 || d.VABits != 57 {
+		t.Fatalf("la57 = %+v", d)
+	}
+}
+
+func TestContigDescriptors(t *testing.T) {
+	for _, name := range []string{"sv48-napot", "arm64-contig"} {
+		d, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.ContigPages != 16 {
+			t.Errorf("%s: contig pages %d, want 16", name, d.ContigPages)
+		}
+		if d.Contig == ContigNone {
+			t.Errorf("%s: contig kind none", name)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	_, err := Lookup("mips64")
+	var u *UnknownISAError
+	if !errors.As(err, &u) {
+		t.Fatalf("Lookup(mips64) = %v, want *UnknownISAError", err)
+	}
+	if u.Name != "mips64" || len(u.Valid) == 0 {
+		t.Fatalf("error = %+v", u)
+	}
+}
+
+func TestLookupEmptyIsDefault(t *testing.T) {
+	d, err := Lookup("")
+	if err != nil || d.Name != DefaultName {
+		t.Fatalf("Lookup(\"\") = %v, %v", d, err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []Descriptor{
+		{Name: "bad-va", VABits: 47, PABits: 48, PageShift: 12, LevelBits: []uint{9, 9, 9, 9}},
+		{Name: "too-shallow", VABits: 30, PABits: 48, PageShift: 12, LevelBits: []uint{9, 9}},
+		{Name: "contig-not-pow2", VABits: 48, PABits: 48, PageShift: 12, LevelBits: []uint{9, 9, 9, 9}, Contig: ContigNAPOT, ContigPages: 12},
+		{Name: "contig-too-big", VABits: 48, PABits: 48, PageShift: 12, LevelBits: []uint{9, 9, 9, 9}, Contig: ContigHint, ContigPages: 1024},
+		{Name: "stray-contig-pages", VABits: 48, PABits: 48, PageShift: 12, LevelBits: []uint{9, 9, 9, 9}, ContigPages: 16},
+		{Name: "pa-too-narrow", VABits: 48, PABits: 8, PageShift: 12, LevelBits: []uint{9, 9, 9, 9}},
+	}
+	for _, d := range cases {
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid descriptor", d.Name)
+		}
+	}
+}
+
+func TestVAMask(t *testing.T) {
+	d, _ := Lookup("sv39")
+	if d.VAMask() != (1<<39)-1 {
+		t.Fatalf("sv39 VAMask = %#x", d.VAMask())
+	}
+}

@@ -45,6 +45,15 @@ const (
 	// WalkPWC is walk PTE reference time on walks a PWC prefix hit
 	// shortened — only the issued (unskipped) references cost cycles.
 	WalkPWC
+	// WalkContig is walk PTE reference time on walks whose leaf carried
+	// the ISA's hardware contiguity encoding (an SVNAPOT range or an
+	// ARM64 contiguous-hint block). The encoding changes what the fill
+	// learns, not how many PTEs the walk reads, so these cycles are
+	// walk cost like WalkFull/WalkPWC — attributed separately so
+	// breakdowns on non-x86 descriptors show how much walk time the
+	// architectural contiguity covers. Never charged on descriptors
+	// without an encoding, including the default x86-64.
+	WalkContig
 	// DirtyAssist is the exposed latency of injected PTE dirty-bit
 	// micro-ops (zero cycles under the default latency model, but the
 	// events are still counted).
@@ -68,8 +77,8 @@ const (
 
 var categoryNames = [NumCategories]string{
 	"l1-probe", "l2-probe", "deep-probe", "extra-probe", "victim-probe",
-	"walk-full", "walk-pwc", "dirty-assist", "memo-replay", "chaos-retry",
-	"shootdown",
+	"walk-full", "walk-pwc", "walk-contig", "dirty-assist", "memo-replay",
+	"chaos-retry", "shootdown",
 }
 
 // String names the category as used in tables and narrations.

@@ -1,0 +1,197 @@
+package mmu
+
+import (
+	"testing"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/isa"
+	"mixtlb/internal/pagetable"
+	"mixtlb/internal/physmem"
+)
+
+// Differential ISA conformance (the descriptor refactor's core promise):
+// two descriptors that agree on the page-size ladder must produce
+// identical translations and identical MMU statistics for any VA both
+// can express. Deeper radixes only add upper walk levels, and upper
+// levels carry no translation information — so with walk memory costs
+// neutralized (FreeWalks, as the ideal yardstick already does), an
+// x86-64 4-level MMU and an LA57 5-level MMU are indistinguishable below
+// 2^48, and Sv39 and Sv48 below 2^39.
+
+// confEnv builds a page table implementing the named descriptor and
+// identity-maps a deterministic spread of 1GB, 2MB, and 4KB pages (plus
+// enough 4KB pages to overflow both TLB levels). Data-page frames are
+// explicit — PA == VA — so the mapped translations are bit-identical
+// across descriptors even though deeper radixes allocate more interior
+// table pages.
+func confEnv(t *testing.T, isaName string, vaBits uint) (*pagetable.PageTable, []mappedPage) {
+	t.Helper()
+	d, err := isa.Lookup(isaName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := pagetable.NewISA(physmem.NewBuddy(1<<30), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mapped []mappedPage
+	mapOne := func(va addr.V, size addr.PageSize) {
+		if uint64(va)+size.Bytes() > 1<<vaBits {
+			t.Fatalf("test VA %v exceeds the %d-bit conformance window", va, vaBits)
+		}
+		if err := pt.Map(va, addr.P(va), size, addr.PermRW); err != nil {
+			t.Fatal(err)
+		}
+		mapped = append(mapped, mappedPage{va, size})
+	}
+	mapOne(addr.V(1)<<30, addr.Page1G)
+	for i := 0; i < 6; i++ {
+		mapOne(addr.V(1<<33)+addr.V(i)<<21, addr.Page2M)
+	}
+	for i := 0; i < 1024; i++ {
+		mapOne(addr.V(1<<34)+addr.V(i)<<12, addr.Page4K)
+	}
+	return pt, mapped
+}
+
+// confSpecs are the designs the conformance pairs are driven through: a
+// MIX hierarchy (coalescing exercises walk.Line neighbor harvesting) and
+// a split Haswell-style hierarchy. FreeWalks neutralizes walk memory
+// cost, which legitimately differs with radix depth; everything else —
+// hits, fills, coalescing, faults, replay memo — must match exactly.
+func confSpecs(isaName string) []DesignSpec {
+	return []DesignSpec{
+		{
+			Name: "conf-mix",
+			Levels: []LevelSpec{
+				{Kind: KindMix, Sets: 16, Ways: 6, Coalesce: 16},
+				{Kind: KindHaswellL2},
+			},
+			FreeWalks: true,
+			ISA:       isaName,
+		},
+		{
+			Name: "conf-split",
+			Levels: []LevelSpec{
+				{Kind: KindHaswellL1},
+				{Kind: KindHaswellL2},
+			},
+			FreeWalks: true,
+			ISA:       isaName,
+		},
+	}
+}
+
+func TestISAConformance(t *testing.T) {
+	pairs := []struct {
+		name   string
+		a, b   string
+		vaBits uint
+	}{
+		// LA57 adds a fifth radix level above the canonical 48-bit space.
+		{"x86-64-vs-la57", "x86-64", "x86-64-la57", 48},
+		// Sv48 adds a fourth level above Sv39's 39-bit space.
+		{"sv39-vs-sv48", "sv39", "sv48", 39},
+	}
+	for _, pc := range pairs {
+		t.Run(pc.name, func(t *testing.T) {
+			for si := range confSpecs("") {
+				specA, specB := confSpecs(pc.a)[si], confSpecs(pc.b)[si]
+				t.Run(specA.Name, func(t *testing.T) {
+					ptA, mapped := confEnv(t, pc.a, pc.vaBits)
+					ptB, _ := confEnv(t, pc.b, pc.vaBits)
+					ma, err := specA.Build(ptA, ptA, nil, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					mb, err := specB.Build(ptB, ptB, nil, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					reqs := randomRequests(0xc04f+uint64(pc.vaBits), mapped, 20000)
+					// A sprinkle of unmapped VAs keeps the fault path in
+					// the comparison (nil fault handler: both must fault).
+					for i := 500; i < len(reqs); i += 1000 {
+						reqs[i].VA = addr.V(1<<36) + addr.V(i)<<12
+					}
+					for i, r := range reqs {
+						ra, rb := ma.Translate(r), mb.Translate(r)
+						if ra != rb {
+							t.Fatalf("req %d (%+v): %s %+v, %s %+v",
+								i, r, pc.a, ra, pc.b, rb)
+						}
+					}
+					sa, sb := ma.Stats(), mb.Stats()
+					if sa != sb {
+						t.Errorf("stats diverge:\n%s: %+v\n%s: %+v", pc.a, sa, pc.b, sb)
+					}
+					if sa.Walks == 0 || sa.L1Hits == 0 || sa.Faults == 0 {
+						t.Errorf("degenerate stream: %+v", sa)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestTranslateZeroAllocISA pins the descriptor-parameterized hot path —
+// deep-radix walks, NAPOT block detection, and the 16-entry extended
+// walk line feeding the coalescer — at zero heap allocations per access
+// in steady state, matching the default-descriptor guarantee of
+// TestTranslateZeroAlloc.
+func TestTranslateZeroAllocISA(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	for _, isaName := range []string{"x86-64-la57", "sv48-napot", "arm64-contig"} {
+		t.Run(isaName, func(t *testing.T) {
+			d, err := isa.Lookup(isaName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buddy := physmem.NewBuddy(1 << 30)
+			pt, err := pagetable.NewISA(buddy, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Back 4KB mappings with a 2MB physical block so every
+			// aligned 16-page group is PA-contiguous: on NAPOT/contig
+			// descriptors each walk takes the block-detection path and
+			// extends the line to 16 entries.
+			pa, ok := buddy.AllocPage(addr.Page2M)
+			if !ok {
+				t.Fatal("allocation failed")
+			}
+			var mapped []mappedPage
+			for i := 0; i < 512; i++ {
+				va := addr.V(1<<34) + addr.V(i)<<12
+				if err := pt.Map(va, pa+addr.P(i)<<12, addr.Page4K, addr.PermRW); err != nil {
+					t.Fatal(err)
+				}
+				mapped = append(mapped, mappedPage{va, addr.Page4K})
+			}
+			spec := confSpecs(isaName)[0]
+			m, err := spec.Build(pt, pt, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqs := randomRequests(0x15a+uint64(len(isaName)), mapped, 4096)
+			for _, r := range reqs {
+				m.Translate(r)
+			}
+			i := 0
+			avg := testing.AllocsPerRun(20, func() {
+				for j := 0; j < 256; j++ {
+					m.Translate(reqs[i%len(reqs)])
+					i++
+				}
+			})
+			if avg != 0 {
+				t.Errorf("Translate allocates %.2f times per 256 accesses in steady state", avg)
+			}
+			if d.ContigPages > 1 && m.Stats().ContigWalks == 0 {
+				t.Errorf("%s stream never took the contiguity-encoded walk path", isaName)
+			}
+		})
+	}
+}

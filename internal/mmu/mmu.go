@@ -117,6 +117,11 @@ type Stats struct {
 	Walks    uint64
 	Faults   uint64
 
+	// ContigWalks counts walks whose leaf carried the ISA's hardware
+	// contiguity encoding (SVNAPOT range / ARM64 contiguous-hint block).
+	// Always zero on descriptors without one, including default x86-64.
+	ContigWalks uint64
+
 	Cycles     uint64 // total translation cycles
 	WalkCycles uint64 // subset spent in page-table walks
 
@@ -751,6 +756,9 @@ func (m *MMU) walk(req tlb.Request, res *Result) *pagetable.WalkResult {
 			*walk = m.src.Walk(req.VA)
 		}
 	}
+	if walk.ContigPages > 0 {
+		m.stats.ContigWalks++
+	}
 	skip := 0
 	if m.pwc != nil {
 		// Probe before fill so a walk never short-circuits on the entries
@@ -781,9 +789,16 @@ func (m *MMU) walk(req tlb.Request, res *Result) *pagetable.WalkResult {
 			m.tel.walkCycles.Observe(res.Cycles - start)
 		}
 		if m.led != nil {
+			// Contig outcome takes precedence: on NAPOT/contig-hint
+			// descriptors the breakdown's question is how much walk time
+			// the architectural encoding covers, and a PWC-shortened
+			// contig walk still learned the block from its leaf.
 			cat := ledger.WalkFull
 			if skip > 0 {
 				cat = ledger.WalkPWC
+			}
+			if walk.ContigPages > 0 {
+				cat = ledger.WalkContig
 			}
 			m.led.ChargeWalk(cat, res.Cycles-start, len(walk.Accesses)-skip)
 		}

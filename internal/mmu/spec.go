@@ -10,6 +10,7 @@ import (
 	"mixtlb/internal/addr"
 	"mixtlb/internal/cachesim"
 	"mixtlb/internal/core"
+	"mixtlb/internal/isa"
 	"mixtlb/internal/pagetable"
 	"mixtlb/internal/pwc"
 	"mixtlb/internal/tlb"
@@ -113,6 +114,14 @@ type DesignSpec struct {
 	FreeWalks bool `json:"free_walks,omitempty"`
 	// Latencies overrides the cycle model; nil uses DefaultLatencies.
 	Latencies *Latencies `json:"latencies,omitempty"`
+	// ISA names the translation architecture the design targets (an
+	// isa.Lookup name). Empty means the design is ISA-agnostic and runs
+	// on whatever descriptor the page table implements — the default
+	// x86-64 when nothing selects otherwise. A non-empty ISA pins the
+	// design: validation checks encoding-aware coalescing caps against
+	// that descriptor, and building against a page table of a different
+	// ISA is an error.
+	ISA string `json:"isa,omitempty"`
 }
 
 // DesignSpecError reports an invalid DesignSpec: an unknown level kind,
@@ -176,6 +185,12 @@ func (s DesignSpec) Validate() error {
 	if s.PWCEntries < 0 {
 		return derr("pwc_entries", "negative capacity")
 	}
+	// Resolve the declared ISA up front; the typed *isa.UnknownISAError
+	// carries the valid names for CLI/daemon reporting.
+	desc, err := isa.Lookup(s.ISA)
+	if err != nil {
+		return err
+	}
 	for i, l := range s.Levels {
 		lerr := func(field, reason string) error {
 			return &DesignSpecError{Design: s.Name, Level: i, Field: field, Reason: reason}
@@ -216,6 +231,21 @@ func (s DesignSpec) Validate() error {
 			}
 			if l.SmallCoalesce < 0 || l.SmallCoalesce > maxK {
 				return lerr("small_coalesce", fmt.Sprintf("must be non-negative and at most %d, got %d", maxK, l.SmallCoalesce))
+			}
+			// Encoding-aware cap: on an ISA with hardware contiguity
+			// blocks, a bundle must be able to cover one whole block —
+			// otherwise the design throws away ranges the architecture
+			// hands it pre-coalesced.
+			if desc.ContigPages > 0 {
+				k := l.Coalesce
+				if k == 0 {
+					if k = l.Sets; k > maxK {
+						k = maxK
+					}
+				}
+				if k < desc.ContigPages {
+					return lerr("coalesce", fmt.Sprintf("bundle capacity %d cannot cover the %s ISA's %d-page contiguity blocks", k, desc.Name, desc.ContigPages))
+				}
 			}
 			if l.PredictorEntries != 0 {
 				return lerr("predictor_entries", "only rehash+pred and skew+pred levels take a predictor")
@@ -272,8 +302,24 @@ func (s DesignSpec) levelName(i int) string {
 	return fmt.Sprintf("%s-L%d", s.Name, i+1)
 }
 
-// buildLevel constructs level i's TLB.
-func (s DesignSpec) buildLevel(i int, pt *pagetable.PageTable) (tlb.TLB, error) {
+// descriptor resolves the translation architecture a build targets: the
+// page table's when one is present (the hardware the design actually runs
+// on), else the spec's declared ISA, else the default x86-64. A design
+// pinned to an ISA refuses to build on a page table of a different one.
+func (s DesignSpec) descriptor(pt *pagetable.PageTable) (*isa.Descriptor, error) {
+	if pt != nil {
+		d := pt.Descriptor()
+		if s.ISA != "" && d.Name != s.ISA {
+			return nil, &DesignSpecError{Design: s.Name, Level: -1, Field: "isa",
+				Reason: fmt.Sprintf("design targets ISA %q but the page table implements %q", s.ISA, d.Name)}
+		}
+		return d, nil
+	}
+	return isa.Lookup(s.ISA)
+}
+
+// buildLevel constructs level i's TLB for the given descriptor.
+func (s DesignSpec) buildLevel(i int, pt *pagetable.PageTable, desc *isa.Descriptor) (tlb.TLB, error) {
 	l := s.Levels[i]
 	switch l.Kind {
 	case KindHaswellL1:
@@ -292,6 +338,7 @@ func (s DesignSpec) buildLevel(i int, pt *pagetable.PageTable) (tlb.TLB, error) 
 			Coalesce:      l.Coalesce,
 			SmallCoalesce: l.SmallCoalesce,
 			IndexShift:    addr.Shift4K,
+			ContigPages:   desc.ContigPages,
 		}
 		if cfg.Coalesce == 0 {
 			// Default K to the set count (the paper's geometry), clamped to
@@ -356,9 +403,13 @@ func (s DesignSpec) BuildTLBs(pt *pagetable.PageTable) ([]tlb.TLB, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	desc, err := s.descriptor(pt)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]tlb.TLB, len(s.Levels))
 	for i := range s.Levels {
-		t, err := s.buildLevel(i, pt)
+		t, err := s.buildLevel(i, pt, desc)
 		if err != nil {
 			return nil, err
 		}
@@ -383,7 +434,13 @@ func (s DesignSpec) BuildConfig(pt *pagetable.PageTable) (Config, error) {
 		cfg.Levels[i] = Level{TLB: t, HitLatency: s.Levels[i].HitLatency}
 	}
 	if s.PWC || s.PWCEntries > 0 {
-		cfg.PWC = pwc.New(s.PWCEntries)
+		// Size the walker's prefix caches from the radix the walks will
+		// actually traverse (one level per non-leaf radix level).
+		desc, err := s.descriptor(pt)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.PWC = pwc.NewISA(s.PWCEntries, desc)
 	}
 	return cfg, nil
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"mixtlb/internal/addr"
+	"mixtlb/internal/isa"
 	"mixtlb/internal/tlb"
 )
 
@@ -213,6 +214,53 @@ func TestParseSpecs(t *testing.T) {
 		if _, err := ParseSpecBytes([]byte(bad)); err == nil {
 			t.Errorf("%s accepted: %s", name, bad)
 		}
+	}
+}
+
+func TestSpecISAValidation(t *testing.T) {
+	// An unknown ISA name fails up front with the typed error listing
+	// every valid descriptor, not a generic build failure.
+	s := validSpec()
+	s.ISA = "vax"
+	err := s.Validate()
+	var ie *isa.UnknownISAError
+	if !errors.As(err, &ie) {
+		t.Fatalf("unknown ISA: got %T (%v), want *isa.UnknownISAError", err, err)
+	}
+	if ie.Name != "vax" || len(ie.Valid) != len(isa.Names()) {
+		t.Errorf("UnknownISAError = %+v", ie)
+	}
+
+	// On a contiguity-encoding descriptor, a MIX level whose superpage
+	// bundle capacity cannot cover one hardware block is rejected.
+	s = validSpec()
+	s.ISA = "sv48-napot"
+	s.Levels[0].Coalesce = 8
+	err = s.Validate()
+	var se *DesignSpecError
+	if !errors.As(err, &se) || se.Field != "coalesce" {
+		t.Fatalf("undersized coalesce: got %v, want *DesignSpecError on coalesce", err)
+	}
+	if !strings.Contains(err.Error(), "contiguity blocks") {
+		t.Errorf("error %q does not mention contiguity blocks", err)
+	}
+	s.Levels[0].Coalesce = 16
+	if err := s.Validate(); err != nil {
+		t.Errorf("block-covering coalesce rejected: %v", err)
+	}
+
+	// A design pinned to one ISA refuses to build against a page table
+	// implementing another.
+	e := newEnv(t) // default x86-64 page table
+	s = validSpec()
+	s.ISA = "sv39"
+	if _, err := s.Build(e.pt, e.pt, e.caches, nil); err == nil ||
+		!strings.Contains(err.Error(), `implements "x86-64"`) {
+		t.Errorf("ISA-pinned build on mismatched page table: got %v", err)
+	}
+	s.ISA = "x86-64"
+	if _, err := s.Build(e.pt, e.pt, e.caches, nil); err != nil {
+		t.Errorf("matching ISA pin rejected: %v", err)
 	}
 }
 

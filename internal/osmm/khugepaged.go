@@ -18,10 +18,14 @@ import (
 func (as *AddressSpace) Khugepaged(maxScan int, shootdown func(pagetable.Translation)) int {
 	promoted := 0
 	scanned := 0
+	// Promotion thresholds key off the descriptor-bound ladder: the
+	// region size is the next class up from base pages (2MB on every
+	// shipped descriptor), not a hardcoded x86 constant.
+	region := addr.V(as.space.Bytes(addr.Page2M))
 	for _, vma := range as.vmas {
-		start := addr.V(addr.AlignedUp(uint64(vma.Start), addr.Size2M))
+		start := addr.V(addr.AlignedUp(uint64(vma.Start), uint64(region)))
 		end := uint64(vma.Start) + vma.Length
-		for va := start; uint64(va)+addr.Size2M <= end; va += addr.Size2M {
+		for va := start; uint64(va)+uint64(region) <= end; va += region {
 			if scanned >= maxScan {
 				return promoted
 			}
@@ -40,7 +44,7 @@ func (as *AddressSpace) Khugepaged(maxScan int, shootdown func(pagetable.Transla
 // regionFullyBase reports whether the 2MB region at va is mapped entirely
 // with 4KB pages (the promotion precondition).
 func (as *AddressSpace) regionFullyBase(va addr.V) bool {
-	for off := uint64(0); off < addr.Size2M; off += addr.Size4K {
+	for off := uint64(0); off < as.space.Bytes(addr.Page2M); off += as.space.Bytes(addr.Page4K) {
 		tr, ok := as.pt.Lookup(va + addr.V(off))
 		if !ok || tr.Size != addr.Page4K {
 			return false
@@ -57,7 +61,7 @@ func (as *AddressSpace) promoteRegion(va addr.V, shootdown func(pagetable.Transl
 	}
 	// Collect and remove the old mappings (copy + remap on real systems).
 	var old []pagetable.Translation
-	for off := uint64(0); off < addr.Size2M; off += addr.Size4K {
+	for off := uint64(0); off < as.space.Bytes(addr.Page2M); off += as.space.Bytes(addr.Page4K) {
 		tr, err := as.pt.Unmap(va + addr.V(off))
 		if err != nil {
 			// Should be impossible after regionFullyBase; restore what we
@@ -65,7 +69,7 @@ func (as *AddressSpace) promoteRegion(va addr.V, shootdown func(pagetable.Transl
 			for _, o := range old {
 				_ = as.pt.Map(o.VA, o.PA, o.Size, o.Perm)
 			}
-			as.phys.FreePage(pa, addr.Page2M)
+			as.phys.FreePageIn(as.space, pa, addr.Page2M)
 			return false
 		}
 		old = append(old, tr)
@@ -74,18 +78,18 @@ func (as *AddressSpace) promoteRegion(va addr.V, shootdown func(pagetable.Transl
 		for _, o := range old {
 			_ = as.pt.Map(o.VA, o.PA, o.Size, o.Perm)
 		}
-		as.phys.FreePage(pa, addr.Page2M)
+		as.phys.FreePageIn(as.space, pa, addr.Page2M)
 		return false
 	}
 	as.pt.SetAccessed(va)
 	for _, o := range old {
-		as.phys.FreePage(o.PA, addr.Page4K)
-		as.stats.Bytes[addr.Page4K] -= addr.Size4K
+		as.phys.FreePageIn(as.space, o.PA, addr.Page4K)
+		as.stats.Bytes[addr.Page4K] -= as.space.Bytes(addr.Page4K)
 		if shootdown != nil {
 			shootdown(o)
 		}
 	}
-	as.stats.Bytes[addr.Page2M] += addr.Size2M
+	as.stats.Bytes[addr.Page2M] += as.space.Bytes(addr.Page2M)
 	as.stats.Promotions++
 	return true
 }

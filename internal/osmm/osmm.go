@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"mixtlb/internal/addr"
+	"mixtlb/internal/isa"
 	"mixtlb/internal/pagetable"
 	"mixtlb/internal/physmem"
 	"mixtlb/internal/stats"
@@ -103,6 +104,10 @@ type Config struct {
 	// compaction (Sec 7.1: "THS tries to defragment memory sufficiently
 	// to maintain swathes of contiguous free physical pages").
 	Compactor Compactor
+	// ISA names the translation architecture the address space's page
+	// table implements (an isa.Lookup name). Empty selects the default
+	// x86-64 descriptor, preserving pre-ISA behaviour exactly.
+	ISA string
 }
 
 // VMA is one virtual memory area created by Mmap.
@@ -140,6 +145,7 @@ func (s Stats) SuperpageFraction() float64 {
 type AddressSpace struct {
 	phys   *physmem.Buddy
 	pt     *pagetable.PageTable
+	space  addr.Space // the descriptor-bound ladder all thresholds key off
 	cfg    Config
 	vmas   []VMA
 	nextVA addr.V
@@ -162,19 +168,37 @@ type AddressSpace struct {
 	tel *telemetry.Collector
 }
 
-// vaBase is where Mmap places the first area; 1GB-aligned so any page size
-// is eligible anywhere in a VMA.
+// vaBase is where Mmap places the first area on descriptors wide enough
+// to hold it; 1GB-aligned so any page size is eligible anywhere in a VMA.
+// Narrow-VA descriptors (Sv39) scale the base down to a quarter of their
+// canonical space, keeping the same "well above the first gigabytes,
+// plenty of room to grow" layout proportionally.
 const vaBase = addr.V(0x10000000000)
 
+// baseFor places the first VMA for a descriptor: vaBase when the VA space
+// holds it with room to spare, else 2^(VABits-2). Identical to the old
+// constant on every 48-bit-or-wider descriptor, including default x86-64.
+func baseFor(d *isa.Descriptor) addr.V {
+	if quarter := addr.V(1) << (d.VABits - 2); quarter < vaBase {
+		return quarter
+	}
+	return vaBase
+}
+
 // New creates an address space over the given physical memory. The page
-// table's own pages come from the same allocator. Hugetlbfs policies
-// reserve their pool immediately (link-time reservation, Sec 7.1).
+// table's own pages come from the same allocator and implement the
+// descriptor cfg.ISA names. Hugetlbfs policies reserve their pool
+// immediately (link-time reservation, Sec 7.1).
 func New(phys *physmem.Buddy, cfg Config) (*AddressSpace, error) {
-	pt, err := pagetable.New(phys)
+	d, err := isa.Lookup(cfg.ISA)
 	if err != nil {
 		return nil, err
 	}
-	as := &AddressSpace{phys: phys, pt: pt, cfg: cfg, nextVA: vaBase}
+	pt, err := pagetable.NewISA(phys, d)
+	if err != nil {
+		return nil, err
+	}
+	as := &AddressSpace{phys: phys, pt: pt, space: addr.Bind(d), cfg: cfg, nextVA: baseFor(d)}
 	switch cfg.Policy {
 	case Hugetlbfs2M:
 		as.reservePool(addr.Page2M)
@@ -201,7 +225,7 @@ func (as *AddressSpace) reservePool(size addr.PageSize) {
 // allocSuper allocates a superpage block, invoking compaction on failure
 // unless compaction is currently deferred.
 func (as *AddressSpace) allocSuper(size addr.PageSize) (addr.P, bool) {
-	if pa, ok := as.phys.AllocPage(size); ok {
+	if pa, ok := as.phys.AllocPageIn(as.space, size); ok {
 		return pa, true
 	}
 	if as.cfg.Compactor == nil {
@@ -211,7 +235,7 @@ func (as *AddressSpace) allocSuper(size addr.PageSize) (addr.P, bool) {
 	if as.superAttempts < as.deferUntil {
 		return 0, false // compaction deferred after recent failures
 	}
-	if frame, ok := as.cfg.Compactor.CompactFor(uint(size.Shift() - addr.Shift4K)); ok {
+	if frame, ok := as.cfg.Compactor.CompactFor(physmem.OrderOf(as.space, size)); ok {
 		as.deferShift = 0
 		return addr.P(frame << addr.Shift4K), true
 	}
@@ -241,7 +265,7 @@ func (as *AddressSpace) Mmap(length uint64) (addr.V, error) {
 	}
 	length = addr.AlignedUp(length, addr.Size4K)
 	start := addr.V(addr.AlignedUp(uint64(as.nextVA), addr.Size1G))
-	if uint64(start)+length >= 1<<addr.VABits {
+	if uint64(start)+length >= uint64(1)<<as.pt.Descriptor().VABits {
 		return 0, ErrNoVirtualSpace
 	}
 	as.vmas = append(as.vmas, VMA{Start: start, Length: length})
@@ -322,7 +346,7 @@ func (as *AddressSpace) tryMapSuper(vma VMA, va addr.V, size addr.PageSize, allo
 	if err := as.pt.Map(base, pa, size, addr.PermRW|addr.PermUser); err != nil {
 		// Part of the region was already mapped with 4KB pages by an
 		// earlier fallback; give the block back and use a small page.
-		as.phys.FreePage(pa, size)
+		as.phys.FreePageIn(as.space, pa, size)
 		return false
 	}
 	// Linux creates fault-installed PTEs young (accessed): the faulting
@@ -335,12 +359,12 @@ func (as *AddressSpace) tryMapSuper(vma VMA, va addr.V, size addr.PageSize, allo
 
 // mapOne maps a single page of the given size at va's page base.
 func (as *AddressSpace) mapOne(va addr.V, size addr.PageSize) bool {
-	pa, ok := as.phys.AllocPage(size)
+	pa, ok := as.phys.AllocPageIn(as.space, size)
 	if !ok {
 		return false
 	}
 	if err := as.pt.Map(va.PageBase(size), pa, size, addr.PermRW|addr.PermUser); err != nil {
-		as.phys.FreePage(pa, size)
+		as.phys.FreePageIn(as.space, pa, size)
 		return false
 	}
 	as.pt.SetAccessed(va)
@@ -388,7 +412,7 @@ func (as *AddressSpace) Munmap(start addr.V, length uint64, shootdown func(paget
 			continue
 		}
 		if _, err := as.pt.Unmap(va); err == nil {
-			as.phys.FreePage(tr.PA, tr.Size)
+			as.phys.FreePageIn(as.space, tr.PA, tr.Size)
 			as.stats.Bytes[tr.Size] -= tr.Size.Bytes()
 			if shootdown != nil {
 				shootdown(tr)

@@ -1,0 +1,148 @@
+package pagetable
+
+import (
+	"testing"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/isa"
+)
+
+func mustISA(t *testing.T, name string) *isa.Descriptor {
+	t.Helper()
+	d, err := isa.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestWalkDepthPerISA: the walker touches exactly Depth PTEs for a 4KB
+// walk, and Depth-(level-1) for superpage leaves, on every descriptor.
+func TestWalkDepthPerISA(t *testing.T) {
+	for _, name := range []string{"x86-64", "x86-64-la57", "sv39", "sv48"} {
+		d := mustISA(t, name)
+		pt, err := NewISA(&stubAlloc{}, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Depth() != d.Depth() {
+			t.Fatalf("%s: depth %d, want %d", name, pt.Depth(), d.Depth())
+		}
+		va := addr.V(uint64(1) << (d.VABits - 2)) // inside the VA space, above 4 levels' reach
+		if err := pt.Map(va, 0x40000000, addr.Page4K, addr.PermRW); err != nil {
+			t.Fatalf("%s: Map: %v", name, err)
+		}
+		w := pt.Walk(va)
+		if !w.Found || len(w.Accesses) != d.Depth() {
+			t.Fatalf("%s: walk found=%v accesses=%d, want %d", name, w.Found, len(w.Accesses), d.Depth())
+		}
+		if w.ContigPages != 0 {
+			t.Fatalf("%s: contig pages %d on a non-contig descriptor", name, w.ContigPages)
+		}
+		// 2MB leaf: one fewer access.
+		va2 := va + addr.V(addr.Size1G)
+		if err := pt.Map(va2, 0x80000000, addr.Page2M, addr.PermRW); err != nil {
+			t.Fatalf("%s: Map 2M: %v", name, err)
+		}
+		if w2 := pt.Walk(va2); !w2.Found || len(w2.Accesses) != d.Depth()-1 {
+			t.Fatalf("%s: 2MB walk accesses=%d, want %d", name, len(w2.Accesses), d.Depth()-1)
+		}
+	}
+}
+
+// TestContigBlockDetection: on a NAPOT descriptor the walker reports a
+// fully populated, aligned, physically contiguous 16-page block — and the
+// Line grows to cover all 16 members, the information the single encoded
+// PTE carries. Holes, permission mismatches, misalignment, or physical
+// discontiguity all disqualify the block.
+func TestContigBlockDetection(t *testing.T) {
+	d := mustISA(t, "sv48-napot")
+	pt, err := NewISA(&stubAlloc{}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const block = 16 * addr.Size4K
+	base := addr.V(0x10000000000)
+	paBase := addr.P(0x200000000)
+	for i := 0; i < 16; i++ {
+		off := addr.V(i * addr.Size4K)
+		if err := pt.Map(base+off, paBase+addr.P(i*addr.Size4K), addr.Page4K, addr.PermRW|addr.PermUser); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := pt.Walk(base + 5*addr.Size4K)
+	if !w.Found || w.ContigPages != 16 {
+		t.Fatalf("contig walk: found=%v contig=%d, want 16", w.Found, w.ContigPages)
+	}
+	if len(w.Line) != 16 {
+		t.Fatalf("contig line has %d members, want 16", len(w.Line))
+	}
+	for i, tr := range w.Line {
+		if tr.VA != base+addr.V(i*addr.Size4K) || tr.PA != paBase+addr.P(i*addr.Size4K) {
+			t.Fatalf("line[%d] = %v", i, tr)
+		}
+		if !tr.Accessed {
+			t.Fatalf("line[%d] not accessed: the block shares one A bit", i)
+		}
+	}
+
+	// A block with one member unmapped is not contiguity-encodable.
+	hole := base + block
+	for i := 0; i < 16; i++ {
+		if i == 7 {
+			continue
+		}
+		if err := pt.Map(hole+addr.V(i*addr.Size4K), paBase+addr.P(block)+addr.P(i*addr.Size4K), addr.Page4K, addr.PermRW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w := pt.Walk(hole); w.ContigPages != 0 {
+		t.Fatalf("holed block reported contig=%d", w.ContigPages)
+	}
+
+	// Physically discontiguous members disqualify the block.
+	scatter := hole + block
+	for i := 0; i < 16; i++ {
+		pa := paBase + 2*block + addr.P(i*addr.Size4K)
+		if i == 3 {
+			pa += addr.Size2M // break contiguity
+		}
+		if err := pt.Map(scatter+addr.V(i*addr.Size4K), pa, addr.Page4K, addr.PermRW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w := pt.Walk(scatter); w.ContigPages != 0 {
+		t.Fatalf("scattered block reported contig=%d", w.ContigPages)
+	}
+
+	// A physically misaligned (non-NAPOT) base disqualifies the block.
+	skew := scatter + block
+	for i := 0; i < 16; i++ {
+		if err := pt.Map(skew+addr.V(i*addr.Size4K), paBase+4*block+addr.Size4K+addr.P(i*addr.Size4K), addr.Page4K, addr.PermRW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w := pt.Walk(skew); w.ContigPages != 0 {
+		t.Fatalf("misaligned block reported contig=%d", w.ContigPages)
+	}
+}
+
+// TestNewISARejectsUnsupportedGeometry: the simulator's 4KB/512-entry
+// table pages pin every level to 9 index bits.
+func TestNewISARejectsUnsupportedGeometry(t *testing.T) {
+	bad := &isa.Descriptor{Name: "wide", VABits: 12 + 11 + 9 + 9, PABits: 48, PageShift: 12, LevelBits: []uint{11, 9, 9}}
+	if _, err := NewISA(&stubAlloc{}, bad); err == nil {
+		t.Fatal("NewISA accepted an 11-bit level")
+	}
+}
+
+// stubAlloc hands out consecutive high frames for page-table pages.
+type stubAlloc struct{ next addr.P }
+
+func (a *stubAlloc) AllocPage(s addr.PageSize) (addr.P, bool) {
+	base := addr.P(0x7000000000) + a.next
+	a.next += addr.P(s.Bytes())
+	return base, true
+}
+
+func (a *stubAlloc) FreePage(addr.P, addr.PageSize) {}

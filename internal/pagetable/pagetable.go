@@ -1,15 +1,23 @@
-// Package pagetable implements the x86-64 4-level radix page table and the
-// hardware page-table walker semantics the simulator's MMUs use.
+// Package pagetable implements a radix page table and the hardware
+// page-table walker semantics the simulator's MMUs use. The radix depth
+// and virtual-address width come from an isa.Descriptor: the default is
+// x86-64 4-level paging, with 5-level LA57, RISC-V Sv39/Sv48 (including
+// SVNAPOT contiguity), and ARM64 contiguous-hint geometries available via
+// NewISA.
 //
-// Three leaf levels are supported, matching the architecture: 4KB pages at
-// level 1, 2MB pages at level 2 (PS bit in the page directory), and 1GB
-// pages at level 3 (PS bit in the PDPT). Page-table pages themselves are
-// backed by physical frames from a FrameAllocator, so walker memory
-// references carry realistic physical cache-line addresses.
+// Three leaf levels are supported on every descriptor, matching the shared
+// ladder: 4KB pages at level 1, 2MB pages at level 2 (PS bit in the page
+// directory), and 1GB pages at level 3 (PS bit in the PDPT). Page-table
+// pages themselves are backed by physical frames from a FrameAllocator, so
+// walker memory references carry realistic physical cache-line addresses.
 //
 // The walker exposes the detail the MIX TLB design hinges on (Sec 3): page
 // tables are read in 64-byte cache-line units, so every miss hands the fill
-// logic the 8 translations adjacent to the requested one for free.
+// logic the 8 translations adjacent to the requested one for free. On
+// descriptors with a hardware contiguity encoding (SVNAPOT, the ARM64
+// contiguous hint), a walk that lands in a fully populated, aligned,
+// physically contiguous block additionally reports the whole block — the
+// information a single NAPOT/contiguous-bit PTE carries architecturally.
 package pagetable
 
 import (
@@ -17,13 +25,16 @@ import (
 	"fmt"
 
 	"mixtlb/internal/addr"
+	"mixtlb/internal/isa"
 )
 
 // Number of entries per table and radix geometry.
 const (
 	entriesPerTable = 512
 	indexBits       = 9
-	// Levels is the number of radix levels (PML4, PDPT, PD, PT).
+	// Levels is the number of radix levels of the default x86-64
+	// descriptor (PML4, PDPT, PD, PT). Descriptor-aware code should use
+	// PageTable.Depth instead.
 	Levels = 4
 )
 
@@ -93,11 +104,17 @@ type entry struct {
 	dirty   bool
 }
 
-// PageTable is an x86-64 4-level page table.
+// PageTable is a radix page table with descriptor-driven depth.
 type PageTable struct {
 	alloc FrameAllocator
 	root  *table
 	count [addr.NumPageSizes]uint64 // live translations per size
+
+	// desc is the translation architecture; depth and contigPages are
+	// copies of its hot fields so walk loops touch plain ints.
+	desc        *isa.Descriptor
+	depth       int
+	contigPages int
 
 	// tel is the telemetry hook block, nil unless AttachTelemetry enabled
 	// it; every use is a single nil-check branch.
@@ -120,9 +137,28 @@ func leafLevel(s addr.PageSize) int {
 	panic("pagetable: invalid page size")
 }
 
-// New creates an empty page table whose table pages come from alloc.
+// New creates an empty page table for the default x86-64 descriptor.
 func New(alloc FrameAllocator) (*PageTable, error) {
-	pt := &PageTable{alloc: alloc}
+	return NewISA(alloc, isa.Default())
+}
+
+// NewISA creates an empty page table for the given translation
+// architecture. The simulator's table pages are fixed 4KB/512-entry
+// frames, so every radix level of the descriptor must be 9 bits wide and
+// base pages must be 4KB (true of all shipped descriptors).
+func NewISA(alloc FrameAllocator, d *isa.Descriptor) (*PageTable, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("pagetable: %w", err)
+	}
+	if d.PageShift != addr.Shift4K {
+		return nil, fmt.Errorf("pagetable: descriptor %s: base page shift %d unsupported (want %d)", d.Name, d.PageShift, addr.Shift4K)
+	}
+	for lvl := 1; lvl <= d.Depth(); lvl++ {
+		if d.IndexBits(lvl) != indexBits {
+			return nil, fmt.Errorf("pagetable: descriptor %s: level %d index width %d unsupported (want %d)", d.Name, lvl, d.IndexBits(lvl), indexBits)
+		}
+	}
+	pt := &PageTable{alloc: alloc, desc: d, depth: d.Depth(), contigPages: d.ContigPages}
 	root, err := pt.newTable()
 	if err != nil {
 		return nil, err
@@ -130,6 +166,12 @@ func New(alloc FrameAllocator) (*PageTable, error) {
 	pt.root = root
 	return pt, nil
 }
+
+// Descriptor returns the translation architecture the table implements.
+func (pt *PageTable) Descriptor() *isa.Descriptor { return pt.desc }
+
+// Depth returns the radix depth (4 for x86-64, 5 for LA57, 3 for Sv39).
+func (pt *PageTable) Depth() int { return pt.depth }
 
 func (pt *PageTable) newTable() (*table, error) {
 	base, ok := pt.alloc.AllocPage(addr.Page4K)
@@ -152,7 +194,7 @@ func (pt *PageTable) Map(va addr.V, pa addr.P, size addr.PageSize, perm addr.Per
 	}
 	target := leafLevel(size)
 	t := pt.root
-	for level := Levels; level > target; level-- {
+	for level := pt.depth; level > target; level-- {
 		i := index(va, level)
 		e := &t.entries[i]
 		if e.present && e.leaf {
@@ -204,9 +246,7 @@ func (pt *PageTable) Map(va addr.V, pa addr.P, size addr.PageSize, perm addr.Per
 // Unmap removes the translation covering va and returns it.
 func (pt *PageTable) Unmap(va addr.V) (Translation, error) {
 	t := pt.root
-	var path [Levels]*table
-	for level := Levels; level >= 1; level-- {
-		path[Levels-level] = t
+	for level := pt.depth; level >= 1; level-- {
 		i := index(va, level)
 		e := &t.entries[i]
 		if !e.present {
@@ -257,7 +297,7 @@ func decode(e *entry, va addr.V, level int) Translation {
 // Lookup performs a software lookup with no side effects or cost model.
 func (pt *PageTable) Lookup(va addr.V) (Translation, bool) {
 	t := pt.root
-	for level := Levels; level >= 1; level-- {
+	for level := pt.depth; level >= 1; level-- {
 		e := &t.entries[index(va, level)]
 		if !e.present {
 			return Translation{}, false
@@ -312,7 +352,7 @@ func (pt *PageTable) ClearAccessedDirty(va addr.V) bool {
 
 func (pt *PageTable) leafEntry(va addr.V) *entry {
 	t := pt.root
-	for level := Levels; level >= 1; level-- {
+	for level := pt.depth; level >= 1; level-- {
 		e := &t.entries[index(va, level)]
 		if !e.present {
 			return nil
@@ -357,6 +397,15 @@ type WalkResult struct {
 	// PageTable walks, valid when Found. It lets the dirty-bit assist
 	// update the entry without a second root-to-leaf traversal.
 	Leaf LeafRef
+	// ContigPages is nonzero when the descriptor has a hardware
+	// contiguity encoding (SVNAPOT, ARM64 contiguous hint) and the
+	// resolved 4KB leaf sits in a fully populated, naturally aligned,
+	// physically contiguous block of that many base pages — the condition
+	// under which an OS would have set the N/contiguous bit. When set,
+	// Line covers the whole block (its members are what the single
+	// encoded PTE describes), not just the leaf's cache line. Always zero
+	// on descriptors without an encoding, including the default x86-64.
+	ContigPages int
 }
 
 // Walk performs a hardware page-table walk for va: traverses the radix
@@ -378,8 +427,9 @@ func (pt *PageTable) WalkInto(va addr.V, res *WalkResult) {
 	res.Accesses = res.Accesses[:0]
 	res.Line = res.Line[:0]
 	res.Leaf = LeafRef{}
+	res.ContigPages = 0
 	t := pt.root
-	for level := Levels; level >= 1; level-- {
+	for level := pt.depth; level >= 1; level-- {
 		i := index(va, level)
 		res.Accesses = append(res.Accesses, t.base+addr.P(i*8))
 		e := &t.entries[i]
@@ -392,10 +442,54 @@ func (pt *PageTable) WalkInto(va addr.V, res *WalkResult) {
 			res.Translation = decode(e, va, level)
 			res.Line = appendLineTranslations(res.Line, t, i, va, level)
 			res.Leaf = LeafRef{e}
+			if pt.contigPages > 1 && level == 1 && pt.contigBlock(t, i) {
+				res.ContigPages = pt.contigPages
+				if pt.contigPages > addr.PTEsPerCacheLine {
+					res.Line = appendBlockTranslations(res.Line[:0], t, i&^(pt.contigPages-1), pt.contigPages, va)
+				}
+			}
 			return
 		}
 		t = t.children[i]
 	}
+}
+
+// contigBlock reports whether the aligned contigPages-entry block of leaf
+// table t containing index i satisfies the architectural conditions for
+// the descriptor's contiguity encoding: every entry present with the same
+// permissions, the block physically contiguous, and the physical base
+// naturally aligned (NAPOT's alignment rule; ARM64 requires the same of
+// contiguous-hint output ranges). When it does, the walker also sets the
+// accessed bit on every member — architecturally the block shares one
+// encoded PTE, so its A bit covers the whole range.
+func (pt *PageTable) contigBlock(t *table, i int) bool {
+	start := i &^ (pt.contigPages - 1)
+	base := &t.entries[start]
+	if !base.present || base.pfn&uint64(pt.contigPages-1) != 0 {
+		return false
+	}
+	for j := 0; j < pt.contigPages; j++ {
+		e := &t.entries[start+j]
+		if !e.present || !e.leaf || e.perm != base.perm || e.pfn != base.pfn+uint64(j) {
+			return false
+		}
+	}
+	for j := 0; j < pt.contigPages; j++ {
+		t.entries[start+j].acc = true
+	}
+	return true
+}
+
+// appendBlockTranslations decodes the 4KB leaves of an aligned block
+// starting at index start of leaf table t, appending into a caller-owned
+// slice. All entries are known present (contigBlock verified them).
+func appendBlockTranslations(out []Translation, t *table, start, n int, va addr.V) []Translation {
+	const shift = addr.Shift4K
+	for j := start; j < start+n; j++ {
+		nva := addr.V(uint64(va)&^(uint64(entriesPerTable-1)<<shift) | uint64(j)<<shift)
+		out = append(out, decode(&t.entries[j], nva.PageBase(addr.Page4K), 1))
+	}
+	return out
 }
 
 // SetDirtyLine sets the A/D bits of the leaf covering va and returns the
@@ -406,7 +500,7 @@ func (pt *PageTable) WalkInto(va addr.V, res *WalkResult) {
 // when va is unmapped.
 func (pt *PageTable) SetDirtyLine(va addr.V, buf []Translation) []Translation {
 	t := pt.root
-	for level := Levels; level >= 1; level-- {
+	for level := pt.depth; level >= 1; level-- {
 		i := index(va, level)
 		e := &t.entries[i]
 		if !e.present {
@@ -448,7 +542,7 @@ func appendLineTranslations(out []Translation, t *table, i int, va addr.V, level
 // function returns false to stop early. This in-order scan is what the
 // contiguity characterization (Sec 7.1, Figures 11-13) runs over.
 func (pt *PageTable) ForEach(visit func(Translation) bool) {
-	pt.forEach(pt.root, Levels, 0, visit)
+	pt.forEach(pt.root, pt.depth, 0, visit)
 }
 
 func (pt *PageTable) forEach(t *table, level int, vaBase uint64, visit func(Translation) bool) bool {

@@ -1,0 +1,74 @@
+package pagetable
+
+import (
+	"testing"
+
+	"mixtlb/internal/addr"
+	"mixtlb/internal/isa"
+)
+
+// FuzzPTE exercises the packed PTE codecs of every registered ISA —
+// including the SVNAPOT N-bit and ARM64 contiguous-hint leaf encodings —
+// with two properties:
+//
+//  1. Decode never panics on arbitrary raw bits, and anything it accepts
+//     survives an encode/decode round trip unchanged (same translation,
+//     same contiguity flag).
+//  2. A well-formed translation synthesized from the input round-trips
+//     through encode then decode.
+func FuzzPTE(f *testing.F) {
+	f.Add(uint64(0x8000000000055c0f), uint64(0x7ffdeadbe000), uint8(0), uint8(2)) // NAPOT-shaped bits, sv
+	f.Add(uint64(0x0010000000200cc3), uint64(0x10000200000), uint8(1), uint8(5))  // arm contig bit region
+	f.Add(uint64(0x00000000001000e7), uint64(0x40000000), uint8(2), uint8(0))     // x86 1GB-ish
+	f.Add(uint64(0), uint64(0), uint8(0), uint8(0))
+	names := isa.Names()
+	f.Fuzz(func(t *testing.T, raw, vaRaw uint64, levelSel, isaSel uint8) {
+		d, err := isa.Lookup(names[int(isaSel)%len(names)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		level := 1 + int(levelSel)%3
+		size := sizeAtLevel(level)
+		va := addr.V(vaRaw & d.VAMask())
+
+		// Property 1: decode -> encode -> decode is a fixed point.
+		if tr, contig, ok := DecodePTEISA(d, raw, va, level); ok {
+			re := EncodePTEISA(d, tr, level, contig)
+			tr2, contig2, ok2 := DecodePTEISA(d, re, va, level)
+			if !ok2 || tr2 != tr || contig2 != contig {
+				t.Fatalf("%s level %d: decode(%#x) = %v contig=%v, re-decode(%#x) = %v contig=%v ok=%v",
+					d.Name, level, raw, tr, contig, re, tr2, contig2, ok2)
+			}
+		}
+
+		// Property 2: a well-formed translation survives encode/decode.
+		contig := raw&1 != 0 && level == 1 && d.Contig != isa.ContigNone
+		pa := addr.P(raw & ((uint64(1) << addr.PABits) - 1)).PageBase(size)
+		if contig {
+			// NAPOT requires the block naturally aligned and VA/PA
+			// congruent within it; pin both to the block base.
+			blockMask := uint64(d.ContigPages)*addr.Size4K - 1
+			pa &^= addr.P(blockMask)
+			va &^= addr.V(blockMask)
+		}
+		want := Translation{
+			VA:       va.PageBase(size),
+			PA:       pa,
+			Size:     size,
+			Perm:     addr.PermRead | addr.Perm(raw>>1)&(addr.PermWrite|addr.PermExec|addr.PermUser),
+			Accessed: raw&(1<<4) != 0,
+			Dirty:    raw&(1<<5) != 0,
+		}
+		enc := EncodePTEISA(d, want, level, contig)
+		got, gotContig, ok := DecodePTEISA(d, enc, va, level)
+		if !ok {
+			t.Fatalf("%s level %d: decode rejected encode(%v) = %#x", d.Name, level, want, enc)
+		}
+		if contig && d.Contig != isa.ContigNone && !gotContig {
+			t.Fatalf("%s level %d: contiguity encoding lost through %#x", d.Name, level, enc)
+		}
+		if got != want {
+			t.Fatalf("%s level %d: round trip %v -> %#x -> %v", d.Name, level, want, enc, got)
+		}
+	})
+}

@@ -23,7 +23,7 @@ func CrossCheck(st mmu.Stats, led *ledger.Ledger) error {
 		return nil
 	}
 	e := led.Entries()
-	walk := e[ledger.WalkFull].Cycles + e[ledger.WalkPWC].Cycles
+	walk := e[ledger.WalkFull].Cycles + e[ledger.WalkPWC].Cycles + e[ledger.WalkContig].Cycles
 	victim := e[ledger.VictimProbe].Cycles
 	retries := e[ledger.ChaosRetry].Events
 	if retries == 0 {

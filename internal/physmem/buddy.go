@@ -178,6 +178,28 @@ func (b *Buddy) AllocPage(s addr.PageSize) (addr.P, bool) {
 	return addr.P(frame << addr.Shift4K), true
 }
 
+// OrderOf translates a page-size class into a buddy order under a bound
+// address space's ladder — the descriptor-driven counterpart of the
+// s.Shift()-Shift4K arithmetic AllocPage hardcodes. Identical results for
+// any descriptor with the default 4KB/2MB/1GB ladder.
+func OrderOf(sp addr.Space, s addr.PageSize) uint {
+	return sp.Shift(s) - sp.Shift(addr.Page4K)
+}
+
+// AllocPageIn is AllocPage with the order keyed off a bound ladder.
+func (b *Buddy) AllocPageIn(sp addr.Space, s addr.PageSize) (addr.P, bool) {
+	frame, ok := b.AllocOrder(OrderOf(sp, s))
+	if !ok {
+		return 0, false
+	}
+	return addr.P(frame << addr.Shift4K), true
+}
+
+// FreePageIn is FreePage with the order keyed off a bound ladder.
+func (b *Buddy) FreePageIn(sp addr.Space, pa addr.P, s addr.PageSize) {
+	b.Free(pa.PFN4K(), OrderOf(sp, s))
+}
+
 // Free releases the block of 2^order frames starting at frame. The pair
 // must match a previous allocation exactly; freeing at a different
 // granularity than the allocation is a caller bug.

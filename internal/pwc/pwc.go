@@ -13,19 +13,20 @@
 // PTE references a hit short-circuits.
 package pwc
 
-import "mixtlb/internal/addr"
+import (
+	"mixtlb/internal/addr"
+	"mixtlb/internal/isa"
+)
 
-// NumLevels is how many non-leaf radix levels can be cached: PML4 entries
-// (skip 1 access), PDPT entries (skip 2), PD entries (skip 3).
+// NumLevels is how many non-leaf radix levels the default x86-64
+// descriptor caches: PML4 entries (skip 1 access), PDPT entries (skip 2),
+// PD entries (skip 3). Descriptor-aware callers size from NewISA instead:
+// a cache always has Depth-1 levels.
 const NumLevels = 3
 
 // DefaultEntries is the per-level capacity when none is configured; real
 // PSCs have 2-32 entries per level.
 const DefaultEntries = 16
-
-// prefixShift gives the VA shift keying each cached level: levels[0]
-// caches PML4 entries, levels[1] PDPT entries, levels[2] PD entries.
-var prefixShift = [NumLevels]uint{39, 30, 21}
 
 // Stats counts cache activity. Hits and Misses count deepest-level probe
 // outcomes (one per walk consulted); SkippedRefs counts the upper-level
@@ -39,20 +40,41 @@ type Stats struct {
 
 // Cache is one set of paging-structure caches, private to one walker. It
 // must not be shared across address spaces (VA prefixes would alias).
+// levels[0] caches root entries (skip 1), levels[1] the next level down
+// (skip 2), and so on through the deepest non-leaf level; shifts holds
+// the VA prefix shift keying each. On the default x86-64 radix that is
+// three levels with shifts 39/30/21; a 5-level LA57 radix caches four
+// with shifts 48/39/30/21, and 3-level Sv39 two with 30/21.
 type Cache struct {
-	levels [NumLevels]prefixCache
+	levels []prefixCache
+	shifts []uint
 	stats  Stats
 }
 
-// New builds a cache with the given entries per level (fully associative,
-// LRU). entriesPerLevel <= 0 selects DefaultEntries.
+// New builds a cache for the default x86-64 radix with the given entries
+// per level (fully associative, LRU). entriesPerLevel <= 0 selects
+// DefaultEntries.
 func New(entriesPerLevel int) *Cache {
+	return NewISA(entriesPerLevel, isa.Default())
+}
+
+// NewISA builds a cache sized from a descriptor's radix: one prefix cache
+// per non-leaf level, deepest-first probe order, exactly as the x86-64
+// special case behaved before ISAs were parameterized.
+func NewISA(entriesPerLevel int, d *isa.Descriptor) *Cache {
 	if entriesPerLevel <= 0 {
 		entriesPerLevel = DefaultEntries
 	}
-	c := &Cache{}
+	depth := d.Depth()
+	c := &Cache{
+		levels: make([]prefixCache, depth-1),
+		shifts: make([]uint, depth-1),
+	}
 	for i := range c.levels {
 		c.levels[i].init(entriesPerLevel)
+		// levels[i] caches entries of radix level depth-i, whose VA
+		// prefix starts where level depth-i's index does.
+		c.shifts[i] = d.LevelShift(depth - i)
 	}
 	return c
 }
@@ -68,11 +90,11 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // walk has only 3 accesses, so a PDE hit cannot skip more than 2, and the
 // final (leaf) access is never skipped.
 func (c *Cache) Skip(va addr.V, maxSkip int) int {
-	for lvl := NumLevels - 1; lvl >= 0; lvl-- {
+	for lvl := len(c.levels) - 1; lvl >= 0; lvl-- {
 		if lvl+1 > maxSkip {
 			continue
 		}
-		if c.levels[lvl].lookup(uint64(va) >> prefixShift[lvl]) {
+		if c.levels[lvl].lookup(uint64(va) >> c.shifts[lvl]) {
 			c.stats.Hits++
 			c.stats.SkippedRefs += uint64(lvl + 1)
 			return lvl + 1
@@ -83,12 +105,13 @@ func (c *Cache) Skip(va addr.V, maxSkip int) int {
 }
 
 // Fill records the traversed non-leaf levels of a completed walk. walkLen
-// is the walk's access count (4 for a 4KB walk, 3 for 2MB, 2 for 1GB): a
-// walk of length L traversed levels PML4..(PML4+L-2) as pointers.
+// is the walk's access count (on x86-64: 4 for a 4KB walk, 3 for 2MB, 2
+// for 1GB): a walk of length L traversed L-1 levels as pointers, root
+// first.
 func (c *Cache) Fill(va addr.V, walkLen int) {
 	c.stats.Fills++
-	for lvl := 0; lvl < walkLen-1 && lvl < NumLevels; lvl++ {
-		c.levels[lvl].insert(uint64(va) >> prefixShift[lvl])
+	for lvl := 0; lvl < walkLen-1 && lvl < len(c.levels); lvl++ {
+		c.levels[lvl].insert(uint64(va) >> c.shifts[lvl])
 	}
 }
 
@@ -96,7 +119,7 @@ func (c *Cache) Fill(va addr.V, walkLen int) {
 // invalidate paging-structure caches exactly as they invalidate TLBs.
 func (c *Cache) Invalidate(va addr.V) {
 	for lvl := range c.levels {
-		c.levels[lvl].invalidate(uint64(va) >> prefixShift[lvl])
+		c.levels[lvl].invalidate(uint64(va) >> c.shifts[lvl])
 	}
 }
 

@@ -17,7 +17,7 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 echo "== go test -race ./..."
-go test -race ./...
+go test -race -timeout 20m ./...
 
 # Fuzz smoke: run each fuzz target briefly beyond its seed corpus. The
 # corpora under testdata/fuzz/ already ran as regular test cases above;
@@ -26,6 +26,8 @@ echo "== go test -fuzz (10s per target)"
 go test ./internal/trace/ -fuzz 'FuzzRoundTrip' -fuzztime 10s -run '^$'
 go test ./internal/trace/ -fuzz 'FuzzReader' -fuzztime 10s -run '^$'
 go test ./internal/addr/ -fuzz 'FuzzAddrArithmetic' -fuzztime 10s -run '^$'
+go test ./internal/addr/ -fuzz 'FuzzSpaceArithmetic' -fuzztime 10s -run '^$'
+go test ./internal/pagetable/ -fuzz 'FuzzPTE' -fuzztime 10s -run '^$'
 go test ./internal/journal/ -fuzz 'FuzzJournalDecode' -fuzztime 10s -run '^$'
 go test ./internal/tlb/ -fuzz 'FuzzVictimBundle' -fuzztime 10s -run '^$'
 
@@ -250,6 +252,48 @@ geomean=$(awk '/geomean/ { g=$NF; sub(/x$/, "", g); print g }' "$tmpdir/ledger-o
 if [ -z "$geomean" ] || ! awk -v g="$geomean" 'BEGIN { exit !(g >= 0.85) }'; then
     echo "FAIL: ledger-armed fig15r geomean ${geomean:-?}x is below the 0.85x floor" >&2
     cat "$tmpdir/ledger-overhead.txt" >&2
+    exit 1
+fi
+
+# Cross-ISA translation front end: descriptor packages and conformance
+# (LA57 vs 4-level, Sv39 vs Sv48 differential; typed ISA validation on
+# specs and JobSpecs), then the xisa experiment — jobs-invariant like
+# every experiment and byte-identical to its checked-in golden.
+echo "== cross-ISA descriptors"
+go test ./internal/isa/ -count=1 > /dev/null
+go test ./internal/mmu/ -run 'TestISAConformance|TestSpecISAValidation' -count=1 > /dev/null
+"$tmpdir/mixtlb" -exp xisa -quick -csv -jobs 1 > "$tmpdir/xisa1.csv"
+"$tmpdir/mixtlb" -exp xisa -quick -csv -jobs 8 > "$tmpdir/xisa8.csv"
+if ! cmp -s "$tmpdir/xisa1.csv" "$tmpdir/xisa8.csv"; then
+    echo "FAIL: xisa -jobs 8 output differs from -jobs 1" >&2
+    diff "$tmpdir/xisa1.csv" "$tmpdir/xisa8.csv" >&2 || true
+    exit 1
+fi
+cat internal/experiments/testdata/golden/xisa.csv > "$tmpdir/xisa.golden"
+printf '\n' >> "$tmpdir/xisa.golden"
+if ! cmp -s "$tmpdir/xisa.golden" "$tmpdir/xisa1.csv"; then
+    echo "FAIL: xisa output differs from its golden" >&2
+    diff "$tmpdir/xisa.golden" "$tmpdir/xisa1.csv" >&2 || true
+    exit 1
+fi
+
+# Descriptor indirection must stay free on the hot path: the
+# descriptor-parameterized translate loop (deep radixes, NAPOT/contig
+# block detection, 16-entry extended walk lines) allocates nothing in
+# steady state, and the default-descriptor perf group stays within the
+# same 0.85x geomean floor of the committed pre-descriptor seed snapshot
+# (BENCH_experiments.json). The per-cell backstop is loose (75%) because
+# the snapshot predates this session's scheduler noise; the geomean is
+# the real gate.
+echo "== descriptor indirection overhead"
+go test ./internal/mmu/ -run 'TestTranslateZeroAllocISA' -count=1 > /dev/null
+"$tmpdir/mixtlb" -exp perf -quick -jobs 1 -bench-out "$tmpdir/isa-perf.json" > /dev/null
+./scripts/benchdiff.sh BENCH_experiments.json "$tmpdir/isa-perf.json" \
+    -max-regression 75 > "$tmpdir/isa-overhead.txt"
+geomean=$(awk '/geomean/ { g=$NF; sub(/x$/, "", g); print g }' "$tmpdir/isa-overhead.txt")
+if [ -z "$geomean" ] || ! awk -v g="$geomean" 'BEGIN { exit !(g >= 0.85) }'; then
+    echo "FAIL: descriptor-indirection geomean ${geomean:-?}x is below the 0.85x floor vs the seed snapshot" >&2
+    cat "$tmpdir/isa-overhead.txt" >&2
     exit 1
 fi
 
